@@ -1,0 +1,25 @@
+PYTHON ?= python
+
+.PHONY: install test bench examples report clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script > /dev/null || exit 1; \
+	done; echo "all examples OK"
+
+report:
+	$(PYTHON) -m repro report
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache \
+		benchmarks/out verilog_out dot_out

@@ -1,0 +1,84 @@
+"""Ablation benches: how much each design choice buys.
+
+DESIGN.md's load-bearing choices, measured by removal:
+
+* MSB-first radix schedule (vs every other bit order);
+* the arbiter's generate rule (vs pure flag forwarding);
+* the nesting itself (vs a plain baseline network).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.analysis.ablations import (
+    bare_baseline_delivery_fraction,
+    bit_order_delivery_fraction,
+    unbalance_after_ablated_splitter,
+)
+
+
+def test_bit_order_ablation(benchmark, write_artifact):
+    def sweep():
+        rows = []
+        for order in itertools.permutations(range(3)):
+            rows.append(
+                (order, bit_order_delivery_fraction(3, list(order), samples=60))
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    fractions = dict(rows)
+    assert fractions[(0, 1, 2)] == 1.0  # the paper's schedule
+    for order, fraction in rows:
+        if order != (0, 1, 2):
+            assert fraction < 1.0, order
+
+    lines = ["bit order (0 = MSB) | delivered fraction (N=8, 60 samples)"]
+    lines += [f"{order} | {fraction:.3f}" for order, fraction in rows]
+    write_artifact("ablation_bit_order.txt", "\n".join(lines))
+
+
+def test_generate_rule_ablation(benchmark, write_artifact):
+    def sweep():
+        worst = {}
+        for p in (2, 3):
+            n = 1 << p
+            worst[n] = max(
+                unbalance_after_ablated_splitter(list(bits))
+                for bits in itertools.product([0, 1], repeat=n)
+                if sum(bits) * 2 == n
+            )
+        return worst
+
+    worst = benchmark(sweep)
+    # Theorem 3 would require unbalance 0; the ablated splitter can be
+    # maximally unbalanced (every 1 on an odd output).
+    assert worst[4] == 2
+    assert worst[8] == 4
+    write_artifact(
+        "ablation_generate_rule.txt",
+        "\n".join(
+            [f"sp({n.bit_length() - 1}) worst |M_e - M_o| without the "
+             f"generate rule: {value}" for n, value in worst.items()]
+        ),
+    )
+
+
+def test_nesting_ablation(benchmark, write_artifact):
+    def sweep():
+        return {
+            1 << m: bare_baseline_delivery_fraction(m, samples=150, seed=m)
+            for m in (3, 4, 5)
+        }
+
+    fractions = benchmark(sweep)
+    assert fractions[8] > fractions[16] >= fractions[32]
+    assert fractions[32] < 0.01
+    lines = ["N | plain baseline delivered fraction (150 random perms)"]
+    lines += [f"{n} | {f:.4f}" for n, f in sorted(fractions.items())]
+    lines += ["(the BNB delivers 1.0 at every size; the nested sorting",
+              " networks are what close this gap)"]
+    write_artifact("ablation_nesting.txt", "\n".join(lines))

@@ -1,0 +1,86 @@
+"""Dynamic activity and empirical scaling benches (library extensions).
+
+Two analyses beyond the paper's static counts:
+
+* switching activity — measured exchange/swap fractions of BNB vs
+  Batcher on uniform traffic (BNB ~0.49, Batcher ~0.58);
+* empirical scaling — polynomial fits over constructed networks must
+  recover the paper's coefficients from raw data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.activity import average_activity
+from repro.analysis.scaling import (
+    batcher_delay_scaling,
+    bnb_delay_scaling,
+    bnb_switch_scaling,
+)
+
+
+@pytest.mark.parametrize("kind", ["bnb", "batcher"])
+def test_activity_measurement(benchmark, kind, write_artifact):
+    stats = benchmark.pedantic(
+        lambda: average_activity(kind, 5, samples=12, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert 0.0 < stats["mean_exchange_fraction"] < 1.0
+    write_artifact(
+        f"activity_{kind}_n32.txt",
+        f"{kind} mean exchange fraction (N=32, 12 workloads): "
+        f"{stats['mean_exchange_fraction']:.4f}\n"
+        f"per-stage means: {stats['per_stage_mean']}",
+    )
+
+
+def test_activity_ordering(benchmark):
+    """Batcher's comparators swap more often than BNB's switches
+    exchange — the dynamic counterpart of the hardware claim."""
+
+    def measure():
+        return (
+            average_activity("bnb", 4, samples=10, seed=2)[
+                "mean_exchange_fraction"
+            ],
+            average_activity("batcher", 4, samples=10, seed=2)[
+                "mean_exchange_fraction"
+            ],
+        )
+
+    bnb_fraction, batcher_fraction = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    assert batcher_fraction > bnb_fraction
+
+
+def test_scaling_fit_recovers_coefficients(benchmark, write_artifact):
+    def fit_all():
+        return (
+            bnb_switch_scaling(range(2, 11)),
+            bnb_delay_scaling(range(2, 11)),
+            batcher_delay_scaling(range(2, 11)),
+        )
+
+    switches, bnb_delay, batcher_delay = benchmark(fit_all)
+    assert switches.coefficients[3] == pytest.approx(1 / 6, abs=1e-5)
+    assert bnb_delay.coefficients[3] == pytest.approx(1 / 3, abs=1e-5)
+    assert batcher_delay.coefficients[3] == pytest.approx(1 / 2, abs=1e-5)
+    assert bnb_delay.leading / batcher_delay.leading == pytest.approx(
+        2 / 3, abs=1e-5
+    )
+    write_artifact(
+        "scaling_fits.txt",
+        "\n".join(
+            [
+                "polynomial fits over constructed networks (coefficients of m^0..m^3):",
+                f"BNB switches / N : {tuple(round(c, 6) for c in switches.coefficients)}",
+                f"BNB delay        : {tuple(round(c, 6) for c in bnb_delay.coefficients)}",
+                f"Batcher delay    : {tuple(round(c, 6) for c in batcher_delay.coefficients)}",
+                "paper: 1/6 m^3 + 1/4 m^2 + 1/12 m;  1/3 m^3 + 3/2 m^2 - 5/6 m;",
+                "       1/2 m^3 + m^2 + 1/2 m  -> delay ratio 2/3",
+            ]
+        ),
+    )

@@ -1,0 +1,87 @@
+"""Section 5.3 — the headline comparison: 1/3 hardware, 2/3 delay.
+
+Computes the BNB/Batcher ratios over a wide size sweep, locates the
+threshold crossovers, and pins the asymptotic limits symbolically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.complexity import (
+    delay_leading_ratio,
+    hardware_leading_ratio,
+)
+from repro.analysis.figures import (
+    delay_growth_series,
+    hardware_growth_series,
+    ratio_crossovers,
+)
+
+
+def test_hardware_ratio_sweep(benchmark, write_artifact):
+    series = benchmark(lambda: hardware_growth_series(range(3, 24)))
+    ratios = [p.bnb_over_batcher for p in series]
+    assert ratios == sorted(ratios, reverse=True)
+    assert ratios[0] < 0.70  # already well below parity at N=8
+    assert ratios[-1] > 1 / 3  # approaches but never reaches the limit
+
+    lines = ["N | Batcher | Koppelman | BNB | BNB/Batcher"]
+    lines += [
+        f"{p.n} | {p.batcher:.3e} | {p.koppelman:.3e} | {p.bnb:.3e} | "
+        f"{p.bnb_over_batcher:.4f}"
+        for p in series
+    ]
+    write_artifact("comparison_hardware_growth.txt", "\n".join(lines))
+
+
+def test_delay_ratio_sweep(benchmark, write_artifact):
+    series = benchmark(lambda: delay_growth_series(range(3, 24)))
+    ratios = [p.bnb / p.batcher for p in series]
+    # Peak at N=16 (lower-order terms), strictly decreasing beyond.
+    assert ratios[1:] == sorted(ratios[1:], reverse=True)
+    assert all(r <= 0.84 for r in ratios)
+    assert ratios[-1] > 2 / 3
+
+    lines = ["N | Batcher | Koppelman | BNB | BNB/Batcher"]
+    lines += [
+        f"{p.n} | {p.batcher:.0f} | {p.koppelman:.0f} | {p.bnb:.0f} | "
+        f"{p.bnb / p.batcher:.4f}"
+        for p in series
+    ]
+    write_artifact("comparison_delay_growth.txt", "\n".join(lines))
+
+
+def test_asymptotic_limits(benchmark):
+    """The abstract's claims, pinned at a symbolic size (N = 2^300)."""
+
+    def limits():
+        n = 1 << 300
+        return hardware_leading_ratio(n), delay_leading_ratio(n)
+
+    hardware, delay = benchmark(limits)
+    # Convergence is O(1 / log N): at N = 2^300 the hardware ratio sits
+    # ~0.006 above 1/3 and the delay ratio ~0.006 above 2/3.
+    assert hardware == pytest.approx(1 / 3, abs=1e-2)
+    assert delay == pytest.approx(2 / 3, abs=1e-2)
+
+
+def test_crossover_locations(benchmark, write_artifact):
+    def crossings():
+        return (
+            ratio_crossovers((0.6, 0.5, 0.45, 0.40), quantity="hardware"),
+            ratio_crossovers((0.83, 0.80, 0.75, 0.72), quantity="delay"),
+        )
+
+    hardware, delay = benchmark(crossings)
+    # Hardware: 0.6 crossed at N=64, 0.5 at N=1024, 0.45 at N=32768.
+    assert hardware[0.6] == 2**6
+    assert hardware[0.5] == 2**10
+    assert hardware[0.45] == 2**15
+    # Delay: 0.83 crossed at N=64, 0.80 at N=512, 0.75 at N=2^17.
+    assert delay[0.83] == 2**6
+    assert delay[0.80] == 2**9
+    assert delay[0.75] == 2**17
+    lines = ["hardware crossovers: " + repr(hardware)]
+    lines += ["delay crossovers: " + repr(delay)]
+    write_artifact("comparison_crossovers.txt", "\n".join(lines))

@@ -1,0 +1,60 @@
+"""Eqs. 10-12 — Batcher comparator counts, hardware and delay.
+
+Builds the odd-even merge network across sizes, asserting Eq. 10's
+count, the m(m+1)/2 stage depth, and Eq. 11/12's cost and delay models;
+times construction and routing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.complexity import (
+    batcher_comparators,
+    batcher_delay,
+    batcher_function_slices,
+    batcher_switch_slices,
+)
+from repro.baselines import BatcherNetwork
+from repro.permutations import random_permutation
+
+
+@pytest.mark.parametrize("m", [4, 6, 8, 10])
+def test_eq10_construction(benchmark, m):
+    net = benchmark(lambda: BatcherNetwork(m))
+    n = 1 << m
+    assert net.comparator_count == batcher_comparators(n)
+    assert net.stage_count == m * (m + 1) // 2
+
+
+@pytest.mark.parametrize("m,w", [(6, 0), (6, 16), (10, 16)])
+def test_eq11_cost_model(benchmark, m, w):
+    net = benchmark(lambda: BatcherNetwork(m, w=w))
+    n = 1 << m
+    assert net.switch_slice_count == batcher_switch_slices(n, w)
+    assert net.function_slice_count == batcher_function_slices(n)
+
+
+@pytest.mark.parametrize("m", [4, 6, 8])
+def test_eq12_delay_model(benchmark, m):
+    net = BatcherNetwork(m)
+    delay = benchmark(lambda: net.propagation_delay())
+    assert delay == pytest.approx(batcher_delay(1 << m))
+
+
+@pytest.mark.parametrize("m", [6, 8, 10])
+def test_routing_pass(benchmark, m):
+    """Time one full software routing pass (sort by address)."""
+    net = BatcherNetwork(m)
+    n = 1 << m
+    workload = [random_permutation(n, rng=s).to_list() for s in range(8)]
+    state = {"i": 0}
+
+    def route_once():
+        addresses = workload[state["i"] % len(workload)]
+        state["i"] += 1
+        outputs, _ = net.route(addresses)
+        return outputs
+
+    outputs = benchmark(route_once)
+    assert [w.address for w in outputs] == list(range(n))

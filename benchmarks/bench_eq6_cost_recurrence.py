@@ -1,0 +1,85 @@
+"""Eq. 6 — the BNB cost closed form vs its defining recurrence.
+
+Sweeps the recurrence (Eqs. 1-5) against the printed closed form over
+sizes and word widths, asserting exact integer equality, and times the
+recurrence evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.complexity import (
+    arbiter_nodes_in_bsn,
+    bnb_function_nodes,
+    bnb_switch_slices,
+    nested_network_switch_slices,
+)
+from repro.analysis.recurrences import (
+    arbiter_node_recurrence,
+    bnb_function_node_recurrence,
+    bnb_switch_recurrence,
+)
+
+
+@pytest.mark.parametrize("w", [0, 8, 32])
+def test_eq6_switch_recurrence_sweep(benchmark, w):
+    def sweep():
+        results = []
+        # Clear memoization so the benchmark measures real work.
+        bnb_switch_recurrence.cache_clear()
+        for m in range(1, 16):
+            results.append(bnb_switch_recurrence(1 << m, w))
+        return results
+
+    values = benchmark(sweep)
+    for m, value in enumerate(values, start=1):
+        assert value == bnb_switch_slices(1 << m, w), (m, w)
+
+
+def test_eq6_function_node_recurrence_sweep(benchmark):
+    def sweep():
+        bnb_function_node_recurrence.cache_clear()
+        arbiter_node_recurrence.cache_clear()
+        return [bnb_function_node_recurrence(1 << m) for m in range(1, 16)]
+
+    values = benchmark(sweep)
+    for m, value in enumerate(values, start=1):
+        assert value == bnb_function_nodes(1 << m), m
+
+
+def test_eq4_arbiter_closed_form(benchmark):
+    """Eq. 4's closed form P log(P/2) - P/2 + 1 equals the recurrence."""
+
+    def sweep():
+        arbiter_node_recurrence.cache_clear()
+        return [arbiter_node_recurrence(1 << k) for k in range(1, 16)]
+
+    values = benchmark(sweep)
+    for k, value in enumerate(values, start=1):
+        assert value == arbiter_nodes_in_bsn(1 << k), k
+
+
+def test_eq5_nested_network_cost(benchmark):
+    """Eq. 5 assembled from Eq. 3 + Eq. 4 for the nested networks."""
+
+    def compute():
+        rows = []
+        for p in range(1, 14):
+            size = 1 << p
+            for w in (0, 8):
+                rows.append(
+                    (
+                        size,
+                        w,
+                        nested_network_switch_slices(size, w),
+                        arbiter_nodes_in_bsn(size),
+                    )
+                )
+        return rows
+
+    rows = benchmark(compute)
+    for size, w, switches, nodes in rows:
+        p = size.bit_length() - 1
+        assert switches == (size // 2) * p * (p + w)
+        assert nodes == size * (p - 1) - size // 2 + 1

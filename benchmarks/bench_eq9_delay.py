@@ -1,0 +1,79 @@
+"""Eqs. 7-9 — BNB propagation delay, structural and gate-level.
+
+Three measurement fidelities are compared against the closed forms:
+the structural arrival-time model (exact match to Eq. 9), the
+levelized netlist depth and the event-driven DES settle time (gate
+granularity — finer than the paper's unit model, so asserted as
+bounds and monotone growth rather than equality).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.complexity import bnb_delay
+from repro.analysis.delay import bnb_measured_delay, bsn_measured_delay
+from repro.analysis.recurrences import bnb_fn_delay_sum, bnb_sw_delay_sum
+from repro.core import BNBNetwork
+from repro.hardware import build_bsn_netlist
+from repro.sim import GateLevelSimulator
+
+
+@pytest.mark.parametrize("m", [2, 4, 6, 8, 10])
+def test_eq9_structural(benchmark, m):
+    measured = benchmark(lambda: bnb_measured_delay(m))
+    n = 1 << m
+    assert measured == pytest.approx(bnb_delay(n))
+    assert measured == pytest.approx(
+        bnb_fn_delay_sum(n) + bnb_sw_delay_sum(n)
+    )
+
+
+@pytest.mark.parametrize("m", [2, 4, 6, 8])
+def test_eq7_eq8_depth_properties(benchmark, m):
+    net = benchmark(lambda: BNBNetwork(m))
+    assert net.switch_stage_depth == m * (m + 1) // 2
+    assert net.function_node_depth == bnb_fn_delay_sum(1 << m)
+
+
+@pytest.mark.parametrize("k", [2, 3, 4])
+def test_gate_level_settle_time(benchmark, k):
+    """DES settle time of a BSN netlist: bounded by the gate-level
+    critical path, and at least the structural switch-column count
+    (every stage contributes at least one gate delay)."""
+    netlist = build_bsn_netlist(k)
+    simulator = GateLevelSimulator(netlist)
+    n = 1 << k
+    bits = {f"s[{j}]": (j % 2) for j in range(n)}
+
+    result = benchmark(lambda: simulator.run(bits))
+    assert result.settle_time <= netlist.critical_path_length()
+    assert result.settle_time >= k  # at least one gate per stage
+    # Outputs are the sorted vector.
+    assert [result.outputs[f"o[{j}]"] for j in range(n)] == [
+        j & 1 for j in range(n)
+    ]
+
+
+def test_gate_depth_grows_like_structural_delay(benchmark, write_artifact):
+    """The netlist critical path and the paper-unit BSN delay grow
+    together (same ordering, positive correlation across k)."""
+
+    def series():
+        rows = []
+        for k in range(1, 6):
+            netlist = build_bsn_netlist(k)
+            rows.append(
+                (1 << k, netlist.critical_path_length(), bsn_measured_delay(k))
+            )
+        return rows
+
+    rows = benchmark(series)
+    gate_depths = [g for _n, g, _s in rows]
+    structural = [s for _n, _g, s in rows]
+    assert gate_depths == sorted(gate_depths)
+    assert structural == sorted(structural)
+
+    lines = ["N | netlist critical path (gates) | structural delay (paper units)"]
+    lines += [f"{n} | {g} | {s:.0f}" for n, g, s in rows]
+    write_artifact("eq9_gate_vs_structural.txt", "\n".join(lines))

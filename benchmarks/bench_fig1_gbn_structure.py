@@ -1,0 +1,58 @@
+"""Fig. 1 — the generalized baseline network's recursive structure.
+
+Regenerates the stage/box inventory of B(m, SB) (stage i holds 2^i
+boxes SB(m-i), joined by 2^(m-i)-unshuffles), verifies the recursive
+construction against the plain baseline network of Wu & Feng, and
+renders the ASCII figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import gbn_structure_summary
+from repro.core import GeneralizedBaselineNetwork
+from repro.topology import baseline_network, topologically_equivalent
+from repro.viz import render_gbn
+
+
+@pytest.mark.parametrize("m", [3, 5, 8, 12])
+def test_definition2_inventory(benchmark, m):
+    summary = benchmark(lambda: gbn_structure_summary(m))
+    assert len(summary) == m
+    for stage in summary:
+        assert stage["boxes"] == 1 << stage["stage"]
+        assert stage["box_exponent"] == m - stage["stage"]
+    assert sum(s["boxes"] for s in summary) == (1 << m) - 1
+
+
+def test_fig1_render(benchmark, write_artifact):
+    text = benchmark(lambda: render_gbn(3))
+    assert "1 x SB(3)" in text and "2 x SB(2)" in text and "4 x SB(1)" in text
+    write_artifact("fig1_gbn_8.txt", text)
+
+
+def test_gbn_with_simple_switches_is_baseline(benchmark):
+    """Instantiating the GBN with sw boxes reproduces the baseline
+    network of reference [12], switch for switch."""
+
+    def check():
+        results = []
+        for m in (2, 3, 4):
+            gbn = GeneralizedBaselineNetwork(m)
+            base = baseline_network(1 << m)
+            results.append(gbn.switch_count_if_simple() == base.switch_count)
+        return results
+
+    assert all(benchmark(check))
+
+
+def test_gbn_equivalence_class(benchmark):
+    """The baseline skeleton is topologically equivalent to omega —
+    the Wu-Feng class the GBN generalizes."""
+    from repro.topology import omega_network
+
+    result = benchmark(
+        lambda: topologically_equivalent(baseline_network(8), omega_network(8))
+    )
+    assert result

@@ -1,0 +1,48 @@
+"""Fig. 3 — the NB(i, l) / BSN(i, l) profile of the BNB network.
+
+Regenerates the per-stage nested-network inventory, checks the slice
+accounting the cost model relies on (a P-input nested network carries
+log P + w slices), and renders the profile.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BNBNetwork
+from repro.viz import render_bnb_profile
+
+
+@pytest.mark.parametrize("m", [3, 5, 8])
+def test_profile_inventory(benchmark, m):
+    net = BNBNetwork(m, w=4)
+    profile = benchmark(net.profile)
+    assert len(profile) == m
+    for i, stage in enumerate(profile):
+        assert len(stage) == 1 << i
+        for l, spec in enumerate(stage):
+            assert spec.label == f"NB({i},{l})"
+            assert spec.size == 1 << (m - i)
+            assert spec.slice_count == (m - i) + 4
+
+
+@pytest.mark.parametrize("m", [3, 6, 9])
+def test_profile_totals_drive_cost(benchmark, m):
+    """Summing the profile reproduces the network's switch count —
+    the profile IS the cost model's input."""
+    net = BNBNetwork(m, w=2)
+
+    def total_from_profile():
+        total = 0
+        for spec in net.nested_network_specs():
+            p = spec.size_exponent
+            total += (spec.size // 2) * p * spec.slice_count
+        return total
+
+    assert benchmark(total_from_profile) == net.switch_count
+
+
+def test_fig3_render(benchmark, write_artifact):
+    text = benchmark(lambda: render_bnb_profile(3, w=1))
+    assert "NB(1,1)" in text
+    write_artifact("fig3_profile_8.txt", text)

@@ -1,0 +1,73 @@
+"""Fig. 4 — the 8-input splitter sp(3) (arbiter A(3) + sw(3)).
+
+Regenerates the splitter's behaviour exhaustively (Theorem 3's
+M_e = M_o invariant over every even-weight input), cross-checks the
+gate netlist against the functional model, and times both.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core import Splitter, splitter_balance
+from repro.hardware import build_splitter_netlist
+from repro.viz import render_splitter
+
+
+def even_weight_vectors(p):
+    n = 1 << p
+    return [
+        list(bits)
+        for bits in itertools.product([0, 1], repeat=n)
+        if sum(bits) % 2 == 0
+    ]
+
+
+@pytest.mark.parametrize("p", [2, 3])
+def test_theorem3_exhaustive(benchmark, p):
+    splitter = Splitter(p)
+    vectors = even_weight_vectors(p)
+
+    def run_all():
+        balanced = 0
+        for bits in vectors:
+            out, _ = splitter.route_bits(bits)
+            even, odd = splitter_balance(out)
+            balanced += even == odd
+        return balanced
+
+    assert benchmark(run_all) == len(vectors)
+
+
+def test_fig4_netlist_agreement(benchmark):
+    netlist = build_splitter_netlist(3)
+    splitter = Splitter(3)
+    vectors = even_weight_vectors(3)
+
+    def compare_all():
+        agree = 0
+        for bits in vectors:
+            got = netlist.evaluate({f"s[{j}]": bits[j] for j in range(8)})
+            expected, _ = splitter.route_bits(bits)
+            agree += [got[f"o[{j}]"] for j in range(8)] == expected
+        return agree
+
+    assert benchmark(compare_all) == len(vectors)
+
+
+@pytest.mark.parametrize("p", [4, 6, 8])
+def test_splitter_scaling(benchmark, p):
+    """Splitter decision cost scales with 2^p (the arbiter tree)."""
+    splitter = Splitter(p)
+    bits = [j % 2 for j in range(1 << p)]
+    out = benchmark(lambda: splitter.route_bits(bits)[0])
+    even, odd = splitter_balance(out)
+    assert even == odd
+
+
+def test_fig4_render(benchmark, write_artifact):
+    text = benchmark(lambda: render_splitter(3, [1, 0, 0, 1, 1, 0, 1, 0]))
+    assert "flags" in text
+    write_artifact("fig4_splitter_8.txt", text)

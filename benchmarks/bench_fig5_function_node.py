@@ -1,0 +1,60 @@
+"""Fig. 5 — the arbiter function node.
+
+Regenerates the node's truth table from the gate netlist, checks the
+"few gates" claim (4 gates, depth 3), measures its event-driven settle
+time, and renders the schematic.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.hardware import build_function_node, function_node_truth
+from repro.sim import GateLevelSimulator, UNIT_DELAYS
+from repro.viz import render_function_node
+
+
+def test_truth_table(benchmark):
+    netlist = build_function_node()
+
+    def evaluate_all():
+        rows = []
+        for x1, x2, z_down in itertools.product([0, 1], repeat=3):
+            got = netlist.evaluate({"x1": x1, "x2": x2, "z_down": z_down})
+            rows.append((x1, x2, z_down, got["z_up"], got["y1"], got["y2"]))
+        return rows
+
+    rows = benchmark(evaluate_all)
+    for x1, x2, z_down, z_up, y1, y2 in rows:
+        assert (z_up, y1, y2) == function_node_truth(x1, x2, z_down)
+
+
+def test_few_gates_claim(benchmark):
+    netlist = benchmark(build_function_node)
+    assert netlist.gate_count == 4
+    assert netlist.critical_path_length() == 3
+
+
+def test_des_settle_time(benchmark):
+    """One D_FN in the paper's unit model = at most 3 gate delays here;
+    the DES confirms the node settles within its critical path."""
+    netlist = build_function_node()
+    simulator = GateLevelSimulator(netlist)
+
+    def run_all():
+        worst = 0.0
+        for x1, x2, z_down in itertools.product([0, 1], repeat=3):
+            result = simulator.run({"x1": x1, "x2": x2, "z_down": z_down})
+            worst = max(worst, result.settle_time)
+        return worst
+
+    worst = benchmark(run_all)
+    assert 0 < worst <= netlist.weighted_depth(UNIT_DELAYS)
+
+
+def test_fig5_render(benchmark, write_artifact):
+    text = benchmark(render_function_node)
+    assert "z_u = x1 XOR x2" in text
+    write_artifact("fig5_function_node.txt", text)

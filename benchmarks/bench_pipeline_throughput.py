@@ -1,0 +1,75 @@
+"""Pipelined-fabric benchmark: fill latency and steady-state throughput.
+
+Extension beyond the paper: its delay analysis (Eq. 9) is the
+combinational latency of one permutation; pipelining the main stages
+turns the fabric into a one-permutation-per-cycle device with an
+``m + 1``-cycle fill, which this bench measures on the cycle-accurate
+model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PipelinedBNBFabric
+from repro.permutations import random_permutation
+
+
+@pytest.mark.parametrize("m", [3, 4, 5])
+def test_fill_latency(benchmark, m):
+    def run_one():
+        fabric = PipelinedBNBFabric(m)
+        fabric.offer(random_permutation(1 << m, rng=1).to_list(), tag=0)
+        fabric.drain()
+        return fabric.stats()
+
+    stats = benchmark(run_one)
+    assert stats.fill_latency == m + 1
+
+
+@pytest.mark.parametrize("m", [3, 5])
+def test_steady_state_throughput(benchmark, m):
+    n = 1 << m
+    workload = [random_permutation(n, rng=s).to_list() for s in range(24)]
+
+    def run_stream():
+        fabric = PipelinedBNBFabric(m)
+        for i, addresses in enumerate(workload):
+            fabric.offer(addresses, tag=i)
+            fabric.step()
+        fabric.drain()
+        return fabric.stats()
+
+    stats = benchmark(run_stream)
+    assert stats.delivered == len(workload)
+    # 24 batches in 24 + (m+1) cycles -> throughput approaches 1/cycle.
+    assert stats.throughput >= len(workload) / (len(workload) + m + 2)
+
+
+def test_pipeline_vs_combinational_utilization(benchmark, write_artifact):
+    """The pipeline keeps every stage busy: m+k batches need m+k+m+1
+    cycles instead of k*(m+1) back-to-back combinational passes."""
+
+    def measure():
+        rows = []
+        for m in (3, 4, 5):
+            k = 20
+            fabric = PipelinedBNBFabric(m)
+            for i in range(k):
+                fabric.offer(
+                    random_permutation(1 << m, rng=i).to_list(), tag=i
+                )
+                fabric.step()
+            fabric.drain()
+            pipelined_cycles = fabric.stats().cycles
+            combinational_cycles = k * (m + 1)
+            rows.append((m, k, pipelined_cycles, combinational_cycles))
+        return rows
+
+    rows = benchmark(measure)
+    for m, k, pipelined, combinational in rows:
+        assert pipelined < combinational
+        assert pipelined <= k + 2 * (m + 1)
+    lines = ["m | batches | pipelined cycles | unpipelined cycles"]
+    lines += [f"{m} | {k} | {p} | {c}" for m, k, p, c in rows]
+    write_artifact("pipeline_utilization.txt", "\n".join(lines))

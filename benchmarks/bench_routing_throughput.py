@@ -1,0 +1,98 @@
+"""Software routing throughput of all implemented networks.
+
+Not a claim from the paper (the paper's costs are hardware units), but
+the natural systems benchmark for this library: how fast each router
+processes permutations, and how the self-routing BNB compares with the
+globally-routed Benes whose setup cost motivated it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import BatcherNetwork, BenesNetwork, KoppelmanSRPN
+from repro.core import BNBNetwork
+from repro.permutations import random_permutation
+
+
+def _workload(n, count=16):
+    return [random_permutation(n, rng=seed).to_list() for seed in range(count)]
+
+
+@pytest.mark.parametrize("m", [6, 8])
+def test_bnb_object_model(benchmark, m):
+    net = BNBNetwork(m)
+    workload = _workload(1 << m)
+    state = {"i": 0}
+
+    def route():
+        addresses = workload[state["i"] % len(workload)]
+        state["i"] += 1
+        return net.route(addresses)[0]
+
+    outputs = benchmark(route)
+    assert all(w.address == a for a, w in enumerate(outputs))
+
+
+@pytest.mark.parametrize("m", [8, 10, 12])
+def test_bnb_vectorized(benchmark, m):
+    net = BNBNetwork(m)
+    n = 1 << m
+    workload = [np.array(w) for w in _workload(n)]
+    state = {"i": 0}
+
+    def route():
+        array = workload[state["i"] % len(workload)]
+        state["i"] += 1
+        return net.route_fast(array)
+
+    out = benchmark(route)
+    assert (out == np.arange(n)).all()
+
+
+@pytest.mark.parametrize("m", [6, 8])
+def test_batcher_throughput(benchmark, m):
+    net = BatcherNetwork(m)
+    workload = _workload(1 << m)
+    state = {"i": 0}
+
+    def route():
+        addresses = workload[state["i"] % len(workload)]
+        state["i"] += 1
+        return net.route(addresses)[0]
+
+    outputs = benchmark(route)
+    assert all(w.address == a for a, w in enumerate(outputs))
+
+
+@pytest.mark.parametrize("m", [6, 8])
+def test_benes_setup_plus_route(benchmark, m):
+    """The Benes pays the looping algorithm on every permutation —
+    the 'global routing overhead' of the paper's introduction."""
+    net = BenesNetwork(m)
+    workload = _workload(1 << m)
+    state = {"i": 0}
+
+    def route():
+        addresses = workload[state["i"] % len(workload)]
+        state["i"] += 1
+        return net.route(addresses)[0]
+
+    outputs = benchmark(route)
+    assert all(w.address == a for a, w in enumerate(outputs))
+
+
+@pytest.mark.parametrize("m", [6, 8])
+def test_koppelman_throughput(benchmark, m):
+    net = KoppelmanSRPN(m)
+    workload = _workload(1 << m)
+    state = {"i": 0}
+
+    def route():
+        addresses = workload[state["i"] % len(workload)]
+        state["i"] += 1
+        return net.route(addresses)
+
+    outputs = benchmark(route)
+    assert all(w.address == a for a, w in enumerate(outputs))

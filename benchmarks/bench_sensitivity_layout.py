@@ -1,0 +1,65 @@
+"""Technology-sensitivity and layout benches (library extensions).
+
+* The delay advantage is unconditional in the technology constants
+  (the switch terms of Eq. 9 and Eq. 12 are identical), swept and
+  tabulated over D_SW/D_FN ratios.
+* The wire-length model quantifies the "good regularity" remark:
+  later GBN connections are block-local, and total BNB wiring grows
+  super-linearly — the physical-design cost the unit model hides.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    advantage_ratio_sweep,
+    delay_advantage_holds,
+    switch_terms_identical,
+)
+from repro.hardware.layout import bnb_total_wire_length, gbn_wiring_costs
+
+
+def test_technology_sweep(benchmark, write_artifact):
+    n = 1 << 10
+
+    def sweep():
+        return advantage_ratio_sweep(
+            n, ratios=(0.0, 0.1, 0.5, 1.0, 2.0, 10.0, 100.0)
+        )
+
+    rows = benchmark(sweep)
+    values = [value for _ratio, value in rows]
+    assert values == sorted(values)
+    assert values[-1] <= 1.0
+    assert all(switch_terms_identical(1 << m) for m in range(1, 12))
+    assert all(
+        delay_advantage_holds(n, d_sw, d_fn)
+        for d_sw in (0.0, 1.0, 7.5)
+        for d_fn in (0.5, 1.0, 4.0)
+    )
+    lines = ["D_SW/D_FN | BNB/Batcher delay ratio (N=1024)"]
+    lines += [f"{ratio:9.1f} | {value:.4f}" for ratio, value in rows]
+    lines.append("(identical switch paths: the advantage never inverts)")
+    write_artifact("sensitivity_technology.txt", "\n".join(lines))
+
+
+@pytest.mark.parametrize("m", [4, 6, 8])
+def test_gbn_wiring_locality(benchmark, m):
+    costs = benchmark(lambda: gbn_wiring_costs(m))
+    totals = [cost.total_length for cost in costs]
+    assert totals == sorted(totals, reverse=True)
+
+
+def test_bnb_wiring_growth(benchmark, write_artifact):
+    def series():
+        return {m: bnb_total_wire_length(m, w=0) for m in range(2, 9)}
+
+    lengths = benchmark(series)
+    # Wiring grows faster than the switch count's N log^3 N? At least
+    # super-linearly in N.
+    for m in range(2, 8):
+        assert lengths[m + 1] > 2 * lengths[m]
+    lines = ["m | N | total vertical wire length (w=0)"]
+    lines += [f"{m} | {1 << m} | {length}" for m, length in lengths.items()]
+    write_artifact("layout_wire_growth.txt", "\n".join(lines))

@@ -1,0 +1,84 @@
+"""Queueing benchmark: the BNB fabric inside an input-queued switch.
+
+Extension beyond the paper: packet-level simulation around the routing
+fabric.  Reproduced shape — the textbook input-queueing results:
+
+* FIFO input queues saturate near the HOL-blocking limit
+  ``2 - sqrt(2) ~ 0.586`` under uniform overload;
+* virtual output queues (VOQ) with maximal matching sustain >0.85;
+* latency diverges at saturation for FIFO while VOQ stays bounded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import SwitchSimulator
+
+
+@pytest.mark.parametrize("mode", ["fifo", "voq"])
+def test_saturation_throughput(benchmark, mode, write_artifact):
+    stats = benchmark.pedantic(
+        lambda: SwitchSimulator(4, mode=mode, seed=13).run(400, load=1.0),
+        rounds=1,
+        iterations=1,
+    )
+    if mode == "fifo":
+        assert 0.5 < stats.throughput < 0.72
+    else:
+        assert stats.throughput > 0.85
+    write_artifact(
+        f"queueing_saturation_{mode}.txt",
+        f"{mode} N=16 load=1.0: throughput={stats.throughput:.3f} "
+        f"mean latency={stats.mean_latency:.1f} "
+        f"max queue={stats.max_queue_depth}",
+    )
+
+
+def test_load_sweep(benchmark, write_artifact):
+    """Throughput/latency curves over offered load for both queueing
+    disciplines — the figure every switching paper draws."""
+
+    def sweep():
+        rows = []
+        for load in (0.2, 0.4, 0.55, 0.7, 0.85, 1.0):
+            for mode in ("fifo", "voq"):
+                stats = SwitchSimulator(4, mode=mode, seed=29).run(300, load)
+                rows.append((load, mode, stats.throughput, stats.mean_latency))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    by_key = {(load, mode): (tp, lat) for load, mode, tp, lat in rows}
+    # Below the HOL limit both disciplines carry the offered load.
+    for load in (0.2, 0.4, 0.55):
+        assert by_key[(load, "fifo")][0] == pytest.approx(load, abs=0.06)
+        assert by_key[(load, "voq")][0] == pytest.approx(load, abs=0.06)
+    # Above it, FIFO flatlines while VOQ keeps carrying.
+    assert by_key[(1.0, "fifo")][0] < 0.72
+    assert by_key[(1.0, "voq")][0] > 0.85
+    assert by_key[(1.0, "fifo")][1] > by_key[(1.0, "voq")][1]
+
+    lines = ["load | mode | throughput | mean latency"]
+    lines += [
+        f"{load:.2f} | {mode:4s} | {tp:.3f} | {lat:8.2f}"
+        for load, mode, tp, lat in rows
+    ]
+    write_artifact("queueing_load_sweep.txt", "\n".join(lines))
+
+
+def test_clos_route_cost(benchmark):
+    """Clos rearrangeable routing (repeated matchings) per permutation."""
+    from repro.baselines import ClosNetwork
+    from repro.permutations import random_permutation
+
+    clos = ClosNetwork(4, 4, 8)  # N = 32
+    workload = [random_permutation(32, rng=s) for s in range(8)]
+    state = {"i": 0}
+
+    def route_once():
+        pi = workload[state["i"] % len(workload)]
+        state["i"] += 1
+        return clos.route(pi.to_list())
+
+    outputs = benchmark(route_once)
+    assert [w.address for w in outputs] == list(range(32))

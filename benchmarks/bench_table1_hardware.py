@@ -1,0 +1,111 @@
+"""Table 1 — hardware complexities of Batcher, Koppelman and BNB.
+
+Regenerates the paper's Table 1 rows from *constructed* networks
+(structural counts, not just formulas), asserts the reproduced shape —
+BNB's switch leading term is 2/3 of Batcher's and its total hardware
+heads to 1/3 — and times the inventory construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.complexity import (
+    batcher_function_slices,
+    batcher_switch_slices,
+    bnb_function_nodes,
+    bnb_switch_slices,
+)
+from repro.analysis.tables import render_table1
+from repro.hardware.accounting import (
+    batcher_inventory,
+    bnb_inventory,
+    koppelman_inventory,
+    table1_rows,
+)
+
+
+@pytest.mark.parametrize("m", [4, 6, 8, 10])
+def test_table1_counts_from_structures(benchmark, m):
+    """Constructed inventories equal Eq. 6 / Eq. 11 exactly."""
+
+    def build():
+        return table1_rows(m, w=0)
+
+    rows = benchmark(build)
+    n = 1 << m
+    batcher, koppelman, bnb = rows
+    assert batcher.switch_slices == batcher_switch_slices(n)
+    assert batcher.function_units == batcher_function_slices(n)
+    assert bnb.switch_slices == bnb_switch_slices(n)
+    assert bnb.function_units == bnb_function_nodes(n)
+    assert koppelman.adder_slices == n * m * m
+
+
+def test_table1_shape_bnb_vs_batcher(benchmark, write_artifact):
+    """The comparison's shape: BNB uses ~2/3 of Batcher's switches at
+    leading order, far fewer function units, and its total-hardware
+    ratio decreases monotonically toward 1/3."""
+
+    def ratios():
+        out = []
+        for m in (4, 8, 12, 16, 20):
+            n = 1 << m
+            bnb = bnb_inventory(m) if m <= 12 else None
+            switches_bnb = (
+                bnb.switch_slices if bnb else bnb_switch_slices(n)
+            )
+            functions_bnb = (
+                bnb.function_units if bnb else bnb_function_nodes(n)
+            )
+            switches_bat = batcher_switch_slices(n)
+            functions_bat = batcher_function_slices(n)
+            out.append(
+                (
+                    n,
+                    switches_bnb / switches_bat,
+                    (switches_bnb + functions_bnb)
+                    / (switches_bat + functions_bat),
+                )
+            )
+        return out
+
+    series = benchmark(ratios)
+    switch_ratios = [r for _n, r, _t in series]
+    total_ratios = [t for _n, _r, t in series]
+    # Switch ratio approaches (1/6)/(1/4) = 2/3 from above.
+    assert all(r > 2 / 3 for r in switch_ratios)
+    assert switch_ratios == sorted(switch_ratios, reverse=True)
+    assert switch_ratios[-1] < 0.75
+    # Total ratio decreases toward 1/3.
+    assert total_ratios == sorted(total_ratios, reverse=True)
+    assert total_ratios[-1] < 0.45
+
+    lines = ["N | BNB/Batcher switches | BNB/Batcher total hardware"]
+    lines += [f"{n} | {r:.4f} | {t:.4f}" for n, r, t in series]
+    write_artifact("table1_ratios.txt", "\n".join(lines))
+
+
+def test_table1_render(benchmark, write_artifact):
+    """Render the full Table 1 at the paper-style sizes."""
+    text = benchmark(lambda: render_table1(1024, w=16))
+    assert "This paper" in text
+    write_artifact("table1_n1024_w16.txt", text)
+    write_artifact("table1_n256_w0.txt", render_table1(256, w=0))
+
+
+def test_table1_koppelman_row_shape(benchmark):
+    """Koppelman matches Batcher's switch order but adds adder slices;
+    BNB needs no adders and fewer function units than Koppelman."""
+
+    def inventories():
+        return [
+            (koppelman_inventory(m), bnb_inventory(m)) for m in (6, 8, 10)
+        ]
+
+    rows = benchmark(inventories)
+    for koppelman, bnb in rows:
+        assert koppelman.adder_slices > 0
+        assert bnb.adder_slices == 0
+        assert bnb.switch_slices < koppelman.switch_slices
+        assert bnb.function_units < koppelman.function_units

@@ -1,0 +1,79 @@
+"""Table 2 — propagation delay of the three networks.
+
+Regenerates the delay comparison with *measured* structural timing
+(arrival-time propagation through constructed networks), asserts the
+shape — BNB beats Batcher everywhere and the ratio trends to 2/3;
+the BNB-vs-Koppelman crossover sits near N = 2^7 — and times the
+measurement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.complexity import (
+    batcher_delay,
+    bnb_delay,
+    koppelman_delay_table2,
+)
+from repro.analysis.delay import batcher_measured_delay, bnb_measured_delay
+from repro.analysis.tables import render_table2
+
+
+@pytest.mark.parametrize("m", [4, 6, 8, 10])
+def test_measured_equals_eq9(benchmark, m):
+    measured = benchmark(lambda: bnb_measured_delay(m))
+    assert measured == pytest.approx(bnb_delay(1 << m))
+
+
+@pytest.mark.parametrize("m", [4, 6, 8])
+def test_measured_equals_eq12(benchmark, m):
+    measured = benchmark(lambda: batcher_measured_delay(m))
+    assert measured == pytest.approx(batcher_delay(1 << m))
+
+
+def test_table2_shape(benchmark, write_artifact):
+    """BNB is fastest of the three at every N >= 256; the ratio to
+    Batcher decreases monotonically toward 2/3; the Koppelman row
+    crosses BNB's near N = 2^7 (Koppelman wins below, loses above)."""
+
+    def series():
+        rows = []
+        for m in range(3, 16):
+            n = 1 << m
+            rows.append(
+                (
+                    n,
+                    batcher_delay(n),
+                    koppelman_delay_table2(n),
+                    bnb_measured_delay(m),
+                )
+            )
+        return rows
+
+    rows = benchmark(series)
+    ratios = [bnb / bat for _n, bat, _kop, bnb in rows]
+    assert all(bnb < bat for _n, bat, _kop, bnb in rows)
+    # The ratio peaks at N=16 (0.840) and is strictly decreasing after.
+    assert max(ratios) == ratios[1]
+    assert ratios[1:] == sorted(ratios[1:], reverse=True)
+    assert 2 / 3 < ratios[-1] < 0.76
+
+    crossover = None
+    for (n, _bat, kop, bnb) in rows:
+        if bnb < kop and crossover is None:
+            crossover = n
+    assert crossover == 2**7  # BNB overtakes Koppelman at N=128
+
+    lines = ["N | Batcher (Eq.12) | Koppelman (Table 2) | BNB measured | BNB/Batcher"]
+    lines += [
+        f"{n} | {bat:.0f} | {kop:.0f} | {bnb:.0f} | {bnb / bat:.3f}"
+        for n, bat, kop, bnb in rows
+    ]
+    write_artifact("table2_series.txt", "\n".join(lines))
+
+
+def test_table2_render(benchmark, write_artifact):
+    text = benchmark(lambda: render_table2(1024))
+    assert "1/3 log^3 N" in text
+    write_artifact("table2_n1024.txt", text)

@@ -1,0 +1,60 @@
+"""Theorem 1 — the bit-sorter network sorts every balanced input.
+
+Exhaustive at N = 8 and 16, sampled at larger sizes; times the BSN
+routing pass as a function of N.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import BitSorterNetwork
+
+
+@pytest.mark.parametrize("k", [2, 3])
+def test_theorem1_exhaustive(benchmark, k):
+    bsn = BitSorterNetwork(k)
+    n = 1 << k
+    vectors = []
+    for positions in itertools.combinations(range(n), n // 2):
+        bits = [0] * n
+        for j in positions:
+            bits[j] = 1
+        vectors.append(bits)
+
+    def sort_all():
+        return sum(bsn.sort_check(bits) for bits in vectors)
+
+    assert benchmark(sort_all) == len(vectors)
+
+
+@pytest.mark.parametrize("k", [4, 6, 8])
+def test_theorem1_sampled(benchmark, k):
+    bsn = BitSorterNetwork(k)
+    n = 1 << k
+    rng = random.Random(k)
+    vectors = []
+    for _ in range(50):
+        bits = [1] * (n // 2) + [0] * (n // 2)
+        rng.shuffle(bits)
+        vectors.append(bits)
+
+    def sort_all():
+        return sum(bsn.sort_check(bits) for bits in vectors)
+
+    assert benchmark(sort_all) == len(vectors)
+
+
+@pytest.mark.parametrize("k", [4, 7, 10])
+def test_bsn_routing_pass(benchmark, k):
+    """Time one routing pass (the per-main-stage cost inside the BNB)."""
+    bsn = BitSorterNetwork(k)
+    n = 1 << k
+    bits = [1] * (n // 2) + [0] * (n // 2)
+    random.Random(1).shuffle(bits)
+
+    outputs = benchmark(lambda: bsn.route_bits(bits)[0])
+    assert outputs == [j & 1 for j in range(n)]

@@ -1,0 +1,68 @@
+"""Theorem 2 — the BNB network self-routes ALL permutations.
+
+The headline claim.  Exhaustive verification at N <= 8 (all 40320
+permutations at N = 8, via the vectorized model for speed) and heavy
+sampling to N = 4096; times the verification sweeps.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis.verification import verify_router
+from repro.core import BNBNetwork
+from repro.permutations import random_permutation
+
+
+@pytest.mark.parametrize("n", [2, 4])
+def test_exhaustive_tiny(benchmark, n):
+    report = benchmark(lambda: verify_router("bnb", n, mode="exhaustive"))
+    assert report.all_delivered
+
+
+def test_exhaustive_n8_fast_model(benchmark):
+    """All 40320 permutations of 8 inputs through the vectorized model."""
+    net = BNBNetwork(3)
+    expected = np.arange(8)
+
+    def route_all():
+        delivered = 0
+        for p in itertools.permutations(range(8)):
+            out = net.route_fast(np.array(p, dtype=np.int64))
+            delivered += bool((out == expected).all())
+        return delivered
+
+    delivered = benchmark.pedantic(route_all, rounds=1, iterations=1)
+    assert delivered == 40320
+
+
+@pytest.mark.parametrize("m", [4, 6, 8, 10, 12])
+def test_sampled_delivery(benchmark, m):
+    """100 random permutations per size, vectorized model."""
+    net = BNBNetwork(m)
+    n = 1 << m
+    workloads = [
+        np.array(random_permutation(n, rng=seed).to_list()) for seed in range(100)
+    ]
+    expected = np.arange(n)
+
+    def route_all():
+        return sum(
+            bool((net.route_fast(w) == expected).all()) for w in workloads
+        )
+
+    assert benchmark.pedantic(route_all, rounds=1, iterations=1) == 100
+
+
+@pytest.mark.parametrize("m", [6, 8, 10])
+def test_object_model_delivery(benchmark, m):
+    """The reference (unvectorized) model at moderate sizes."""
+    net = BNBNetwork(m)
+    n = 1 << m
+    pi = random_permutation(n, rng=3)
+
+    outputs = benchmark(lambda: net.route(pi.to_list())[0])
+    assert all(w.address == a for a, w in enumerate(outputs))

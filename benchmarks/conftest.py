@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artifacts
+(Table 1, Table 2, a figure's structure, or an equation's sweep),
+asserts the reproduced *shape* (who wins, by what factor, where the
+crossovers sit) and times the underlying computation with
+pytest-benchmark.  Rendered artifacts are written to
+``benchmarks/out/`` so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def write_artifact(artifact_dir):
+    """Write (and echo) a named text artifact."""
+
+    def _write(name: str, text: str) -> None:
+        path = artifact_dir / name
+        path.write_text(text + "\n")
+        print(f"\n--- {name} ---\n{text}\n")
+
+    return _write

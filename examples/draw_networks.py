@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Export Graphviz DOT drawings of the networks and the arbiter tree.
+
+Writes ``.dot`` files for the baseline/omega/butterfly/flip skeletons,
+the Benes fabric, and an annotated live arbiter pass — render them with
+``dot -Tpng file.dot -o file.png`` or any online Graphviz viewer.
+
+Run:  python examples/draw_networks.py [output_dir]
+"""
+
+import pathlib
+import sys
+
+from repro.baselines import BenesNetwork
+from repro.topology import (
+    baseline_network,
+    butterfly_network,
+    flip_network,
+    omega_network,
+)
+from repro.viz import arbiter_to_dot, multistage_to_dot
+
+
+def main() -> None:
+    directory = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else pathlib.Path(
+        "dot_out"
+    )
+    directory.mkdir(exist_ok=True)
+
+    drawings = {
+        "baseline_8.dot": multistage_to_dot(
+            baseline_network(8), title="baseline network, N=8 (Fig. 1 skeleton)"
+        ),
+        "omega_8.dot": multistage_to_dot(omega_network(8), title="omega, N=8"),
+        "butterfly_8.dot": multistage_to_dot(
+            butterfly_network(8), title="butterfly, N=8"
+        ),
+        "flip_8.dot": multistage_to_dot(flip_network(8), title="flip, N=8"),
+        "benes_8.dot": multistage_to_dot(
+            BenesNetwork(3).fabric, title="Benes fabric, N=8"
+        ),
+        "arbiter_live.dot": arbiter_to_dot(3, bits=[1, 0, 0, 1, 1, 0, 1, 0]),
+    }
+    for name, text in drawings.items():
+        path = directory / name
+        path.write_text(text + "\n")
+        nodes = sum(1 for line in text.splitlines() if "[" in line and "->" not in line)
+        print(f"wrote {path} ({nodes} nodes)")
+    print(f"\nRender with: dot -Tpng {directory}/baseline_8.dot -o baseline_8.png")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""What does a stuck switch do to a self-routing fabric?
+
+Injects single stuck-at faults into a BNB network's switch settings,
+replays traffic through the faulted fabric, and reports the blast
+radius (misrouted outputs per fault) and the detection rate of an
+output-side address check.  Ends with a gate-level view: the same
+fault class simulated on the splitter netlist.
+
+Run:  python examples/fault_injection.py
+"""
+
+from repro.core import BNBNetwork, Word
+from repro.faults import (
+    SwitchCoordinate,
+    extract_controls,
+    fault_coverage_experiment,
+    inject_stuck_control,
+    misrouted_outputs,
+    replay_controls,
+)
+from repro.permutations import random_permutation
+from repro.viz import render_routing_trace
+
+
+def single_fault_walkthrough() -> None:
+    m = 3
+    network = BNBNetwork(m)
+    pi = random_permutation(8, rng=21)
+    words = [Word(address=pi(j), payload=j) for j in range(8)]
+    outputs, record = network.route(words, record=True)
+    assert record is not None
+
+    print("Fault-free routing:")
+    print(render_routing_trace(network, record, words))
+
+    coordinate = SwitchCoordinate(
+        main_stage=0, nested=0, nested_stage=0, box=0, switch=1
+    )
+    table = extract_controls(record)
+    healthy = table[(0, 0, 0, 0)][1]
+    print(
+        f"\nSticking switch {coordinate} at {1 - healthy} "
+        f"(healthy control was {healthy})..."
+    )
+    faulty = replay_controls(
+        m, words, inject_stuck_control(table, coordinate, 1 - healthy)
+    )
+    bad = misrouted_outputs(faulty)
+    print(f"Misrouted outputs: {bad}")
+    for line in bad:
+        print(
+            f"  output {line}: got address {faulty[line].address} "
+            f"(wanted {line}) — detected by the address check"
+        )
+
+
+def coverage_study() -> None:
+    print("\nSingle-stuck-at coverage study (random faults, random traffic):")
+    print(" m   trials  activation  detection|activated  blast radius histogram")
+    for m in (3, 4, 5):
+        report = fault_coverage_experiment(m, trials=120, seed=m)
+        print(
+            f" {m}   {report.trial_count:>5}   {report.activation_rate:9.2f}"
+            f"   {report.detection_rate_given_activation:18.2f}"
+            f"   {report.blast_radius_histogram()}"
+        )
+    print(
+        "\nReading: ~half of random stuck values coincide with the healthy\n"
+        "control (inactive); every activated fault displaces exactly one\n"
+        "switch's pair of words, so the blast radius is 2 and an address\n"
+        "check at the outputs detects 100% of activated faults."
+    )
+
+
+def adaptive_model_and_recovery() -> None:
+    from repro.faults import (
+        recovery_experiment,
+        route_with_stuck_switch,
+    )
+
+    print("\nAdaptive model (downstream arbiters re-decide on live data):")
+    m = 4
+    coordinate = SwitchCoordinate(0, 0, 0, 0, 0)
+    masked = 0
+    for seed in range(20):
+        pi = random_permutation(16, rng=seed)
+        words = [Word(address=pi(j), payload=j) for j in range(16)]
+        for value in (0, 1):
+            outputs = route_with_stuck_switch(m, words, coordinate, value)
+            masked += not misrouted_outputs(outputs)
+    print(
+        f"  stage-0 stuck switch masked in {masked}/40 runs — later\n"
+        f"  splitters of the same bit-sorter network re-sort the bit."
+    )
+
+    print("\nDetect-and-reroute recovery (misdelivered words re-injected):")
+    for m in (3, 4):
+        stats = recovery_experiment(m, trials=40, seed=m)
+        print(
+            f"  N={1 << m:>2}: recovery rate {stats['recovery_rate']:.2f}, "
+            f"mean passes {stats['mean_passes']:.2f}, "
+            f"worst {stats['worst_passes']:.0f}"
+        )
+    print(
+        "  (unrecoverable cases are final-stage faults that every repair\n"
+        "   arrangement re-exercises)"
+    )
+
+
+def main() -> None:
+    single_fault_walkthrough()
+    coverage_study()
+    adaptive_model_and_recovery()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation: Tables 1 and 2 plus the ratios.
+
+Prints Table 1 (hardware complexities) and Table 2 (propagation delay)
+at several sizes, the BNB/Batcher ratio curves, the crossover sizes,
+and the measured-vs-analytical delay reconciliation — the library's
+equivalent of the paper's Section 5.
+
+Run:  python examples/hardware_comparison.py
+"""
+
+from repro.analysis.complexity import (
+    batcher_delay,
+    bnb_delay,
+    delay_leading_ratio,
+    hardware_leading_ratio,
+)
+from repro.analysis.delay import batcher_measured_delay, bnb_measured_delay
+from repro.analysis.figures import ratio_crossovers
+from repro.analysis.tables import render_table1, render_table2
+
+
+def main() -> None:
+    for n in (64, 1024):
+        print(render_table1(n, w=16))
+        print()
+        print(render_table2(n))
+        print("\n" + "=" * 72 + "\n")
+
+    print("BNB/Batcher ratios over size (w = 16 for hardware):")
+    print(" N        hardware   delay")
+    for m in (3, 5, 8, 12, 16, 20, 24):
+        n = 1 << m
+        print(
+            f" 2^{m:<3}   {hardware_leading_ratio(n, 16):8.4f}  "
+            f"{delay_leading_ratio(n):7.4f}"
+        )
+    print("asymptotic limits: hardware -> 1/3, delay -> 2/3 (the abstract's claim)\n")
+
+    print("Crossover sizes (smallest N where the ratio drops below t):")
+    print("  hardware:", ratio_crossovers((0.6, 0.5, 0.45), quantity="hardware"))
+    print("  delay   :", ratio_crossovers((0.83, 0.8, 0.75), quantity="delay"))
+    print()
+
+    print("Measured structural delay vs closed forms (unit delays):")
+    print(" m    BNB measured   Eq.9    Batcher measured   Eq.12")
+    for m in range(2, 11):
+        n = 1 << m
+        print(
+            f" {m:<3} {bnb_measured_delay(m):12.0f} {bnb_delay(n):7.0f}"
+            f" {batcher_measured_delay(m):16.0f} {batcher_delay(n):8.0f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""An input-queued packet switch around the BNB fabric.
+
+Runs the packet-level simulation at increasing offered load under two
+queueing disciplines and prints the throughput/latency curves — showing
+the famous head-of-line blocking wall near 58.6% for FIFO queues, and
+how virtual output queues (VOQ) push it back to ~full load.  Every
+delivered packet physically traverses a BNB routing pass.
+
+Run:  python examples/input_queued_switch.py
+"""
+
+from repro.sim import SwitchSimulator
+
+
+def sweep(mode: str, loads, cycles: int = 400) -> None:
+    print(f"{mode.upper()} input queues (N = 16 ports, {cycles} cycles/point):")
+    print("  load   throughput   mean latency   max queue")
+    for load in loads:
+        stats = SwitchSimulator(4, mode=mode, seed=99).run(cycles, load)
+        print(
+            f"  {load:4.2f}   {stats.throughput:10.3f}   "
+            f"{stats.mean_latency:12.2f}   {stats.max_queue_depth:9d}"
+        )
+    print()
+
+
+def main() -> None:
+    loads = (0.2, 0.4, 0.5, 0.58, 0.7, 0.85, 1.0)
+    sweep("fifo", loads)
+    sweep("voq", loads)
+    print(
+        "Reading: FIFO tracks the offered load until ~0.58, then head-of-\n"
+        "line blocking flattens throughput and latency/queues diverge.\n"
+        "VOQ (one virtual queue per output + maximal matching) removes the\n"
+        "blocking and keeps carrying traffic to ~full load.  The fabric is\n"
+        "never the bottleneck — a BNB pass delivers any conflict-free\n"
+        "selection in one cycle (Theorem 2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Quickstart: route a permutation through the BNB network.
+
+Builds a 16-input BNB self-routing permutation network, feeds it a
+random permutation of destination addresses, and shows that every word
+arrives at its addressed output with no global routing computation —
+Theorem 2 of the paper in a dozen lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BNBNetwork, Word, random_permutation
+from repro.viz import render_bnb_profile
+
+
+def main() -> None:
+    m = 4  # N = 2**4 = 16 inputs
+    network = BNBNetwork(m)
+    print(f"Built {network!r}")
+    print(f"  2x2 switch slices : {network.switch_count}")
+    print(f"  function nodes    : {network.function_node_count}")
+    print(f"  propagation delay : {network.propagation_delay():.0f} units")
+    print()
+
+    pi = random_permutation(network.n, rng=2026)
+    print(f"Routing request (input j -> output pi(j)): {pi.to_list()}")
+
+    words = [Word(address=pi(j), payload=f"from-{j}") for j in range(network.n)]
+    outputs, _record = network.route(words)
+
+    print("Delivered outputs:")
+    for line, word in enumerate(outputs):
+        print(f"  output {line:>2}: address={word.address:>2} payload={word.payload}")
+    assert all(w.address == line for line, w in enumerate(outputs))
+    print("\nEvery word reached its destination — no conflicts, no setup phase.")
+    print()
+    print(render_bnb_profile(m))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment is offline and lacks the ``wheel`` package,
+so PEP 517 editable installs (which build a wheel) fail.  This shim
+lets ``pip install -e . --no-build-isolation`` and
+``python setup.py develop`` work with the legacy code path; all project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,87 @@
+"""repro: a reproduction of the BNB self-routing permutation network.
+
+Lee & Lu, "BNB Self-Routing Permutation Network", ICDCS 1991.
+
+Quickstart
+----------
+>>> from repro import BNBNetwork, random_permutation
+>>> net = BNBNetwork(m=4)                      # 16-input network
+>>> pi = random_permutation(16, rng=0)
+>>> outputs, _ = net.route(pi.to_list())
+>>> [w.address for w in outputs] == list(range(16))
+True
+
+See the package-level docs of :mod:`repro.core`, :mod:`repro.baselines`,
+:mod:`repro.hardware`, :mod:`repro.sim` and :mod:`repro.analysis` for
+the full tour, and DESIGN.md / EXPERIMENTS.md for the paper mapping.
+"""
+
+from ._version import __version__
+from .exceptions import (
+    ConfigurationError,
+    FaultError,
+    InputError,
+    NotAPermutationError,
+    PathConflictError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    SizeError,
+    UnbalancedInputError,
+    UnroutablePermutationError,
+)
+from .permutations import (
+    Permutation,
+    PermutationSampler,
+    all_permutations,
+    random_permutation,
+)
+from .core import (
+    Arbiter,
+    BitSorterNetwork,
+    BNBNetwork,
+    GeneralizedBaselineNetwork,
+    Splitter,
+    Word,
+    words_from_permutation,
+)
+from .baselines import (
+    BatcherNetwork,
+    BenesNetwork,
+    BitonicNetwork,
+    Crossbar,
+    KoppelmanSRPN,
+    NassimiSahniRouter,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfigurationError",
+    "SizeError",
+    "InputError",
+    "UnbalancedInputError",
+    "NotAPermutationError",
+    "RoutingError",
+    "PathConflictError",
+    "UnroutablePermutationError",
+    "SimulationError",
+    "FaultError",
+    "Permutation",
+    "PermutationSampler",
+    "random_permutation",
+    "all_permutations",
+    "Word",
+    "words_from_permutation",
+    "Arbiter",
+    "Splitter",
+    "BitSorterNetwork",
+    "GeneralizedBaselineNetwork",
+    "BNBNetwork",
+    "BatcherNetwork",
+    "BitonicNetwork",
+    "BenesNetwork",
+    "NassimiSahniRouter",
+    "KoppelmanSRPN",
+    "Crossbar",
+]

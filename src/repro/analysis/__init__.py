@@ -1,0 +1,151 @@
+"""Analytical models and experiment drivers (Section 5 of the paper).
+
+* :mod:`~repro.analysis.complexity` — every closed form the paper
+  states (Eqs. 6-12 and the Table 1/2 leading terms);
+* :mod:`~repro.analysis.recurrences` — the same quantities evaluated
+  from the paper's recurrence definitions, so closed forms are checked
+  against their derivations;
+* :mod:`~repro.analysis.delay` — *measured* propagation delays from
+  structural timing of constructed networks;
+* :mod:`~repro.analysis.tables` — Table 1 and Table 2 renderers;
+* :mod:`~repro.analysis.figures` — data series for growth/crossover
+  plots and the structural figures;
+* :mod:`~repro.analysis.verification` — exhaustive/sampled permutation
+  delivery verification for any router.
+"""
+
+from .complexity import (
+    bnb_switch_slices,
+    bnb_function_nodes,
+    bnb_delay,
+    bnb_delay_table2,
+    batcher_comparators,
+    batcher_switch_slices,
+    batcher_function_slices,
+    batcher_delay,
+    batcher_delay_table2,
+    koppelman_switch_slices,
+    koppelman_function_slices,
+    koppelman_adder_slices,
+    koppelman_delay_table2,
+    nested_network_switch_slices,
+    arbiter_nodes_in_bsn,
+    hardware_leading_ratio,
+    delay_leading_ratio,
+)
+from .recurrences import (
+    bnb_switch_recurrence,
+    bnb_function_node_recurrence,
+    arbiter_node_recurrence,
+    bnb_fn_delay_sum,
+    bnb_sw_delay_sum,
+)
+from .delay import (
+    bnb_measured_delay,
+    batcher_measured_delay,
+    bsn_measured_delay,
+)
+from .tables import render_table1, render_table2, table2_values
+from .figures import (
+    hardware_growth_series,
+    delay_growth_series,
+    ratio_crossovers,
+    gbn_structure_summary,
+)
+from .verification import VerificationReport, verify_router, ROUTERS
+from .distributions import (
+    BiasReport,
+    first_stage_control_bias,
+    output_position_uniformity,
+    exchange_count_dispersion,
+)
+from .sensitivity import (
+    switch_terms_identical,
+    fn_term_gap,
+    delay_advantage_holds,
+    advantage_ratio_sweep,
+)
+from .scaling import (
+    PolynomialFit,
+    fit_log_polynomial,
+    fit_per_input_series,
+    bnb_switch_scaling,
+    batcher_switch_scaling,
+    bnb_delay_scaling,
+    batcher_delay_scaling,
+)
+from .activity import (
+    ActivityProfile,
+    average_activity,
+    batcher_activity,
+    bnb_activity,
+)
+from .ablations import (
+    route_with_bit_order,
+    bit_order_delivery_fraction,
+    splitter_controls_without_generate,
+    unbalance_after_ablated_splitter,
+    bare_baseline_delivery_fraction,
+)
+
+__all__ = [
+    "bnb_switch_slices",
+    "bnb_function_nodes",
+    "bnb_delay",
+    "bnb_delay_table2",
+    "batcher_comparators",
+    "batcher_switch_slices",
+    "batcher_function_slices",
+    "batcher_delay",
+    "batcher_delay_table2",
+    "koppelman_switch_slices",
+    "koppelman_function_slices",
+    "koppelman_adder_slices",
+    "koppelman_delay_table2",
+    "nested_network_switch_slices",
+    "arbiter_nodes_in_bsn",
+    "hardware_leading_ratio",
+    "delay_leading_ratio",
+    "bnb_switch_recurrence",
+    "bnb_function_node_recurrence",
+    "arbiter_node_recurrence",
+    "bnb_fn_delay_sum",
+    "bnb_sw_delay_sum",
+    "bnb_measured_delay",
+    "batcher_measured_delay",
+    "bsn_measured_delay",
+    "render_table1",
+    "render_table2",
+    "table2_values",
+    "hardware_growth_series",
+    "delay_growth_series",
+    "ratio_crossovers",
+    "gbn_structure_summary",
+    "VerificationReport",
+    "verify_router",
+    "ROUTERS",
+    "BiasReport",
+    "first_stage_control_bias",
+    "output_position_uniformity",
+    "exchange_count_dispersion",
+    "switch_terms_identical",
+    "fn_term_gap",
+    "delay_advantage_holds",
+    "advantage_ratio_sweep",
+    "PolynomialFit",
+    "fit_log_polynomial",
+    "fit_per_input_series",
+    "bnb_switch_scaling",
+    "batcher_switch_scaling",
+    "bnb_delay_scaling",
+    "batcher_delay_scaling",
+    "ActivityProfile",
+    "bnb_activity",
+    "batcher_activity",
+    "average_activity",
+    "route_with_bit_order",
+    "bit_order_delivery_fraction",
+    "splitter_controls_without_generate",
+    "unbalance_after_ablated_splitter",
+    "bare_baseline_delivery_fraction",
+]

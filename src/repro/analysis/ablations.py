@@ -1,0 +1,129 @@
+"""Ablation studies: remove one design choice, watch it fail.
+
+DESIGN.md calls out the load-bearing choices of the BNB construction;
+each function here builds the network *without* one of them so tests
+and benches can measure exactly what breaks:
+
+* :func:`route_with_bit_order` — the MSB-first radix schedule.  Any
+  other per-stage bit order misroutes some permutations (MSB-first is
+  what makes the unshuffle grouping a radix sort).
+* :func:`splitter_controls_without_generate` — the arbiter's
+  "children-XOR = 0 generates flags (0, 1)" rule replaced by pure
+  forwarding.  Type-2 pairs are then no longer paired off evenly and
+  Theorem 3's M_e = M_o balance collapses.
+* :func:`bare_baseline_delivery_fraction` — the nesting itself removed:
+  a plain baseline network with destination-tag switches, whose
+  deliverable fraction of random permutations collapses with N.
+
+These are *negative* experiments: their assertions state that the
+ablated designs fail, which pins down why each mechanism is in the
+paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..bits import address_bit, unshuffle_index
+from ..core.bnb import BNBNetwork
+from ..core.bsn import BitSorterNetwork
+from ..core.switchbox import apply_pair_controls
+from ..permutations.generators import random_permutation
+from ..permutations.permutation import Permutation
+from ..permutations.properties import baseline_passable
+
+__all__ = [
+    "route_with_bit_order",
+    "bit_order_delivery_fraction",
+    "splitter_controls_without_generate",
+    "unbalance_after_ablated_splitter",
+    "bare_baseline_delivery_fraction",
+]
+
+
+def route_with_bit_order(
+    m: int, addresses: Sequence[int], bit_order: Sequence[int]
+) -> List[int]:
+    """Route through a BNB variant whose main stage ``i`` sorts on
+    address bit ``bit_order[i]`` (paper's numbering: 0 = MSB).
+
+    ``bit_order == [0, 1, ..., m-1]`` is the real network; any other
+    order is the ablation.  Returns the address arriving at each output
+    line (unchecked — misrouting is the point).
+    """
+    if sorted(bit_order) != list(range(m)):
+        raise ValueError(
+            f"bit_order must order the address bits 0..{m - 1}, got {bit_order!r}"
+        )
+    n = 1 << m
+    if len(addresses) != n:
+        raise ValueError(f"expected {n} addresses, got {len(addresses)}")
+    bsns = {k: BitSorterNetwork(k, check_balance=False) for k in range(1, m + 1)}
+    current: List[int] = list(addresses)
+    for i in range(m):
+        block_exp = m - i
+        block = 1 << block_exp
+        bit_index = bit_order[i]
+        bsn = bsns[block_exp]
+        routed: List[int] = [0] * n
+        for l in range(1 << i):
+            lo = l * block
+            out, _rec = bsn.route_words(
+                current[lo : lo + block],
+                key_of=lambda address: address_bit(address, bit_index, m),
+            )
+            routed[lo : lo + block] = out
+        if i < m - 1:
+            connected: List[int] = [0] * n
+            for j, value in enumerate(routed):
+                connected[unshuffle_index(j, m - i, m)] = value
+            current = connected
+        else:
+            current = routed
+    return current
+
+
+def bit_order_delivery_fraction(
+    m: int, bit_order: Sequence[int], samples: int = 100, seed: int = 0
+) -> float:
+    """Fraction of random permutations the given schedule delivers."""
+    n = 1 << m
+    delivered = 0
+    for index in range(samples):
+        pi = random_permutation(n, rng=seed + index)
+        outputs = route_with_bit_order(m, pi.to_list(), bit_order)
+        delivered += outputs == list(range(n))
+    return delivered / samples
+
+
+def splitter_controls_without_generate(bits: Sequence[int]) -> List[int]:
+    """Arbiter ablation: every node forwards its parent flag (the
+    generate rule removed; the root's flag is 0).
+
+    All flags collapse to 0, so every switch setting degenerates to the
+    raw input bit — included to quantify how much work the generate
+    rule does.
+    """
+    flags = [0] * len(bits)
+    return [bits[2 * t] ^ flags[2 * t] for t in range(len(bits) // 2)]
+
+
+def unbalance_after_ablated_splitter(bits: Sequence[int]) -> int:
+    """|M_e - M_o| after routing with the ablated controls."""
+    controls = splitter_controls_without_generate(bits)
+    routed = apply_pair_controls(list(bits), controls)
+    even = sum(routed[j] for j in range(0, len(routed), 2))
+    odd = sum(routed[j] for j in range(1, len(routed), 2))
+    return abs(even - odd)
+
+
+def bare_baseline_delivery_fraction(
+    m: int, samples: int = 200, seed: int = 0
+) -> float:
+    """Nesting ablation: the plain baseline network's delivery rate."""
+    n = 1 << m
+    delivered = 0
+    for index in range(samples):
+        pi = random_permutation(n, rng=seed + index)
+        delivered += baseline_passable(pi)
+    return delivered / samples

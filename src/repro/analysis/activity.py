@@ -1,0 +1,119 @@
+"""Switching-activity analysis (a dynamic-cost proxy).
+
+The paper's cost model is static (element counts).  A natural dynamic
+counterpart: how many switches actually *toggle to exchange* per
+routing pass — a first-order proxy for dynamic energy — and how that
+compares between the BNB's one-bit splitters and Batcher's word
+comparators.
+
+Results the tests pin down (measured, and initially surprising): a
+uniform random permutation exchanges about half of the BNB's decision
+switches (~0.49 — each control is an input bit XOR a near-uniform
+flag), while Batcher's odd-even network swaps a *larger* fraction of
+its comparators (~0.58): merging keeps moving words that radix
+partitioning settles early.  Combined with the 3x hardware gap, the
+dynamic-activity proxy favours the BNB design even more than the
+static counts do.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from ..baselines.batcher import BatcherNetwork
+from ..core.bnb import BNBNetwork
+from ..core.words import Word
+from ..permutations.generators import random_permutation
+from ..permutations.permutation import Permutation
+
+__all__ = [
+    "ActivityProfile",
+    "bnb_activity",
+    "batcher_activity",
+    "average_activity",
+]
+
+
+@dataclasses.dataclass
+class ActivityProfile:
+    """Exchange/swap counts of one routing pass."""
+
+    network: str
+    n: int
+    decisions: int            # switches (BNB) or comparators (Batcher)
+    exchanges: int            # of which set to exchange / swapped
+    per_main_stage: List[int]  # exchanges grouped by (main) stage
+
+    @property
+    def exchange_fraction(self) -> float:
+        return self.exchanges / self.decisions if self.decisions else 0.0
+
+
+def bnb_activity(network: BNBNetwork, pi: Permutation) -> ActivityProfile:
+    """Exchange counts of one BNB pass, grouped by main stage."""
+    words = [Word(address=pi(j)) for j in range(network.n)]
+    _outputs, record = network.route(words, record=True)
+    assert record is not None
+    per_stage = [0] * network.m
+    total = 0
+    decisions = 0
+    for (main_stage, _nested), bsn_record in record.nested_records.items():
+        for splitter_record in bsn_record.splitters.values():
+            per_stage[main_stage] += sum(splitter_record.controls)
+            total += sum(splitter_record.controls)
+            decisions += len(splitter_record.controls)
+    return ActivityProfile(
+        network="bnb",
+        n=network.n,
+        decisions=decisions,
+        exchanges=total,
+        per_main_stage=per_stage,
+    )
+
+
+def batcher_activity(network: BatcherNetwork, pi: Permutation) -> ActivityProfile:
+    """Swap counts of one Batcher pass, grouped by comparator stage."""
+    _outputs, records = network.route(pi.to_list(), record=True)
+    assert records is not None
+    per_stage = [0] * network.stage_count
+    swapped = 0
+    for record in records:
+        if record.swapped:
+            per_stage[record.stage] += 1
+            swapped += 1
+    return ActivityProfile(
+        network="batcher",
+        n=network.n,
+        decisions=len(records),
+        exchanges=swapped,
+        per_main_stage=per_stage,
+    )
+
+
+def average_activity(
+    network_kind: str, m: int, samples: int = 20, seed: int = 0
+) -> Dict[str, float]:
+    """Mean exchange fraction and per-stage profile over random traffic."""
+    if network_kind == "bnb":
+        network = BNBNetwork(m)
+        run = lambda pi: bnb_activity(network, pi)  # noqa: E731
+    elif network_kind == "batcher":
+        network = BatcherNetwork(m)
+        run = lambda pi: batcher_activity(network, pi)  # noqa: E731
+    else:
+        raise ValueError(f"unknown network kind {network_kind!r}")
+    n = 1 << m
+    fractions: List[float] = []
+    stage_sums: List[float] = []
+    for index in range(samples):
+        profile = run(random_permutation(n, rng=seed + index))
+        fractions.append(profile.exchange_fraction)
+        if not stage_sums:
+            stage_sums = [0.0] * len(profile.per_main_stage)
+        for i, count in enumerate(profile.per_main_stage):
+            stage_sums[i] += count
+    return {
+        "mean_exchange_fraction": sum(fractions) / len(fractions),
+        "per_stage_mean": [s / samples for s in stage_sums],  # type: ignore[dict-item]
+    }

@@ -1,0 +1,221 @@
+"""Closed-form complexity expressions from Section 5 of the paper.
+
+All functions take the network size ``n = 2**m`` (validated to be a
+power of two) and return exact values — integer-valued expressions use
+``Fraction``-free integer arithmetic where the closed form is integral,
+floats elsewhere.  ``m`` below always denotes ``log2 N``.
+
+The paper's equations implemented here:
+
+* Eq. 6  — ``C_BNB(N)``: BNB switch-slice and function-node costs;
+* Eqs. 7-9 — BNB propagation delay;
+* Eq. 10 — Batcher comparator count;
+* Eq. 11 — Batcher hardware cost;
+* Eq. 12 — Batcher propagation delay;
+* Table 1 — leading terms, including the Koppelman SRPN row;
+* Table 2 — printed delay polynomials, including the known quirk that
+  the paper's Batcher row lists only the function-logic term of Eq. 12.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Tuple
+
+from ..bits import require_power_of_two
+
+__all__ = [
+    "bnb_switch_slices",
+    "bnb_function_nodes",
+    "bnb_delay",
+    "bnb_delay_table2",
+    "batcher_comparators",
+    "batcher_switch_slices",
+    "batcher_function_slices",
+    "batcher_delay",
+    "batcher_delay_table2",
+    "koppelman_switch_slices",
+    "koppelman_function_slices",
+    "koppelman_adder_slices",
+    "koppelman_delay_table2",
+    "nested_network_switch_slices",
+    "arbiter_nodes_in_bsn",
+    "hardware_leading_ratio",
+    "delay_leading_ratio",
+]
+
+
+# ----------------------------------------------------------------------
+# Building blocks (Eqs. 3-5)
+# ----------------------------------------------------------------------
+def nested_network_switch_slices(p_size: int, w: int = 0) -> int:
+    """Eq. 2-3: switches of one ``P``-input nested network.
+
+    ``(P/2) log P`` switches per one-bit slice, times ``log P + w``
+    slices.
+    """
+    p = require_power_of_two(p_size, "nested network size")
+    return (p_size // 2) * p * (p + w)
+
+
+def arbiter_nodes_in_bsn(p_size: int) -> int:
+    """Eq. 4 closed form: ``P log(P/2) - P/2 + 1`` function nodes.
+
+    Total arbiter nodes of all splitters of one ``P``-input bit-sorter
+    network, counting ``A(1)`` as wiring (zero nodes).
+    """
+    p = require_power_of_two(p_size, "bit-sorter network size")
+    return p_size * (p - 1) - p_size // 2 + 1
+
+
+# ----------------------------------------------------------------------
+# BNB network (Eqs. 6-9)
+# ----------------------------------------------------------------------
+def bnb_switch_slices(n: int, w: int = 0) -> int:
+    """Eq. 6's ``C_SW`` coefficient, exactly.
+
+    ``(N/6) m^3 + (N/4) m^2 + (N/12) m + (N w / 4)(m^2 + m)``; the
+    expression is always integral and evaluated with ``Fraction`` to
+    prove it (a non-integral result would mean a transcription error).
+    """
+    m = require_power_of_two(n, "network size")
+    value = (
+        Fraction(n, 6) * m**3
+        + Fraction(n, 4) * m**2
+        + Fraction(n, 12) * m
+        + Fraction(n * w, 4) * (m**2 + m)
+    )
+    if value.denominator != 1:
+        raise AssertionError(f"Eq. 6 switch term not integral for n={n}, w={w}")
+    return int(value)
+
+
+def bnb_function_nodes(n: int) -> int:
+    """Eq. 6's ``C_FN`` coefficient: ``(N/2) m^2 - N m + N - 1``."""
+    m = require_power_of_two(n, "network size")
+    value = Fraction(n, 2) * m**2 - n * m + n - 1
+    if value.denominator != 1:
+        raise AssertionError(f"Eq. 6 function-node term not integral for n={n}")
+    return int(value)
+
+
+def bnb_delay(n: int, d_sw: float = 1.0, d_fn: float = 1.0) -> float:
+    """Eq. 9: total BNB propagation delay.
+
+    ``(m^3/3 + m^2 - 4m/3) D_FN + (m^2/2 + m/2) D_SW``.
+    """
+    m = require_power_of_two(n, "network size")
+    fn_term = Fraction(m**3, 3) + m**2 - Fraction(4 * m, 3)
+    sw_term = Fraction(m**2 + m, 2)
+    return float(fn_term) * d_fn + float(sw_term) * d_sw
+
+
+def bnb_delay_table2(n: int) -> float:
+    """The printed Table 2 row for "this paper".
+
+    ``m^3/3 + 3 m^2/2 - 5m/6`` — exactly Eq. 9 evaluated at
+    ``D_SW = D_FN = 1``.
+    """
+    m = require_power_of_two(n, "network size")
+    return float(Fraction(m**3, 3) + Fraction(3 * m**2, 2) - Fraction(5 * m, 6))
+
+
+# ----------------------------------------------------------------------
+# Batcher's odd-even sorting network (Eqs. 10-12)
+# ----------------------------------------------------------------------
+def batcher_comparators(n: int) -> int:
+    """Eq. 10: ``(N/4) m^2 - (N/4) m + N - 1`` comparison elements."""
+    m = require_power_of_two(n, "network size")
+    if n == 1:
+        return 0
+    value = Fraction(n, 4) * m**2 - Fraction(n, 4) * m + n - 1
+    if value.denominator != 1:
+        raise AssertionError(f"Eq. 10 not integral for n={n}")
+    return int(value)
+
+
+def batcher_switch_slices(n: int, w: int = 0) -> int:
+    """Eq. 11's ``C_SW`` coefficient: ``p(N) * (log N + w)``.
+
+    The paper prints the expanded polynomial
+    ``(N/4) m^3 + (N(w-1)/4) m^2 - (N w/4 - N + 1) m + (N-1) w``;
+    this function evaluates the product form, and tests assert the two
+    agree — which validates the paper's expansion.
+    """
+    m = require_power_of_two(n, "network size")
+    return batcher_comparators(n) * (m + w)
+
+
+def batcher_function_slices(n: int) -> int:
+    """Eq. 11's ``C_FN`` coefficient: ``p(N) * log N``."""
+    m = require_power_of_two(n, "network size")
+    return batcher_comparators(n) * m
+
+
+def batcher_delay(n: int, d_sw: float = 1.0, d_fn: float = 1.0) -> float:
+    """Eq. 12: ``(m^3/2 + m^2/2) D_FN + (m^2/2 + m/2) D_SW``."""
+    m = require_power_of_two(n, "network size")
+    return float(Fraction(m**3 + m**2, 2)) * d_fn + float(
+        Fraction(m**2 + m, 2)
+    ) * d_sw
+
+
+def batcher_delay_table2(n: int) -> float:
+    """The printed Table 2 Batcher row: ``m^3/2 + m^2/2``.
+
+    Note the quirk documented in EXPERIMENTS.md: the printed row keeps
+    only the ``D_FN`` polynomial of Eq. 12 and drops the switch term;
+    :func:`batcher_delay` is the full Eq. 12.
+    """
+    m = require_power_of_two(n, "network size")
+    return float(Fraction(m**3 + m**2, 2))
+
+
+# ----------------------------------------------------------------------
+# Koppelman & Oruc SRPN (Table 1 and Table 2 rows)
+# ----------------------------------------------------------------------
+def koppelman_switch_slices(n: int) -> int:
+    """Table 1: ``(N/4) log^3 N`` switch slices."""
+    m = require_power_of_two(n, "network size")
+    return (n * m**3) // 4
+
+
+def koppelman_function_slices(n: int) -> int:
+    """Table 1: ``(N/2) log^2 N`` function slices."""
+    m = require_power_of_two(n, "network size")
+    return (n * m**2) // 2
+
+
+def koppelman_adder_slices(n: int) -> int:
+    """Table 1: ``N log^2 N`` adder slices (the ranking circuits)."""
+    m = require_power_of_two(n, "network size")
+    return n * m**2
+
+
+def koppelman_delay_table2(n: int) -> float:
+    """Table 2: ``(2/3) m^3 - m^2 + m/3 + 1``."""
+    m = require_power_of_two(n, "network size")
+    return float(Fraction(2 * m**3, 3) - m**2 + Fraction(m, 3) + 1)
+
+
+# ----------------------------------------------------------------------
+# Headline ratios (Section 5.3 and the abstract)
+# ----------------------------------------------------------------------
+def hardware_leading_ratio(n: int, w: int = 0) -> float:
+    """BNB total hardware over Batcher total hardware at equal unit costs.
+
+    The abstract's claim is that this tends to ``(N/6) / (2 * N/4) = 1/3``:
+    Batcher pays ``(N/4) m^3`` in switches *and* ``(N/4) m^3`` in
+    function slices, while BNB's ``m^3`` term is switches only.
+    """
+    bnb_total = bnb_switch_slices(n, w) + bnb_function_nodes(n)
+    batcher_total = batcher_switch_slices(n, w) + batcher_function_slices(n)
+    return bnb_total / batcher_total
+
+
+def delay_leading_ratio(n: int) -> float:
+    """BNB delay over Batcher delay (full Eqs. 9 and 12, unit delays).
+
+    Tends to ``(1/3) / (1/2) = 2/3`` — the abstract's delay claim.
+    """
+    return bnb_delay(n) / batcher_delay(n)

@@ -1,0 +1,92 @@
+"""Measured propagation delay from structural timing.
+
+Instead of trusting Eqs. 7-9 and 12, these functions *time* the
+constructed networks: every line carries an arrival time, every
+component advances it by its delay, and the network's propagation
+delay is the latest output arrival.  The timing rules are exactly the
+paper's model:
+
+* a splitter ``sp(p)``'s switch can fire once its arbiter has run the
+  input bits up and the flags down the ``p``-level tree:
+  ``2 p * D_FN`` (zero for ``sp(1)``, whose arbiter is wiring),
+  then ``D_SW`` through the switch;
+* a Batcher comparator compares ``log N`` bits serially
+  (``log N * D_FN``) and then switches (``D_SW``);
+* wires (unshuffle connections) are free.
+
+Tests assert these measurements equal the closed forms *exactly* for
+every size, which is the strongest possible check that the paper's
+delay algebra describes its own construction.  Gate-level measured
+delays (netlist critical paths, event-driven settle times) refine the
+picture in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..bits import require_power_of_two
+
+__all__ = ["bsn_measured_delay", "bnb_measured_delay", "batcher_measured_delay"]
+
+
+def bsn_measured_delay(k: int, d_sw: float = 1.0, d_fn: float = 1.0) -> float:
+    """Arrival-time propagation through one ``2**k``-input BSN."""
+    if k < 1:
+        raise ValueError(f"a BSN needs k >= 1, got {k}")
+    n = 1 << k
+    times: List[float] = [0.0] * n
+    for stage in range(k):
+        p = k - stage
+        width = 1 << p
+        arbiter_delay = 2 * p * d_fn if p >= 2 else 0.0
+        for box in range(1 << stage):
+            lo = box * width
+            ready = max(times[lo : lo + width])
+            settled = ready + arbiter_delay + d_sw
+            for j in range(lo, lo + width):
+                times[j] = settled
+        # The unshuffle connection is wiring: no time advance, and the
+        # per-line times are uniform within a block anyway.
+    return max(times)
+
+
+def bnb_measured_delay(m: int, d_sw: float = 1.0, d_fn: float = 1.0) -> float:
+    """Arrival-time propagation through the whole BNB network.
+
+    Main stage ``i`` contains ``2**(m-i)``-input nested networks whose
+    routing path is their BSN slice; follower slices switch in
+    parallel with the BSN slice's own switches, so the nested network's
+    delay is the BSN's.
+    """
+    if m < 1:
+        raise ValueError(f"the BNB network needs m >= 1, got {m}")
+    total = 0.0
+    for i in range(m):
+        total += bsn_measured_delay(m - i, d_sw=d_sw, d_fn=d_fn)
+    return total
+
+
+def batcher_measured_delay(
+    m: int, d_sw: float = 1.0, d_fn: float = 1.0
+) -> float:
+    """Arrival-time propagation through the odd-even merge network.
+
+    Every comparator fires ``m * D_FN + D_SW`` after its latest input;
+    the measurement runs over the actual comparator schedule, so it
+    also validates that the ASAP levelization achieves the textbook
+    ``m (m + 1) / 2`` critical path.
+    """
+    if m < 0:
+        raise ValueError(f"need m >= 0, got {m}")
+    from ..baselines.batcher import BatcherNetwork
+
+    network = BatcherNetwork(m)
+    times: List[float] = [0.0] * network.n
+    step = m * d_fn + d_sw
+    for stage in network.stages():
+        for i, j in stage:
+            settled = max(times[i], times[j]) + step
+            times[i] = settled
+            times[j] = settled
+    return max(times) if times else 0.0

@@ -1,0 +1,125 @@
+"""Data series for growth curves, crossovers and structural figures.
+
+The paper's figures are structural diagrams (Figs. 1-5); its
+quantitative story lives in the complexity polynomials.  This module
+produces the numeric series a plotting tool (or the text benchmarks)
+needs: hardware/delay growth over ``N``, the ratio-to-Batcher curves,
+the crossover sizes where the asymptotic advantage materializes, and
+structural summaries that regenerate the content of Figs. 1 and 3.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from ..bits import require_power_of_two
+from ..core.gbn import GeneralizedBaselineNetwork
+from . import complexity as cx
+
+__all__ = [
+    "GrowthPoint",
+    "hardware_growth_series",
+    "delay_growth_series",
+    "ratio_crossovers",
+    "gbn_structure_summary",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class GrowthPoint:
+    """One sample of a growth curve."""
+
+    n: int
+    batcher: float
+    koppelman: float
+    bnb: float
+
+    @property
+    def bnb_over_batcher(self) -> float:
+        return self.bnb / self.batcher if self.batcher else float("nan")
+
+
+def hardware_growth_series(
+    exponents: Sequence[int], w: int = 0
+) -> List[GrowthPoint]:
+    """Total hardware (switch + function + adder units) over sizes."""
+    series: List[GrowthPoint] = []
+    for m in exponents:
+        n = 1 << m
+        series.append(
+            GrowthPoint(
+                n=n,
+                batcher=cx.batcher_switch_slices(n, w)
+                + cx.batcher_function_slices(n),
+                koppelman=cx.koppelman_switch_slices(n)
+                + cx.koppelman_function_slices(n)
+                + cx.koppelman_adder_slices(n),
+                bnb=cx.bnb_switch_slices(n, w) + cx.bnb_function_nodes(n),
+            )
+        )
+    return series
+
+
+def delay_growth_series(exponents: Sequence[int]) -> List[GrowthPoint]:
+    """Propagation delay (full equations, unit delays) over sizes."""
+    series: List[GrowthPoint] = []
+    for m in exponents:
+        n = 1 << m
+        series.append(
+            GrowthPoint(
+                n=n,
+                batcher=cx.batcher_delay(n),
+                koppelman=cx.koppelman_delay_table2(n),
+                bnb=cx.bnb_delay(n),
+            )
+        )
+    return series
+
+
+def ratio_crossovers(
+    thresholds: Sequence[float] = (1.0, 0.8, 0.75, 0.7),
+    max_exponent: int = 30,
+    quantity: str = "hardware",
+    w: int = 0,
+    min_exponent: int = 3,
+) -> Dict[float, Optional[int]]:
+    """Smallest ``N >= 2**min_exponent`` where BNB/Batcher drops below
+    each threshold.
+
+    ``quantity`` is ``"hardware"`` or ``"delay"``.  Returns ``None``
+    for thresholds not reached by ``2**max_exponent`` (e.g. asking for
+    a ratio below the asymptotic limit).  The default ``min_exponent``
+    of 3 skips the degenerate tiny networks (at ``N = 2`` both fabrics
+    collapse to a single switch and the ratios are meaningless).
+    """
+    if quantity not in ("hardware", "delay"):
+        raise ValueError(f"quantity must be 'hardware' or 'delay', got {quantity!r}")
+    result: Dict[float, Optional[int]] = {}
+    for threshold in thresholds:
+        found: Optional[int] = None
+        for m in range(min_exponent, max_exponent + 1):
+            n = 1 << m
+            if quantity == "hardware":
+                ratio = cx.hardware_leading_ratio(n, w)
+            else:
+                ratio = cx.delay_leading_ratio(n)
+            if ratio < threshold:
+                found = n
+                break
+        result[threshold] = found
+    return result
+
+
+def gbn_structure_summary(m: int) -> List[Dict[str, int]]:
+    """The Fig. 1 inventory: per stage, how many boxes of which size."""
+    network = GeneralizedBaselineNetwork(m)
+    return [
+        {
+            "stage": spec.stage,
+            "boxes": spec.box_count,
+            "box_size": spec.box_size,
+            "box_exponent": spec.box_exponent,
+        }
+        for spec in network.stages()
+    ]

@@ -1,0 +1,130 @@
+"""Empirical scaling fits: recover the paper's coefficients from data.
+
+Instead of trusting the printed polynomials, these helpers fit measured
+series (element counts, delays) against polynomial models in
+``m = log2 N`` and recover the coefficients.  Fitting the *normalized*
+quantity (count / N) reduces every ``N * poly(log N)`` law to a plain
+polynomial regression, which :func:`fit_log_polynomial` solves exactly
+via least squares.
+
+The tests demand that fitting the constructed networks' counts recovers
+the paper's leading coefficients — ``1/6`` for BNB switches, ``1/4``
+for Batcher, ``1/3`` and ``1/2`` for the delay cubics — to high
+precision, which is the strongest possible statement that the
+implementation *scales like the paper says*, independent of the closed
+forms module.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PolynomialFit",
+    "fit_log_polynomial",
+    "fit_per_input_series",
+    "bnb_switch_scaling",
+    "batcher_switch_scaling",
+    "bnb_delay_scaling",
+    "batcher_delay_scaling",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class PolynomialFit:
+    """Result of fitting ``value = sum_k coefficients[k] * m**k``.
+
+    ``coefficients[k]`` multiplies ``m**k`` (ascending order);
+    ``residual`` is the max absolute fit error over the inputs.
+    """
+
+    coefficients: Tuple[float, ...]
+    residual: float
+
+    @property
+    def leading(self) -> float:
+        return self.coefficients[-1]
+
+    def evaluate(self, m: float) -> float:
+        return sum(c * m**k for k, c in enumerate(self.coefficients))
+
+
+def fit_log_polynomial(
+    ms: Sequence[int], values: Sequence[float], degree: int
+) -> PolynomialFit:
+    """Least-squares fit of *values* as a degree-*degree* polynomial in m."""
+    if len(ms) != len(values):
+        raise ValueError("ms and values must have equal lengths")
+    if len(ms) <= degree:
+        raise ValueError(
+            f"need more than {degree} points to fit degree {degree}, got {len(ms)}"
+        )
+    x = np.asarray(ms, dtype=float)
+    y = np.asarray(values, dtype=float)
+    # numpy.polyfit returns highest degree first; store ascending.
+    descending = np.polyfit(x, y, degree)
+    ascending = tuple(float(c) for c in descending[::-1])
+    predictions = np.polyval(descending, x)
+    residual = float(np.max(np.abs(predictions - y)))
+    return PolynomialFit(coefficients=ascending, residual=residual)
+
+
+def fit_per_input_series(
+    measure: Callable[[int], float],
+    exponents: Sequence[int],
+    degree: int,
+) -> PolynomialFit:
+    """Fit ``measure(m) / 2**m`` as a polynomial in m.
+
+    For any cost law ``N * poly(log N)`` this recovers ``poly``.
+    """
+    values = [measure(m) / float(1 << m) for m in exponents]
+    return fit_log_polynomial(list(exponents), values, degree)
+
+
+# ----------------------------------------------------------------------
+# Ready-made measurements over *constructed* networks
+# ----------------------------------------------------------------------
+def bnb_switch_scaling(exponents: Sequence[int] = range(2, 12)) -> PolynomialFit:
+    """Fit the BNB's constructed switch count; expect [0, 1/12, 1/4, 1/6]."""
+    from ..core.bnb import BNBNetwork
+
+    return fit_per_input_series(
+        lambda m: BNBNetwork(m).switch_count, list(exponents), degree=3
+    )
+
+
+def batcher_switch_scaling(
+    exponents: Sequence[int] = range(2, 12),
+) -> PolynomialFit:
+    """Fit Batcher's constructed switch slices (w=0); leading 1/4.
+
+    The exact law has a ``(N - 1) * 0`` flavour constant, so the cubic
+    fit is near-exact but not perfect; tests bound the residual.
+    """
+    from ..baselines.batcher import BatcherNetwork
+
+    return fit_per_input_series(
+        lambda m: BatcherNetwork(m).switch_slice_count, list(exponents), degree=3
+    )
+
+
+def bnb_delay_scaling(exponents: Sequence[int] = range(2, 12)) -> PolynomialFit:
+    """Fit the measured BNB delay; expect leading coefficient 1/3."""
+    from .delay import bnb_measured_delay
+
+    values = [bnb_measured_delay(m) for m in exponents]
+    return fit_log_polynomial(list(exponents), values, degree=3)
+
+
+def batcher_delay_scaling(
+    exponents: Sequence[int] = range(2, 12),
+) -> PolynomialFit:
+    """Fit the measured Batcher delay; expect leading coefficient 1/2."""
+    from .delay import batcher_measured_delay
+
+    values = [batcher_measured_delay(m) for m in exponents]
+    return fit_log_polynomial(list(exponents), values, degree=3)

@@ -1,0 +1,67 @@
+"""Technology sensitivity: does the delay advantage depend on D_SW/D_FN?
+
+The paper normalizes ``D_SW = D_FN = 1`` for Table 2; a fair question
+is whether the BNB advantage survives other technology ratios.  The
+answer is structural: Eq. 9's and Eq. 12's **switch terms are
+identical** (``(m^2 + m)/2 . D_SW`` — both fabrics are a sequence of
+``m (m + 1) / 2`` switch columns), so the comparison reduces entirely
+to the function-logic terms, where BNB's ``m^3/3 + m^2 - 4m/3`` is
+below Batcher's ``m^3/2 + m^2/2`` for every ``m >= 1``.  Hence the BNB
+network is faster for *every* positive technology ratio — verified
+numerically here rather than argued once in a docstring.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bits import require_power_of_two
+from .complexity import batcher_delay, bnb_delay
+
+__all__ = [
+    "switch_terms_identical",
+    "fn_term_gap",
+    "delay_advantage_holds",
+    "advantage_ratio_sweep",
+]
+
+
+def switch_terms_identical(n: int) -> bool:
+    """Eq. 9 and Eq. 12 charge identical switch delay."""
+    return bnb_delay(n, d_sw=1.0, d_fn=0.0) == batcher_delay(
+        n, d_sw=1.0, d_fn=0.0
+    )
+
+
+def fn_term_gap(n: int) -> float:
+    """Batcher's function-delay polynomial minus BNB's (positive = BNB wins)."""
+    return batcher_delay(n, d_sw=0.0, d_fn=1.0) - bnb_delay(
+        n, d_sw=0.0, d_fn=1.0
+    )
+
+
+def delay_advantage_holds(n: int, d_sw: float, d_fn: float) -> bool:
+    """Is BNB at least as fast under the given technology constants?"""
+    if d_sw < 0 or d_fn < 0:
+        raise ValueError("technology constants must be non-negative")
+    return bnb_delay(n, d_sw, d_fn) <= batcher_delay(n, d_sw, d_fn)
+
+
+def advantage_ratio_sweep(
+    n: int, ratios: Sequence[float] = (0.0, 0.1, 0.5, 1.0, 2.0, 10.0, 100.0)
+) -> List[Tuple[float, float]]:
+    """BNB/Batcher delay ratio as a function of ``D_SW / D_FN``.
+
+    Returns ``(ratio, delay_ratio)`` pairs with ``D_FN = 1`` fixed.
+    As the switch cost dominates (ratio -> infinity) the delay ratio
+    tends to 1 (the fabrics' switch paths are identical); as function
+    logic dominates (ratio -> 0) it tends to the pure-FN ratio, which
+    approaches 2/3.
+    """
+    require_power_of_two(n, "network size")
+    sweep: List[Tuple[float, float]] = []
+    for ratio in ratios:
+        bnb = bnb_delay(n, d_sw=ratio, d_fn=1.0)
+        batcher = batcher_delay(n, d_sw=ratio, d_fn=1.0)
+        sweep.append((ratio, bnb / batcher))
+    return sweep

@@ -1,0 +1,161 @@
+"""Renderers for the paper's two evaluation tables.
+
+:func:`render_table1` and :func:`render_table2` print the same rows the
+paper reports — leading-term expressions plus concrete values at chosen
+sizes — with an extra column relating each network to Batcher, which is
+how the paper summarizes the comparison ("one third of the hardware...
+two thirds of the delay").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..bits import require_power_of_two
+from . import complexity as cx
+
+__all__ = [
+    "TABLE1_LEADING_TERMS",
+    "TABLE2_POLYNOMIALS",
+    "table1_values",
+    "table2_values",
+    "render_table1",
+    "render_table2",
+    "format_table",
+]
+
+#: The leading-term strings exactly as printed in Table 1.
+TABLE1_LEADING_TERMS: Dict[str, Dict[str, str]] = {
+    "Batcher": {
+        "2x2 switches": "N/4 log^3 N",
+        "function slices": "N/4 log^3 N",
+        "adder slices": "-",
+    },
+    "Koppelman[11]": {
+        "2x2 switches": "N/4 log^3 N",
+        "function slices": "N/2 log^2 N",
+        "adder slices": "N log^2 N",
+    },
+    "This paper": {
+        "2x2 switches": "N/6 log^3 N",
+        "function slices": "N/2 log^2 N",
+        "adder slices": "-",
+    },
+}
+
+#: The delay polynomials exactly as printed in Table 2.
+TABLE2_POLYNOMIALS: Dict[str, str] = {
+    "Batcher": "1/2 log^3 N + 1/2 log^2 N",
+    "Koppelman[11]": "2/3 log^3 N - log^2 N + 1/3 log N + 1",
+    "This paper": "1/3 log^3 N + 3/2 log^2 N - 5/6 log N",
+}
+
+
+def table1_values(n: int, w: int = 0) -> List[Dict[str, object]]:
+    """Table 1 rows evaluated at one size (full closed forms, not just
+    leading terms), plus the hardware ratio to Batcher."""
+    require_power_of_two(n, "network size")
+    batcher_total = cx.batcher_switch_slices(n, w) + cx.batcher_function_slices(n)
+    rows: List[Dict[str, object]] = []
+    entries: List[Tuple[str, int, int, int]] = [
+        (
+            "Batcher",
+            cx.batcher_switch_slices(n, w),
+            cx.batcher_function_slices(n),
+            0,
+        ),
+        (
+            "Koppelman[11]",
+            cx.koppelman_switch_slices(n),
+            cx.koppelman_function_slices(n),
+            cx.koppelman_adder_slices(n),
+        ),
+        (
+            "This paper",
+            cx.bnb_switch_slices(n, w),
+            cx.bnb_function_nodes(n),
+            0,
+        ),
+    ]
+    for name, switches, functions, adders in entries:
+        total = switches + functions + adders
+        rows.append(
+            {
+                "network": name,
+                "2x2 switches": switches,
+                "function slices": functions,
+                "adder slices": adders,
+                "total": total,
+                "vs Batcher": round(total / batcher_total, 4),
+            }
+        )
+    return rows
+
+
+def table2_values(n: int) -> List[Dict[str, object]]:
+    """Table 2 rows evaluated at one size (printed polynomials), plus
+    the full Eq. 9/12 values and the delay ratio to Batcher."""
+    require_power_of_two(n, "network size")
+    batcher_full = cx.batcher_delay(n)
+    rows = [
+        {
+            "network": "Batcher",
+            "printed polynomial": cx.batcher_delay_table2(n),
+            "full equation": batcher_full,
+        },
+        {
+            "network": "Koppelman[11]",
+            "printed polynomial": cx.koppelman_delay_table2(n),
+            "full equation": cx.koppelman_delay_table2(n),
+        },
+        {
+            "network": "This paper",
+            "printed polynomial": cx.bnb_delay_table2(n),
+            "full equation": cx.bnb_delay(n),
+        },
+    ]
+    for row in rows:
+        row["vs Batcher"] = round(row["full equation"] / batcher_full, 4)  # type: ignore[operator]
+    return rows
+
+
+def format_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(empty table)"
+    headers = list(rows[0].keys())
+    cells = [[str(row[h]) for h in headers] for row in rows]
+    widths = [
+        max(len(h), *(len(line[i]) for line in cells))
+        for i, h in enumerate(headers)
+    ]
+    def fmt(values: Sequence[str]) -> str:
+        return " | ".join(v.rjust(w) for v, w in zip(values, widths))
+
+    separator = "-+-".join("-" * w for w in widths)
+    lines = [fmt(headers), separator]
+    lines.extend(fmt(line) for line in cells)
+    return "\n".join(lines)
+
+
+def render_table1(n: int, w: int = 0) -> str:
+    """Table 1 ("Hardware Complexities") at one size, as text."""
+    header = (
+        f"Table 1: Hardware complexities at N={n}, w={w} "
+        f"(units: C_SW / C_FN / adder slices)\n"
+    )
+    leading = "\n".join(
+        f"  {name:<14} switches: {terms['2x2 switches']:<14} "
+        f"function: {terms['function slices']:<14} adders: {terms['adder slices']}"
+        for name, terms in TABLE1_LEADING_TERMS.items()
+    )
+    return header + leading + "\n\n" + format_table(table1_values(n, w))
+
+
+def render_table2(n: int) -> str:
+    """Table 2 ("Propagation Delay") at one size, as text."""
+    header = f"Table 2: Propagation delay at N={n} (unit delays)\n"
+    leading = "\n".join(
+        f"  {name:<14} {poly}" for name, poly in TABLE2_POLYNOMIALS.items()
+    )
+    return header + leading + "\n\n" + format_table(table2_values(n))

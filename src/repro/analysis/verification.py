@@ -1,0 +1,165 @@
+"""Permutation-delivery verification for any router.
+
+One harness verifies every network in the repository: give it a router
+factory and a size and it checks, exhaustively for small ``N`` or by
+seeded sampling, that a permutation of addresses fed in arrives sorted.
+This is the executable form of Theorem 2 (and of the corresponding
+claims for the baselines), used by tests and by the
+``bench_thm2_permutations`` benchmark.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..bits import require_power_of_two
+from ..core.bnb import BNBNetwork
+from ..core.words import Word
+from ..permutations.generators import all_permutations, random_permutation
+from ..permutations.permutation import Permutation
+
+__all__ = ["VerificationReport", "verify_router", "ROUTERS"]
+
+Router = Callable[[List[int]], List[Word]]
+RouterFactory = Callable[[int], Router]
+
+
+@dataclasses.dataclass
+class VerificationReport:
+    """Outcome of a verification run."""
+
+    router: str
+    n: int
+    mode: str
+    attempted: int
+    delivered: int
+    failures: List[Permutation] = dataclasses.field(default_factory=list)
+
+    @property
+    def all_delivered(self) -> bool:
+        return self.delivered == self.attempted and self.attempted > 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.router}: N={self.n} {self.mode} — "
+            f"{self.delivered}/{self.attempted} permutations delivered"
+        )
+
+
+def _bnb_factory(m: int) -> Router:
+    network = BNBNetwork(m)
+
+    def route(addresses: List[int]) -> List[Word]:
+        outputs, _record = network.route(addresses)
+        return outputs
+
+    return route
+
+
+def _batcher_factory(m: int) -> Router:
+    from ..baselines.batcher import BatcherNetwork
+
+    network = BatcherNetwork(m)
+
+    def route(addresses: List[int]) -> List[Word]:
+        outputs, _records = network.route(addresses)
+        return outputs
+
+    return route
+
+
+def _benes_factory(m: int) -> Router:
+    from ..baselines.benes import BenesNetwork
+
+    network = BenesNetwork(m)
+
+    def route(addresses: List[int]) -> List[Word]:
+        outputs, _traces = network.route(addresses)
+        return outputs
+
+    return route
+
+
+def _koppelman_factory(m: int) -> Router:
+    from ..baselines.koppelman import KoppelmanSRPN
+
+    network = KoppelmanSRPN(m)
+    return network.route
+
+
+def _crossbar_factory(m: int) -> Router:
+    from ..baselines.crossbar import Crossbar
+
+    network = Crossbar(1 << m)
+    return network.route
+
+
+def _clos_factory(m: int) -> Router:
+    from ..baselines.clos import ClosNetwork
+
+    # C(2, 2, N/2): the n=m=2 Clos whose recursion yields the Benes.
+    network = ClosNetwork(2, 2, max(1 << (m - 1), 1))
+    return network.route
+
+
+#: Router factories by name; every entry obeys the same route contract.
+ROUTERS: Dict[str, RouterFactory] = {
+    "bnb": _bnb_factory,
+    "batcher": _batcher_factory,
+    "benes": _benes_factory,
+    "koppelman": _koppelman_factory,
+    "crossbar": _crossbar_factory,
+    "clos": _clos_factory,
+}
+
+
+def verify_router(
+    router: str,
+    n: int,
+    mode: str = "auto",
+    samples: int = 200,
+    seed: int = 0,
+    keep_failures: int = 8,
+) -> VerificationReport:
+    """Verify delivery of permutations through the named router.
+
+    ``mode``: ``"exhaustive"`` iterates all ``N!`` permutations,
+    ``"sampled"`` draws *samples* uniform ones, ``"auto"`` picks
+    exhaustive for ``N <= 6`` and sampled beyond.
+    """
+    m = require_power_of_two(n, "network size")
+    try:
+        factory = ROUTERS[router]
+    except KeyError:
+        raise ValueError(
+            f"unknown router {router!r}; choose one of {sorted(ROUTERS)}"
+        ) from None
+    if mode == "auto":
+        mode = "exhaustive" if n <= 6 else "sampled"
+    if mode == "exhaustive":
+        workload = all_permutations(n)
+    elif mode == "sampled":
+        workload = (random_permutation(n, rng=seed + i) for i in range(samples))
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+
+    route = factory(m)
+    attempted = 0
+    delivered = 0
+    failures: List[Permutation] = []
+    for pi in workload:
+        attempted += 1
+        outputs = route(pi.to_list())
+        if all(outputs[a].address == a for a in range(n)):
+            delivered += 1
+        elif len(failures) < keep_failures:
+            failures.append(pi)
+    return VerificationReport(
+        router=router,
+        n=n,
+        mode=mode,
+        attempted=attempted,
+        delivered=delivered,
+        failures=failures,
+    )

@@ -1,0 +1,48 @@
+"""Baseline networks the paper compares against (Section 5.3).
+
+* :mod:`~repro.baselines.crossbar` — the ``O(N^2)`` crossbar, used as a
+  trivially correct ground truth.
+* :mod:`~repro.baselines.batcher` — Batcher's odd-even merge sorting
+  network, the main comparator (Eqs. 10-12).
+* :mod:`~repro.baselines.bitonic` — Batcher's bitonic sorter (extension;
+  same asymptotics, different constants).
+* :mod:`~repro.baselines.benes` — the Benes network with Waksman's
+  looping algorithm: the *globally routed* rearrangeable network whose
+  setup cost motivates self-routing designs.
+* :mod:`~repro.baselines.nassimi_sahni` — self-routing on the Benes
+  network (reference [7]): succeeds exactly on the restricted BPC-style
+  classes, demonstrating why full self-routing needs a sorting fabric.
+* :mod:`~repro.baselines.koppelman` — a functional model of Koppelman &
+  Oruc's self-routing permutation network (reference [11]) plus its
+  published complexity figures.
+"""
+
+from .crossbar import Crossbar
+from .batcher import (
+    BatcherNetwork,
+    odd_even_merge_sort_pairs,
+    batcher_comparator_count,
+    batcher_stage_count,
+)
+from .bitonic import BitonicNetwork, bitonic_sort_pairs
+from .benes import BenesNetwork, benes_switch_count
+from .nassimi_sahni import NassimiSahniRouter
+from .koppelman import KoppelmanSRPN, ranking_circuit_ranks
+from .clos import ClosNetwork, ClosRoute
+
+__all__ = [
+    "Crossbar",
+    "BatcherNetwork",
+    "odd_even_merge_sort_pairs",
+    "batcher_comparator_count",
+    "batcher_stage_count",
+    "BitonicNetwork",
+    "bitonic_sort_pairs",
+    "BenesNetwork",
+    "benes_switch_count",
+    "NassimiSahniRouter",
+    "KoppelmanSRPN",
+    "ranking_circuit_ranks",
+    "ClosNetwork",
+    "ClosRoute",
+]

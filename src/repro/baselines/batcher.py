@@ -1,0 +1,214 @@
+"""Batcher's odd-even merge sorting network (reference [9] of the paper).
+
+The paper's main comparator: a sorting network used as a self-routing
+permutation network by sorting on the destination address.  The
+``N = 2**m``-input network has
+
+* ``p(N) = (N/4) log^2 N - (N/4) log N + N - 1`` compare-exchange
+  elements (Eq. 10), arranged in
+* ``log N (log N + 1) / 2`` comparator stages,
+
+and the paper's hardware model charges each comparator
+``(log N + w)`` switch slices plus ``log N`` function slices (Eq. 11)
+and each stage ``log N * D_FN + D_SW`` delay (Eq. 12).
+
+The construction is the classic recursive odd-even merge; comparators
+are emitted in dependency order and scheduled into stages by an ASAP
+(as-soon-as-possible) levelization, which for this network achieves the
+textbook stage count — asserted in tests rather than assumed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from ..bits import require_power_of_two
+from ..core.words import Word
+from ..exceptions import NotAPermutationError
+
+__all__ = [
+    "odd_even_merge_sort_pairs",
+    "batcher_comparator_count",
+    "batcher_stage_count",
+    "BatcherNetwork",
+    "ComparatorRecord",
+]
+
+
+def _odd_even_merge(lo: int, hi: int, r: int) -> Iterator[Tuple[int, int]]:
+    """Comparators merging two sorted halves of ``[lo, hi]`` at stride *r*."""
+    step = r * 2
+    if step < hi - lo:
+        yield from _odd_even_merge(lo, hi, step)
+        yield from _odd_even_merge(lo + r, hi, step)
+        for i in range(lo + r, hi - r, step):
+            yield (i, i + r)
+    else:
+        yield (lo, lo + r)
+
+
+def _odd_even_merge_sort(lo: int, hi: int) -> Iterator[Tuple[int, int]]:
+    """Comparators sorting the inclusive index range ``[lo, hi]``."""
+    if hi - lo >= 1:
+        mid = lo + (hi - lo) // 2
+        yield from _odd_even_merge_sort(lo, mid)
+        yield from _odd_even_merge_sort(mid + 1, hi)
+        yield from _odd_even_merge(lo, hi, 1)
+
+
+def odd_even_merge_sort_pairs(n: int) -> List[Tuple[int, int]]:
+    """All comparators ``(i, j)``, ``i < j``, in dependency order."""
+    require_power_of_two(n, "Batcher network size")
+    if n == 1:
+        return []
+    return list(_odd_even_merge_sort(0, n - 1))
+
+
+def batcher_comparator_count(n: int) -> int:
+    """Eq. 10: ``(N/4) log^2 N - (N/4) log N + N - 1`` (and 0 for N=1)."""
+    m = require_power_of_two(n, "Batcher network size")
+    if n == 1:
+        return 0
+    return (n * m * m) // 4 - (n * m) // 4 + n - 1
+
+
+def batcher_stage_count(n: int) -> int:
+    """Comparator stages on the critical path: ``log N (log N + 1) / 2``."""
+    m = require_power_of_two(n, "Batcher network size")
+    return m * (m + 1) // 2
+
+
+@dataclasses.dataclass(frozen=True)
+class ComparatorRecord:
+    """One compare-exchange decision during a routing pass."""
+
+    stage: int
+    low_line: int
+    high_line: int
+    swapped: bool
+
+
+class BatcherNetwork:
+    """The ``N``-input odd-even merge sorting network.
+
+    Parameters
+    ----------
+    m:
+        Size exponent (``N = 2**m`` lines).
+    w:
+        Data width for the hardware cost model (``q = m + w``-bit
+        words), matching the BNB network's convention.
+    """
+
+    def __init__(self, m: int, w: int = 0) -> None:
+        if m < 0:
+            raise ValueError(f"need m >= 0, got {m}")
+        if w < 0:
+            raise ValueError(f"data width must be non-negative, got {w}")
+        self.m = m
+        self.n = 1 << m
+        self.w = w
+        self._comparators = odd_even_merge_sort_pairs(self.n)
+        self._stages = self._levelize(self._comparators)
+
+    @staticmethod
+    def _levelize(
+        comparators: Sequence[Tuple[int, int]]
+    ) -> List[List[Tuple[int, int]]]:
+        """Group comparators into stages by ASAP scheduling.
+
+        A comparator runs one stage after the last stage that touched
+        either of its lines; emitting in dependency order makes this a
+        single pass.
+        """
+        line_ready: dict = {}
+        stages: List[List[Tuple[int, int]]] = []
+        for i, j in comparators:
+            stage = max(line_ready.get(i, 0), line_ready.get(j, 0))
+            if stage == len(stages):
+                stages.append([])
+            stages[stage].append((i, j))
+            line_ready[i] = stage + 1
+            line_ready[j] = stage + 1
+        return stages
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def comparator_count(self) -> int:
+        return len(self._comparators)
+
+    @property
+    def stage_count(self) -> int:
+        return len(self._stages)
+
+    def stages(self) -> List[List[Tuple[int, int]]]:
+        """Comparator pairs grouped by stage (copies; callers may mutate)."""
+        return [list(stage) for stage in self._stages]
+
+    @property
+    def switch_slice_count(self) -> int:
+        """Eq. 11's ``C_SW`` coefficient: ``p(N) * (log N + w)``."""
+        return self.comparator_count * (self.m + self.w)
+
+    @property
+    def function_slice_count(self) -> int:
+        """Eq. 11's ``C_FN`` coefficient: ``p(N) * log N``."""
+        return self.comparator_count * self.m
+
+    def propagation_delay(self, d_sw: float = 1.0, d_fn: float = 1.0) -> float:
+        """Eq. 12: every stage costs a ``log N``-bit compare plus a switch."""
+        return self.stage_count * (self.m * d_fn + d_sw)
+
+    # ------------------------------------------------------------------
+    # Sorting / routing
+    # ------------------------------------------------------------------
+    def sort(
+        self,
+        items: Sequence[Any],
+        key: Callable[[Any], int] = lambda item: item,
+        record: bool = False,
+    ) -> Tuple[List[Any], Optional[List[ComparatorRecord]]]:
+        """Run the network: compare-exchange every pair, stage by stage."""
+        if len(items) != self.n:
+            raise ValueError(f"expected {self.n} items, got {len(items)}")
+        lines = list(items)
+        records: Optional[List[ComparatorRecord]] = [] if record else None
+        for stage_index, stage in enumerate(self._stages):
+            for i, j in stage:
+                swapped = key(lines[i]) > key(lines[j])
+                if swapped:
+                    lines[i], lines[j] = lines[j], lines[i]
+                if records is not None:
+                    records.append(
+                        ComparatorRecord(
+                            stage=stage_index,
+                            low_line=i,
+                            high_line=j,
+                            swapped=swapped,
+                        )
+                    )
+        return lines, records
+
+    def route(
+        self, inputs: Sequence[Any], record: bool = False
+    ) -> Tuple[List[Word], Optional[List[ComparatorRecord]]]:
+        """Use the sorter as a self-routing permutation network.
+
+        Sorting a permutation of addresses delivers address ``a`` to
+        output line ``a`` — exactly the contract of
+        :meth:`repro.core.bnb.BNBNetwork.route`.
+        """
+        words = [
+            item if isinstance(item, Word) else Word(address=int(item))
+            for item in inputs
+        ]
+        addresses = sorted(word.address for word in words)
+        if addresses != list(range(self.n)):
+            raise NotAPermutationError([word.address for word in words])
+        return self.sort(words, key=lambda word: word.address, record=record)
+
+    def __repr__(self) -> str:
+        return f"BatcherNetwork(m={self.m}, n={self.n}, w={self.w})"

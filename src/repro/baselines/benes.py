@@ -1,0 +1,212 @@
+"""The Benes rearrangeable network with Waksman's looping algorithm.
+
+Reference [5] of the paper.  The ``N = 2**m``-input Benes network has
+``2m - 1`` switch columns and ``O(N log N)`` switches — asymptotically
+the cheapest rearrangeable fabric — but realizing a permutation
+requires computing all switch settings *globally*; the best parallel
+setup takes ``O(log^2 N)`` time on a fully interconnected machine
+(reference [6]), which is the overhead self-routing networks exist to
+avoid.
+
+Construction used here: a baseline network back to back with its
+mirror image, sharing the middle column.  Column ``i < m - 1`` is
+followed by the unshuffle ``U_{m-i}^m``; the mirror columns undo those
+connections with shuffles.  Waksman's looping algorithm assigns the
+input/output columns of each recursion level and recurses on the two
+half-size subnetworks; the result is an explicit control vector for the
+underlying :class:`~repro.topology.multistage.MultistageNetwork`, so
+routing correctness is checked by actually pushing words through the
+fabric rather than by trusting the algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..bits import require_power_of_two
+from ..core.words import Word
+from ..exceptions import NotAPermutationError
+from ..permutations.permutation import Permutation
+from ..topology.connections import invert_connection, unshuffle_connection
+from ..topology.multistage import MultistageNetwork
+
+__all__ = ["BenesNetwork", "benes_switch_count"]
+
+
+def benes_switch_count(n: int) -> int:
+    """``(2 log N - 1) * N / 2`` two-by-two switches."""
+    m = require_power_of_two(n, "Benes network size")
+    if m == 0:
+        return 0
+    return (2 * m - 1) * (n // 2)
+
+
+def _build_fabric(m: int) -> MultistageNetwork:
+    n = 1 << m
+    stage_count = 2 * m - 1
+    wirings: List[List[int]] = [[] for _ in range(stage_count - 1)]
+    for i in range(m - 1):
+        forward = unshuffle_connection(n, m - i)
+        wirings[i] = forward
+        wirings[stage_count - 2 - i] = invert_connection(forward)
+    return MultistageNetwork(
+        n=n,
+        stage_count=stage_count,
+        wirings=wirings,
+        name="benes",
+    )
+
+
+class BenesNetwork:
+    """The ``N``-input Benes network plus its global routing algorithm.
+
+    Use :meth:`controls_for` to run Waksman's looping algorithm on a
+    permutation, and :meth:`route` to set up and push words through the
+    fabric in one call.
+    """
+
+    def __init__(self, m: int) -> None:
+        if m < 1:
+            raise ValueError(f"the Benes network needs m >= 1, got {m}")
+        self.m = m
+        self.n = 1 << m
+        self.fabric = _build_fabric(m)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def stage_count(self) -> int:
+        return 2 * self.m - 1
+
+    @property
+    def switch_count(self) -> int:
+        return benes_switch_count(self.n)
+
+    def second_half_bit_schedule(self) -> List[Tuple[int, int]]:
+        """(column, destination bit) pairs for the output half.
+
+        Column ``c`` of the second half (``m-1 <= c <= 2m-2``) decides
+        destination bit ``2m - 2 - c``: the middle column fixes the MSB
+        and the final column the LSB.  The first half has no forced
+        schedule — that freedom is exactly what the looping algorithm
+        (or a restricted self-routing rule) spends.
+        """
+        return [(c, 2 * self.m - 2 - c) for c in range(self.m - 1, 2 * self.m - 1)]
+
+    # ------------------------------------------------------------------
+    # Waksman's looping algorithm
+    # ------------------------------------------------------------------
+    def controls_for(self, pi: Permutation) -> List[List[int]]:
+        """Compute switch settings realizing permutation *pi*.
+
+        Returns one control vector per column, suitable for
+        ``self.fabric.route_with_controls``.
+        """
+        if len(pi) != self.n:
+            raise ValueError(f"expected a permutation of {self.n} points")
+        controls = self.fabric.empty_controls()
+        self._set_recursive(
+            mapping=list(pi.mapping),
+            depth=0,
+            block=0,
+            controls=controls,
+        )
+        return controls
+
+    def _set_recursive(
+        self,
+        mapping: List[int],
+        depth: int,
+        block: int,
+        controls: List[List[int]],
+    ) -> None:
+        """Route the sub-permutation *mapping* of one depth-*depth* sub-Benes.
+
+        The sub-Benes spans lines ``[block * size, (block+1) * size)``
+        of columns ``depth .. 2m-2-depth``.  ``mapping[i]`` is the
+        sub-output each sub-input must reach.
+        """
+        size = len(mapping)
+        base_line = block * size
+        first_col = depth
+        last_col = 2 * self.m - 2 - depth
+        if size == 2:
+            # Base case: one switch; exchange when input 0 wants output 1.
+            controls[first_col][base_line // 2] = 1 if mapping[0] == 1 else 0
+            return
+
+        half = size // 2
+        inverse = [0] * size
+        for i, o in enumerate(mapping):
+            inverse[o] = i
+        # sub[i] is 0 (upper subnetwork) or 1 (lower) for input terminal i.
+        input_sub: List[Optional[int]] = [None] * size
+        output_sub: List[Optional[int]] = [None] * size
+
+        for start in range(size):
+            if input_sub[start] is not None:
+                continue
+            # Loop: alternate input/output constraints until closure.
+            i = start
+            side = 0
+            while input_sub[i] is None:
+                input_sub[i] = side
+                o = mapping[i]
+                output_sub[o] = side
+                partner_output = o ^ 1
+                output_sub[partner_output] = side ^ 1
+                partner_input = inverse[partner_output]
+                input_sub[partner_input] = side ^ 1
+                i = partner_input ^ 1  # the other terminal of that switch
+                side = (input_sub[partner_input] ^ 1)  # type: ignore[operator]
+
+        # Input column settings: a packet bound for the upper subnetwork
+        # must exit on the even port (the U_k connection sends even
+        # ports up).  Exchange exactly when the even-line input goes down.
+        for t in range(half):
+            even_side = input_sub[2 * t]
+            controls[first_col][base_line // 2 + t] = 1 if even_side == 1 else 0
+        # Output column settings: the upper subnetwork arrives on the
+        # even port; exchange when the even-port packet wants the odd
+        # (lower) output of the pair.
+        for t in range(half):
+            upper_output = 2 * t if output_sub[2 * t] == 0 else 2 * t + 1
+            # The packet arriving from the upper subnetwork is the one
+            # whose output terminal was assigned side 0.
+            controls[last_col][base_line // 2 + t] = 1 if upper_output == 2 * t + 1 else 0
+
+        # Build and recurse on the two half-size sub-permutations.
+        upper_map = [0] * half
+        lower_map = [0] * half
+        for i, o in enumerate(mapping):
+            if input_sub[i] == 0:
+                upper_map[i // 2] = o // 2
+            else:
+                lower_map[i // 2] = o // 2
+        self._set_recursive(upper_map, depth + 1, 2 * block, controls)
+        self._set_recursive(lower_map, depth + 1, 2 * block + 1, controls)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(
+        self, inputs: Sequence[Any], trace: bool = False
+    ) -> Tuple[List[Word], Optional[List]]:
+        """Globally set up the fabric for the input permutation and route it."""
+        words = [
+            item if isinstance(item, Word) else Word(address=int(item))
+            for item in inputs
+        ]
+        addresses = [word.address for word in words]
+        if sorted(addresses) != list(range(self.n)):
+            raise NotAPermutationError(addresses)
+        pi = Permutation(addresses)
+        controls = self.controls_for(pi)
+        outputs, traces = self.fabric.route_with_controls(
+            words, controls, trace=trace
+        )
+        return outputs, traces
+
+    def __repr__(self) -> str:
+        return f"BenesNetwork(m={self.m}, n={self.n})"

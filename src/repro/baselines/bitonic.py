@@ -1,0 +1,150 @@
+"""Batcher's bitonic sorting network (extension beyond the paper).
+
+The paper compares against the odd-even merge network; the bitonic
+sorter is Batcher's other 1968 construction with the same
+``O(log^2 N)`` stage count but more comparators
+(``(N/4) log N (log N + 1)`` exactly).  Including it lets the
+comparison benchmarks show that the BNB advantage is not an artifact of
+picking odd-even merge specifically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from ..bits import require_power_of_two
+from ..core.words import Word
+from ..exceptions import NotAPermutationError
+from .batcher import ComparatorRecord
+
+__all__ = ["bitonic_sort_pairs", "bitonic_comparator_count", "BitonicNetwork"]
+
+
+def _bitonic_sort(lo: int, count: int, ascending: bool) -> Iterator[Tuple[int, int, bool]]:
+    if count > 1:
+        half = count // 2
+        yield from _bitonic_sort(lo, half, True)
+        yield from _bitonic_sort(lo + half, half, False)
+        yield from _bitonic_merge(lo, count, ascending)
+
+
+def _bitonic_merge(lo: int, count: int, ascending: bool) -> Iterator[Tuple[int, int, bool]]:
+    if count > 1:
+        half = count // 2
+        for i in range(lo, lo + half):
+            yield (i, i + half, ascending)
+        yield from _bitonic_merge(lo, half, ascending)
+        yield from _bitonic_merge(lo + half, half, ascending)
+
+
+def bitonic_sort_pairs(n: int) -> List[Tuple[int, int, bool]]:
+    """All comparators ``(i, j, ascending)`` in dependency order.
+
+    ``ascending`` selects the comparator direction: when true the
+    smaller key exits on line ``i``.
+    """
+    require_power_of_two(n, "bitonic network size")
+    if n == 1:
+        return []
+    return list(_bitonic_sort(0, n, True))
+
+
+def bitonic_comparator_count(n: int) -> int:
+    """Closed form ``(N/4) log N (log N + 1)``."""
+    m = require_power_of_two(n, "bitonic network size")
+    return (n * m * (m + 1)) // 4
+
+
+class BitonicNetwork:
+    """The ``N``-input bitonic sorting network.
+
+    Shares the stage-levelization and cost model of
+    :class:`~repro.baselines.batcher.BatcherNetwork` (a comparator is a
+    comparator); only the comparator list differs.
+    """
+
+    def __init__(self, m: int, w: int = 0) -> None:
+        if m < 0:
+            raise ValueError(f"need m >= 0, got {m}")
+        if w < 0:
+            raise ValueError(f"data width must be non-negative, got {w}")
+        self.m = m
+        self.n = 1 << m
+        self.w = w
+        self._comparators = bitonic_sort_pairs(self.n)
+        self._directed_stages = self._levelize_directed()
+
+    def _levelize_directed(self) -> List[List[Tuple[int, int, bool]]]:
+        line_ready: dict = {}
+        stages: List[List[Tuple[int, int, bool]]] = []
+        for i, j, ascending in self._comparators:
+            stage = max(line_ready.get(i, 0), line_ready.get(j, 0))
+            if stage == len(stages):
+                stages.append([])
+            stages[stage].append((i, j, ascending))
+            line_ready[i] = stage + 1
+            line_ready[j] = stage + 1
+        return stages
+
+    @property
+    def comparator_count(self) -> int:
+        return len(self._comparators)
+
+    @property
+    def stage_count(self) -> int:
+        return len(self._directed_stages)
+
+    @property
+    def switch_slice_count(self) -> int:
+        """Same per-comparator cost model as the odd-even network."""
+        return self.comparator_count * (self.m + self.w)
+
+    @property
+    def function_slice_count(self) -> int:
+        return self.comparator_count * self.m
+
+    def propagation_delay(self, d_sw: float = 1.0, d_fn: float = 1.0) -> float:
+        return self.stage_count * (self.m * d_fn + d_sw)
+
+    def sort(
+        self,
+        items: Sequence[Any],
+        key: Callable[[Any], int] = lambda item: item,
+        record: bool = False,
+    ) -> Tuple[List[Any], Optional[List[ComparatorRecord]]]:
+        """Run the network over *items*."""
+        if len(items) != self.n:
+            raise ValueError(f"expected {self.n} items, got {len(items)}")
+        lines = list(items)
+        records: Optional[List[ComparatorRecord]] = [] if record else None
+        for stage_index, stage in enumerate(self._directed_stages):
+            for i, j, ascending in stage:
+                out_of_order = key(lines[i]) > key(lines[j])
+                swapped = out_of_order if ascending else not out_of_order
+                if swapped:
+                    lines[i], lines[j] = lines[j], lines[i]
+                if records is not None:
+                    records.append(
+                        ComparatorRecord(
+                            stage=stage_index,
+                            low_line=i,
+                            high_line=j,
+                            swapped=swapped,
+                        )
+                    )
+        return lines, records
+
+    def route(
+        self, inputs: Sequence[Any], record: bool = False
+    ) -> Tuple[List[Word], Optional[List[ComparatorRecord]]]:
+        """Self-route a permutation of addresses by sorting on them."""
+        words = [
+            item if isinstance(item, Word) else Word(address=int(item))
+            for item in inputs
+        ]
+        if sorted(word.address for word in words) != list(range(self.n)):
+            raise NotAPermutationError([word.address for word in words])
+        return self.sort(words, key=lambda word: word.address, record=record)
+
+    def __repr__(self) -> str:
+        return f"BitonicNetwork(m={self.m}, n={self.n}, w={self.w})"

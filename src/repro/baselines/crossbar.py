@@ -1,0 +1,56 @@
+"""The crossbar: the trivially non-blocking reference network.
+
+Mentioned in the paper's introduction as the classic permutation
+network with prohibitive ``O(N^2)`` cost.  It serves the reproduction
+as ground truth: any other network's output must equal the crossbar's,
+and its cost appears in comparison plots as the quadratic upper line.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+from ..core.words import Word
+from ..exceptions import NotAPermutationError, PathConflictError
+
+__all__ = ["Crossbar"]
+
+
+class Crossbar:
+    """An ``n x n`` crossbar switch.
+
+    Unlike the multistage networks, *n* need not be a power of two.
+    Routing is a direct scatter with explicit conflict detection (two
+    words addressed to the same output raise
+    :class:`~repro.exceptions.PathConflictError`).
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError(f"crossbar size must be positive, got {n}")
+        self.n = n
+
+    @property
+    def crosspoint_count(self) -> int:
+        """``n**2`` crosspoints — the cost the paper's networks avoid."""
+        return self.n * self.n
+
+    def route(self, inputs: Sequence[Any]) -> List[Word]:
+        """Deliver every word to its addressed output line."""
+        if len(inputs) != self.n:
+            raise ValueError(f"expected {self.n} inputs, got {len(inputs)}")
+        words = [
+            item if isinstance(item, Word) else Word(address=int(item))
+            for item in inputs
+        ]
+        outputs: List[Word] = [None] * self.n  # type: ignore[list-item]
+        for j, word in enumerate(words):
+            if not 0 <= word.address < self.n:
+                raise NotAPermutationError([w.address for w in words])
+            if outputs[word.address] is not None:
+                raise PathConflictError(stage=0, port=word.address, contenders=j)
+            outputs[word.address] = word
+        return outputs
+
+    def __repr__(self) -> str:
+        return f"Crossbar(n={self.n})"

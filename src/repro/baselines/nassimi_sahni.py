@@ -1,0 +1,138 @@
+"""Bit-controlled self-routing on the Benes network (reference [7]).
+
+Nassimi and Sahni showed that simple switch-setting rules — each switch
+examines one bit of a destination address — self-route rich permutation
+classes (notably the bit-permute-complement class) on the Benes
+network, without the global looping computation.  The catch, and the
+reason the paper at hand builds a sorting fabric instead, is that these
+rules cannot realize *all* permutations: two packets meeting at a
+switch may ask for the same subnetwork, and the router must fail.
+
+The rule implemented here, in the spirit of that scheme, is fully
+determined by the fabric's structure:
+
+* first half, column at recursion depth ``d``: the switch is set by
+  the packet on its **even (upper) input line alone** — that packet
+  takes the upper subnetwork iff destination bit ``d`` is 0, and its
+  partner takes whatever is left.  One-packet rules never conflict, so
+  the first half always sets;
+* second half, forced schedule: column ``c`` decides destination bit
+  ``2m - 2 - c`` (see
+  :meth:`repro.baselines.benes.BenesNetwork.second_half_bit_schedule`),
+  and here two packets *can* contend — that is where out-of-class
+  permutations fail.
+
+Tests verify the rule routes every BPC permutation (exhaustively up to
+``m = 4``) and measure how quickly the fraction of routable *uniform*
+permutations collapses with ``N`` (about 31% at N=8, 0.2% at N=16,
+~0 at N=32) — the quantitative version of the paper's motivation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..core.words import Word
+from ..exceptions import NotAPermutationError, UnroutablePermutationError
+from ..permutations.permutation import Permutation
+from .benes import BenesNetwork
+
+__all__ = ["NassimiSahniRouter", "SelfRoutingAttempt"]
+
+
+@dataclasses.dataclass
+class SelfRoutingAttempt:
+    """Outcome of one bit-controlled routing attempt."""
+
+    success: bool
+    outputs: Optional[List[Word]]
+    conflict_stage: Optional[int]
+    conflict_switch: Optional[int]
+
+
+class NassimiSahniRouter:
+    """Bit-controlled self-routing over a :class:`BenesNetwork` fabric."""
+
+    def __init__(self, m: int) -> None:
+        self.m = m
+        self.n = 1 << m
+        self.benes = BenesNetwork(m)
+
+    def try_route(self, inputs: Sequence[Any]) -> SelfRoutingAttempt:
+        """Attempt to route; report the first conflict instead of raising."""
+        words = [
+            item if isinstance(item, Word) else Word(address=int(item))
+            for item in inputs
+        ]
+        addresses = [word.address for word in words]
+        if sorted(addresses) != list(range(self.n)):
+            raise NotAPermutationError(addresses)
+        fabric = self.benes.fabric
+        lines: List[Word] = list(words)
+        for column_index, column in enumerate(fabric.columns):
+            if column_index < self.m - 1:
+                # First half (depth d = column_index): the even-line
+                # packet's destination bit d alone sets the switch —
+                # one-packet rules cannot conflict.
+                depth = column_index
+                column_controls = [
+                    (lines[2 * t].address >> depth) & 1
+                    for t in range(column.switch_count)
+                ]
+            else:
+                # Second half: forced schedule; contention possible.
+                bit_index = 2 * self.m - 2 - column_index
+                wanted = [(word.address >> bit_index) & 1 for word in lines]
+                column_controls, conflicts = column.controls_for_destinations(
+                    wanted
+                )
+                if conflicts:
+                    return SelfRoutingAttempt(
+                        success=False,
+                        outputs=None,
+                        conflict_stage=column_index,
+                        conflict_switch=conflicts[0],
+                    )
+            lines = column.apply(lines, column_controls)
+            if column_index < len(fabric.wirings):
+                lines = fabric._apply_wiring(lines, fabric.wirings[column_index])
+        success = all(word.address == j for j, word in enumerate(lines))
+        return SelfRoutingAttempt(
+            success=success,
+            outputs=lines if success else None,
+            conflict_stage=None,
+            conflict_switch=None,
+        )
+
+    def route(self, inputs: Sequence[Any]) -> List[Word]:
+        """Route or raise :class:`UnroutablePermutationError` on conflict."""
+        attempt = self.try_route(inputs)
+        if not attempt.success:
+            raise UnroutablePermutationError(
+                f"bit-controlled routing conflicts at column "
+                f"{attempt.conflict_stage}, switch {attempt.conflict_switch}; "
+                f"the permutation is outside the self-routable class"
+            )
+        assert attempt.outputs is not None
+        return attempt.outputs
+
+    def can_route(self, pi: Permutation) -> bool:
+        """``True`` when the bit-controlled rule realizes *pi*."""
+        return self.try_route(pi.to_list()).success
+
+    def routable_fraction(self, samples: int, seed: int = 0) -> float:
+        """Fraction of uniform random permutations the rule can route."""
+        from ..permutations.generators import random_permutation
+
+        if samples <= 0:
+            raise ValueError(f"need a positive sample count, got {samples}")
+        hits = 0
+        for index in range(samples):
+            pi = random_permutation(self.n, rng=seed + index)
+            if self.can_route(pi):
+                hits += 1
+        return hits / samples
+
+    def __repr__(self) -> str:
+        return f"NassimiSahniRouter(m={self.m}, n={self.n})"

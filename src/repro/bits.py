@@ -1,0 +1,269 @@
+"""Bit and index algebra used throughout the BNB reproduction.
+
+The paper describes every interconnection pattern in terms of operations
+on the binary representation of line indices.  This module implements
+those operations exactly as defined in Section 2 of the paper, plus a
+handful of generic helpers (bit extraction, parity, reversal) shared by
+the topology and core packages.
+
+Conventions
+-----------
+* ``m`` always denotes the number of address bits, so networks have
+  ``N = 2**m`` lines numbered ``0 .. N-1``.
+* The binary representation of an index ``i`` is written
+  ``(b_{m-1} b_{m-2} ... b_1 b_0)`` with ``b_{m-1}`` the most
+  significant bit, as in the paper.
+* *Paper bit numbering for addresses* differs: the paper indexes address
+  bits of an input word as ``b^0 .. b^{m-1}`` where ``b^0`` is the MSB.
+  :func:`address_bit` implements that convention; :func:`bit` implements
+  the ordinary LSB-first convention.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+from .exceptions import SizeError
+
+__all__ = [
+    "is_power_of_two",
+    "ilog2",
+    "require_power_of_two",
+    "bit",
+    "address_bit",
+    "set_bit",
+    "to_bits",
+    "from_bits",
+    "bit_reverse",
+    "parity",
+    "popcount",
+    "rotate_right",
+    "rotate_left",
+    "unshuffle_index",
+    "shuffle_index",
+    "unshuffle",
+    "shuffle",
+    "unshuffle_permutation",
+    "shuffle_permutation",
+    "butterfly_index",
+    "gray_code",
+    "inverse_gray_code",
+    "pairs",
+]
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return ``True`` when *n* is a positive power of two."""
+    return isinstance(n, int) and n > 0 and (n & (n - 1)) == 0
+
+
+def ilog2(n: int) -> int:
+    """Return ``log2(n)`` for a power-of-two *n*.
+
+    Raises :class:`~repro.exceptions.SizeError` otherwise, because a
+    silent rounding here would corrupt every stage computation above it.
+    """
+    if not is_power_of_two(n):
+        raise SizeError(n)
+    return n.bit_length() - 1
+
+
+def require_power_of_two(n: int, what: str = "size") -> int:
+    """Validate that *n* is a power of two and return ``log2(n)``."""
+    if not is_power_of_two(n):
+        raise SizeError(n, what)
+    return n.bit_length() - 1
+
+
+def bit(value: int, position: int) -> int:
+    """Return bit *position* of *value*, LSB-first (``position 0`` = LSB)."""
+    if position < 0:
+        raise ValueError(f"bit position must be non-negative, got {position}")
+    return (value >> position) & 1
+
+
+def address_bit(address: int, index: int, m: int) -> int:
+    """Return address bit *index* in the paper's MSB-first numbering.
+
+    The paper writes the address bits of an input word as
+    ``b^0, b^1, ..., b^{m-1}`` where ``b^0`` is the most significant
+    bit.  Stage ``i`` of the BNB main network routes on ``b^i``.
+    """
+    if not 0 <= index < m:
+        raise ValueError(f"address bit index {index} out of range for m={m}")
+    return (address >> (m - 1 - index)) & 1
+
+
+def set_bit(value: int, position: int, bit_value: int) -> int:
+    """Return *value* with bit *position* (LSB-first) forced to *bit_value*."""
+    if bit_value not in (0, 1):
+        raise ValueError(f"bit value must be 0 or 1, got {bit_value!r}")
+    mask = 1 << position
+    return (value | mask) if bit_value else (value & ~mask)
+
+
+def to_bits(value: int, width: int) -> List[int]:
+    """Return the *width*-bit binary representation, MSB first."""
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [(value >> (width - 1 - k)) & 1 for k in range(width)]
+
+
+def from_bits(bits_msb_first: Sequence[int]) -> int:
+    """Inverse of :func:`to_bits`."""
+    value = 0
+    for b in bits_msb_first:
+        if b not in (0, 1):
+            raise ValueError(f"bits must be 0 or 1, got {b!r}")
+        value = (value << 1) | b
+    return value
+
+
+def bit_reverse(value: int, width: int) -> int:
+    """Reverse the *width*-bit representation of *value*."""
+    return from_bits(list(reversed(to_bits(value, width))))
+
+
+def parity(value: int) -> int:
+    """Return the XOR of all bits of *value* (0 = even number of 1s)."""
+    return popcount(value) & 1
+
+
+def popcount(value: int) -> int:
+    """Return the number of set bits of a non-negative integer."""
+    if value < 0:
+        raise ValueError(f"popcount of a negative value: {value}")
+    return bin(value).count("1")
+
+
+def rotate_right(value: int, width: int, amount: int = 1) -> int:
+    """Rotate the low *width* bits of *value* right by *amount*."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    amount %= width
+    mask = (1 << width) - 1
+    value &= mask
+    return ((value >> amount) | (value << (width - amount))) & mask
+
+
+def rotate_left(value: int, width: int, amount: int = 1) -> int:
+    """Rotate the low *width* bits of *value* left by *amount*."""
+    return rotate_right(value, width, width - (amount % width))
+
+
+def unshuffle_index(index: int, k: int, m: int) -> int:
+    """The paper's ``U_k^m`` applied to one index (Definition 1).
+
+    ``U_k^m`` maps ``(b_{m-1} .. b_k  b_{k-1} .. b_1 b_0)`` to
+    ``(b_{m-1} .. b_k  b_0 b_{k-1} .. b_1)``: the high ``m - k`` bits
+    are fixed and the low ``k`` bits rotate right by one, so the LSB
+    becomes the top bit of the low field.  Consequently even offsets
+    within each ``2**k`` block map to the block's upper half (in order)
+    and odd offsets to the lower half.
+    """
+    if not 1 <= k <= m:
+        raise ValueError(f"need 1 <= k <= m, got k={k}, m={m}")
+    if not 0 <= index < (1 << m):
+        raise ValueError(f"index {index} out of range for m={m}")
+    high = index >> k
+    low = index & ((1 << k) - 1)
+    return (high << k) | rotate_right(low, k)
+
+
+def shuffle_index(index: int, k: int, m: int) -> int:
+    """Inverse of :func:`unshuffle_index`: rotate the low *k* bits left."""
+    if not 1 <= k <= m:
+        raise ValueError(f"need 1 <= k <= m, got k={k}, m={m}")
+    if not 0 <= index < (1 << m):
+        raise ValueError(f"index {index} out of range for m={m}")
+    high = index >> k
+    low = index & ((1 << k) - 1)
+    return (high << k) | rotate_left(low, k)
+
+
+def unshuffle_permutation(k: int, m: int) -> List[int]:
+    """Return ``U_k^m`` as a list: entry ``j`` is ``U_k^m(j)``.
+
+    Interpreted as a wiring diagram, output ``j`` of one stage drives
+    input ``U_k^m(j)`` of the next (Definition 1).
+    """
+    return [unshuffle_index(j, k, m) for j in range(1 << m)]
+
+
+def shuffle_permutation(k: int, m: int) -> List[int]:
+    """Return the inverse wiring of :func:`unshuffle_permutation`."""
+    return [shuffle_index(j, k, m) for j in range(1 << m)]
+
+
+def unshuffle(lines: Sequence, k: int, m: int) -> List:
+    """Apply a ``2**k``-unshuffle connection to a list of line values.
+
+    ``result[U_k^m(j)] = lines[j]``: the value leaving output ``j``
+    arrives at input ``U_k^m(j)`` of the next stage.
+    """
+    n = 1 << m
+    if len(lines) != n:
+        raise ValueError(f"expected {n} lines, got {len(lines)}")
+    result: List = [None] * n
+    for j, value in enumerate(lines):
+        result[unshuffle_index(j, k, m)] = value
+    return result
+
+
+def shuffle(lines: Sequence, k: int, m: int) -> List:
+    """Apply the inverse of :func:`unshuffle` to a list of line values."""
+    n = 1 << m
+    if len(lines) != n:
+        raise ValueError(f"expected {n} lines, got {len(lines)}")
+    result: List = [None] * n
+    for j, value in enumerate(lines):
+        result[shuffle_index(j, k, m)] = value
+    return result
+
+
+def butterfly_index(index: int, k: int, m: int) -> int:
+    """Swap bit ``k`` with bit ``0`` of an *m*-bit index.
+
+    This is the classic butterfly interstage pattern, included for the
+    topology library's indirect-binary-cube constructions.
+    """
+    if not 0 <= k < m:
+        raise ValueError(f"need 0 <= k < m, got k={k}, m={m}")
+    if not 0 <= index < (1 << m):
+        raise ValueError(f"index {index} out of range for m={m}")
+    b0 = index & 1
+    bk = (index >> k) & 1
+    if b0 == bk:
+        return index
+    return index ^ ((1 << k) | 1)
+
+
+def gray_code(value: int) -> int:
+    """Return the binary-reflected Gray code of *value*."""
+    if value < 0:
+        raise ValueError(f"gray code of a negative value: {value}")
+    return value ^ (value >> 1)
+
+
+def inverse_gray_code(code: int) -> int:
+    """Inverse of :func:`gray_code`."""
+    if code < 0:
+        raise ValueError(f"inverse gray code of a negative value: {code}")
+    value = 0
+    while code:
+        value ^= code
+        code >>= 1
+    return value
+
+
+def pairs(items: Sequence) -> Iterator[tuple]:
+    """Yield consecutive non-overlapping pairs ``(items[2t], items[2t+1])``.
+
+    The splitter and every 2x2-switch column consume their lines in
+    adjacent pairs; centralizing the iteration avoids subtle off-by-one
+    indexing in each component.
+    """
+    if len(items) % 2:
+        raise ValueError(f"need an even number of items, got {len(items)}")
+    for t in range(0, len(items), 2):
+        yield items[t], items[t + 1]

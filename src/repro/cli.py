@@ -1,0 +1,134 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``route``    route a (seeded) random permutation through a chosen network
+``verify``   run the Theorem-2 verification harness
+``tables``   print the paper's Table 1 and Table 2 at a given size
+``figures``  print the ASCII renderings of Figs. 1-5
+``report``   print the full paper-vs-measured experiments report
+
+Every command writes plain text to stdout and exits non-zero on
+failure, so the CLI is scriptable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.tables import render_table1, render_table2
+from .analysis.verification import ROUTERS, verify_router
+from .bits import require_power_of_two
+from .permutations.generators import random_permutation
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BNB self-routing permutation network (Lee & Lu, ICDCS 1991)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    route = sub.add_parser("route", help="route one random permutation")
+    route.add_argument("n", type=int, help="network size (power of two)")
+    route.add_argument("--seed", type=int, default=0)
+    route.add_argument(
+        "--network", choices=sorted(ROUTERS), default="bnb"
+    )
+
+    verify = sub.add_parser("verify", help="verify permutation delivery")
+    verify.add_argument("n", type=int)
+    verify.add_argument("--network", choices=sorted(ROUTERS), default="bnb")
+    verify.add_argument(
+        "--mode", choices=["auto", "exhaustive", "sampled"], default="auto"
+    )
+    verify.add_argument("--samples", type=int, default=200)
+    verify.add_argument("--seed", type=int, default=0)
+
+    tables = sub.add_parser("tables", help="print Tables 1 and 2")
+    tables.add_argument("n", type=int)
+    tables.add_argument("--data-width", type=int, default=0, dest="w")
+
+    figures = sub.add_parser("figures", help="print Figs. 1-5 renderings")
+    figures.add_argument("--m", type=int, default=3)
+
+    sub.add_parser("report", help="print the experiments report")
+    return parser
+
+
+def _command_route(args: argparse.Namespace) -> int:
+    require_power_of_two(args.n, "network size")
+    pi = random_permutation(args.n, rng=args.seed)
+    m = args.n.bit_length() - 1
+    route = ROUTERS[args.network](m)
+    outputs = route(pi.to_list())
+    print(f"network : {args.network} (N={args.n})")
+    print(f"request : {pi.to_list()}")
+    print(f"arrived : {[word.address for word in outputs]}")
+    delivered = all(word.address == line for line, word in enumerate(outputs))
+    print(f"delivered: {delivered}")
+    return 0 if delivered else 1
+
+
+def _command_verify(args: argparse.Namespace) -> int:
+    report = verify_router(
+        args.network, args.n, mode=args.mode, samples=args.samples, seed=args.seed
+    )
+    print(report.summary())
+    return 0 if report.all_delivered else 1
+
+
+def _command_tables(args: argparse.Namespace) -> int:
+    print(render_table1(args.n, w=args.w))
+    print()
+    print(render_table2(args.n))
+    return 0
+
+
+def _command_figures(args: argparse.Namespace) -> int:
+    from .viz import (
+        render_bnb_profile,
+        render_function_node,
+        render_gbn,
+        render_splitter,
+    )
+
+    print(render_gbn(args.m))
+    print()
+    print(render_bnb_profile(args.m))
+    print()
+    print(render_splitter(min(args.m, 3)))
+    print()
+    print(render_function_node())
+    return 0
+
+
+def _command_report(_args: argparse.Namespace) -> int:
+    from .viz import experiments_report
+
+    print(experiments_report())
+    return 0
+
+
+_HANDLERS = {
+    "route": _command_route,
+    "verify": _command_verify,
+    "tables": _command_tables,
+    "figures": _command_figures,
+    "report": _command_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except Exception as error:  # surfaced as a message, not a traceback
+        print(f"error: {error}", file=sys.stderr)
+        return 2

@@ -1,0 +1,202 @@
+"""The arbiter ``A(p)``: the splitter's flag-generating tree.
+
+Definition 6 and Section 4 of the paper.  The arbiter is a complete
+binary tree of identical *function nodes* over the ``2**p`` input bits.
+Information flows up and then back down:
+
+1. every node sends its parent the XOR of the two values arriving from
+   its children (for a leaf node, the two input bits themselves);
+2. a node whose children-XOR is **0** *generates* flags: it sends 0 to
+   its upper child and 1 to its lower child, ignoring its parent;
+3. a node whose children-XOR is **1** *forwards* the flag received from
+   its parent to both children;
+4. the root's parent flag is defined as an echo of its own up-value.
+
+The flags reaching the leaves pair up the "type-2" switches (those with
+unequal input bits) so that exactly half of them send their 1 upward —
+the property (Theorem 3) that makes the splitter split evenly.
+
+The implementation keeps a per-node record so tests, the gate-level
+netlist and the fault injector can cross-check every intermediate
+signal, not just the final flags.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from ..bits import require_power_of_two
+
+__all__ = ["Arbiter", "ArbiterNodeRecord", "ArbiterTrace", "arbiter_flags"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ArbiterNodeRecord:
+    """Signals observed at one function node during a pass.
+
+    Attributes mirror Fig. 5 of the paper: ``x1``/``x2`` are the values
+    from the children, ``z_up`` the value sent to the parent, ``z_down``
+    the flag received from the parent, ``y1``/``y2`` the flags sent to
+    the upper and lower child.
+    """
+
+    level: int
+    index: int
+    x1: int
+    x2: int
+    z_up: int
+    z_down: int
+    y1: int
+    y2: int
+
+    @property
+    def generated(self) -> bool:
+        """``True`` when this node generated flags itself (children-XOR 0)."""
+        return self.z_up == 0
+
+
+@dataclasses.dataclass
+class ArbiterTrace:
+    """Full record of one arbiter pass: every node of every level.
+
+    ``nodes[level][index]`` is the record of node *index* at tree
+    *level*, level 0 being the leaf nodes (those fed by input bits) and
+    level ``p - 1`` the root.
+    """
+
+    p: int
+    inputs: List[int]
+    flags: List[int]
+    nodes: List[List[ArbiterNodeRecord]]
+
+    @property
+    def node_count(self) -> int:
+        return sum(len(level) for level in self.nodes)
+
+    def root(self) -> ArbiterNodeRecord:
+        return self.nodes[-1][0]
+
+
+def _validate_bits(bits: Sequence[int]) -> None:
+    for b in bits:
+        if b not in (0, 1):
+            raise ValueError(f"arbiter inputs must be bits, got {b!r}")
+
+
+class Arbiter:
+    """The tree arbiter ``A(p)`` over ``2**p`` input bits.
+
+    ``A(1)`` is pure wiring in the paper (the input bit itself is the
+    switch-setting signal); this class therefore requires ``p >= 2``
+    and the splitter special-cases ``p == 1``.
+    """
+
+    def __init__(self, p: int) -> None:
+        if p < 2:
+            raise ValueError(
+                f"A(p) needs p >= 2 (A(1) is wiring, handled by the splitter); got {p}"
+            )
+        self.p = p
+        self.input_count = 1 << p
+
+    @property
+    def node_count(self) -> int:
+        """Number of function nodes: ``2**p - 1`` (a full binary tree)."""
+        return self.input_count - 1
+
+    @property
+    def depth(self) -> int:
+        """Tree height in nodes: a leaf-to-root path passes *p* nodes."""
+        return self.p
+
+    def flags(self, bits: Sequence[int]) -> List[int]:
+        """Compute the flag ``f(j)`` for every input line (fast path)."""
+        return self.trace(bits).flags
+
+    def trace(self, bits: Sequence[int]) -> ArbiterTrace:
+        """Run the up/down passes and record every node's signals."""
+        if len(bits) != self.input_count:
+            raise ValueError(
+                f"A({self.p}) expects {self.input_count} bits, got {len(bits)}"
+            )
+        _validate_bits(bits)
+
+        # Upward pass: level 0 nodes read the input bits; level k nodes
+        # read the z_up values of level k-1.
+        up_values: List[List[int]] = []
+        current = list(bits)
+        for _level in range(self.p):
+            next_values = [
+                current[2 * t] ^ current[2 * t + 1] for t in range(len(current) // 2)
+            ]
+            up_values.append(next_values)
+            current = next_values
+
+        # Downward pass: the root's parent flag echoes its own up-value
+        # (algorithm step 4).  down_flags[level][index] is the z_down
+        # seen by that node.
+        down_flags: List[List[int]] = [
+            [0] * len(level_values) for level_values in up_values
+        ]
+        root_level = self.p - 1
+        down_flags[root_level][0] = up_values[root_level][0]
+        records: List[List[Optional[ArbiterNodeRecord]]] = [
+            [None] * len(level_values) for level_values in up_values
+        ]
+        for level in range(root_level, -1, -1):
+            child_values = bits if level == 0 else up_values[level - 1]
+            for index in range(len(up_values[level])):
+                x1 = child_values[2 * index]
+                x2 = child_values[2 * index + 1]
+                z_up = up_values[level][index]
+                z_down = down_flags[level][index]
+                if z_up == 0:
+                    y1, y2 = 0, 1  # generate (algorithm step 2)
+                else:
+                    y1 = y2 = z_down  # forward (algorithm step 3)
+                records[level][index] = ArbiterNodeRecord(
+                    level=level,
+                    index=index,
+                    x1=x1,
+                    x2=x2,
+                    z_up=z_up,
+                    z_down=z_down,
+                    y1=y1,
+                    y2=y2,
+                )
+                if level > 0:
+                    down_flags[level - 1][2 * index] = y1
+                    down_flags[level - 1][2 * index + 1] = y2
+
+        # Leaf flags: leaf node t sends y1 to input 2t and y2 to 2t+1.
+        flags: List[int] = [0] * self.input_count
+        for t, record in enumerate(records[0]):
+            assert record is not None
+            flags[2 * t] = record.y1
+            flags[2 * t + 1] = record.y2
+        return ArbiterTrace(
+            p=self.p,
+            inputs=list(bits),
+            flags=flags,
+            nodes=[[r for r in level if r is not None] for level in records],
+        )
+
+    def __repr__(self) -> str:
+        return f"Arbiter(p={self.p})"
+
+
+def arbiter_flags(bits: Sequence[int]) -> List[int]:
+    """Compute arbiter flags for any power-of-two bit vector.
+
+    For two inputs (``p == 1``) the arbiter is wiring and the flags are
+    all zero — the switch control is then the upper input bit itself,
+    which routes 0 up and 1 down exactly as Definition 3 requires.
+    """
+    p = require_power_of_two(len(bits), "arbiter input count")
+    if p == 0:
+        raise ValueError("arbiter needs at least two inputs")
+    if p == 1:
+        _validate_bits(bits)
+        return [0, 0]
+    return Arbiter(p).flags(bits)

@@ -1,0 +1,175 @@
+"""The bit-sorter network (BSN), Definition 4 and Theorem 1.
+
+A ``2**k``-input BSN is a GBN whose boxes are splitters: stage ``l``
+holds ``2**l`` splitters ``sp(k - l)``.  Fed a *balanced* one-bit
+vector (equally many 0s and 1s), it delivers 0 to every even-numbered
+output and 1 to every odd-numbered output.  Inside the BNB network one
+BSN per nested network computes all switch settings; the other
+``q - 1`` slices follow.
+
+:class:`BitSorterNetwork` routes either raw bit vectors
+(:meth:`~BitSorterNetwork.route_bits`) or arbitrary word lists keyed by
+a caller-supplied bit extractor (:meth:`~BitSorterNetwork.route_words`)
+— the follower-slice behaviour.  Both can emit a :class:`BSNRecord`
+with every splitter's controls and flags for tracing and hardware
+cross-validation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..bits import require_power_of_two, unshuffle_index
+from ..exceptions import UnbalancedInputError
+from .splitter import Splitter, SplitterRecord
+
+__all__ = ["BitSorterNetwork", "BSNRecord"]
+
+
+@dataclasses.dataclass
+class BSNRecord:
+    """Per-splitter records of one BSN pass.
+
+    ``splitters[(stage, box)]`` is the :class:`SplitterRecord` of the
+    box-th splitter in that stage; ``stage_vectors[l]`` snapshots the
+    line values entering stage ``l``.
+    """
+
+    k: int
+    splitters: Dict[Tuple[int, int], SplitterRecord]
+    stage_vectors: List[List[int]]
+
+    def controls_of(self, stage: int, box: int) -> List[int]:
+        return self.splitters[(stage, box)].controls
+
+    def total_switch_settings(self) -> int:
+        return sum(len(rec.controls) for rec in self.splitters.values())
+
+    def exchange_fraction(self) -> float:
+        """Fraction of switches set to exchange (a routing-activity metric)."""
+        total = 0
+        exchanged = 0
+        for rec in self.splitters.values():
+            total += len(rec.controls)
+            exchanged += sum(rec.controls)
+        return exchanged / total if total else 0.0
+
+
+class BitSorterNetwork:
+    """The ``2**k``-input bit-sorter network ``B(k, sp)``.
+
+    Parameters
+    ----------
+    k:
+        Number of stages (the network spans ``2**k`` lines).
+    check_balance:
+        Propagated to every splitter; disable only for fault studies.
+    """
+
+    def __init__(self, k: int, check_balance: bool = True) -> None:
+        if k < 1:
+            raise ValueError(f"a BSN needs k >= 1, got {k}")
+        self.k = k
+        self.n = 1 << k
+        self.check_balance = check_balance
+        # One splitter object per size, shared across boxes (they are
+        # stateless deciders).
+        self._splitters = {
+            p: Splitter(p, check_balance=check_balance) for p in range(1, k + 1)
+        }
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def stage_count(self) -> int:
+        return self.k
+
+    def splitter_layout(self) -> List[Tuple[int, int, int]]:
+        """Return ``(stage, box_count, p)`` triples: stage l has 2**l sp(k-l)."""
+        return [(l, 1 << l, self.k - l) for l in range(self.k)]
+
+    @property
+    def switch_count(self) -> int:
+        """Total 2 x 2 switches: ``(n / 2) * k`` (one column per stage)."""
+        return (self.n // 2) * self.k
+
+    @property
+    def function_node_count(self) -> int:
+        """Total arbiter nodes, counting ``A(1)`` as zero (it is wiring)."""
+        total = 0
+        for _stage, box_count, p in self.splitter_layout():
+            if p >= 2:
+                total += box_count * ((1 << p) - 1)
+        return total
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route_bits(
+        self, bits: Sequence[int], record: bool = False
+    ) -> Tuple[List[int], Optional[BSNRecord]]:
+        """Route a balanced bit vector (Theorem 1's setting)."""
+        return self.route_words(list(bits), key_of=lambda b: b, record=record)
+
+    def route_words(
+        self,
+        words: Sequence[Any],
+        key_of: Callable[[Any], int],
+        record: bool = False,
+    ) -> Tuple[List[Any], Optional[BSNRecord]]:
+        """Route arbitrary *words*; splitters decide on ``key_of(word)``.
+
+        This single code path implements both the BSN slice (words are
+        bits, ``key_of`` the identity) and the full nested network
+        (words carry addresses and payloads, ``key_of`` extracts the
+        stage's address bit); the paper's follower slices are the
+        observation that both use identical switch settings.
+        """
+        if len(words) != self.n:
+            raise ValueError(f"expected {self.n} words, got {len(words)}")
+        splitter_records: Dict[Tuple[int, int], SplitterRecord] = {}
+        stage_vectors: List[List[int]] = []
+        current: List[Any] = list(words)
+        for stage in range(self.k):
+            box_size = 1 << (self.k - stage)
+            if record:
+                stage_vectors.append([key_of(w) for w in current])
+            routed: List[Any] = [None] * self.n
+            splitter = self._splitters[self.k - stage]
+            for box in range(1 << stage):
+                lo = box * box_size
+                sub = current[lo : lo + box_size]
+                key_bits = [key_of(w) for w in sub]
+                out, rec = splitter.route_words(sub, key_bits, record=record)
+                if record and rec is not None:
+                    splitter_records[(stage, box)] = rec
+                routed[lo : lo + box_size] = out
+            if stage < self.k - 1:
+                k_conn = self.k - stage
+                connected: List[Any] = [None] * self.n
+                for j, value in enumerate(routed):
+                    connected[unshuffle_index(j, k_conn, self.k)] = value
+                current = connected
+            else:
+                current = routed
+        bsn_record = None
+        if record:
+            bsn_record = BSNRecord(
+                k=self.k,
+                splitters=splitter_records,
+                stage_vectors=stage_vectors,
+            )
+        return current, bsn_record
+
+    def sort_check(self, bits: Sequence[int]) -> bool:
+        """Route *bits* and verify Theorem 1's postcondition."""
+        ones = sum(bits)
+        if 2 * ones != len(bits):
+            raise UnbalancedInputError(ones, len(bits) - ones)
+        outputs, _ = self.route_bits(bits)
+        return all(outputs[j] == (j & 1) for j in range(self.n))
+
+    def __repr__(self) -> str:
+        return f"BitSorterNetwork(k={self.k}, n={self.n})"

@@ -1,0 +1,150 @@
+"""The generalized baseline network (GBN), Definition 2 and Fig. 1.
+
+An ``N = 2**m``-input GBN has ``m`` stages; stage ``i`` holds ``2**i``
+switching boxes of size ``2**(m-i)`` and is followed by the
+``2**(m-i)``-unshuffle connection ``U_{m-i}^m``.  The box contents are
+a parameter: plain ``sw`` boxes give the original baseline network,
+splitters give the bit-sorter network, and nested GBNs give the BNB
+network itself.
+
+This module provides the *structural* description (used by Fig. 1/3
+benchmarks and the hardware accounting) and a generic routing driver
+:func:`gbn_route` that threads any per-box router through the GBN's
+stages and connections.  The driver is written once and reused by the
+BSN, the BNB main network and each nested network, so the unshuffle
+bookkeeping — the easiest thing to get subtly wrong — lives in exactly
+one place.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, List, Sequence, Tuple
+
+from ..bits import require_power_of_two, unshuffle_index
+
+__all__ = ["GBNStageSpec", "GeneralizedBaselineNetwork", "gbn_route"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GBNStageSpec:
+    """Inventory of one GBN stage.
+
+    ``box_exponent`` is the ``p`` of the stage's boxes (each box spans
+    ``2**p`` lines); ``box_count`` is how many sit side by side.
+    """
+
+    stage: int
+    box_count: int
+    box_exponent: int
+
+    @property
+    def box_size(self) -> int:
+        return 1 << self.box_exponent
+
+    @property
+    def connection_k(self) -> int:
+        """The ``k`` of the ``U_k^m`` connection following this stage."""
+        return self.box_exponent
+
+
+class GeneralizedBaselineNetwork:
+    """Structural model of an ``N``-input GBN, ``B(m, SB)``.
+
+    The class is agnostic about box contents; it answers structural
+    queries (Fig. 1 and Fig. 3 of the paper) and exposes the canonical
+    routing driver via :meth:`route`.
+    """
+
+    def __init__(self, m: int) -> None:
+        if m < 1:
+            raise ValueError(f"a GBN needs at least one stage, got m={m}")
+        self.m = m
+        self.n = 1 << m
+
+    @property
+    def stage_count(self) -> int:
+        return self.m
+
+    def stage_spec(self, stage: int) -> GBNStageSpec:
+        """Stage ``i`` has ``2**i`` boxes ``SB(m - i)`` (Definition 2)."""
+        if not 0 <= stage < self.m:
+            raise ValueError(f"stage {stage} out of range for m={self.m}")
+        return GBNStageSpec(
+            stage=stage,
+            box_count=1 << stage,
+            box_exponent=self.m - stage,
+        )
+
+    def stages(self) -> List[GBNStageSpec]:
+        return [self.stage_spec(i) for i in range(self.m)]
+
+    def total_boxes(self) -> int:
+        """Total switching boxes across all stages: ``2**m - 1``."""
+        return self.n - 1
+
+    def switch_count_if_simple(self) -> int:
+        """2x2 switches when every box is a plain ``sw``: ``(N/2) * m``."""
+        return (self.n // 2) * self.m
+
+    def box_line_range(self, stage: int, box: int) -> Tuple[int, int]:
+        """The half-open line interval ``[lo, hi)`` that a box spans."""
+        spec = self.stage_spec(stage)
+        if not 0 <= box < spec.box_count:
+            raise ValueError(
+                f"box {box} out of range for stage {stage} (m={self.m})"
+            )
+        lo = box * spec.box_size
+        return lo, lo + spec.box_size
+
+    def route(
+        self,
+        lines: Sequence[Any],
+        box_router: Callable[[int, int, List[Any]], List[Any]],
+    ) -> List[Any]:
+        """Thread *lines* through the GBN; see :func:`gbn_route`."""
+        return gbn_route(lines, self.m, box_router)
+
+    def __repr__(self) -> str:
+        return f"GeneralizedBaselineNetwork(m={self.m}, n={self.n})"
+
+
+def gbn_route(
+    lines: Sequence[Any],
+    m: int,
+    box_router: Callable[[int, int, List[Any]], List[Any]],
+) -> List[Any]:
+    """Route *lines* through an ``m``-stage GBN.
+
+    ``box_router(stage, box_index, sub_lines)`` must return the routed
+    values of one box (same length as *sub_lines*).  Between stage
+    ``i`` and ``i + 1`` the driver applies the global ``U_{m-i}^m``
+    unshuffle; no connection follows the final stage, matching the
+    recursive construction in the paper.
+    """
+    n = 1 << m
+    if len(lines) != n:
+        raise ValueError(f"expected {n} lines for m={m}, got {len(lines)}")
+    current: List[Any] = list(lines)
+    for stage in range(m):
+        box_size = 1 << (m - stage)
+        routed: List[Any] = [None] * n
+        for box in range(1 << stage):
+            lo = box * box_size
+            sub = current[lo : lo + box_size]
+            out = box_router(stage, box, sub)
+            if len(out) != box_size:
+                raise ValueError(
+                    f"box router returned {len(out)} lines for a "
+                    f"{box_size}-line box at stage {stage}"
+                )
+            routed[lo : lo + box_size] = out
+        if stage < m - 1:
+            k = m - stage
+            connected: List[Any] = [None] * n
+            for j, value in enumerate(routed):
+                connected[unshuffle_index(j, k, m)] = value
+            current = connected
+        else:
+            current = routed
+    return current

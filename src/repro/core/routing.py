@@ -1,0 +1,49 @@
+"""Routing records shared by the core networks.
+
+Records exist for three consumers: tests (assert internal invariants,
+not just end-to-end delivery), the gate-level hardware layer (functional
+switch settings must equal netlist-simulated settings) and the fault
+injector (which perturbs recorded controls to model stuck switches).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, List, Tuple
+
+__all__ = ["RouteStep", "PacketPath"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RouteStep:
+    """One packet's position after one main-network stage of the BNB.
+
+    ``line`` is the global line index the packet occupied when leaving
+    ``main_stage`` (after the stage's nested network but before the
+    following unshuffle connection); ``nested_network`` identifies the
+    NB(i, l) it traversed.
+    """
+
+    main_stage: int
+    nested_network: int
+    line: int
+
+
+@dataclasses.dataclass(frozen=True)
+class PacketPath:
+    """The full trajectory of one word through the BNB network."""
+
+    input_line: int
+    output_line: int
+    address: int
+    payload: Any
+    steps: Tuple[RouteStep, ...]
+
+    @property
+    def delivered(self) -> bool:
+        """``True`` when the packet reached its addressed output."""
+        return self.output_line == self.address
+
+    def nested_networks_visited(self) -> List[Tuple[int, int]]:
+        """The (stage, NB index) sequence the packet passed through."""
+        return [(step.main_stage, step.nested_network) for step in self.steps]

@@ -1,0 +1,181 @@
+"""The splitter ``sp(p)``: the self-routing switching box of the BSN.
+
+Definition 3 and Section 4 of the paper.  A ``2**p x 2**p`` splitter is
+an arbiter ``A(p)`` plus one column of ``2**(p-1)`` two-by-two switches
+``sw(p)``.  Given a one-bit-slice input vector with an even number of
+1s, it routes so that the even-numbered and odd-numbered outputs carry
+equally many 1s (``M_e = M_o``, Theorem 3); the unshuffle connection of
+the surrounding GBN then delivers equal shares of 1s to the two
+half-size splitters of the next stage.
+
+Switch setting (algorithm step 5): input ``j`` exits on the upper
+output when ``s(j) XOR f(j) == 0``.  Because a type-2 pair receives
+equal flags and a type-1 pair the flags ``(0, 1)``, the two inputs of a
+switch never contend; the control bit of switch ``t`` is simply
+``s(2t) XOR f(2t)``.
+
+For ``p == 1`` the splitter routes the 0 to the upper and the 1 to the
+lower output (``A(1)`` is wiring: the control *is* the upper input
+bit).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..exceptions import UnbalancedInputError
+from .arbiter import Arbiter, ArbiterTrace
+from .switchbox import apply_pair_controls
+
+__all__ = ["Splitter", "SplitterRecord", "splitter_balance"]
+
+
+@dataclasses.dataclass
+class SplitterRecord:
+    """Everything one splitter pass decided.
+
+    ``controls[t]`` is the setting of switch ``t`` (0 straight,
+    1 exchange); ``flags`` the arbiter flags per input line;
+    ``arbiter_trace`` the per-node record (``None`` for ``p == 1``,
+    where the arbiter is wiring).
+    """
+
+    p: int
+    input_bits: List[int]
+    flags: List[int]
+    controls: List[int]
+    output_bits: List[int]
+    arbiter_trace: Optional[ArbiterTrace] = None
+
+    @property
+    def switch_count(self) -> int:
+        return len(self.controls)
+
+
+def splitter_balance(bits: Sequence[int]) -> Tuple[int, int]:
+    """Return ``(M_e, M_o)``: 1s on even-numbered and odd-numbered lines."""
+    even = sum(bits[j] for j in range(0, len(bits), 2))
+    odd = sum(bits[j] for j in range(1, len(bits), 2))
+    return even, odd
+
+
+class Splitter:
+    """The splitter ``sp(p)`` (arbiter + switch column).
+
+    Parameters
+    ----------
+    p:
+        Size exponent (``2**p`` lines), ``p >= 1``.
+    check_balance:
+        When true (the default), reject input vectors with an odd
+        number of 1s for ``p >= 2`` — the precondition of Theorem 3.
+        The BNB network always satisfies it; fault-injection
+        experiments disable the check to observe silent misrouting.
+    """
+
+    def __init__(self, p: int, check_balance: bool = True) -> None:
+        if p < 1:
+            raise ValueError(f"sp(p) needs p >= 1, got {p}")
+        self.p = p
+        self.size = 1 << p
+        self.check_balance = check_balance
+        self._arbiter = Arbiter(p) if p >= 2 else None
+
+    @property
+    def switch_count(self) -> int:
+        return self.size // 2
+
+    @property
+    def function_node_count(self) -> int:
+        """Arbiter nodes: ``2**p - 1`` for ``p >= 2``, 0 for ``p == 1``."""
+        return self._arbiter.node_count if self._arbiter else 0
+
+    # ------------------------------------------------------------------
+    # Decision logic
+    # ------------------------------------------------------------------
+    def controls(self, bits: Sequence[int]) -> List[int]:
+        """Switch settings for an input bit vector (no record)."""
+        return self._decide(bits, want_trace=False)[0]
+
+    def _decide(
+        self, bits: Sequence[int], want_trace: bool
+    ) -> Tuple[List[int], List[int], Optional[ArbiterTrace]]:
+        if len(bits) != self.size:
+            raise ValueError(
+                f"sp({self.p}) expects {self.size} bits, got {len(bits)}"
+            )
+        for b in bits:
+            if b not in (0, 1):
+                raise ValueError(f"splitter inputs must be bits, got {b!r}")
+        if self.check_balance and self.p >= 2:
+            ones = sum(bits)
+            if ones % 2:
+                raise UnbalancedInputError(ones, len(bits) - ones)
+        if self._arbiter is None:
+            # sp(1): A(1) is wiring; the upper input bit is the control,
+            # sending a 1 on the upper line to the lower output.
+            flags = [0, 0]
+            trace = None
+        elif want_trace:
+            trace = self._arbiter.trace(bits)
+            flags = trace.flags
+        else:
+            flags = self._arbiter.flags(bits)
+            trace = None
+        controls = [bits[2 * t] ^ flags[2 * t] for t in range(self.switch_count)]
+        return controls, flags, trace
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route_bits(
+        self, bits: Sequence[int], record: bool = False
+    ) -> Tuple[List[int], Optional[SplitterRecord]]:
+        """Route a one-bit-slice vector; optionally return a full record."""
+        controls, flags, trace = self._decide(bits, want_trace=record)
+        outputs = apply_pair_controls(list(bits), controls)
+        rec = None
+        if record:
+            rec = SplitterRecord(
+                p=self.p,
+                input_bits=list(bits),
+                flags=flags,
+                controls=controls,
+                output_bits=outputs,
+                arbiter_trace=trace,
+            )
+        return outputs, rec
+
+    def route_words(
+        self,
+        words: Sequence[Any],
+        key_bits: Sequence[int],
+        record: bool = False,
+    ) -> Tuple[List[Any], Optional[SplitterRecord]]:
+        """Route arbitrary *words*, deciding from the *key_bits* slice.
+
+        This models the paper's follower slices: the bit-sorter slice
+        computes switch settings from its one bit per word, and every
+        other slice of the nested network applies the same settings.
+        """
+        if len(words) != len(key_bits):
+            raise ValueError(
+                f"{len(words)} words do not match {len(key_bits)} key bits"
+            )
+        controls, flags, trace = self._decide(key_bits, want_trace=record)
+        outputs = apply_pair_controls(list(words), controls)
+        rec = None
+        if record:
+            rec = SplitterRecord(
+                p=self.p,
+                input_bits=list(key_bits),
+                flags=flags,
+                controls=controls,
+                output_bits=apply_pair_controls(list(key_bits), controls),
+                arbiter_trace=trace,
+            )
+        return outputs, rec
+
+    def __repr__(self) -> str:
+        return f"Splitter(p={self.p})"

@@ -1,0 +1,89 @@
+"""Simple switch boxes: the paper's ``sw(p)``.
+
+``sw(p)`` is a one-bit-slice ``2**p x 2**p`` box of ``2**(p-1)``
+externally controlled ``2 x 2`` switches: switch ``t`` connects lines
+``2t`` and ``2t+1`` and either passes them straight (control 0) or
+exchanges them (control 1).  In the BNB network the follower slices of
+every nested network are pure ``sw`` boxes driven by the bit-sorter
+slice's controls; this module is the single implementation of that
+behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..bits import require_power_of_two
+from ..permutations.permutation import Permutation
+
+__all__ = ["SimpleSwitchBox", "apply_pair_controls", "controls_to_permutation"]
+
+
+def apply_pair_controls(lines: Sequence, controls: Sequence[int]) -> List:
+    """Route *lines* through one column of pairwise 2 x 2 switches.
+
+    ``controls[t] == 1`` exchanges ``lines[2t]`` and ``lines[2t+1]``.
+    This free function is the hot path of the whole functional model,
+    so it stays loop-simple and allocation-light.
+    """
+    if len(lines) != 2 * len(controls):
+        raise ValueError(
+            f"{len(controls)} controls cannot switch {len(lines)} lines"
+        )
+    out: List = [None] * len(lines)
+    for t, control in enumerate(controls):
+        if control:
+            out[2 * t] = lines[2 * t + 1]
+            out[2 * t + 1] = lines[2 * t]
+        else:
+            out[2 * t] = lines[2 * t]
+            out[2 * t + 1] = lines[2 * t + 1]
+    return out
+
+
+def controls_to_permutation(controls: Sequence[int]) -> Permutation:
+    """The line permutation realized by one switch column."""
+    mapping: List[int] = []
+    for t, control in enumerate(controls):
+        if control not in (0, 1):
+            raise ValueError(f"switch control must be 0 or 1, got {control!r}")
+        if control:
+            mapping.extend((2 * t + 1, 2 * t))
+        else:
+            mapping.extend((2 * t, 2 * t + 1))
+    return Permutation(mapping)
+
+
+class SimpleSwitchBox:
+    """The paper's ``sw(p)``: ``2**(p-1)`` externally controlled switches.
+
+    Parameters
+    ----------
+    p:
+        Size exponent; the box has ``2**p`` inputs and outputs.
+    """
+
+    def __init__(self, p: int) -> None:
+        if p < 1:
+            raise ValueError(f"sw(p) needs p >= 1, got {p}")
+        self.p = p
+        self.size = 1 << p
+
+    @property
+    def switch_count(self) -> int:
+        """Number of ``2 x 2`` switches (= external control signals)."""
+        return self.size // 2
+
+    def apply(self, lines: Sequence, controls: Sequence[int]) -> List:
+        """Route ``2**p`` lines under ``2**(p-1)`` external controls."""
+        if len(lines) != self.size:
+            raise ValueError(f"sw({self.p}) expects {self.size} lines, got {len(lines)}")
+        if len(controls) != self.switch_count:
+            raise ValueError(
+                f"sw({self.p}) expects {self.switch_count} controls, "
+                f"got {len(controls)}"
+            )
+        return apply_pair_controls(lines, controls)
+
+    def __repr__(self) -> str:
+        return f"SimpleSwitchBox(p={self.p})"

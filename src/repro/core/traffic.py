@@ -1,0 +1,202 @@
+"""Realistic traffic on top of the permutation contract.
+
+The BNB network's contract (Theorem 2) requires a *full permutation*
+of destination addresses.  Real switch traffic is messier: ports idle,
+and several inputs may want the same output.  This module provides the
+two standard reductions, both hinted at by the paper ("the other flags
+and the other inputs can be used to deal with the conflicts if needed
+in some applications"):
+
+* **Partial permutations** (:func:`complete_partial_permutation`,
+  :func:`route_partial`): idle inputs are filled with the unused
+  addresses, restoring the balanced-bit precondition every splitter
+  needs; dummy words are stripped after routing.
+
+* **Arbitrary traffic with output contention**
+  (:class:`MultipassRouter`): requests are partitioned into rounds with
+  distinct destinations (FIFO per output port), each round routed as a
+  partial permutation.  The number of rounds equals the maximum output
+  multiplicity — the information-theoretic minimum for a fabric that
+  delivers one word per output per pass.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import InputError
+from .bnb import BNBNetwork
+from .words import Word
+
+__all__ = [
+    "complete_partial_permutation",
+    "route_partial",
+    "PartialRoutingResult",
+    "MultipassRouter",
+    "MultipassResult",
+]
+
+
+def complete_partial_permutation(
+    destinations: Sequence[Optional[int]],
+) -> Tuple[List[int], List[bool]]:
+    """Fill idle slots with the unused addresses.
+
+    Returns ``(full_permutation, is_real)`` where ``is_real[j]`` marks
+    whether input ``j`` carried a genuine request.  Raises
+    :class:`~repro.exceptions.InputError` when the non-idle
+    destinations repeat or fall out of range.
+    """
+    n = len(destinations)
+    used = [False] * n
+    real = [dest is not None for dest in destinations]
+    for dest in destinations:
+        if dest is None:
+            continue
+        if not 0 <= dest < n:
+            raise InputError(f"destination {dest} out of range for N={n}")
+        if used[dest]:
+            raise InputError(
+                f"destination {dest} requested twice; use MultipassRouter "
+                f"for contending traffic"
+            )
+        used[dest] = True
+    unused = iter(address for address in range(n) if not used[address])
+    full = [
+        dest if dest is not None else next(unused) for dest in destinations
+    ]
+    return full, real
+
+
+@dataclasses.dataclass
+class PartialRoutingResult:
+    """Outputs of a partial-permutation pass.
+
+    ``outputs[a]`` is the payload delivered to output ``a``, or ``None``
+    if no genuine request addressed it.
+    """
+
+    outputs: List[Optional[Any]]
+    active_count: int
+    filler_count: int
+
+
+def route_partial(
+    network: BNBNetwork,
+    requests: Sequence[Optional[Tuple[int, Any]]],
+) -> PartialRoutingResult:
+    """Route idle-capable traffic: ``requests[j]`` is ``(dest, payload)``
+    or ``None`` for an idle input."""
+    if len(requests) != network.n:
+        raise ValueError(f"expected {network.n} requests, got {len(requests)}")
+    destinations = [req[0] if req is not None else None for req in requests]
+    full, real = complete_partial_permutation(destinations)
+    words = [
+        Word(
+            address=full[j],
+            payload=requests[j][1] if real[j] else None,  # type: ignore[index]
+        )
+        for j in range(network.n)
+    ]
+    routed, _record = network.route(words)
+    # Which outputs correspond to genuine requests: exactly those whose
+    # address was requested by a real input.
+    requested = {full[j] for j in range(network.n) if real[j]}
+    outputs: List[Optional[Any]] = [
+        routed[a].payload if a in requested else None for a in range(network.n)
+    ]
+    return PartialRoutingResult(
+        outputs=outputs,
+        active_count=sum(real),
+        filler_count=network.n - sum(real),
+    )
+
+
+@dataclasses.dataclass
+class MultipassResult:
+    """Outcome of contention-resolved multipass routing."""
+
+    rounds: int
+    delivered: List[List[Optional[Any]]]  # per round, per output line
+    max_multiplicity: int
+
+    def all_payloads_at(self, output: int) -> List[Any]:
+        """Every payload delivered to *output* across rounds, in order."""
+        return [
+            round_outputs[output]
+            for round_outputs in self.delivered
+            if round_outputs[output] is not None
+        ]
+
+
+class MultipassRouter:
+    """Deliver arbitrary (possibly contending) traffic in minimal rounds.
+
+    Requests are ``(destination, payload)`` pairs per input (``None``
+    idle).  Round ``k`` carries, for every destination, the ``k``-th
+    request addressed to it (FIFO in input order), so the round count
+    equals the maximum number of requests for any one output.
+    """
+
+    def __init__(self, network: BNBNetwork) -> None:
+        self.network = network
+
+    def plan_rounds(
+        self, requests: Sequence[Optional[Tuple[int, Any]]]
+    ) -> List[List[Optional[Tuple[int, Any]]]]:
+        """Partition requests into per-round partial permutations."""
+        if len(requests) != self.network.n:
+            raise ValueError(
+                f"expected {self.network.n} requests, got {len(requests)}"
+            )
+        per_destination_count: Dict[int, int] = {}
+        rounds: List[List[Optional[Tuple[int, Any]]]] = []
+        for j, request in enumerate(requests):
+            if request is None:
+                continue
+            dest, _payload = request
+            if not 0 <= dest < self.network.n:
+                raise InputError(
+                    f"destination {dest} out of range for N={self.network.n}"
+                )
+            round_index = per_destination_count.get(dest, 0)
+            per_destination_count[dest] = round_index + 1
+            while len(rounds) <= round_index:
+                rounds.append([None] * self.network.n)
+            rounds[round_index][j] = request
+        return rounds
+
+    def route(
+        self, requests: Sequence[Optional[Tuple[int, Any]]]
+    ) -> MultipassResult:
+        """Plan and execute all rounds; every request is delivered once."""
+        rounds = self.plan_rounds(requests)
+        delivered = [
+            route_partial(self.network, round_requests).outputs
+            for round_requests in rounds
+        ]
+        max_multiplicity = max(
+            (
+                len(self._requests_for(requests, destination))
+                for destination in range(self.network.n)
+            ),
+            default=0,
+        )
+        # Round count equals the worst output contention by construction.
+        assert max_multiplicity == len(rounds)
+        return MultipassResult(
+            rounds=len(rounds),
+            delivered=delivered,
+            max_multiplicity=max_multiplicity,
+        )
+
+    @staticmethod
+    def _requests_for(
+        requests: Sequence[Optional[Tuple[int, Any]]], destination: int
+    ) -> List[Tuple[int, Any]]:
+        return [
+            request
+            for request in requests
+            if request is not None and request[0] == destination
+        ]

@@ -1,0 +1,68 @@
+"""Words: the unit of traffic through the BNB network.
+
+The paper's inputs are ``q = m + w``-bit words: an ``m``-bit destination
+address followed by ``w`` data bits.  The functional model carries the
+payload as an arbitrary Python object — the hardware-accounting layer
+is where the ``w`` extra bit-slices are charged for.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, List, Optional, Sequence
+
+from ..bits import address_bit, require_power_of_two, to_bits
+from ..permutations.permutation import Permutation
+
+__all__ = ["Word", "words_from_permutation", "addresses_of", "payloads_of"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Word:
+    """One routed word: a destination address plus an opaque payload."""
+
+    address: int
+    payload: Any = None
+
+    def address_bit(self, index: int, m: int) -> int:
+        """Bit ``b^index`` of the address in the paper's MSB-first numbering."""
+        return address_bit(self.address, index, m)
+
+    def address_bits(self, m: int) -> List[int]:
+        """All address bits, MSB first (``b^0 .. b^{m-1}``)."""
+        return to_bits(self.address, m)
+
+    def __repr__(self) -> str:
+        if self.payload is None:
+            return f"Word({self.address})"
+        return f"Word({self.address}, payload={self.payload!r})"
+
+
+def words_from_permutation(
+    pi: Permutation, payloads: Optional[Sequence[Any]] = None
+) -> List[Word]:
+    """Build the input word list realizing permutation *pi*.
+
+    Input line ``j`` carries a word destined for output ``pi(j)``.
+    Optional *payloads* attach data to each word (e.g. the source index,
+    so tests can verify end-to-end delivery, or application messages in
+    the switch-fabric example).
+    """
+    if payloads is not None and len(payloads) != len(pi):
+        raise ValueError(
+            f"expected {len(pi)} payloads, got {len(payloads)}"
+        )
+    return [
+        Word(address=pi(j), payload=None if payloads is None else payloads[j])
+        for j in range(len(pi))
+    ]
+
+
+def addresses_of(words: Sequence[Word]) -> List[int]:
+    """Extract the destination addresses of a word list."""
+    return [word.address for word in words]
+
+
+def payloads_of(words: Sequence[Word]) -> List[Any]:
+    """Extract the payloads of a word list."""
+    return [word.payload for word in words]

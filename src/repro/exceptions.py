@@ -1,0 +1,97 @@
+"""Exception hierarchy for the BNB reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration mistakes from routing
+failures detected at run time.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A network or component was constructed with invalid parameters.
+
+    Typical causes: a size that is not a power of two, a negative word
+    width, or a stage index outside the network.
+    """
+
+
+class SizeError(ConfigurationError):
+    """A size argument is not a positive power of two."""
+
+    def __init__(self, size: object, what: str = "size") -> None:
+        super().__init__(f"{what} must be a positive power of two, got {size!r}")
+        self.size = size
+        self.what = what
+
+
+class InputError(ReproError):
+    """An input vector handed to a network violates its preconditions.
+
+    The BNB network requires its inputs to carry a permutation of the
+    destination addresses ``0 .. N-1``; a bit-sorter network requires a
+    balanced 0/1 vector.  Violations raise this error rather than
+    silently misrouting.
+    """
+
+
+class UnbalancedInputError(InputError):
+    """A bit-sorter component received an unbalanced 0/1 input vector."""
+
+    def __init__(self, ones: int, zeros: int) -> None:
+        super().__init__(
+            f"bit-sorter input must contain equally many 0s and 1s; "
+            f"got {ones} ones and {zeros} zeros"
+        )
+        self.ones = ones
+        self.zeros = zeros
+
+
+class NotAPermutationError(InputError):
+    """The destination addresses of the inputs do not form a permutation."""
+
+    def __init__(self, addresses: object) -> None:
+        super().__init__(
+            f"input addresses must be a permutation of 0..N-1, got {addresses!r}"
+        )
+        self.addresses = addresses
+
+
+class RoutingError(ReproError):
+    """The network failed to deliver an input to its destination.
+
+    For the BNB network this indicates a bug (Theorem 2 guarantees
+    conflict-free delivery); for restricted self-routing networks such
+    as the Nassimi-Sahni Benes router it signals a permutation outside
+    the routable class.
+    """
+
+
+class PathConflictError(RoutingError):
+    """Two inputs requested the same internal link or output port."""
+
+    def __init__(self, stage: int, port: int, contenders: object = None) -> None:
+        message = f"path conflict at stage {stage}, port {port}"
+        if contenders is not None:
+            message += f" between inputs {contenders!r}"
+        super().__init__(message)
+        self.stage = stage
+        self.port = port
+        self.contenders = contenders
+
+
+class UnroutablePermutationError(RoutingError):
+    """A restricted router was asked to realize a permutation it cannot."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class FaultError(ReproError):
+    """A fault-injection request referenced a non-existent element."""

@@ -1,0 +1,45 @@
+"""Fault injection and detection experiments.
+
+The paper assumes fault-free switches; a reproduction meant for reuse
+should show what the network does when that assumption breaks.  This
+package injects stuck-at faults into recorded switch settings, replays
+the perturbed settings through the BNB structure and measures the
+misrouting blast radius — how many packets a single stuck switch
+displaces, and how reliably an output-side address check detects it.
+"""
+
+from .injector import (
+    SwitchCoordinate,
+    enumerate_switch_coordinates,
+    extract_controls,
+    inject_stuck_control,
+    replay_controls,
+)
+from .detection import (
+    FaultTrial,
+    FaultCoverageReport,
+    misrouted_outputs,
+    fault_coverage_experiment,
+)
+from .adaptive import (
+    route_with_stuck_switch,
+    RecoveryOutcome,
+    detect_and_reroute,
+    recovery_experiment,
+)
+
+__all__ = [
+    "SwitchCoordinate",
+    "enumerate_switch_coordinates",
+    "extract_controls",
+    "inject_stuck_control",
+    "replay_controls",
+    "FaultTrial",
+    "FaultCoverageReport",
+    "misrouted_outputs",
+    "fault_coverage_experiment",
+    "route_with_stuck_switch",
+    "RecoveryOutcome",
+    "detect_and_reroute",
+    "recovery_experiment",
+]

@@ -1,0 +1,134 @@
+"""Fault-coverage experiments: what does a stuck switch do?
+
+A permutation network misroutes *visibly*: a stuck switch displaces a
+set of packets, and because every packet carries its destination
+address, an output-side comparison (``arrived address == line``)
+detects the fault whenever any displaced packet's route actually
+depended on the stuck control.  These experiments quantify that:
+
+* the **blast radius** — how many outputs a single stuck-at fault
+  corrupts (always 0 or an even number >= 2: switches displace packets
+  in pairs along two subtree paths);
+* the **detection rate** — the probability a random permutation
+  exercises the fault (the control already equals the stuck value for
+  some workloads, making the fault silent for that routing).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Optional, Sequence
+
+from ..core.bnb import BNBNetwork
+from ..core.words import Word
+from ..permutations.generators import random_permutation
+from .injector import (
+    SwitchCoordinate,
+    enumerate_switch_coordinates,
+    extract_controls,
+    inject_stuck_control,
+    replay_controls,
+)
+
+__all__ = [
+    "FaultTrial",
+    "FaultCoverageReport",
+    "misrouted_outputs",
+    "fault_coverage_experiment",
+]
+
+
+def misrouted_outputs(outputs: Sequence[Word]) -> List[int]:
+    """Output lines whose arrived address does not match (the detector)."""
+    return [line for line, word in enumerate(outputs) if word.address != line]
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultTrial:
+    """One (permutation, fault) experiment."""
+
+    coordinate: SwitchCoordinate
+    stuck_value: int
+    activated: bool
+    misrouted: int
+
+
+@dataclasses.dataclass
+class FaultCoverageReport:
+    """Aggregate over many fault trials."""
+
+    m: int
+    trials: List[FaultTrial]
+
+    @property
+    def trial_count(self) -> int:
+        return len(self.trials)
+
+    @property
+    def activation_rate(self) -> float:
+        """Fraction of trials where the stuck value differed from the
+        fault-free control (the fault could do anything at all)."""
+        if not self.trials:
+            return 0.0
+        return sum(t.activated for t in self.trials) / len(self.trials)
+
+    @property
+    def detection_rate_given_activation(self) -> float:
+        """Among activated faults, fraction detected by the address check."""
+        activated = [t for t in self.trials if t.activated]
+        if not activated:
+            return 0.0
+        return sum(t.misrouted > 0 for t in activated) / len(activated)
+
+    @property
+    def max_blast_radius(self) -> int:
+        return max((t.misrouted for t in self.trials), default=0)
+
+    def blast_radius_histogram(self) -> dict:
+        histogram: dict = {}
+        for trial in self.trials:
+            histogram[trial.misrouted] = histogram.get(trial.misrouted, 0) + 1
+        return histogram
+
+
+def fault_coverage_experiment(
+    m: int,
+    trials: int = 100,
+    seed: int = 0,
+    coordinate: Optional[SwitchCoordinate] = None,
+) -> FaultCoverageReport:
+    """Run single-stuck-at trials on a ``2**m``-input BNB network.
+
+    Each trial draws a uniform permutation, routes it fault-free to
+    collect controls, sticks one switch (a fixed *coordinate* if given,
+    else a random one per trial) at a random value, replays, and counts
+    misrouted outputs.
+    """
+    if trials <= 0:
+        raise ValueError(f"need a positive trial count, got {trials}")
+    rng = random.Random(seed)
+    network = BNBNetwork(m)
+    coordinates = enumerate_switch_coordinates(m)
+    results: List[FaultTrial] = []
+    for _ in range(trials):
+        pi = random_permutation(network.n, rng=rng)
+        words = [Word(address=pi(j), payload=j) for j in range(network.n)]
+        _outputs, record = network.route(words, record=True)
+        assert record is not None
+        table = extract_controls(record)
+        target = coordinate or rng.choice(coordinates)
+        stuck_value = rng.randrange(2)
+        key = (target.main_stage, target.nested, target.nested_stage, target.box)
+        activated = table[key][target.switch] != stuck_value
+        perturbed = inject_stuck_control(table, target, stuck_value)
+        faulty_outputs = replay_controls(m, words, perturbed)
+        results.append(
+            FaultTrial(
+                coordinate=target,
+                stuck_value=stuck_value,
+                activated=activated,
+                misrouted=len(misrouted_outputs(faulty_outputs)),
+            )
+        )
+    return FaultCoverageReport(m=m, trials=results)

@@ -1,0 +1,163 @@
+"""Stuck-at fault injection on BNB switch settings.
+
+The model: a routing pass is performed fault-free to obtain every
+switch's control bit (the :class:`~repro.core.bnb.BNBRoutingRecord`);
+a fault forces one control to a constant; the perturbed controls are
+then *replayed* through the network structure.  Replaying rather than
+re-deciding matches the physical failure being modelled — a stuck
+switch ignores its (correctly computed) control signal — and it also
+covers the follower slices, which by construction share the faulted
+switch's setting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+from ..bits import unshuffle_index
+from ..core.bnb import BNBNetwork, BNBRoutingRecord
+from ..core.switchbox import apply_pair_controls
+from ..core.words import Word
+from ..exceptions import FaultError
+
+__all__ = [
+    "SwitchCoordinate",
+    "enumerate_switch_coordinates",
+    "extract_controls",
+    "inject_stuck_control",
+    "replay_controls",
+]
+
+ControlTable = Dict[Tuple[int, int, int, int], List[int]]
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class SwitchCoordinate:
+    """Address of one 2 x 2 switch in the BNB control structure.
+
+    ``main_stage`` selects the main-network stage, ``nested`` the
+    NB(main_stage, nested) network, ``nested_stage`` and ``box`` the
+    splitter within it, ``switch`` the 2 x 2 switch within the
+    splitter.
+    """
+
+    main_stage: int
+    nested: int
+    nested_stage: int
+    box: int
+    switch: int
+
+
+def enumerate_switch_coordinates(m: int) -> List[SwitchCoordinate]:
+    """All switch coordinates of a ``2**m``-input BNB network.
+
+    The count equals the per-slice switch total ``sum_i 2^i *
+    (P/2) log P`` (the paper's Eq. 3 summed over the main network) —
+    asserted in tests against ``BNBNetwork.switch_count`` divided by
+    the slice multiplicity.
+    """
+    coordinates: List[SwitchCoordinate] = []
+    for i in range(m):
+        block_exp = m - i
+        for l in range(1 << i):
+            for j in range(block_exp):
+                width = 1 << (block_exp - j)
+                for box in range(1 << j):
+                    for t in range(width // 2):
+                        coordinates.append(
+                            SwitchCoordinate(
+                                main_stage=i,
+                                nested=l,
+                                nested_stage=j,
+                                box=box,
+                                switch=t,
+                            )
+                        )
+    return coordinates
+
+
+def extract_controls(record: BNBRoutingRecord) -> ControlTable:
+    """Flatten a routing record into a control lookup table."""
+    table: ControlTable = {}
+    for (main_stage, nested), bsn_record in record.nested_records.items():
+        for (nested_stage, box), splitter_record in bsn_record.splitters.items():
+            table[(main_stage, nested, nested_stage, box)] = list(
+                splitter_record.controls
+            )
+    return table
+
+
+def inject_stuck_control(
+    table: ControlTable, coordinate: SwitchCoordinate, value: int
+) -> ControlTable:
+    """Return a copy of *table* with one switch stuck at *value*."""
+    if value not in (0, 1):
+        raise FaultError(f"stuck-at value must be 0 or 1, got {value!r}")
+    key = (
+        coordinate.main_stage,
+        coordinate.nested,
+        coordinate.nested_stage,
+        coordinate.box,
+    )
+    if key not in table:
+        raise FaultError(f"no splitter at {key} in the control table")
+    controls = table[key]
+    if not 0 <= coordinate.switch < len(controls):
+        raise FaultError(
+            f"switch {coordinate.switch} out of range for splitter {key} "
+            f"({len(controls)} switches)"
+        )
+    perturbed = {k: list(v) for k, v in table.items()}
+    perturbed[key][coordinate.switch] = value
+    return perturbed
+
+
+def replay_controls(
+    m: int, words: Sequence[Word], table: ControlTable
+) -> List[Word]:
+    """Push *words* through the BNB structure under explicit controls.
+
+    No splitter decisions are made; the table is the single source of
+    switch settings.  Replaying an unperturbed table must reproduce the
+    fault-free output exactly (a tested invariant).
+    """
+    n = 1 << m
+    if len(words) != n:
+        raise ValueError(f"expected {n} words, got {len(words)}")
+    current: List[Word] = list(words)
+    for i in range(m):
+        block_exp = m - i
+        block = 1 << block_exp
+        for l in range(1 << i):
+            lo = l * block
+            segment = current[lo : lo + block]
+            for j in range(block_exp):
+                width = 1 << (block_exp - j)
+                routed: List[Word] = [None] * block  # type: ignore[list-item]
+                for box in range(1 << j):
+                    base = box * width
+                    key = (i, l, j, box)
+                    controls = table.get(key)
+                    if controls is None:
+                        raise FaultError(f"control table missing splitter {key}")
+                    routed[base : base + width] = apply_pair_controls(
+                        segment[base : base + width], controls
+                    )
+                if j < block_exp - 1:
+                    connected: List[Word] = [None] * block  # type: ignore[list-item]
+                    for offset, value in enumerate(routed):
+                        connected[
+                            unshuffle_index(offset, block_exp - j, block_exp)
+                        ] = value
+                    segment = connected
+                else:
+                    segment = routed
+            current[lo : lo + block] = segment
+        if i < m - 1:
+            k = m - i
+            reconnected: List[Word] = [None] * n  # type: ignore[list-item]
+            for j, value in enumerate(current):
+                reconnected[unshuffle_index(j, k, m)] = value
+            current = reconnected
+    return current

@@ -1,0 +1,88 @@
+"""Gate-level hardware substrate.
+
+The paper counts hardware in two primitive units: ``2 x 2`` switches
+(``C_SW``) and arbiter function nodes (``C_FN``).  This package builds
+*actual gate netlists* for both primitives (Figs. 4-5) and composes
+them into arbiters, splitters, bit-sorter networks, complete (small)
+BNB networks and Batcher comparators.  Three things come out of it:
+
+* **counts** — gates, switch cells and function nodes of constructed
+  hardware, reconciled against the paper's closed forms
+  (:mod:`~repro.hardware.accounting`);
+* **logic verification** — netlists are evaluated (levelized, or
+  event-driven via :mod:`repro.sim`) and must agree with the
+  functional models bit for bit;
+* **measured delay** — levelized depth and event-driven settle times
+  reproduce the delay expressions of Section 5.2.
+"""
+
+from .gates import GateType, Gate, GATE_EVALUATORS, evaluate_gate
+from .netlist import Netlist
+from .library import CostModel, DEFAULT_COST_MODEL
+from .function_node import build_function_node, function_node_truth
+from .switch_cell import build_switch_cell, switch_cell_truth
+from .arbiter_hw import build_arbiter_netlist
+from .splitter_hw import build_splitter_netlist
+from .bsn_hw import build_bsn_netlist
+from .bnb_hw import build_bnb_netlist, BNBNetlistPorts
+from .batcher_hw import build_comparator_cell, build_batcher_netlist
+from .accounting import (
+    HardwareInventory,
+    bnb_inventory,
+    batcher_inventory,
+    koppelman_inventory,
+    table1_rows,
+)
+from .verilog import emit_verilog, parse_verilog, sanitize_identifier
+from .layout import (
+    WiringCost,
+    wiring_cost,
+    gbn_wiring_costs,
+    bnb_total_wire_length,
+)
+from .synthesis import optimize, OptimizationReport
+from .fault_hw import (
+    CoverageReport,
+    all_single_stuck_at_faults,
+    evaluate_with_faults,
+    single_stuck_at_coverage,
+)
+
+__all__ = [
+    "GateType",
+    "Gate",
+    "GATE_EVALUATORS",
+    "evaluate_gate",
+    "Netlist",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "build_function_node",
+    "function_node_truth",
+    "build_switch_cell",
+    "switch_cell_truth",
+    "build_arbiter_netlist",
+    "build_splitter_netlist",
+    "build_bsn_netlist",
+    "build_bnb_netlist",
+    "BNBNetlistPorts",
+    "build_comparator_cell",
+    "build_batcher_netlist",
+    "HardwareInventory",
+    "bnb_inventory",
+    "batcher_inventory",
+    "koppelman_inventory",
+    "table1_rows",
+    "emit_verilog",
+    "parse_verilog",
+    "sanitize_identifier",
+    "WiringCost",
+    "wiring_cost",
+    "gbn_wiring_costs",
+    "bnb_total_wire_length",
+    "optimize",
+    "OptimizationReport",
+    "CoverageReport",
+    "all_single_stuck_at_faults",
+    "evaluate_with_faults",
+    "single_stuck_at_coverage",
+]

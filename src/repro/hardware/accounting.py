@@ -1,0 +1,105 @@
+"""Hardware accounting in the paper's units (Table 1 reproduction).
+
+Each network's hardware is inventoried as counts of the paper's
+primitive units — one-bit ``2 x 2`` switch slices, arbiter function
+nodes / comparator function slices, and adder slices (Koppelman only).
+Counts come from the *constructed* objects
+(:class:`~repro.core.bnb.BNBNetwork`,
+:class:`~repro.baselines.batcher.BatcherNetwork`) so that the closed
+forms in :mod:`repro.analysis.complexity` are verified against real
+structures, not against themselves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..baselines.batcher import BatcherNetwork
+from ..baselines.koppelman import KoppelmanSRPN
+from ..core.bnb import BNBNetwork
+from .library import CostModel, DEFAULT_COST_MODEL
+
+__all__ = [
+    "HardwareInventory",
+    "bnb_inventory",
+    "batcher_inventory",
+    "koppelman_inventory",
+    "table1_rows",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class HardwareInventory:
+    """Primitive-unit counts of one network instance."""
+
+    network: str
+    n: int
+    w: int
+    switch_slices: int
+    function_units: int
+    adder_slices: int = 0
+
+    def total_cost(self, model: CostModel = DEFAULT_COST_MODEL) -> float:
+        """Scalar cost under a technology model (all units weighted)."""
+        return (
+            self.switch_slices * model.c_sw
+            + self.function_units * model.c_fn
+            + self.adder_slices * model.c_adder
+        )
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "network": self.network,
+            "N": self.n,
+            "w": self.w,
+            "2x2 switches": self.switch_slices,
+            "function units": self.function_units,
+            "adder slices": self.adder_slices,
+        }
+
+
+def bnb_inventory(m: int, w: int = 0) -> HardwareInventory:
+    """Count the BNB network's hardware from its constructed structure."""
+    network = BNBNetwork(m=m, w=w)
+    return HardwareInventory(
+        network="BNB (this paper)",
+        n=network.n,
+        w=w,
+        switch_slices=network.switch_count,
+        function_units=network.function_node_count,
+    )
+
+
+def batcher_inventory(m: int, w: int = 0) -> HardwareInventory:
+    """Count the Batcher network's hardware (Eq. 11's model)."""
+    network = BatcherNetwork(m=m, w=w)
+    return HardwareInventory(
+        network="Batcher",
+        n=network.n,
+        w=w,
+        switch_slices=network.switch_slice_count,
+        function_units=network.function_slice_count,
+    )
+
+
+def koppelman_inventory(m: int, w: int = 0) -> HardwareInventory:
+    """Koppelman SRPN hardware per its published leading terms."""
+    network = KoppelmanSRPN(m=m, w=w)
+    return HardwareInventory(
+        network="Koppelman SRPN",
+        n=network.n,
+        w=w,
+        switch_slices=network.switch_slice_count,
+        function_units=network.function_slice_count,
+        adder_slices=network.adder_slice_count,
+    )
+
+
+def table1_rows(m: int, w: int = 0) -> List[HardwareInventory]:
+    """The three Table 1 rows for one network size."""
+    return [
+        batcher_inventory(m, w),
+        koppelman_inventory(m, w),
+        bnb_inventory(m, w),
+    ]

@@ -1,0 +1,75 @@
+"""Gate-level arbiter trees ``A(p)`` (Fig. 4's tree, nodes from Fig. 5).
+
+The tree is a DAG in the netlist sense: the XOR (``z_up``) gates feed
+bottom-up, the flag gates (``y1``/``y2``) feed top-down, and the root's
+parent flag is its own up-value (the echo of algorithm step 4 — pure
+wiring, no gate).  Construction therefore runs in two passes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..bits import require_power_of_two
+from .gates import GateType
+from .netlist import Netlist
+
+__all__ = ["add_arbiter_tree", "build_arbiter_netlist"]
+
+
+def add_arbiter_tree(
+    netlist: Netlist, input_nets: Sequence[int], group: str = "fn"
+) -> List[int]:
+    """Instantiate ``A(p)`` over *input_nets*; return per-line flag nets.
+
+    Requires at least four inputs (``p >= 2``); for two inputs the
+    arbiter is wiring and callers should use the input bit directly
+    (see the splitter builder).
+    """
+    p = require_power_of_two(len(input_nets), "arbiter input count")
+    if p < 2:
+        raise ValueError("gate-level A(p) needs p >= 2; A(1) is wiring")
+
+    # Upward pass: XOR tree.  up_nets[level][i] is node i's z_up net.
+    up_nets: List[List[int]] = []
+    current = list(input_nets)
+    while len(current) > 1:
+        next_nets = [
+            netlist.add_gate(
+                GateType.XOR, (current[2 * t], current[2 * t + 1]), group=group
+            )
+            for t in range(len(current) // 2)
+        ]
+        up_nets.append(next_nets)
+        current = next_nets
+
+    # Downward pass: per node, y1 = z_up AND z_down; y2 = !z_up OR z_down.
+    root_level = len(up_nets) - 1
+    down_nets: List[List[int]] = [[0] * len(level) for level in up_nets]
+    down_nets[root_level][0] = up_nets[root_level][0]  # echo wire
+    flags: List[int] = [0] * len(input_nets)
+    for level in range(root_level, -1, -1):
+        for index, z_up in enumerate(up_nets[level]):
+            z_down = down_nets[level][index]
+            y1 = netlist.add_gate(GateType.AND, (z_up, z_down), group=group)
+            not_z_up = netlist.add_gate(GateType.NOT, (z_up,), group=group)
+            y2 = netlist.add_gate(GateType.OR, (not_z_up, z_down), group=group)
+            if level > 0:
+                down_nets[level - 1][2 * index] = y1
+                down_nets[level - 1][2 * index + 1] = y2
+            else:
+                flags[2 * index] = y1
+                flags[2 * index + 1] = y2
+    return flags
+
+
+def build_arbiter_netlist(p: int) -> Netlist:
+    """A standalone ``A(p)`` netlist with inputs ``s[j]`` / outputs ``f[j]``."""
+    if p < 2:
+        raise ValueError(f"gate-level A(p) needs p >= 2, got {p}")
+    netlist = Netlist(name=f"arbiter_A{p}")
+    inputs = [netlist.add_input(f"s[{j}]") for j in range(1 << p)]
+    flags = add_arbiter_tree(netlist, inputs)
+    for j, net in enumerate(flags):
+        netlist.mark_output(f"f[{j}]", net)
+    return netlist

@@ -1,0 +1,98 @@
+"""Gate-level Batcher comparators and (small) complete sorting networks.
+
+The paper's Eq. 11 hardware model for a ``q = m + w``-bit comparator:
+``m`` one-bit function slices (the compare logic, one per address bit)
+plus ``q`` one-bit switch slices (the swap path).  The comparator here
+matches that structure: an MSB-first ripple comparator producing
+``a > b`` — one greater/equal slice per bit, tagged ``cmp`` — then one
+switch cell per bit with the comparison result as the shared control.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..baselines.batcher import odd_even_merge_sort_pairs
+from .gates import GateType
+from .netlist import Netlist
+from .switch_cell import add_switch_cell
+
+__all__ = ["add_comparator", "build_comparator_cell", "build_batcher_netlist"]
+
+_MAX_M = 4
+
+
+def add_comparator(
+    netlist: Netlist,
+    a_bits: Sequence[int],
+    b_bits: Sequence[int],
+) -> Tuple[List[int], List[int]]:
+    """Compare-exchange two words (bit nets MSB first).
+
+    Returns ``(min_bits, max_bits)``: the smaller word on the first
+    output, as in an ascending comparator.
+    """
+    if len(a_bits) != len(b_bits) or not a_bits:
+        raise ValueError("comparator needs two equal, non-empty bit vectors")
+    # MSB-first ripple: greater = a>b so far, equal = a==b so far.
+    greater = None
+    equal = None
+    for a, b in zip(a_bits, b_bits):
+        not_b = netlist.add_gate(GateType.NOT, (b,), group="cmp")
+        a_gt_b = netlist.add_gate(GateType.AND, (a, not_b), group="cmp")
+        a_eq_b = netlist.add_gate(GateType.XNOR, (a, b), group="cmp")
+        if greater is None:
+            greater = a_gt_b
+            equal = a_eq_b
+        else:
+            step = netlist.add_gate(GateType.AND, (equal, a_gt_b), group="cmp")
+            greater = netlist.add_gate(GateType.OR, (greater, step), group="cmp")
+            equal = netlist.add_gate(GateType.AND, (equal, a_eq_b), group="cmp")
+    assert greater is not None
+    min_bits: List[int] = []
+    max_bits: List[int] = []
+    for a, b in zip(a_bits, b_bits):
+        # control = greater: when a > b the words swap lines.
+        upper, lower = add_switch_cell(netlist, a, b, greater)
+        min_bits.append(upper)
+        max_bits.append(lower)
+    return min_bits, max_bits
+
+
+def build_comparator_cell(width: int) -> Netlist:
+    """A standalone *width*-bit comparator with ports ``a[b]``/``b[b]``."""
+    if width < 1:
+        raise ValueError(f"comparator width must be positive, got {width}")
+    netlist = Netlist(name=f"comparator_{width}b")
+    a_bits = [netlist.add_input(f"a[{b}]") for b in range(width)]
+    b_bits = [netlist.add_input(f"b[{b}]") for b in range(width)]
+    min_bits, max_bits = add_comparator(netlist, a_bits, b_bits)
+    for b in range(width):
+        netlist.mark_output(f"min[{b}]", min_bits[b])
+        netlist.mark_output(f"max[{b}]", max_bits[b])
+    return netlist
+
+
+def build_batcher_netlist(m: int) -> Tuple[Netlist, List[List[str]], List[List[str]]]:
+    """A complete ``2**m``-input odd-even merge sorter on ``m``-bit keys.
+
+    Returns ``(netlist, input_names, output_names)`` with
+    ``input_names[j][b]`` naming bit ``b`` (MSB first) of line ``j``.
+    """
+    if not 1 <= m <= _MAX_M:
+        raise ValueError(
+            f"gate-level Batcher supports 1 <= m <= {_MAX_M}, got m={m}"
+        )
+    n = 1 << m
+    netlist = Netlist(name=f"batcher_{n}")
+    input_names = [[f"a{j}b{b}" for b in range(m)] for j in range(n)]
+    lines: List[List[int]] = [
+        [netlist.add_input(name) for name in names] for names in input_names
+    ]
+    for i, j in odd_even_merge_sort_pairs(n):
+        lines[i], lines[j] = add_comparator(netlist, lines[i], lines[j])
+    output_names = [[f"o{j}b{b}" for b in range(m)] for j in range(n)]
+    for j in range(n):
+        for b in range(m):
+            netlist.mark_output(output_names[j][b], lines[j][b])
+    return netlist, input_names, output_names

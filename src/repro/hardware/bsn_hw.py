@@ -1,0 +1,57 @@
+"""Gate-level bit-sorter networks (one-bit-slice GBNs of splitters)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..bits import require_power_of_two, unshuffle_index
+from .netlist import Netlist
+from .splitter_hw import add_splitter
+
+__all__ = ["add_bsn", "build_bsn_netlist"]
+
+
+def add_bsn(
+    netlist: Netlist, input_nets: Sequence[int]
+) -> Tuple[List[int], List[List[List[int]]]]:
+    """Instantiate a ``2**k``-input BSN over *input_nets*.
+
+    Returns ``(output_nets, controls)`` where
+    ``controls[stage][box]`` lists the control nets of that splitter —
+    the hooks follower slices attach to.
+    """
+    k = require_power_of_two(len(input_nets), "BSN size")
+    if k < 1:
+        raise ValueError("a BSN needs at least two lines")
+    n = 1 << k
+    current = list(input_nets)
+    all_controls: List[List[List[int]]] = []
+    for stage in range(k):
+        box_size = 1 << (k - stage)
+        routed: List[int] = [0] * n
+        stage_controls: List[List[int]] = []
+        for box in range(1 << stage):
+            lo = box * box_size
+            sub = current[lo : lo + box_size]
+            out, controls = add_splitter(netlist, sub, sub)
+            routed[lo : lo + box_size] = out
+            stage_controls.append(controls)
+        all_controls.append(stage_controls)
+        if stage < k - 1:
+            connected: List[int] = [0] * n
+            for j, net in enumerate(routed):
+                connected[unshuffle_index(j, k - stage, k)] = net
+            current = connected
+        else:
+            current = routed
+    return current, all_controls
+
+
+def build_bsn_netlist(k: int) -> Netlist:
+    """A standalone ``2**k``-input BSN with ports ``s[j]`` / ``o[j]``."""
+    netlist = Netlist(name=f"bsn_{1 << k}")
+    inputs = [netlist.add_input(f"s[{j}]") for j in range(1 << k)]
+    outputs, _controls = add_bsn(netlist, inputs)
+    for j, net in enumerate(outputs):
+        netlist.mark_output(f"o[{j}]", net)
+    return netlist

@@ -1,0 +1,64 @@
+"""The arbiter function node at gate level (Fig. 5 of the paper).
+
+Behaviour (Section 4):
+
+* send up the XOR of the children: ``z_u = x1 XOR x2``;
+* if ``z_u == 0`` (type-1 pair below), *generate* flags
+  ``y1 = 0``, ``y2 = 1`` regardless of the parent;
+* if ``z_u == 1`` (type-2 pair below), *forward* the parent flag:
+  ``y1 = y2 = z_d``.
+
+As two-level logic: ``y1 = z_u AND z_d`` and ``y2 = (NOT z_u) OR z_d``.
+That is one XOR, one AND, one NOT and one OR — "the function node ...
+consists of few gates", as the paper says; its delay is charged as one
+``D_FN`` unit in the analytical model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .gates import GateType
+from .netlist import Netlist
+
+__all__ = ["build_function_node", "add_function_node", "function_node_truth"]
+
+
+def function_node_truth(x1: int, x2: int, z_down: int) -> Tuple[int, int, int]:
+    """Reference truth function: returns ``(z_up, y1, y2)``."""
+    for v in (x1, x2, z_down):
+        if v not in (0, 1):
+            raise ValueError(f"function node inputs must be bits, got {v!r}")
+    z_up = x1 ^ x2
+    if z_up == 0:
+        return z_up, 0, 1
+    return z_up, z_down, z_down
+
+
+def add_function_node(
+    netlist: Netlist, x1: int, x2: int, z_down: int, group: str = "fn"
+) -> Tuple[int, int, int]:
+    """Instantiate one function node inside *netlist*.
+
+    Takes three existing net ids and returns the net ids of
+    ``(z_up, y1, y2)``.  All four gates carry the *group* tag so the
+    accounting layer can count function nodes from raw netlists.
+    """
+    z_up = netlist.add_gate(GateType.XOR, (x1, x2), group=group)
+    y1 = netlist.add_gate(GateType.AND, (z_up, z_down), group=group)
+    not_z_up = netlist.add_gate(GateType.NOT, (z_up,), group=group)
+    y2 = netlist.add_gate(GateType.OR, (not_z_up, z_down), group=group)
+    return z_up, y1, y2
+
+
+def build_function_node() -> Netlist:
+    """A standalone function-node netlist with named ports."""
+    netlist = Netlist(name="function_node")
+    x1 = netlist.add_input("x1")
+    x2 = netlist.add_input("x2")
+    z_down = netlist.add_input("z_down")
+    z_up, y1, y2 = add_function_node(netlist, x1, x2, z_down)
+    netlist.mark_output("z_up", z_up)
+    netlist.mark_output("y1", y1)
+    netlist.mark_output("y2", y2)
+    return netlist

@@ -1,0 +1,97 @@
+"""Gate primitives for netlist construction."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Callable, Dict, Sequence, Tuple
+
+__all__ = ["GateType", "Gate", "GATE_EVALUATORS", "evaluate_gate"]
+
+
+class GateType(enum.Enum):
+    """Supported combinational gate types.
+
+    ``INPUT`` marks primary inputs; ``CONST0``/``CONST1`` tie-offs.
+    ``MUX2`` selects ``a`` when ``sel == 0`` and ``b`` when ``sel == 1``
+    (input order ``(sel, a, b)``).
+    """
+
+    INPUT = "input"
+    CONST0 = "const0"
+    CONST1 = "const1"
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NAND = "nand"
+    NOR = "nor"
+    XNOR = "xnor"
+    MUX2 = "mux2"
+
+
+_ARITY: Dict[GateType, int] = {
+    GateType.INPUT: 0,
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+    GateType.BUF: 1,
+    GateType.NOT: 1,
+    GateType.AND: 2,
+    GateType.OR: 2,
+    GateType.XOR: 2,
+    GateType.NAND: 2,
+    GateType.NOR: 2,
+    GateType.XNOR: 2,
+    GateType.MUX2: 3,
+}
+
+
+GATE_EVALUATORS: Dict[GateType, Callable[..., int]] = {
+    GateType.CONST0: lambda: 0,
+    GateType.CONST1: lambda: 1,
+    GateType.BUF: lambda a: a,
+    GateType.NOT: lambda a: 1 - a,
+    GateType.AND: lambda a, b: a & b,
+    GateType.OR: lambda a, b: a | b,
+    GateType.XOR: lambda a, b: a ^ b,
+    GateType.NAND: lambda a, b: 1 - (a & b),
+    GateType.NOR: lambda a, b: 1 - (a | b),
+    GateType.XNOR: lambda a, b: 1 - (a ^ b),
+    GateType.MUX2: lambda sel, a, b: b if sel else a,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Gate:
+    """One gate instance: its type, input net ids and output net id.
+
+    ``group`` tags the logical component the gate belongs to
+    (e.g. ``"fn"`` for arbiter function nodes, ``"sw"`` for switch
+    cells) so hardware accounting can aggregate in the paper's units.
+    """
+
+    gate_id: int
+    gate_type: GateType
+    inputs: Tuple[int, ...]
+    output: int
+    group: str = ""
+
+    def __post_init__(self) -> None:
+        expected = _ARITY[self.gate_type]
+        if len(self.inputs) != expected:
+            raise ValueError(
+                f"{self.gate_type.value} gate takes {expected} inputs, "
+                f"got {len(self.inputs)}"
+            )
+
+
+def evaluate_gate(gate_type: GateType, values: Sequence[int]) -> int:
+    """Evaluate one gate on known-0/1 input values."""
+    evaluator = GATE_EVALUATORS.get(gate_type)
+    if evaluator is None:
+        raise ValueError(f"gate type {gate_type} is not evaluable")
+    for v in values:
+        if v not in (0, 1):
+            raise ValueError(f"gate inputs must be bits, got {v!r}")
+    return evaluator(*values)

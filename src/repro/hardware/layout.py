@@ -1,0 +1,107 @@
+"""A first-order VLSI layout model: wire lengths of the connections.
+
+The paper counts switches and nodes; in silicon the interstage wiring
+is the other cost.  In the standard column layout (line ``j`` of every
+stage at vertical track ``j``), a connection's cost is the vertical
+distance each wire spans and the number of *tracks* (max cut) the
+pattern needs.  This module computes both for any wiring and totals
+them per network, giving a quantitative version of the paper's
+"good regularity" remark — and showing its price: the BNB's early
+full-width unshuffles are long-haul wiring, like every log-stage
+network's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+from ..bits import require_power_of_two
+from ..topology.connections import unshuffle_connection
+
+__all__ = [
+    "WiringCost",
+    "wiring_cost",
+    "gbn_wiring_costs",
+    "bnb_total_wire_length",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class WiringCost:
+    """Costs of one interstage wiring in the column layout."""
+
+    total_length: int  # sum over wires of |dest - source|
+    max_length: int    # longest single wire
+    track_count: int   # max number of wires crossing any horizontal cut
+    wire_count: int
+
+    @property
+    def average_length(self) -> float:
+        return self.total_length / self.wire_count if self.wire_count else 0.0
+
+
+def wiring_cost(wiring: Sequence[int]) -> WiringCost:
+    """Vertical wire lengths and channel density of a wiring."""
+    n = len(wiring)
+    lengths = [abs(destination - source) for source, destination in enumerate(wiring)]
+    # Channel density: sweep the n-1 horizontal cuts; a wire from s to d
+    # crosses cut c (between track c and c+1) iff min < c+1 <= max.
+    crossings = [0] * max(n - 1, 1)
+    for source, destination in enumerate(wiring):
+        low, high = sorted((source, destination))
+        for cut in range(low, high):
+            crossings[cut] += 1
+    return WiringCost(
+        total_length=sum(lengths),
+        max_length=max(lengths, default=0),
+        track_count=max(crossings, default=0),
+        wire_count=n,
+    )
+
+
+def gbn_wiring_costs(m: int) -> List[WiringCost]:
+    """Costs of the GBN's ``m - 1`` unshuffle connections ``U_{m-i}^m``."""
+    require_power_of_two(1 << m, "network size")
+    n = 1 << m
+    return [wiring_cost(unshuffle_connection(n, m - i)) for i in range(m - 1)]
+
+
+def bnb_total_wire_length(m: int, w: int = 0) -> int:
+    """Total vertical wire length of every connection in a BNB network.
+
+    Each nested network at main stage ``i`` contributes its internal
+    GBN connections on ``m - i + w`` slices; the main network's
+    ``U_{m-i}^m`` connections run once per slice as well.  Wire length
+    of a connection inside a block is independent of the block's
+    position, so block counts multiply.
+    """
+    if m < 1:
+        raise ValueError(f"need m >= 1, got {m}")
+    total = 0
+    # Main-network connections: after main stage i (i < m-1), a global
+    # U_{m-i}^m on (m - i + w)... the words leaving stage i still carry
+    # (m - i - 1 + w) remaining slices plus the consumed bit's slice is
+    # dropped; charge the slices present *on the wire*: (m - i - 1) + w
+    # address+data slices (bit i is consumed inside stage i).
+    n = 1 << m
+    for i in range(m - 1):
+        slices = (m - i - 1) + w
+        total += wiring_cost(unshuffle_connection(n, m - i)).total_length * slices
+    # Nested-network internals: stage i has 2**i nested GBNs of size
+    # 2**(m-i) with (m - i + w) slices each; their internal connection
+    # after nested stage j is U_{p-j}^p per block of size 2**(p-j).
+    for i in range(m):
+        p = m - i
+        slices = p + w
+        block_count_of_nested = 1 << i
+        for j in range(p - 1):
+            width = 1 << (p - j)
+            per_block = wiring_cost(
+                unshuffle_connection(width, p - j)
+            ).total_length
+            blocks_inside = 1 << j
+            total += (
+                per_block * blocks_inside * block_count_of_nested * slices
+            )
+    return total

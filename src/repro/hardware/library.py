@@ -1,0 +1,42 @@
+"""Cost and delay parameters in the paper's units.
+
+Section 5 expresses every result in four technology constants: the
+cost ``C_SW`` and delay ``D_SW`` of a 2 x 2 switch, and the cost
+``C_FN`` and delay ``D_FN`` of an arbiter function node.  The default
+model sets all four to 1, which is exactly the normalization Tables 1
+and 2 use ("assuming D_SW, D_FN, C_SW and C_FN of the three networks
+are comparable").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CostModel:
+    """Technology constants for cost/delay arithmetic.
+
+    ``c_adder`` / ``d_adder`` price the Koppelman ranking-circuit adder
+    slices; the paper's comparison treats them as comparable to
+    function slices, and so does the default.
+    """
+
+    c_sw: float = 1.0
+    c_fn: float = 1.0
+    c_adder: float = 1.0
+    d_sw: float = 1.0
+    d_fn: float = 1.0
+    d_adder: float = 1.0
+
+    def validate(self) -> "CostModel":
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if value < 0:
+                raise ValueError(f"{field.name} must be non-negative, got {value}")
+        return self
+
+
+DEFAULT_COST_MODEL = CostModel().validate()

@@ -1,0 +1,193 @@
+"""Netlists: gates wired by integer net ids, with analysis passes.
+
+A :class:`Netlist` is built incrementally (``add_input`` / ``add_gate``
+/ ``mark_output``), then analyzed:
+
+* :meth:`Netlist.evaluate` — levelized combinational evaluation;
+* :meth:`Netlist.levelize` — topological levels (each gate's level is
+  one more than its deepest input), the basis for
+* :meth:`Netlist.critical_path_length` and
+  :meth:`Netlist.weighted_depth` — unit and per-type-weighted depth;
+* :meth:`Netlist.gate_census` / :meth:`Netlist.group_census` — counts
+  by gate type and by component group, feeding the hardware accounting.
+
+Netlists here are purely combinational; cycles are rejected at
+levelization time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from .gates import Gate, GateType, evaluate_gate
+
+__all__ = ["Netlist"]
+
+
+class Netlist:
+    """A combinational gate network over integer net ids."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.gates: List[Gate] = []
+        self._net_count = 0
+        self.inputs: Dict[str, int] = {}
+        self.outputs: Dict[str, int] = {}
+        self._driver: Dict[int, int] = {}  # net id -> index into self.gates
+        self._levels: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def new_net(self) -> int:
+        net = self._net_count
+        self._net_count += 1
+        return net
+
+    def add_input(self, name: str) -> int:
+        """Declare a primary input; returns its net id."""
+        if name in self.inputs:
+            raise ConfigurationError(f"duplicate input name {name!r}")
+        net = self.new_net()
+        gate = Gate(
+            gate_id=len(self.gates),
+            gate_type=GateType.INPUT,
+            inputs=(),
+            output=net,
+            group="input",
+        )
+        self.gates.append(gate)
+        self._driver[net] = gate.gate_id
+        self.inputs[name] = net
+        self._levels = None
+        return net
+
+    def add_gate(
+        self, gate_type: GateType, inputs: Sequence[int], group: str = ""
+    ) -> int:
+        """Add a gate driven by existing nets; returns its output net id."""
+        for net in inputs:
+            if net not in self._driver:
+                raise ConfigurationError(f"net {net} has no driver")
+        output = self.new_net()
+        gate = Gate(
+            gate_id=len(self.gates),
+            gate_type=gate_type,
+            inputs=tuple(inputs),
+            output=output,
+            group=group,
+        )
+        self.gates.append(gate)
+        self._driver[output] = gate.gate_id
+        self._levels = None
+        return output
+
+    def mark_output(self, name: str, net: int) -> None:
+        """Name a net as a primary output."""
+        if name in self.outputs:
+            raise ConfigurationError(f"duplicate output name {name!r}")
+        if net not in self._driver:
+            raise ConfigurationError(f"net {net} has no driver")
+        self.outputs[name] = net
+        self._levels = None
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    @property
+    def gate_count(self) -> int:
+        """Logic gates, excluding INPUT markers."""
+        return sum(1 for g in self.gates if g.gate_type is not GateType.INPUT)
+
+    def gate_census(self) -> Dict[GateType, int]:
+        census: Dict[GateType, int] = {}
+        for gate in self.gates:
+            if gate.gate_type is GateType.INPUT:
+                continue
+            census[gate.gate_type] = census.get(gate.gate_type, 0) + 1
+        return census
+
+    def group_census(self) -> Dict[str, int]:
+        """Gate counts per component group tag."""
+        census: Dict[str, int] = {}
+        for gate in self.gates:
+            if gate.gate_type is GateType.INPUT:
+                continue
+            census[gate.group] = census.get(gate.group, 0) + 1
+        return census
+
+    def levelize(self) -> List[int]:
+        """Per-gate levels; INPUT/CONST gates are level 0.
+
+        Gates are appended post-order by construction (every input net
+        already has a driver), so a single forward pass levelizes.
+        """
+        if self._levels is not None:
+            return self._levels
+        levels: List[int] = [0] * len(self.gates)
+        for gate in self.gates:
+            if gate.gate_type in (GateType.INPUT, GateType.CONST0, GateType.CONST1):
+                levels[gate.gate_id] = 0
+                continue
+            deepest = 0
+            for net in gate.inputs:
+                deepest = max(deepest, levels[self._driver[net]])
+            levels[gate.gate_id] = deepest + 1
+        self._levels = levels
+        return levels
+
+    def critical_path_length(self) -> int:
+        """Depth in gate levels to the deepest *output* net."""
+        if not self.outputs:
+            raise ConfigurationError("netlist has no outputs marked")
+        levels = self.levelize()
+        return max(levels[self._driver[net]] for net in self.outputs.values())
+
+    def weighted_depth(self, delays: Mapping[GateType, float]) -> float:
+        """Longest output path with per-gate-type *delays*.
+
+        Unknown gate types default to delay 1.0; INPUT costs 0.
+        """
+        if not self.outputs:
+            raise ConfigurationError("netlist has no outputs marked")
+        arrival: List[float] = [0.0] * len(self.gates)
+        for gate in self.gates:
+            if gate.gate_type in (GateType.INPUT, GateType.CONST0, GateType.CONST1):
+                arrival[gate.gate_id] = 0.0
+                continue
+            latest = 0.0
+            for net in gate.inputs:
+                latest = max(latest, arrival[self._driver[net]])
+            arrival[gate.gate_id] = latest + float(
+                delays.get(gate.gate_type, 1.0)
+            )
+        return max(arrival[self._driver[net]] for net in self.outputs.values())
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, input_values: Mapping[str, int]) -> Dict[str, int]:
+        """Levelized evaluation; returns the named output values."""
+        missing = set(self.inputs) - set(input_values)
+        if missing:
+            raise ValueError(f"missing input values for {sorted(missing)}")
+        values: Dict[int, int] = {}
+        for name, net in self.inputs.items():
+            v = input_values[name]
+            if v not in (0, 1):
+                raise ValueError(f"input {name!r} must be 0 or 1, got {v!r}")
+            values[net] = v
+        for gate in self.gates:
+            if gate.gate_type is GateType.INPUT:
+                continue
+            values[gate.output] = evaluate_gate(
+                gate.gate_type, [values[net] for net in gate.inputs]
+            )
+        return {name: values[net] for name, net in self.outputs.items()}
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist(name={self.name!r}, gates={self.gate_count}, "
+            f"inputs={len(self.inputs)}, outputs={len(self.outputs)})"
+        )

@@ -1,0 +1,73 @@
+"""Gate-level splitters ``sp(p)`` (Fig. 4): arbiter + switch column.
+
+The switch-setting logic (algorithm step 5) is one XOR per switch —
+``control_t = s(2t) XOR f(2t)`` — tagged as its own group (``swctl``)
+so accounting can separate decision logic from the data path.  The
+returned control nets are also what the follower slices of a nested
+network consume.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..bits import require_power_of_two
+from .arbiter_hw import add_arbiter_tree
+from .gates import GateType
+from .netlist import Netlist
+from .switch_cell import add_switch_cell
+
+__all__ = ["add_splitter", "build_splitter_netlist"]
+
+
+def add_splitter(
+    netlist: Netlist,
+    data_nets: Sequence[int],
+    key_nets: Sequence[int],
+) -> Tuple[List[int], List[int]]:
+    """Instantiate ``sp(p)`` routing *data_nets* by *key_nets*.
+
+    *key_nets* carry the one-bit-slice values the splitter decides on;
+    *data_nets* are the lines physically switched (for the BSN slice
+    itself they are the same nets).  Returns
+    ``(routed_data_nets, control_nets)``.
+    """
+    if len(data_nets) != len(key_nets):
+        raise ValueError(
+            f"{len(data_nets)} data nets do not match {len(key_nets)} key nets"
+        )
+    p = require_power_of_two(len(key_nets), "splitter size")
+    if p < 1:
+        raise ValueError("a splitter needs at least two lines")
+    if p == 1:
+        # sp(1): A(1) is wiring; the upper key bit is the control.
+        controls = [key_nets[0]]
+    else:
+        flags = add_arbiter_tree(netlist, key_nets)
+        controls = [
+            netlist.add_gate(
+                GateType.XOR, (key_nets[2 * t], flags[2 * t]), group="swctl"
+            )
+            for t in range(len(key_nets) // 2)
+        ]
+    routed: List[int] = []
+    for t, control in enumerate(controls):
+        out_upper, out_lower = add_switch_cell(
+            netlist, data_nets[2 * t], data_nets[2 * t + 1], control
+        )
+        routed.extend((out_upper, out_lower))
+    return routed, controls
+
+
+def build_splitter_netlist(p: int) -> Netlist:
+    """A standalone one-bit-slice ``sp(p)`` with ports ``s[j]`` / ``o[j]``."""
+    if p < 1:
+        raise ValueError(f"sp(p) needs p >= 1, got {p}")
+    netlist = Netlist(name=f"splitter_sp{p}")
+    inputs = [netlist.add_input(f"s[{j}]") for j in range(1 << p)]
+    routed, controls = add_splitter(netlist, inputs, inputs)
+    for j, net in enumerate(routed):
+        netlist.mark_output(f"o[{j}]", net)
+    for t, net in enumerate(controls):
+        netlist.mark_output(f"c[{t}]", net)
+    return netlist

@@ -1,0 +1,45 @@
+"""The one-bit-slice 2 x 2 switch ``sw(1)`` at gate level.
+
+Two inputs ``a`` (even/upper line) and ``b`` (odd/lower line), one
+control ``c``: straight when ``c == 0``, exchange when ``c == 1``.
+Realized as two 2-input multiplexers — the unit whose cost the paper
+charges as ``C_SW`` and delay as ``D_SW``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .gates import GateType
+from .netlist import Netlist
+
+__all__ = ["build_switch_cell", "add_switch_cell", "switch_cell_truth"]
+
+
+def switch_cell_truth(a: int, b: int, control: int) -> Tuple[int, int]:
+    """Reference truth function: returns ``(out_upper, out_lower)``."""
+    for v in (a, b, control):
+        if v not in (0, 1):
+            raise ValueError(f"switch cell inputs must be bits, got {v!r}")
+    return (b, a) if control else (a, b)
+
+
+def add_switch_cell(
+    netlist: Netlist, a: int, b: int, control: int, group: str = "sw"
+) -> Tuple[int, int]:
+    """Instantiate one switch cell; returns ``(out_upper, out_lower)`` nets."""
+    out_upper = netlist.add_gate(GateType.MUX2, (control, a, b), group=group)
+    out_lower = netlist.add_gate(GateType.MUX2, (control, b, a), group=group)
+    return out_upper, out_lower
+
+
+def build_switch_cell() -> Netlist:
+    """A standalone switch-cell netlist with named ports."""
+    netlist = Netlist(name="switch_cell")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    control = netlist.add_input("control")
+    out_upper, out_lower = add_switch_cell(netlist, a, b, control)
+    netlist.mark_output("out_upper", out_upper)
+    netlist.mark_output("out_lower", out_lower)
+    return netlist

@@ -1,0 +1,206 @@
+"""Light-weight logic optimization for netlists.
+
+Three classic cleanups, enough to make generated netlists tidy without
+changing their behaviour:
+
+* **constant folding** — gates whose inputs are known constants become
+  constants; muxes with constant selects collapse to a branch;
+* **buffer/double-inverter collapsing** — ``BUF(x)`` and
+  ``NOT(NOT(x))`` forward to ``x``;
+* **dead-gate elimination** — gates outside every output cone are
+  dropped.
+
+:func:`optimize` returns a *new* netlist plus a report; equivalence is
+the caller's to check, and the tests check it exhaustively on every
+cell in the library (the optimizer must never change a truth table).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from .gates import GateType, evaluate_gate
+from .netlist import Netlist
+
+__all__ = ["optimize", "OptimizationReport"]
+
+
+@dataclasses.dataclass(frozen=True)
+class OptimizationReport:
+    """What the optimizer did."""
+
+    gates_before: int
+    gates_after: int
+    folded_constants: int
+    collapsed_buffers: int
+    removed_dead: int
+
+    @property
+    def gates_saved(self) -> int:
+        return self.gates_before - self.gates_after
+
+
+_CONSTANTS = (GateType.CONST0, GateType.CONST1)
+
+
+def optimize(netlist: Netlist) -> Tuple[Netlist, OptimizationReport]:
+    """Return an equivalent, cleaned-up copy of *netlist*."""
+    # Pass 1 (forward): for every net, record either a known constant
+    # value or a representative net it forwards to.
+    constant_of: Dict[int, int] = {}
+    forwards_to: Dict[int, int] = {}
+    folded = 0
+    collapsed = 0
+
+    def resolve(net: int) -> int:
+        while net in forwards_to:
+            net = forwards_to[net]
+        return net
+
+    driver_kind: Dict[int, GateType] = {}
+    driver_inputs: Dict[int, Tuple[int, ...]] = {}
+    for gate in netlist.gates:
+        kind = gate.gate_type
+        output = gate.output
+        driver_kind[output] = kind
+        if kind is GateType.INPUT:
+            continue
+        if kind is GateType.CONST0:
+            constant_of[output] = 0
+            continue
+        if kind is GateType.CONST1:
+            constant_of[output] = 1
+            continue
+        inputs = tuple(resolve(n) for n in gate.inputs)
+        driver_inputs[output] = inputs
+        values = [constant_of.get(n) for n in inputs]
+        if all(v is not None for v in values):
+            constant_of[output] = evaluate_gate(kind, values)  # type: ignore[arg-type]
+            folded += 1
+            continue
+        if kind is GateType.BUF:
+            forwards_to[output] = inputs[0]
+            collapsed += 1
+            continue
+        # Idempotence / self-cancellation on equal inputs.  These arise
+        # naturally from the arbiter's root echo (z_down wired to z_up),
+        # whose node then computes AND(z, z) and OR(~z, z).
+        if len(inputs) == 2 and inputs[0] == inputs[1]:
+            if kind in (GateType.AND, GateType.OR):
+                forwards_to[output] = inputs[0]
+                collapsed += 1
+                continue
+            if kind is GateType.XOR:
+                constant_of[output] = 0
+                folded += 1
+                continue
+            if kind is GateType.XNOR:
+                constant_of[output] = 1
+                folded += 1
+                continue
+        if kind is GateType.OR and len(inputs) == 2:
+            # OR(~z, z) == 1 (and symmetrically).
+            for first, second in (inputs, inputs[::-1]):
+                if (
+                    driver_kind.get(first) is GateType.NOT
+                    and driver_inputs.get(first, (None,))[0] == second
+                ):
+                    constant_of[output] = 1
+                    folded += 1
+                    break
+            if output in constant_of:
+                continue
+        if kind is GateType.AND and len(inputs) == 2:
+            # AND(~z, z) == 0.
+            for first, second in (inputs, inputs[::-1]):
+                if (
+                    driver_kind.get(first) is GateType.NOT
+                    and driver_inputs.get(first, (None,))[0] == second
+                ):
+                    constant_of[output] = 0
+                    folded += 1
+                    break
+            if output in constant_of:
+                continue
+        if kind is GateType.NOT:
+            source = inputs[0]
+            if driver_kind.get(source) is GateType.NOT:
+                inner = driver_inputs[source][0]
+                forwards_to[output] = inner
+                collapsed += 1
+                continue
+        if kind is GateType.MUX2:
+            select, a, b = inputs
+            select_value = constant_of.get(select)
+            if select_value is not None:
+                forwards_to[output] = b if select_value else a
+                folded += 1
+                continue
+            if a == b:
+                forwards_to[output] = a
+                collapsed += 1
+                continue
+
+    # Pass 2 (backward): mark live cone from the outputs.
+    live: set = set()
+    stack = [resolve(net) for net in netlist.outputs.values()]
+    while stack:
+        net = stack.pop()
+        if net in live or net in constant_of:
+            continue
+        live.add(net)
+        kind = driver_kind.get(net)
+        if kind in (GateType.INPUT, None) or kind in _CONSTANTS:
+            continue
+        stack.extend(resolve(n) for n in driver_inputs.get(net, ()))
+
+    # Pass 3: rebuild.
+    rebuilt = Netlist(name=netlist.name + "_opt" if netlist.name else "opt")
+    new_net: Dict[int, int] = {}
+    const_nets: Dict[int, int] = {}
+
+    def constant_net(value: int) -> int:
+        if value not in const_nets:
+            kind = GateType.CONST1 if value else GateType.CONST0
+            const_nets[value] = rebuilt.add_gate(kind, ())
+        return const_nets[value]
+
+    for name, net in netlist.inputs.items():
+        new_net[net] = rebuilt.add_input(name)
+
+    removed = 0
+    for gate in netlist.gates:
+        if gate.gate_type is GateType.INPUT or gate.gate_type in _CONSTANTS:
+            continue
+        output = gate.output
+        if output in constant_of or output in forwards_to:
+            continue  # replaced by constant or forwarding
+        if output not in live:
+            removed += 1
+            continue
+        inputs = []
+        for raw in driver_inputs[output]:
+            if raw in constant_of:
+                inputs.append(constant_net(constant_of[raw]))
+            else:
+                inputs.append(new_net[raw])
+        new_net[output] = rebuilt.add_gate(
+            gate.gate_type, tuple(inputs), group=gate.group
+        )
+
+    for name, net in netlist.outputs.items():
+        target = resolve(net)
+        if target in constant_of:
+            rebuilt.mark_output(name, constant_net(constant_of[target]))
+        else:
+            rebuilt.mark_output(name, new_net[target])
+
+    report = OptimizationReport(
+        gates_before=netlist.gate_count,
+        gates_after=rebuilt.gate_count,
+        folded_constants=folded,
+        collapsed_buffers=collapsed,
+        removed_dead=removed,
+    )
+    return rebuilt, report

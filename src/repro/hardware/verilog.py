@@ -1,0 +1,225 @@
+"""Structural Verilog emission (and re-import) for netlists.
+
+A reproduction of a hardware paper should hand its netlists to hardware
+people in their language.  :func:`emit_verilog` renders any
+:class:`~repro.hardware.netlist.Netlist` as a single synthesizable
+structural module using continuous assignments; :func:`parse_verilog`
+reads that same subset back into a :class:`Netlist`.
+
+The round trip is the verification story: tests emit a netlist, parse
+it back, and require input/output behaviour to match gate for gate —
+so the emitted Verilog is known to *mean* what the Python model
+computes, without needing an external simulator.
+
+Subset emitted/parsed: one module; scalar ``input``/``output``/``wire``
+declarations (comma-separated lists allowed); ``assign`` statements
+whose right-hand side is one of ``a``, ``~a``, ``a & b``, ``a | b``,
+``a ^ b``, ``~(a & b)``, ``~(a | b)``, ``~(a ^ b)``, ``s ? b : a``,
+``1'b0`` or ``1'b1``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from ..exceptions import ConfigurationError
+from .gates import GateType
+from .netlist import Netlist
+
+__all__ = ["emit_verilog", "parse_verilog", "sanitize_identifier"]
+
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def sanitize_identifier(name: str) -> str:
+    """Map a port name to a legal Verilog identifier.
+
+    Bracketed indices like ``s[3]`` become ``s_3``; any remaining
+    illegal character becomes ``_``.
+    """
+    candidate = name.replace("[", "_").replace("]", "").replace(".", "_")
+    candidate = re.sub(r"[^A-Za-z0-9_$]", "_", candidate)
+    if not candidate or not _IDENTIFIER_RE.match(candidate):
+        candidate = f"p_{candidate}"
+    return candidate
+
+
+_BINARY_OPERATORS = {
+    GateType.AND: "&",
+    GateType.OR: "|",
+    GateType.XOR: "^",
+}
+_NEGATED_OPERATORS = {
+    GateType.NAND: "&",
+    GateType.NOR: "|",
+    GateType.XNOR: "^",
+}
+
+
+def emit_verilog(netlist: Netlist, module_name: str = "") -> str:
+    """Render *netlist* as one structural Verilog module."""
+    module = sanitize_identifier(module_name or netlist.name or "netlist")
+    input_names: Dict[int, str] = {}
+    seen: Dict[str, int] = {}
+    for name, net in netlist.inputs.items():
+        identifier = sanitize_identifier(name)
+        if identifier in seen:
+            raise ConfigurationError(
+                f"input names {name!r} and another port collide as "
+                f"{identifier!r} after sanitizing"
+            )
+        seen[identifier] = net
+        input_names[net] = identifier
+
+    output_names: Dict[str, str] = {}
+    for name in netlist.outputs:
+        identifier = sanitize_identifier(name)
+        if identifier in seen:
+            raise ConfigurationError(
+                f"output name {name!r} collides as {identifier!r}"
+            )
+        seen[identifier] = -1
+        output_names[name] = identifier
+
+    def net_ref(net: int) -> str:
+        return input_names.get(net, f"n{net}")
+
+    ports = list(input_names.values()) + list(output_names.values())
+    lines: List[str] = [f"module {module} ("]
+    declarations: List[str] = []
+    for identifier in input_names.values():
+        declarations.append(f"  input wire {identifier}")
+    for identifier in output_names.values():
+        declarations.append(f"  output wire {identifier}")
+    lines.append(",\n".join(declarations))
+    lines.append(");")
+
+    wire_names = [
+        f"n{gate.output}"
+        for gate in netlist.gates
+        if gate.gate_type is not GateType.INPUT
+    ]
+    if wire_names:
+        lines.append(f"  wire {', '.join(wire_names)};")
+
+    for gate in netlist.gates:
+        kind = gate.gate_type
+        if kind is GateType.INPUT:
+            continue
+        target = f"n{gate.output}"
+        if kind is GateType.CONST0:
+            expression = "1'b0"
+        elif kind is GateType.CONST1:
+            expression = "1'b1"
+        elif kind is GateType.BUF:
+            expression = net_ref(gate.inputs[0])
+        elif kind is GateType.NOT:
+            expression = f"~{net_ref(gate.inputs[0])}"
+        elif kind in _BINARY_OPERATORS:
+            a, b = (net_ref(n) for n in gate.inputs)
+            expression = f"{a} {_BINARY_OPERATORS[kind]} {b}"
+        elif kind in _NEGATED_OPERATORS:
+            a, b = (net_ref(n) for n in gate.inputs)
+            expression = f"~({a} {_NEGATED_OPERATORS[kind]} {b})"
+        elif kind is GateType.MUX2:
+            sel, a, b = (net_ref(n) for n in gate.inputs)
+            expression = f"{sel} ? {b} : {a}"
+        else:  # pragma: no cover - exhaustive over GateType
+            raise ConfigurationError(f"cannot emit gate type {kind}")
+        lines.append(f"  assign {target} = {expression};")
+
+    for name, net in netlist.outputs.items():
+        lines.append(f"  assign {output_names[name]} = {net_ref(net)};")
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+_ASSIGN_RE = re.compile(r"^assign\s+(\w+)\s*=\s*(.+);$")
+_PATTERNS: List[Tuple[re.Pattern, GateType]] = [
+    (re.compile(r"^1'b0$"), GateType.CONST0),
+    (re.compile(r"^1'b1$"), GateType.CONST1),
+    (re.compile(r"^~\((\w+)\s*&\s*(\w+)\)$"), GateType.NAND),
+    (re.compile(r"^~\((\w+)\s*\|\s*(\w+)\)$"), GateType.NOR),
+    (re.compile(r"^~\((\w+)\s*\^\s*(\w+)\)$"), GateType.XNOR),
+    (re.compile(r"^~(\w+)$"), GateType.NOT),
+    (re.compile(r"^(\w+)\s*&\s*(\w+)$"), GateType.AND),
+    (re.compile(r"^(\w+)\s*\|\s*(\w+)$"), GateType.OR),
+    (re.compile(r"^(\w+)\s*\^\s*(\w+)$"), GateType.XOR),
+    (re.compile(r"^(\w+)\s*\?\s*(\w+)\s*:\s*(\w+)$"), GateType.MUX2),
+    (re.compile(r"^(\w+)$"), GateType.BUF),
+]
+
+
+def parse_verilog(text: str) -> Netlist:
+    """Parse the emitted subset back into a :class:`Netlist`.
+
+    Assignments may appear in any topological-friendly order produced
+    by :func:`emit_verilog`; forward references are rejected (the
+    emitter never produces them for combinational netlists).
+    """
+    inputs: List[str] = []
+    outputs: List[str] = []
+    assigns: List[Tuple[str, str]] = []
+    module_name = "parsed"
+    for raw_line in text.splitlines():
+        line = raw_line.strip().rstrip(",")
+        if not line or line.startswith("//"):
+            continue
+        if line.startswith("module"):
+            parts = line.split()
+            if len(parts) >= 2:
+                module_name = parts[1].rstrip("(")
+            continue
+        if line in (");", "endmodule"):
+            continue
+        if line.startswith("input"):
+            names = line.replace("input", "").replace("wire", "")
+            inputs.extend(n.strip() for n in names.split(",") if n.strip())
+            continue
+        if line.startswith("output"):
+            names = line.replace("output", "").replace("wire", "")
+            outputs.extend(n.strip() for n in names.split(",") if n.strip())
+            continue
+        if line.startswith("wire"):
+            continue  # declarations carry no structure we need
+        match = _ASSIGN_RE.match(line)
+        if match:
+            assigns.append((match.group(1), match.group(2).strip()))
+            continue
+        raise ConfigurationError(f"unparseable Verilog line: {raw_line!r}")
+
+    netlist = Netlist(name=module_name)
+    net_of: Dict[str, int] = {}
+    for name in inputs:
+        net_of[name] = netlist.add_input(name)
+
+    def resolve(identifier: str) -> int:
+        if identifier not in net_of:
+            raise ConfigurationError(
+                f"identifier {identifier!r} used before assignment"
+            )
+        return net_of[identifier]
+
+    for target, expression in assigns:
+        for pattern, kind in _PATTERNS:
+            match = pattern.match(expression)
+            if not match:
+                continue
+            operands = [resolve(g) for g in match.groups()]
+            if kind is GateType.MUX2:
+                sel, b, a = operands  # emitted as "sel ? b : a"
+                net_of[target] = netlist.add_gate(kind, (sel, a, b))
+            elif kind in (GateType.CONST0, GateType.CONST1):
+                net_of[target] = netlist.add_gate(kind, ())
+            else:
+                net_of[target] = netlist.add_gate(kind, tuple(operands))
+            break
+        else:
+            raise ConfigurationError(
+                f"unsupported expression {expression!r} for {target!r}"
+            )
+
+    for name in outputs:
+        netlist.mark_output(name, resolve(name))
+    return netlist

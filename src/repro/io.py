@@ -1,0 +1,129 @@
+"""JSON persistence for the library's result objects.
+
+Benchmarks and experiments produce typed results (inventories, stats,
+fits, verification reports).  This module gives them a stable JSON
+form so runs can be archived and diffed:
+
+>>> from repro.io import to_jsonable, from_jsonable
+>>> from repro.permutations import Permutation
+>>> blob = to_jsonable(Permutation([2, 0, 1]))
+>>> from_jsonable(blob)
+Permutation([2, 0, 1])
+
+Every supported type round-trips through ``to_jsonable`` /
+``from_jsonable``; :func:`save_json` / :func:`load_json` add the file
+plumbing.  Unknown types raise immediately rather than pickling
+something unreadable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any, Callable, Dict, Tuple, Type, Union
+
+from .analysis.scaling import PolynomialFit
+from .analysis.verification import VerificationReport
+from .core.words import Word
+from .hardware.accounting import HardwareInventory
+from .hardware.layout import WiringCost
+from .permutations.permutation import Permutation
+
+__all__ = ["to_jsonable", "from_jsonable", "save_json", "load_json"]
+
+_TYPE_KEY = "__repro__"
+
+# Dataclasses that serialize field-by-field.  VerificationReport's
+# failures hold Permutations, so it gets explicit handling.
+_PLAIN_DATACLASSES: Dict[str, Type] = {
+    "HardwareInventory": HardwareInventory,
+    "WiringCost": WiringCost,
+    "PolynomialFit": PolynomialFit,
+}
+
+
+def to_jsonable(value: Any) -> Any:
+    """Convert *value* to JSON-encodable data with type tags."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, Permutation):
+        return {_TYPE_KEY: "Permutation", "mapping": list(value.mapping)}
+    if isinstance(value, Word):
+        return {
+            _TYPE_KEY: "Word",
+            "address": value.address,
+            "payload": to_jsonable(value.payload),
+        }
+    if isinstance(value, VerificationReport):
+        return {
+            _TYPE_KEY: "VerificationReport",
+            "router": value.router,
+            "n": value.n,
+            "mode": value.mode,
+            "attempted": value.attempted,
+            "delivered": value.delivered,
+            "failures": [to_jsonable(pi) for pi in value.failures],
+        }
+    for name, cls in _PLAIN_DATACLASSES.items():
+        if isinstance(value, cls):
+            blob = {_TYPE_KEY: name}
+            for field in dataclasses.fields(cls):
+                blob[field.name] = to_jsonable(getattr(value, field.name))
+            return blob
+    raise TypeError(f"cannot serialize {type(value).__name__} to JSON")
+
+
+def from_jsonable(blob: Any) -> Any:
+    """Inverse of :func:`to_jsonable`."""
+    if blob is None or isinstance(blob, (bool, int, float, str)):
+        return blob
+    if isinstance(blob, list):
+        return [from_jsonable(item) for item in blob]
+    if isinstance(blob, dict):
+        tag = blob.get(_TYPE_KEY)
+        if tag is None:
+            return {key: from_jsonable(item) for key, item in blob.items()}
+        if tag == "Permutation":
+            return Permutation(blob["mapping"])
+        if tag == "Word":
+            return Word(
+                address=blob["address"], payload=from_jsonable(blob["payload"])
+            )
+        if tag == "VerificationReport":
+            return VerificationReport(
+                router=blob["router"],
+                n=blob["n"],
+                mode=blob["mode"],
+                attempted=blob["attempted"],
+                delivered=blob["delivered"],
+                failures=[from_jsonable(item) for item in blob["failures"]],
+            )
+        if tag in _PLAIN_DATACLASSES:
+            cls = _PLAIN_DATACLASSES[tag]
+            kwargs = {
+                field.name: from_jsonable(blob[field.name])
+                for field in dataclasses.fields(cls)
+            }
+            if tag == "PolynomialFit":
+                kwargs["coefficients"] = tuple(kwargs["coefficients"])
+            return cls(**kwargs)
+        raise ValueError(f"unknown type tag {tag!r}")
+    raise TypeError(f"cannot deserialize {type(blob).__name__}")
+
+
+def save_json(value: Any, path: Union[str, pathlib.Path]) -> None:
+    """Serialize *value* to *path* (pretty-printed, stable key order)."""
+    path = pathlib.Path(path)
+    path.write_text(
+        json.dumps(to_jsonable(value), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def load_json(path: Union[str, pathlib.Path]) -> Any:
+    """Load a value previously written by :func:`save_json`."""
+    return from_jsonable(json.loads(pathlib.Path(path).read_text()))

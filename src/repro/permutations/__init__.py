@@ -1,0 +1,81 @@
+"""Permutation substrate: the workload objects every network routes.
+
+A permutation network's job is to realize an arbitrary permutation of
+its inputs; this package provides the :class:`~repro.permutations.permutation.Permutation`
+value type, random and structured generators used as benchmark
+workloads, the named families from the interconnection-network
+literature (bit-reversal, perfect shuffle, BPC, ...) and predicates that
+classify which restricted routers can realize a given permutation.
+"""
+
+from .permutation import Permutation
+from .generators import (
+    PermutationSampler,
+    random_permutation,
+    random_derangement,
+    random_involution,
+    random_bpc,
+    all_permutations,
+    sampled_permutations,
+)
+from .families import (
+    identity,
+    reversal,
+    bit_reversal,
+    perfect_shuffle,
+    inverse_shuffle,
+    exchange,
+    butterfly,
+    bpc,
+    transposition,
+    cyclic_shift,
+    matrix_transpose,
+    vector_reversal_family,
+    FAMILY_BUILDERS,
+    family,
+)
+from .properties import (
+    is_identity,
+    is_involution,
+    is_derangement,
+    is_bpc,
+    infer_bpc,
+    cycle_structure,
+    fixed_points,
+    omega_passable,
+    baseline_passable,
+)
+
+__all__ = [
+    "Permutation",
+    "PermutationSampler",
+    "random_permutation",
+    "random_derangement",
+    "random_involution",
+    "random_bpc",
+    "all_permutations",
+    "sampled_permutations",
+    "identity",
+    "reversal",
+    "bit_reversal",
+    "perfect_shuffle",
+    "inverse_shuffle",
+    "exchange",
+    "butterfly",
+    "bpc",
+    "transposition",
+    "cyclic_shift",
+    "matrix_transpose",
+    "vector_reversal_family",
+    "FAMILY_BUILDERS",
+    "family",
+    "is_identity",
+    "is_involution",
+    "is_derangement",
+    "is_bpc",
+    "infer_bpc",
+    "cycle_structure",
+    "fixed_points",
+    "omega_passable",
+    "baseline_passable",
+]

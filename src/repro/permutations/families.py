@@ -1,0 +1,168 @@
+"""Named permutation families from the interconnection-network literature.
+
+These are the structured communication patterns that motivated
+permutation networks in the first place (Lawrie 1975; Feng 1981): array
+access patterns such as matrix transpose, FFT butterflies, perfect
+shuffles and bit reversals.  Every family is expressed on ``N = 2**m``
+points and returned as a :class:`~repro.permutations.permutation.Permutation`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from ..bits import bit_reverse, require_power_of_two, rotate_left, rotate_right
+from .permutation import Permutation
+
+__all__ = [
+    "identity",
+    "reversal",
+    "bit_reversal",
+    "perfect_shuffle",
+    "inverse_shuffle",
+    "exchange",
+    "butterfly",
+    "bpc",
+    "transposition",
+    "cyclic_shift",
+    "matrix_transpose",
+    "vector_reversal_family",
+    "FAMILY_BUILDERS",
+    "family",
+]
+
+
+def identity(m: int) -> Permutation:
+    """The identity on ``2**m`` points."""
+    return Permutation.identity(1 << m)
+
+
+def reversal(m: int) -> Permutation:
+    """``j -> N-1-j``: full vector reversal (complements every bit)."""
+    n = 1 << m
+    return Permutation(n - 1 - j for j in range(n))
+
+
+def bit_reversal(m: int) -> Permutation:
+    """``j -> reverse of j's m-bit representation`` (the FFT permutation)."""
+    n = 1 << m
+    return Permutation(bit_reverse(j, m) for j in range(n))
+
+
+def perfect_shuffle(m: int) -> Permutation:
+    """``j -> rotate-left(j)``: the perfect shuffle of a deck of ``2**m`` cards."""
+    n = 1 << m
+    return Permutation(rotate_left(j, m) for j in range(n))
+
+
+def inverse_shuffle(m: int) -> Permutation:
+    """``j -> rotate-right(j)``: the inverse perfect shuffle (unshuffle)."""
+    n = 1 << m
+    return Permutation(rotate_right(j, m) for j in range(n))
+
+
+def exchange(m: int) -> Permutation:
+    """``j -> j XOR 1``: the exchange permutation of the shuffle-exchange net."""
+    n = 1 << m
+    return Permutation(j ^ 1 for j in range(n))
+
+
+def butterfly(m: int, k: int | None = None) -> Permutation:
+    """Swap bit ``k`` with bit 0 of every index (default: the MSB).
+
+    ``butterfly(m, k)`` is the ``k``-th butterfly used by FFT data flow
+    and by indirect-binary-cube networks.
+    """
+    if k is None:
+        k = m - 1
+    n = 1 << m
+    from ..bits import butterfly_index
+
+    return Permutation(butterfly_index(j, k, m) for j in range(n))
+
+
+def bpc(m: int, sigma: Sequence[int], complement: int = 0) -> Permutation:
+    """A bit-permute-complement permutation.
+
+    Destination bit ``k`` equals source bit ``sigma[k]`` XOR bit ``k``
+    of *complement*.  ``sigma`` must be a permutation of
+    ``0 .. m-1`` (LSB-first positions).
+    """
+    if sorted(sigma) != list(range(m)):
+        raise ValueError(f"sigma must be a permutation of 0..{m - 1}, got {sigma!r}")
+    if not 0 <= complement < (1 << m):
+        raise ValueError(f"complement {complement} does not fit in {m} bits")
+    n = 1 << m
+    mapping: List[int] = []
+    for j in range(n):
+        dest = 0
+        for k in range(m):
+            source_bit = (j >> sigma[k]) & 1
+            dest |= (source_bit ^ ((complement >> k) & 1)) << k
+        mapping.append(dest)
+    return Permutation(mapping)
+
+
+def transposition(m: int, a: int, b: int) -> Permutation:
+    """Swap points *a* and *b*, fixing everything else."""
+    n = 1 << m
+    mapping = list(range(n))
+    mapping[a], mapping[b] = mapping[b], mapping[a]
+    return Permutation(mapping)
+
+
+def cyclic_shift(m: int, amount: int = 1) -> Permutation:
+    """``j -> (j + amount) mod N``: uniform shift (nearest-neighbour traffic)."""
+    n = 1 << m
+    return Permutation((j + amount) % n for j in range(n))
+
+
+def matrix_transpose(m: int) -> Permutation:
+    """Transpose of a ``2**(m/2) x 2**(m/2)`` matrix stored row-major.
+
+    Requires even *m*.  As a BPC permutation this swaps the high and low
+    halves of the index bits; it is the canonical "hard" pattern for
+    blocking networks.
+    """
+    if m % 2:
+        raise ValueError(f"matrix transpose needs an even number of bits, got {m}")
+    half = m // 2
+    sigma = [(k + half) % m for k in range(m)]
+    return bpc(m, sigma)
+
+
+def vector_reversal_family(m: int) -> List[Permutation]:
+    """The sub-block reversals ``j -> j XOR (2**k - 1)`` for ``k = 1..m``.
+
+    Lawrie's access patterns include these; they are all BPC with the
+    identity bit permutation and a low-ones complement mask.
+    """
+    return [bpc(m, list(range(m)), (1 << k) - 1) for k in range(1, m + 1)]
+
+
+FAMILY_BUILDERS: Dict[str, Callable[[int], Permutation]] = {
+    "identity": identity,
+    "reversal": reversal,
+    "bit_reversal": bit_reversal,
+    "perfect_shuffle": perfect_shuffle,
+    "inverse_shuffle": inverse_shuffle,
+    "exchange": exchange,
+    "butterfly": butterfly,
+    "matrix_transpose": matrix_transpose,
+    "cyclic_shift": cyclic_shift,
+}
+
+
+def family(name: str, m: int) -> Permutation:
+    """Build the named family on ``2**m`` points.
+
+    ``matrix_transpose`` requires even *m*; everything else accepts any
+    positive *m*.
+    """
+    try:
+        builder = FAMILY_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown family {name!r}; choose one of {sorted(FAMILY_BUILDERS)}"
+        ) from None
+    return builder(m)

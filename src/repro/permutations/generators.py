@@ -1,0 +1,164 @@
+"""Random and exhaustive permutation workload generators.
+
+Benchmarks and property tests draw their workloads from here so that
+every experiment is reproducible from a seed.  All generators accept an
+explicit :class:`random.Random` instance or a seed; none touch the
+global random state.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, List, Optional, Sequence, Union
+
+from ..bits import require_power_of_two
+from .permutation import Permutation
+
+__all__ = [
+    "PermutationSampler",
+    "random_permutation",
+    "random_derangement",
+    "random_involution",
+    "random_bpc",
+    "all_permutations",
+    "sampled_permutations",
+]
+
+RandomLike = Union[int, random.Random, None]
+
+
+def _resolve_rng(rng: RandomLike) -> random.Random:
+    """Return a :class:`random.Random`, treating ints as seeds."""
+    if isinstance(rng, random.Random):
+        return rng
+    return random.Random(rng)
+
+
+def random_permutation(n: int, rng: RandomLike = None) -> Permutation:
+    """A uniformly random permutation of ``n`` points (Fisher-Yates)."""
+    r = _resolve_rng(rng)
+    mapping = list(range(n))
+    r.shuffle(mapping)
+    return Permutation(mapping)
+
+
+def random_derangement(n: int, rng: RandomLike = None) -> Permutation:
+    """A uniformly random derangement (no fixed points).
+
+    Uses rejection sampling; the acceptance probability converges to
+    ``1/e`` so the expected number of attempts is small and independent
+    of *n*.
+    """
+    if n == 1:
+        raise ValueError("no derangement exists on a single point")
+    r = _resolve_rng(rng)
+    while True:
+        mapping = list(range(n))
+        r.shuffle(mapping)
+        if all(mapping[j] != j for j in range(n)):
+            return Permutation(mapping)
+
+
+def random_involution(n: int, rng: RandomLike = None) -> Permutation:
+    """A random involution (``pi * pi == identity``).
+
+    Built by repeatedly either fixing the smallest unmatched point or
+    pairing it with a random other unmatched point.  This is not the
+    uniform distribution over involutions but covers the space well,
+    which is all the test workloads need.
+    """
+    r = _resolve_rng(rng)
+    mapping = list(range(n))
+    unmatched = list(range(n))
+    while len(unmatched) >= 2:
+        a = unmatched.pop(0)
+        if r.random() < 0.5:
+            continue  # leave a fixed
+        partner_index = r.randrange(len(unmatched))
+        b = unmatched.pop(partner_index)
+        mapping[a], mapping[b] = b, a
+    return Permutation(mapping)
+
+
+def random_bpc(n: int, rng: RandomLike = None) -> Permutation:
+    """A random bit-permute-complement (BPC) permutation of ``n = 2**m`` points.
+
+    A BPC permutation maps the source whose binary representation is
+    ``(b_{m-1} .. b_0)`` to the destination whose bit ``k`` equals
+    ``b_{sigma(k)} XOR c_k`` for a bit-position permutation ``sigma``
+    and complement mask ``c``.  This is exactly the class Nassimi and
+    Sahni showed to be self-routable on the Benes network, so the
+    generators here feed both the restricted router's positive tests
+    and the BNB network's "everything routes" comparisons.
+    """
+    m = require_power_of_two(n)
+    r = _resolve_rng(rng)
+    sigma = list(range(m))
+    r.shuffle(sigma)
+    complement = r.randrange(1 << m) if m else 0
+    from .families import bpc
+
+    return bpc(m, sigma, complement)
+
+
+def all_permutations(n: int) -> Iterator[Permutation]:
+    """Yield every permutation of ``n`` points (use only for tiny *n*)."""
+    for mapping in itertools.permutations(range(n)):
+        yield Permutation(mapping)
+
+
+def sampled_permutations(
+    n: int, count: int, rng: RandomLike = None
+) -> Iterator[Permutation]:
+    """Yield *count* independent uniform random permutations of ``n`` points."""
+    r = _resolve_rng(rng)
+    for _ in range(count):
+        yield random_permutation(n, r)
+
+
+class PermutationSampler:
+    """A seedable source of benchmark workloads over several distributions.
+
+    Parameters
+    ----------
+    n:
+        Number of network lines; must be a power of two for the
+        ``"bpc"`` distribution, unrestricted otherwise.
+    seed:
+        Seed for the private RNG; identical seeds reproduce identical
+        workload streams.
+    """
+
+    DISTRIBUTIONS = ("uniform", "derangement", "involution", "bpc", "identity")
+
+    def __init__(self, n: int, seed: int = 0) -> None:
+        if n <= 0:
+            raise ValueError(f"size must be positive, got {n}")
+        self.n = n
+        self._rng = random.Random(seed)
+
+    def draw(self, distribution: str = "uniform") -> Permutation:
+        """Draw one permutation from the named distribution."""
+        if distribution == "uniform":
+            return random_permutation(self.n, self._rng)
+        if distribution == "derangement":
+            return random_derangement(self.n, self._rng)
+        if distribution == "involution":
+            return random_involution(self.n, self._rng)
+        if distribution == "bpc":
+            return random_bpc(self.n, self._rng)
+        if distribution == "identity":
+            return Permutation.identity(self.n)
+        raise ValueError(
+            f"unknown distribution {distribution!r}; "
+            f"choose one of {self.DISTRIBUTIONS}"
+        )
+
+    def batch(self, count: int, distribution: str = "uniform") -> List[Permutation]:
+        """Draw *count* permutations from the named distribution."""
+        return [self.draw(distribution) for _ in range(count)]
+
+    def word_lists(self, count: int, distribution: str = "uniform") -> List[List[int]]:
+        """Draw workloads already in the word-list form networks consume."""
+        return [p.to_list() for p in self.batch(count, distribution)]

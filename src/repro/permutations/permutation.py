@@ -1,0 +1,223 @@
+"""An immutable permutation value type.
+
+Throughout the library a permutation ``pi`` is understood as a routing
+request: the input at line ``j`` wants to reach output ``pi(j)``.
+Equivalently, feeding the word list ``[pi(0), pi(1), ...]`` into a
+self-routing network must deliver address ``a`` to output line ``a``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from ..exceptions import NotAPermutationError
+
+__all__ = ["Permutation"]
+
+
+class Permutation:
+    """An immutable permutation of ``{0, 1, ..., n-1}``.
+
+    Instances behave like functions (``pi(j)``), sequences
+    (``pi[j]``, ``len(pi)``, iteration) and algebraic objects
+    (``pi * sigma`` composes, ``pi.inverse()`` inverts).
+
+    Parameters
+    ----------
+    mapping:
+        ``mapping[j]`` is the image of ``j``.  Must contain each of
+        ``0 .. n-1`` exactly once.
+    """
+
+    __slots__ = ("_mapping", "_hash")
+
+    def __init__(self, mapping: Iterable[int]) -> None:
+        values = tuple(int(v) for v in mapping)
+        n = len(values)
+        seen = [False] * n
+        for v in values:
+            if not 0 <= v < n or seen[v]:
+                raise NotAPermutationError(values)
+            seen[v] = True
+        self._mapping: Tuple[int, ...] = values
+        self._hash = hash(values)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, n: int) -> "Permutation":
+        """The identity permutation on *n* points."""
+        if n < 0:
+            raise ValueError(f"size must be non-negative, got {n}")
+        return cls(range(n))
+
+    @classmethod
+    def from_cycles(cls, n: int, cycles: Sequence[Sequence[int]]) -> "Permutation":
+        """Build a permutation on *n* points from disjoint cycles.
+
+        Each cycle ``(a, b, c)`` sends ``a -> b -> c -> a``.  Points not
+        mentioned are fixed.
+        """
+        mapping = list(range(n))
+        seen = set()
+        for cycle in cycles:
+            for point in cycle:
+                if not 0 <= point < n:
+                    raise ValueError(f"cycle point {point} out of range for n={n}")
+                if point in seen:
+                    raise ValueError(f"point {point} appears in two cycles")
+                seen.add(point)
+            for i, point in enumerate(cycle):
+                mapping[point] = cycle[(i + 1) % len(cycle)]
+        return cls(mapping)
+
+    @classmethod
+    def from_word_list(cls, words: Sequence[int]) -> "Permutation":
+        """Interpret a list of destination addresses as a permutation."""
+        return cls(words)
+
+    # ------------------------------------------------------------------
+    # Sequence / mapping protocol
+    # ------------------------------------------------------------------
+    def __call__(self, j: int) -> int:
+        return self._mapping[j]
+
+    def __getitem__(self, j: int) -> int:
+        return self._mapping[j]
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._mapping)
+
+    @property
+    def mapping(self) -> Tuple[int, ...]:
+        """The underlying tuple; ``mapping[j]`` is the image of ``j``."""
+        return self._mapping
+
+    def to_list(self) -> List[int]:
+        """A fresh mutable copy of the mapping."""
+        return list(self._mapping)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def inverse(self) -> "Permutation":
+        """Return ``pi^{-1}`` with ``pi^{-1}(pi(j)) == j``."""
+        inv = [0] * len(self._mapping)
+        for j, v in enumerate(self._mapping):
+            inv[v] = j
+        return Permutation(inv)
+
+    def compose(self, other: "Permutation") -> "Permutation":
+        """Return ``self after other``: ``(self * other)(j) = self(other(j))``."""
+        if len(other) != len(self):
+            raise ValueError(
+                f"cannot compose permutations of sizes {len(self)} and {len(other)}"
+            )
+        return Permutation(self._mapping[v] for v in other._mapping)
+
+    def __mul__(self, other: "Permutation") -> "Permutation":
+        return self.compose(other)
+
+    def __pow__(self, exponent: int) -> "Permutation":
+        n = len(self._mapping)
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        result = Permutation.identity(n)
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            base = base * base
+            exponent >>= 1
+        return result
+
+    def apply(self, items: Sequence) -> List:
+        """Route *items* by this permutation: output ``pi(j)`` gets ``items[j]``.
+
+        This is the semantics of a physical permutation network: the
+        value entering input ``j`` leaves at output ``pi(j)``.
+        """
+        if len(items) != len(self._mapping):
+            raise ValueError(
+                f"expected {len(self._mapping)} items, got {len(items)}"
+            )
+        result: List = [None] * len(items)
+        for j, item in enumerate(items):
+            result[self._mapping[j]] = item
+        return result
+
+    def permute_positions(self, items: Sequence) -> List:
+        """Gather semantics: ``result[j] = items[pi(j)]``."""
+        if len(items) != len(self._mapping):
+            raise ValueError(
+                f"expected {len(self._mapping)} items, got {len(items)}"
+            )
+        return [items[v] for v in self._mapping]
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def cycles(self) -> List[Tuple[int, ...]]:
+        """Return the cycle decomposition, each cycle led by its minimum."""
+        n = len(self._mapping)
+        seen = [False] * n
+        out: List[Tuple[int, ...]] = []
+        for start in range(n):
+            if seen[start]:
+                continue
+            cycle = [start]
+            seen[start] = True
+            point = self._mapping[start]
+            while point != start:
+                cycle.append(point)
+                seen[point] = True
+                point = self._mapping[point]
+            out.append(tuple(cycle))
+        return out
+
+    def order(self) -> int:
+        """The order of the permutation in the symmetric group."""
+        from math import lcm
+
+        result = 1
+        for cycle in self.cycles():
+            result = lcm(result, len(cycle))
+        return result
+
+    def sign(self) -> int:
+        """+1 for an even permutation, -1 for an odd one."""
+        swaps = sum(len(c) - 1 for c in self.cycles())
+        return -1 if swaps % 2 else 1
+
+    def inversions(self) -> int:
+        """The number of inverted pairs (a sortedness measure for workloads)."""
+        count = 0
+        mapping = self._mapping
+        for a in range(len(mapping)):
+            for b in range(a + 1, len(mapping)):
+                if mapping[a] > mapping[b]:
+                    count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Permutation):
+            return self._mapping == other._mapping
+        if isinstance(other, (tuple, list)):
+            return self._mapping == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        if len(self._mapping) <= 16:
+            return f"Permutation({list(self._mapping)!r})"
+        head = ", ".join(str(v) for v in self._mapping[:8])
+        return f"Permutation([{head}, ...], n={len(self._mapping)})"

@@ -1,0 +1,160 @@
+"""Predicates and classifiers over permutations.
+
+Besides generic structure queries (cycle structure, involution, ...)
+this module answers the two questions that motivate the paper:
+
+* :func:`is_bpc` / :func:`infer_bpc` — is the permutation in the
+  bit-permute-complement class that restricted self-routing networks
+  (Nassimi & Sahni) can realize?
+* :func:`omega_passable` / :func:`baseline_passable` — can a single
+  ``log N``-stage destination-tag network realize it without conflict?
+  Almost all permutations fail these, which is exactly why the BNB
+  network spends ``O(log^3 N)`` hardware to route *all* of them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..bits import ilog2, is_power_of_two, require_power_of_two
+from .permutation import Permutation
+
+__all__ = [
+    "is_identity",
+    "is_involution",
+    "is_derangement",
+    "is_bpc",
+    "infer_bpc",
+    "cycle_structure",
+    "fixed_points",
+    "omega_passable",
+    "baseline_passable",
+]
+
+
+def is_identity(pi: Permutation) -> bool:
+    """``True`` when every point is fixed."""
+    return all(pi(j) == j for j in range(len(pi)))
+
+
+def is_involution(pi: Permutation) -> bool:
+    """``True`` when applying the permutation twice fixes every point."""
+    return all(pi(pi(j)) == j for j in range(len(pi)))
+
+
+def is_derangement(pi: Permutation) -> bool:
+    """``True`` when no point is fixed."""
+    return all(pi(j) != j for j in range(len(pi)))
+
+
+def fixed_points(pi: Permutation) -> List[int]:
+    """Return the sorted list of fixed points."""
+    return [j for j in range(len(pi)) if pi(j) == j]
+
+
+def cycle_structure(pi: Permutation) -> Dict[int, int]:
+    """Map cycle length to the number of cycles of that length."""
+    structure: Dict[int, int] = {}
+    for cycle in pi.cycles():
+        structure[len(cycle)] = structure.get(len(cycle), 0) + 1
+    return structure
+
+
+def infer_bpc(pi: Permutation) -> Optional[Tuple[List[int], int]]:
+    """Recover ``(sigma, complement)`` if *pi* is bit-permute-complement.
+
+    Returns ``None`` when *pi* is not BPC.  The reconstruction uses
+    two observations: the image of source 0 is exactly the complement
+    mask, and the image of source ``2**p`` XOR the mask must be a
+    single destination bit, identifying ``sigma^{-1}(p)``.
+    """
+    n = len(pi)
+    if not is_power_of_two(n):
+        return None
+    m = ilog2(n)
+    complement = pi(0)
+    sigma_inverse: List[Optional[int]] = [None] * m
+    for p in range(m):
+        difference = pi(1 << p) ^ complement
+        if not is_power_of_two(difference):
+            return None
+        position = ilog2(difference)
+        if sigma_inverse[p] is not None:
+            return None
+        sigma_inverse[p] = position
+    if sorted(sigma_inverse) != list(range(m)):  # type: ignore[arg-type]
+        return None
+    sigma: List[int] = [0] * m
+    for p, k in enumerate(sigma_inverse):
+        sigma[k] = p  # type: ignore[index]
+    # Verify against the whole mapping, not just the probe points.
+    from .families import bpc as build_bpc
+
+    candidate = build_bpc(m, sigma, complement)
+    if candidate != pi:
+        return None
+    return sigma, complement
+
+
+def is_bpc(pi: Permutation) -> bool:
+    """``True`` when *pi* is a bit-permute-complement permutation."""
+    return infer_bpc(pi) is not None
+
+
+def _destination_tag_conflicts(
+    pi: Permutation, stage_positions: str
+) -> bool:
+    """Simulate destination-tag routing on a log N-stage 2x2 network.
+
+    ``stage_positions`` selects the topology: ``"omega"`` applies a
+    perfect shuffle before every switch column; ``"baseline"`` applies
+    the baseline network's unshuffle connections *after* each column.
+    Returns ``True`` when the permutation passes with no conflicts.
+    """
+    n = len(pi)
+    m = require_power_of_two(n, "permutation size")
+    from ..bits import rotate_left, unshuffle_index
+
+    # Each line carries the destination of the packet currently on it.
+    lines: List[Optional[int]] = list(pi.mapping)
+    for stage in range(m):
+        if stage_positions == "omega":
+            shuffled: List[Optional[int]] = [None] * n
+            for j, dest in enumerate(lines):
+                shuffled[rotate_left(j, m)] = dest
+            lines = shuffled
+        # Switch column: route by destination bit, MSB first.
+        bit_index = m - 1 - stage
+        switched: List[Optional[int]] = [None] * n
+        for t in range(0, n, 2):
+            a, b = lines[t], lines[t + 1]
+            want_a = (a >> bit_index) & 1  # type: ignore[operator]
+            want_b = (b >> bit_index) & 1  # type: ignore[operator]
+            if want_a == want_b:
+                return False  # both packets need the same output port
+            switched[t + want_a] = a
+            switched[t + want_b] = b
+        lines = switched
+        if stage_positions == "baseline" and stage < m - 1:
+            # 2**(m-stage)-unshuffle connection of the baseline network.
+            connected: List[Optional[int]] = [None] * n
+            for j, dest in enumerate(lines):
+                connected[unshuffle_index(j, m - stage, m)] = dest
+            lines = connected
+    return all(lines[j] == j for j in range(n))
+
+
+def omega_passable(pi: Permutation) -> bool:
+    """``True`` when the omega network self-routes *pi* without conflict."""
+    return _destination_tag_conflicts(pi, "omega")
+
+
+def baseline_passable(pi: Permutation) -> bool:
+    """``True`` when the baseline network self-routes *pi* without conflict.
+
+    The plain baseline network (one ``2 x 2`` switch column per stage)
+    blocks on most permutations; the BNB network exists precisely to
+    remove that restriction by replacing each column with a nested
+    sorting network.
+    """
+    return _destination_tag_conflicts(pi, "baseline")

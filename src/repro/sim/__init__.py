@@ -1,0 +1,43 @@
+"""A small discrete-event simulation (DES) kernel.
+
+The paper evaluates propagation delay analytically; this package lets
+the reproduction *measure* it instead.  Gate- and component-level
+models of the networks are simulated event by event: an input edge at
+``t = 0`` propagates through elements with configurable delays
+(``D_SW`` per 2 x 2 switch, ``D_FN`` per arbiter function node, or
+per-gate-type delays for netlists), and the quiescence time of the
+simulation is the network's propagation delay.  Benchmarks compare
+those measurements against Eqs. 7-9 and 12 and Table 2.
+
+Layering:
+
+* :mod:`~repro.sim.events` / :mod:`~repro.sim.kernel` — generic event
+  queue and simulator (usable for anything, not just logic);
+* :mod:`~repro.sim.signals` — signals with listeners, the wiring glue;
+* :mod:`~repro.sim.logic` — event-driven evaluation of
+  :class:`~repro.hardware.netlist.Netlist` objects;
+* :mod:`~repro.sim.monitors` — probes and waveform capture.
+"""
+
+from .events import Event, EventQueue
+from .kernel import Simulator
+from .signals import Signal, SignalBus
+from .logic import GateLevelSimulator, DelayModel, UNIT_DELAYS
+from .monitors import Probe, WaveformRecorder
+from .switchsim import Packet, SwitchSimulator, SwitchStats
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "Signal",
+    "SignalBus",
+    "GateLevelSimulator",
+    "DelayModel",
+    "UNIT_DELAYS",
+    "Probe",
+    "WaveformRecorder",
+    "Packet",
+    "SwitchSimulator",
+    "SwitchStats",
+]

@@ -1,0 +1,69 @@
+"""Event primitives for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclasses.dataclass(order=False)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, sequence)``; the sequence number makes
+    scheduling stable (FIFO among same-time events), which keeps
+    simulations deterministic.
+    """
+
+    time: float
+    sequence: int
+    action: Callable[[], Any]
+    label: str = ""
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects ordered by time."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule *action* at *time*; returns the (cancellable) event."""
+        if time < 0:
+            raise ValueError(f"cannot schedule at negative time {time}")
+        event = Event(
+            time=time, sequence=next(self._counter), action=action, label=label
+        )
+        heapq.heappush(self._heap, (event.time, event.sequence, event))
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, if any."""
+        while self._heap:
+            _time, _seq, event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest pending event without removing it."""
+        while self._heap:
+            _time, _seq, event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return event.time
+        return None

@@ -1,0 +1,88 @@
+"""The discrete-event simulator kernel."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..exceptions import SimulationError
+from .events import Event, EventQueue
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """A single-clock-domain discrete-event simulator.
+
+    Components schedule callbacks with :meth:`schedule` (relative
+    delay) or :meth:`schedule_at` (absolute time); :meth:`run` drains
+    the queue in time order.  The kernel is deliberately minimal — the
+    logic layer on top of it provides signals and gates.
+    """
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now: float = 0.0
+        self.processed_events = 0
+        self._running = False
+
+    def schedule(
+        self, delay: float, action: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule *action* to run *delay* time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for {label!r}")
+        return self.queue.push(self.now + delay, action, label)
+
+    def schedule_at(
+        self, time: float, action: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule *action* at absolute *time* (must not be in the past)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule {label!r} at {time} before now={self.now}"
+            )
+        return self.queue.push(time, action, label)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 10_000_000,
+    ) -> float:
+        """Process events until quiescence (or *until*); return final time.
+
+        *max_events* guards against oscillating combinational loops —
+        a legitimate failure mode when fault injection creates feedback,
+        reported as :class:`~repro.exceptions.SimulationError` rather
+        than a hang.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        try:
+            while True:
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.now = until
+                    break
+                event = self.queue.pop()
+                if event is None:
+                    break
+                self.now = event.time
+                event.action()
+                self.processed_events += 1
+                if self.processed_events > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events at t={self.now}; "
+                        f"the model is probably oscillating"
+                    )
+        finally:
+            self._running = False
+        return self.now
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock."""
+        self.queue = EventQueue()
+        self.now = 0.0
+        self.processed_events = 0

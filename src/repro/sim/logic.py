@@ -1,0 +1,139 @@
+"""Event-driven gate-level simulation of netlists.
+
+:class:`GateLevelSimulator` wraps a
+:class:`~repro.hardware.netlist.Netlist` around the DES kernel: every
+net becomes a :class:`~repro.sim.signals.Signal`, every gate a listener
+that re-evaluates on input changes and schedules its output after a
+per-gate-type delay.  Driving the primary inputs at ``t = 0`` and
+running to quiescence measures the propagation delay — the
+experimental counterpart of the paper's Section 5.2 polynomials.
+
+The simulator uses a transport delay model: every scheduled output
+update is delivered (glitches propagate), and the settle time is the
+time of the last actual value change.  For the acyclic netlists built
+by :mod:`repro.hardware` this terminates and the settle time equals
+the weighted critical path — asserted, not assumed, in tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..exceptions import SimulationError
+from ..hardware.gates import Gate, GateType, evaluate_gate
+from ..hardware.netlist import Netlist
+from .kernel import Simulator
+from .signals import Signal
+
+__all__ = ["DelayModel", "UNIT_DELAYS", "GateLevelSimulator", "SimulationResult"]
+
+DelayModel = Mapping[GateType, float]
+
+#: Every logic gate costs one time unit (INPUT and constants cost zero).
+UNIT_DELAYS: DelayModel = {
+    GateType.BUF: 1.0,
+    GateType.NOT: 1.0,
+    GateType.AND: 1.0,
+    GateType.OR: 1.0,
+    GateType.XOR: 1.0,
+    GateType.NAND: 1.0,
+    GateType.NOR: 1.0,
+    GateType.XNOR: 1.0,
+    GateType.MUX2: 1.0,
+}
+
+
+@dataclasses.dataclass
+class SimulationResult:
+    """Outcome of one input vector's propagation."""
+
+    outputs: Dict[str, int]
+    settle_time: float
+    event_count: int
+
+
+class GateLevelSimulator:
+    """Simulate one netlist event-drivenly under a delay model."""
+
+    def __init__(
+        self, netlist: Netlist, delays: Optional[DelayModel] = None
+    ) -> None:
+        self.netlist = netlist
+        self.delays = dict(delays or UNIT_DELAYS)
+        self.simulator = Simulator()
+        self._signals: List[Signal] = [
+            Signal(name=f"n{net}") for net in range(netlist._net_count)
+        ]
+        self._last_change: float = 0.0
+        self._constants: List[Tuple[Signal, int]] = []
+        for gate in netlist.gates:
+            if gate.gate_type is GateType.INPUT:
+                continue
+            self._attach_gate(gate)
+
+    def _attach_gate(self, gate: Gate) -> None:
+        output_signal = self._signals[gate.output]
+        input_signals = [self._signals[net] for net in gate.inputs]
+        delay = float(self.delays.get(gate.gate_type, 1.0))
+
+        def evaluate_and_schedule(_changed: Signal = None) -> None:  # type: ignore[assignment]
+            values = [signal.value for signal in input_signals]
+            if any(value is None for value in values):
+                return
+            new_value = evaluate_gate(gate.gate_type, values)  # type: ignore[arg-type]
+
+            def commit() -> None:
+                if output_signal.set(new_value, self.simulator.now):
+                    self._last_change = self.simulator.now
+
+            self.simulator.schedule(delay, commit, label=gate.gate_type.value)
+
+        if gate.gate_type in (GateType.CONST0, GateType.CONST1):
+            # Constants are driven at t=0 of every run (the kernel is
+            # reset per run, so they cannot be scheduled here).
+            value = 0 if gate.gate_type is GateType.CONST0 else 1
+            self._constants.append((output_signal, value))
+            return
+        for signal in input_signals:
+            signal.listen(evaluate_and_schedule)
+
+    def run(self, input_values: Mapping[str, int]) -> SimulationResult:
+        """Drive the inputs at ``t = 0`` and run to quiescence."""
+        missing = set(self.netlist.inputs) - set(input_values)
+        if missing:
+            raise ValueError(f"missing input values for {sorted(missing)}")
+        self.simulator.reset()
+        self._last_change = 0.0
+        # Start every run from the unknown state so repeated runs (and
+        # therefore measured settle times) are independent of history.
+        for signal in self._signals:
+            signal.value = None
+
+        def drive_inputs() -> None:
+            for signal, value in self._constants:
+                signal.set(value, 0.0)
+            for name, net in self.netlist.inputs.items():
+                value = input_values[name]
+                if value not in (0, 1):
+                    raise ValueError(
+                        f"input {name!r} must be 0 or 1, got {value!r}"
+                    )
+                self._signals[net].set(value, 0.0)
+
+        self.simulator.schedule_at(0.0, drive_inputs, label="drive")
+        self.simulator.run()
+        outputs: Dict[str, int] = {}
+        for name, net in self.netlist.outputs.items():
+            value = self._signals[net].value
+            if value is None:
+                raise SimulationError(
+                    f"output {name!r} never settled; the netlist has an "
+                    f"undriven cone"
+                )
+            outputs[name] = value
+        return SimulationResult(
+            outputs=outputs,
+            settle_time=self._last_change,
+            event_count=self.simulator.processed_events,
+        )

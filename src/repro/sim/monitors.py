@@ -1,0 +1,77 @@
+"""Probes and waveform capture for simulations."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from .signals import Signal
+
+__all__ = ["Probe", "WaveformRecorder"]
+
+
+@dataclasses.dataclass
+class Probe:
+    """Records every value change of one signal as ``(time, value)``."""
+
+    signal: Signal
+    history: List[Tuple[float, Optional[int]]] = dataclasses.field(
+        default_factory=list
+    )
+
+    def __post_init__(self) -> None:
+        self.signal.listen(self._on_change)
+
+    def _on_change(self, signal: Signal) -> None:
+        self.history.append((signal.last_change, signal.value))
+
+    @property
+    def transition_count(self) -> int:
+        return len(self.history)
+
+    def final_value(self) -> Optional[int]:
+        return self.history[-1][1] if self.history else self.signal.value
+
+    def settle_time(self) -> float:
+        return self.history[-1][0] if self.history else 0.0
+
+
+class WaveformRecorder:
+    """Probes a set of signals and renders a simple ASCII waveform."""
+
+    def __init__(self) -> None:
+        self._probes: Dict[str, Probe] = {}
+
+    def watch(self, name: str, signal: Signal) -> Probe:
+        probe = Probe(signal)
+        self._probes[name] = probe
+        return probe
+
+    def settle_time(self) -> float:
+        """Latest transition across all watched signals."""
+        return max(
+            (probe.settle_time() for probe in self._probes.values()),
+            default=0.0,
+        )
+
+    def render(self, resolution: float = 1.0) -> str:
+        """An ASCII timeline: one row per signal, one column per tick."""
+        if not self._probes:
+            return "(no signals watched)"
+        horizon = self.settle_time()
+        ticks = int(horizon / resolution) + 1
+        rows: List[str] = []
+        width = max(len(name) for name in self._probes)
+        for name, probe in self._probes.items():
+            cells: List[str] = []
+            for tick in range(ticks + 1):
+                time = tick * resolution
+                value: Optional[int] = None
+                for change_time, change_value in probe.history:
+                    if change_time <= time:
+                        value = change_value
+                    else:
+                        break
+                cells.append("x" if value is None else str(value))
+            rows.append(f"{name:>{width}} | {''.join(cells)}")
+        return "\n".join(rows)

@@ -1,0 +1,79 @@
+"""Signals: time-stamped values with change listeners.
+
+A :class:`Signal` holds one logic value and notifies subscribed
+listeners when it changes; listeners are typically gate models that
+re-evaluate and schedule their own output updates on the simulator.
+:class:`SignalBus` groups signals for multi-bit convenience.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+__all__ = ["Signal", "SignalBus"]
+
+Listener = Callable[["Signal"], None]
+
+UNKNOWN = None  # signals start unknown ("X") until driven
+
+
+class Signal:
+    """One wire with a current value and change listeners."""
+
+    __slots__ = ("name", "value", "last_change", "_listeners")
+
+    def __init__(self, name: str = "", value: Optional[int] = UNKNOWN) -> None:
+        self.name = name
+        self.value = value
+        self.last_change: float = 0.0
+        self._listeners: List[Listener] = []
+
+    def listen(self, listener: Listener) -> None:
+        """Subscribe *listener* to changes of this signal."""
+        self._listeners.append(listener)
+
+    def set(self, value: Optional[int], time: float) -> bool:
+        """Drive the signal; notify listeners only on an actual change."""
+        if value == self.value:
+            return False
+        self.value = value
+        self.last_change = time
+        for listener in self._listeners:
+            listener(self)
+        return True
+
+    def __repr__(self) -> str:
+        return f"Signal({self.name!r}={self.value})"
+
+
+class SignalBus:
+    """An ordered group of signals (a multi-bit value)."""
+
+    def __init__(self, name: str, width: int) -> None:
+        if width < 1:
+            raise ValueError(f"bus width must be positive, got {width}")
+        self.name = name
+        self.signals = [Signal(f"{name}[{i}]") for i in range(width)]
+
+    def __len__(self) -> int:
+        return len(self.signals)
+
+    def __getitem__(self, index: int) -> Signal:
+        return self.signals[index]
+
+    def values(self) -> List[Optional[int]]:
+        return [signal.value for signal in self.signals]
+
+    def drive(self, values: Sequence[Optional[int]], time: float) -> None:
+        """Drive all bits at once."""
+        if len(values) != len(self.signals):
+            raise ValueError(
+                f"bus {self.name!r} has {len(self.signals)} bits, "
+                f"got {len(values)} values"
+            )
+        for signal, value in zip(self.signals, values):
+            signal.set(value, time)
+
+    def settled(self) -> bool:
+        """``True`` when every bit has a known value."""
+        return all(signal.value is not None for signal in self.signals)

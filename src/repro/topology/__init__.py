@@ -1,0 +1,74 @@
+"""Multistage interconnection network (MIN) substrate.
+
+The BNB network is defined on top of the *baseline* network of Wu and
+Feng, one member of the class of ``log N``-stage networks built from
+``2 x 2`` switches and fixed interstage wirings.  This package provides:
+
+* a library of interstage connection patterns
+  (:mod:`~repro.topology.connections`),
+* a generic :class:`~repro.topology.multistage.MultistageNetwork` that
+  models any such network, applies switch settings, self-routes by
+  destination tags and detects conflicts,
+* constructors for the baseline, omega and butterfly topologies, and
+* graph-based topological-equivalence checking
+  (:mod:`~repro.topology.equivalence`), reproducing the sense in which
+  Wu and Feng's class is "one network in different clothes".
+"""
+
+from .connections import (
+    identity_connection,
+    unshuffle_connection,
+    shuffle_connection,
+    butterfly_connection,
+    perfect_shuffle_connection,
+    inverse_shuffle_connection,
+    compose_connections,
+    invert_connection,
+    is_valid_connection,
+)
+from .stage import SwitchColumn, SwitchState
+from .multistage import MultistageNetwork, RoutedPacketTrace, SelfRoutingReport
+from .baseline import baseline_network, baseline_routing_bit_schedule
+from .omega import omega_network, omega_routing_bit_schedule
+from .butterfly import butterfly_network, butterfly_routing_bit_schedule
+from .flip import flip_network, flip_routing_bit_schedule
+from .equivalence import network_graph, topologically_equivalent
+from .capacity import (
+    realizable_permutations,
+    permutation_capacity,
+    has_unique_settings,
+)
+from .paths import path_count_matrix, path_multiplicity, is_banyan
+
+__all__ = [
+    "identity_connection",
+    "unshuffle_connection",
+    "shuffle_connection",
+    "butterfly_connection",
+    "perfect_shuffle_connection",
+    "inverse_shuffle_connection",
+    "compose_connections",
+    "invert_connection",
+    "is_valid_connection",
+    "SwitchColumn",
+    "SwitchState",
+    "MultistageNetwork",
+    "RoutedPacketTrace",
+    "SelfRoutingReport",
+    "baseline_network",
+    "baseline_routing_bit_schedule",
+    "omega_network",
+    "omega_routing_bit_schedule",
+    "butterfly_network",
+    "butterfly_routing_bit_schedule",
+    "flip_network",
+    "flip_routing_bit_schedule",
+    "network_graph",
+    "topologically_equivalent",
+    "realizable_permutations",
+    "permutation_capacity",
+    "has_unique_settings",
+    "path_count_matrix",
+    "path_multiplicity",
+    "is_banyan",
+]

@@ -1,0 +1,41 @@
+"""The baseline network of Wu and Feng (reference [12] of the paper).
+
+An ``N = 2**m``-input baseline network has ``m`` switch columns; the
+wiring after column ``i`` is the ``2**(m-i)``-unshuffle ``U_{m-i}^m``.
+Equivalently (and this is how the paper introduces it) it is the
+generalized baseline network built from plain ``2 x 2`` switches.
+
+Destination-tag self-routing uses the address bits MSB-first: at stage
+``i`` a packet exits on the even port of its switch when bit
+``m - 1 - i`` of its destination is 0.  Only a thin slice of all
+permutations passes without conflict — the limitation the BNB network
+removes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..bits import require_power_of_two
+from .connections import unshuffle_connection
+from .multistage import MultistageNetwork
+
+__all__ = ["baseline_network", "baseline_routing_bit_schedule"]
+
+
+def baseline_network(n: int) -> MultistageNetwork:
+    """Build the ``n``-input baseline network."""
+    m = require_power_of_two(n, "baseline network size")
+    wirings = [unshuffle_connection(n, m - i) for i in range(m - 1)]
+    return MultistageNetwork(
+        n=n,
+        stage_count=m,
+        wirings=wirings,
+        name="baseline",
+    )
+
+
+def baseline_routing_bit_schedule(n: int) -> List[int]:
+    """Destination bits consumed per stage: MSB first."""
+    m = require_power_of_two(n, "baseline network size")
+    return [m - 1 - i for i in range(m)]

@@ -1,0 +1,49 @@
+"""The butterfly (indirect binary cube) network.
+
+Stage ``i`` pairs lines that differ in index bit ``i`` and corrects
+that bit of the packet's position toward its destination, so
+destination-tag routing consumes the address bits LSB-first.  Because
+:class:`~repro.topology.multistage.MultistageNetwork` columns pair
+*adjacent* lines, each stage is realized as a butterfly wiring that
+brings bit-``i`` partners adjacent, the switch column, and the inverse
+wiring — composed with the next stage's wiring into a single interstage
+permutation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..bits import require_power_of_two
+from .connections import butterfly_connection, compose_connections
+from .multistage import MultistageNetwork
+
+__all__ = ["butterfly_network", "butterfly_routing_bit_schedule"]
+
+
+def butterfly_network(n: int) -> MultistageNetwork:
+    """Build the ``n``-input butterfly (indirect binary cube) network."""
+    m = require_power_of_two(n, "butterfly network size")
+    # While column i operates, the lines sit in butterfly_i-transformed
+    # order (bit i moved to position 0).  butterfly_0 is the identity, so
+    # no input wiring is needed; after the last column the butterfly_{m-1}
+    # involution restores true line order.
+    wirings: List[List[int]] = []
+    for i in range(m - 1):
+        undo_current = butterfly_connection(n, i)
+        apply_next = butterfly_connection(n, i + 1)
+        wirings.append(compose_connections(undo_current, apply_next))
+    output_wiring = butterfly_connection(n, m - 1) if m > 1 else None
+    return MultistageNetwork(
+        n=n,
+        stage_count=m,
+        wirings=wirings,
+        output_wiring=output_wiring,
+        name="butterfly",
+    )
+
+
+def butterfly_routing_bit_schedule(n: int) -> List[int]:
+    """Destination bits consumed per stage: LSB first."""
+    m = require_power_of_two(n, "butterfly network size")
+    return list(range(m))

@@ -1,0 +1,103 @@
+"""Interstage connection patterns for multistage networks.
+
+A *connection* between two columns of ``N`` lines is a fixed wiring,
+represented as a list ``wiring`` of length ``N`` where output ``j`` of
+the earlier column drives input ``wiring[j]`` of the later column.
+Connections are therefore permutations of ``0 .. N-1``; helpers here
+build the patterns used by the classic topologies and by the paper's
+generalized baseline network.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..bits import (
+    butterfly_index,
+    require_power_of_two,
+    rotate_left,
+    rotate_right,
+    shuffle_index,
+    unshuffle_index,
+)
+
+__all__ = [
+    "identity_connection",
+    "unshuffle_connection",
+    "shuffle_connection",
+    "butterfly_connection",
+    "perfect_shuffle_connection",
+    "inverse_shuffle_connection",
+    "compose_connections",
+    "invert_connection",
+    "is_valid_connection",
+]
+
+
+def identity_connection(n: int) -> List[int]:
+    """Straight-through wiring."""
+    require_power_of_two(n)
+    return list(range(n))
+
+
+def unshuffle_connection(n: int, k: int) -> List[int]:
+    """The paper's ``U_k^m`` wiring on ``n = 2**m`` lines (Definition 1).
+
+    The low ``k`` index bits rotate right by one; within every block of
+    ``2**k`` lines the even offsets land in the block's upper half and
+    the odd offsets in its lower half, preserving order.
+    """
+    m = require_power_of_two(n)
+    return [unshuffle_index(j, k, m) for j in range(n)]
+
+
+def shuffle_connection(n: int, k: int) -> List[int]:
+    """Inverse of :func:`unshuffle_connection` (low *k* bits rotate left)."""
+    m = require_power_of_two(n)
+    return [shuffle_index(j, k, m) for j in range(n)]
+
+
+def butterfly_connection(n: int, k: int) -> List[int]:
+    """Swap index bit *k* with bit 0 (the ``k``-th butterfly)."""
+    m = require_power_of_two(n)
+    return [butterfly_index(j, k, m) for j in range(n)]
+
+
+def perfect_shuffle_connection(n: int) -> List[int]:
+    """Full-width left rotation: the omega network's interstage wiring."""
+    m = require_power_of_two(n)
+    return [rotate_left(j, m) for j in range(n)]
+
+
+def inverse_shuffle_connection(n: int) -> List[int]:
+    """Full-width right rotation (the flip network's wiring)."""
+    m = require_power_of_two(n)
+    return [rotate_right(j, m) for j in range(n)]
+
+
+def compose_connections(first: Sequence[int], second: Sequence[int]) -> List[int]:
+    """Wiring equivalent to *first* followed by *second*."""
+    if len(first) != len(second):
+        raise ValueError(
+            f"cannot compose connections of sizes {len(first)} and {len(second)}"
+        )
+    return [second[first[j]] for j in range(len(first))]
+
+
+def invert_connection(wiring: Sequence[int]) -> List[int]:
+    """The reverse wiring: if ``wiring[a] == b`` then ``result[b] == a``."""
+    result = [0] * len(wiring)
+    for a, b in enumerate(wiring):
+        result[b] = a
+    return result
+
+
+def is_valid_connection(wiring: Sequence[int]) -> bool:
+    """``True`` when *wiring* is a permutation of ``0 .. len-1``."""
+    n = len(wiring)
+    seen = [False] * n
+    for v in wiring:
+        if not isinstance(v, int) or not 0 <= v < n or seen[v]:
+            return False
+        seen[v] = True
+    return True

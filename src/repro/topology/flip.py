@@ -1,0 +1,38 @@
+"""The flip network (Batcher's STARAN network).
+
+``log N`` stages of switch columns each *followed* by an inverse
+shuffle — the mirror arrangement of the omega network, and another
+member of Wu & Feng's topological-equivalence class.  Destination-tag
+routing consumes the address bits LSB-first: the last column's inverse
+shuffle has already gathered lines that agree on the high bits, so the
+early columns fix the low ones.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..bits import require_power_of_two
+from .connections import inverse_shuffle_connection
+from .multistage import MultistageNetwork
+
+__all__ = ["flip_network", "flip_routing_bit_schedule"]
+
+
+def flip_network(n: int) -> MultistageNetwork:
+    """Build the ``n``-input flip network."""
+    m = require_power_of_two(n, "flip network size")
+    unshuffle = inverse_shuffle_connection(n)
+    return MultistageNetwork(
+        n=n,
+        stage_count=m,
+        wirings=[list(unshuffle) for _ in range(m - 1)],
+        output_wiring=unshuffle,
+        name="flip",
+    )
+
+
+def flip_routing_bit_schedule(n: int) -> List[int]:
+    """Destination bits consumed per stage: LSB first."""
+    m = require_power_of_two(n, "flip network size")
+    return list(range(m))

@@ -1,0 +1,295 @@
+"""A generic multistage interconnection network of 2 x 2 switches.
+
+:class:`MultistageNetwork` models any network of the Wu-Feng class: an
+alternating sequence of switch columns and fixed interstage wirings.
+It supports three modes of use:
+
+* **explicit switching** — apply caller-supplied control vectors
+  (:meth:`MultistageNetwork.route_with_controls`), the primitive every
+  higher-level router reduces to;
+* **destination-tag self-routing**
+  (:meth:`MultistageNetwork.self_route`) with per-stage routing-bit
+  schedules and conflict reporting — this is the *restricted* routing
+  whose failures motivate the BNB design;
+* **structural queries** — switch counts, depth, per-stage widths — used
+  by the hardware-accounting layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..bits import require_power_of_two
+from ..exceptions import PathConflictError
+from ..permutations.permutation import Permutation
+from .connections import identity_connection, is_valid_connection
+from .stage import SwitchColumn
+
+__all__ = ["MultistageNetwork", "RoutedPacketTrace", "SelfRoutingReport"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RoutedPacketTrace:
+    """The sequence of line indices one packet visited, stage by stage.
+
+    ``positions[0]`` is the input line, ``positions[-1]`` the output
+    line; there is one entry after every switch column and every
+    wiring.
+    """
+
+    packet: object
+    positions: Tuple[int, ...]
+
+    @property
+    def input_line(self) -> int:
+        return self.positions[0]
+
+    @property
+    def output_line(self) -> int:
+        return self.positions[-1]
+
+
+@dataclasses.dataclass
+class SelfRoutingReport:
+    """Outcome of a destination-tag self-routing attempt."""
+
+    delivered: bool
+    outputs: List[Optional[int]]
+    conflicts: List[Tuple[int, int]]  # (stage index, switch index)
+    controls: List[List[int]]
+
+    @property
+    def conflict_count(self) -> int:
+        return len(self.conflicts)
+
+
+class MultistageNetwork:
+    """An ``N``-line network: columns of 2 x 2 switches joined by wirings.
+
+    Parameters
+    ----------
+    n:
+        Number of lines (a power of two).
+    wirings:
+        ``wirings[i]`` is the connection applied *after* switch column
+        ``i``; a network of ``s`` columns takes ``s - 1`` wirings (no
+        wiring after the last column).  Each wiring is a permutation
+        list as produced by :mod:`repro.topology.connections`.
+    input_wiring / output_wiring:
+        Optional fixed wirings before the first and after the last
+        column (the butterfly and Benes constructions use these).
+    name:
+        Human-readable topology name for diagnostics.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        stage_count: int,
+        wirings: Sequence[Sequence[int]],
+        input_wiring: Optional[Sequence[int]] = None,
+        output_wiring: Optional[Sequence[int]] = None,
+        name: str = "multistage",
+    ) -> None:
+        require_power_of_two(n, "network width")
+        if stage_count < 1:
+            raise ValueError(f"need at least one stage, got {stage_count}")
+        if len(wirings) != stage_count - 1:
+            raise ValueError(
+                f"{stage_count} stages need {stage_count - 1} interstage "
+                f"wirings, got {len(wirings)}"
+            )
+        self.n = n
+        self.name = name
+        self.columns = [
+            SwitchColumn(n, label=f"{name}:stage{i}") for i in range(stage_count)
+        ]
+        self.wirings: List[List[int]] = []
+        for i, wiring in enumerate(wirings):
+            wiring = list(wiring)
+            if len(wiring) != n or not is_valid_connection(wiring):
+                raise ValueError(f"interstage wiring {i} is not a permutation of 0..{n-1}")
+            self.wirings.append(wiring)
+        self.input_wiring = (
+            list(input_wiring) if input_wiring is not None else None
+        )
+        self.output_wiring = (
+            list(output_wiring) if output_wiring is not None else None
+        )
+        for extra, label in (
+            (self.input_wiring, "input"),
+            (self.output_wiring, "output"),
+        ):
+            if extra is not None and (
+                len(extra) != n or not is_valid_connection(extra)
+            ):
+                raise ValueError(f"{label} wiring is not a permutation of 0..{n-1}")
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def stage_count(self) -> int:
+        return len(self.columns)
+
+    @property
+    def switch_count(self) -> int:
+        """Total number of 2 x 2 switches."""
+        return sum(column.switch_count for column in self.columns)
+
+    @property
+    def depth(self) -> int:
+        """Number of switch columns a packet traverses."""
+        return self.stage_count
+
+    def controls_shape(self) -> List[int]:
+        """Per-stage control-vector lengths (for allocating settings)."""
+        return [column.switch_count for column in self.columns]
+
+    def empty_controls(self) -> List[List[int]]:
+        """An all-straight control setting."""
+        return [[0] * column.switch_count for column in self.columns]
+
+    # ------------------------------------------------------------------
+    # Routing primitives
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _apply_wiring(lines: Sequence, wiring: Sequence[int]) -> List:
+        out: List = [None] * len(lines)
+        for j, value in enumerate(lines):
+            out[wiring[j]] = value
+        return out
+
+    def route_with_controls(
+        self,
+        items: Sequence,
+        controls: Sequence[Sequence[int]],
+        trace: bool = False,
+    ) -> Tuple[List, Optional[List[RoutedPacketTrace]]]:
+        """Push *items* through the network under explicit *controls*.
+
+        Returns ``(outputs, traces)``; *traces* is ``None`` unless
+        *trace* is requested (tracing costs an index bookkeeping pass).
+        """
+        if len(items) != self.n:
+            raise ValueError(f"expected {self.n} items, got {len(items)}")
+        if len(controls) != self.stage_count:
+            raise ValueError(
+                f"expected {self.stage_count} control vectors, got {len(controls)}"
+            )
+        lines = list(items)
+        positions: Optional[List[List[int]]] = None
+        index_lines: List[int] = []
+        if trace:
+            index_lines = list(range(self.n))
+            positions = [[j] for j in range(self.n)]
+
+        def advance(new_lines: List, new_indices: Optional[List[int]]) -> None:
+            nonlocal lines, index_lines
+            lines = new_lines
+            if trace and new_indices is not None:
+                index_lines = new_indices
+                for line, packet in enumerate(index_lines):
+                    positions[packet].append(line)  # type: ignore[index]
+
+        if self.input_wiring is not None:
+            advance(
+                self._apply_wiring(lines, self.input_wiring),
+                self._apply_wiring(index_lines, self.input_wiring) if trace else None,
+            )
+        for i, column in enumerate(self.columns):
+            advance(
+                column.apply(lines, controls[i]),
+                column.apply(index_lines, controls[i]) if trace else None,
+            )
+            if i < len(self.wirings):
+                advance(
+                    self._apply_wiring(lines, self.wirings[i]),
+                    self._apply_wiring(index_lines, self.wirings[i])
+                    if trace
+                    else None,
+                )
+        if self.output_wiring is not None:
+            advance(
+                self._apply_wiring(lines, self.output_wiring),
+                self._apply_wiring(index_lines, self.output_wiring)
+                if trace
+                else None,
+            )
+        traces = None
+        if trace:
+            traces = [
+                RoutedPacketTrace(packet=items[j], positions=tuple(positions[j]))  # type: ignore[index]
+                for j in range(self.n)
+            ]
+        return lines, traces
+
+    def realized_permutation(
+        self, controls: Sequence[Sequence[int]]
+    ) -> Permutation:
+        """The input-line -> output-line permutation under *controls*."""
+        outputs, _ = self.route_with_controls(list(range(self.n)), controls)
+        inverse = [0] * self.n
+        for line, packet in enumerate(outputs):
+            inverse[packet] = line
+        return Permutation(inverse)
+
+    def self_route(
+        self,
+        destinations: Sequence[Optional[int]],
+        bit_schedule: Sequence[int],
+        strict: bool = False,
+    ) -> SelfRoutingReport:
+        """Destination-tag routing: stage ``i`` steers by bit ``bit_schedule[i]``.
+
+        ``destinations[j]`` is the output address requested by the
+        packet on input line ``j`` (``None`` = idle line).  When two
+        packets in one switch request the same port, the pair is
+        recorded as a conflict; with ``strict=True`` a
+        :class:`~repro.exceptions.PathConflictError` is raised instead.
+        """
+        if len(destinations) != self.n:
+            raise ValueError(
+                f"expected {self.n} destinations, got {len(destinations)}"
+            )
+        if len(bit_schedule) != self.stage_count:
+            raise ValueError(
+                f"expected {self.stage_count} routing bits, got {len(bit_schedule)}"
+            )
+        lines: List[Optional[int]] = list(destinations)
+        conflicts: List[Tuple[int, int]] = []
+        all_controls: List[List[int]] = []
+        if self.input_wiring is not None:
+            lines = self._apply_wiring(lines, self.input_wiring)
+        for i, column in enumerate(self.columns):
+            bit_index = bit_schedule[i]
+            wanted = [
+                None if dest is None else (dest >> bit_index) & 1 for dest in lines
+            ]
+            controls, stage_conflicts = column.controls_for_destinations(wanted)
+            for t in stage_conflicts:
+                if strict:
+                    raise PathConflictError(i, t, (lines[2 * t], lines[2 * t + 1]))
+                conflicts.append((i, t))
+            all_controls.append(controls)
+            lines = column.apply(lines, controls)
+            if i < len(self.wirings):
+                lines = self._apply_wiring(lines, self.wirings[i])
+        if self.output_wiring is not None:
+            lines = self._apply_wiring(lines, self.output_wiring)
+        delivered = not conflicts and all(
+            dest is None or dest == j for j, dest in enumerate(lines)
+        )
+        return SelfRoutingReport(
+            delivered=delivered,
+            outputs=lines,
+            conflicts=conflicts,
+            controls=all_controls,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MultistageNetwork(name={self.name!r}, n={self.n}, "
+            f"stages={self.stage_count}, switches={self.switch_count})"
+        )

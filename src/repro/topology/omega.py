@@ -1,0 +1,37 @@
+"""Lawrie's omega network.
+
+``log N`` identical stages, each a perfect shuffle followed by a column
+of ``2 x 2`` switches.  Destination-tag routing consumes the address
+bits MSB-first.  Topologically equivalent to the baseline network (see
+:mod:`repro.topology.equivalence`) but with a different line numbering,
+so the two accept different sets of self-routable permutations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..bits import require_power_of_two
+from .connections import perfect_shuffle_connection
+from .multistage import MultistageNetwork
+
+__all__ = ["omega_network", "omega_routing_bit_schedule"]
+
+
+def omega_network(n: int) -> MultistageNetwork:
+    """Build the ``n``-input omega network."""
+    m = require_power_of_two(n, "omega network size")
+    shuffle = perfect_shuffle_connection(n)
+    return MultistageNetwork(
+        n=n,
+        stage_count=m,
+        wirings=[list(shuffle) for _ in range(m - 1)],
+        input_wiring=shuffle,
+        name="omega",
+    )
+
+
+def omega_routing_bit_schedule(n: int) -> List[int]:
+    """Destination bits consumed per stage: MSB first."""
+    m = require_power_of_two(n, "omega network size")
+    return [m - 1 - i for i in range(m)]

@@ -1,0 +1,80 @@
+"""Path multiplicity analysis for multistage networks.
+
+The banyan property — exactly one path between every input/output
+pair — is what makes destination-tag self-routing well-defined and
+what limits a single log-stage network to ``2^S`` permutations.  The
+Benes network restores rearrangeability by providing ``2^(log N - 1)``
+alternative paths per pair.  This module counts paths exactly by
+dynamic programming over the stage DAG, so both facts are verified
+structurally rather than assumed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .multistage import MultistageNetwork
+
+__all__ = ["path_count_matrix", "is_banyan", "path_multiplicity"]
+
+
+def path_count_matrix(network: MultistageNetwork) -> List[List[int]]:
+    """``matrix[i][o]`` = number of distinct paths from input i to output o.
+
+    A path chooses one of the two outputs at every switch it crosses;
+    wirings are fixed.  Complexity O(N^2 * stages).
+    """
+    n = network.n
+    matrix: List[List[int]] = []
+    for source in range(n):
+        counts = [0] * n
+        start = (
+            network.input_wiring[source]
+            if network.input_wiring is not None
+            else source
+        )
+        counts[start] = 1
+        for stage_index in range(network.stage_count):
+            after_switch = [0] * n
+            for t in range(n // 2):
+                pair_total = counts[2 * t] + counts[2 * t + 1]
+                # Each packet at either input can exit on either port.
+                after_switch[2 * t] = pair_total
+                after_switch[2 * t + 1] = pair_total
+            if stage_index < len(network.wirings):
+                wired = [0] * n
+                wiring = network.wirings[stage_index]
+                for line, value in enumerate(after_switch):
+                    wired[wiring[line]] = value
+                counts = wired
+            else:
+                counts = after_switch
+        if network.output_wiring is not None:
+            wired = [0] * n
+            for line, value in enumerate(counts):
+                wired[network.output_wiring[line]] = value
+            counts = wired
+        matrix.append(counts)
+    return matrix
+
+
+def path_multiplicity(network: MultistageNetwork) -> int:
+    """The common path count if uniform; raises if pairs differ.
+
+    Banyan-class networks have multiplicity 1; the Benes fabric has
+    ``2^(stage_count - log N)`` (its extra columns double the choices).
+    """
+    matrix = path_count_matrix(network)
+    values = {count for row in matrix for count in row}
+    if len(values) != 1:
+        raise ValueError(
+            f"path counts are not uniform across pairs: {sorted(values)[:5]}..."
+        )
+    return values.pop()
+
+
+def is_banyan(network: MultistageNetwork) -> bool:
+    """``True`` when every input/output pair has exactly one path."""
+    return all(
+        count == 1 for row in path_count_matrix(network) for count in row
+    )

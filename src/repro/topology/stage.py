@@ -1,0 +1,124 @@
+"""Switch columns: one stage of 2 x 2 switches.
+
+Every classic ``log N``-stage network is a sequence of *switch columns*
+separated by fixed wirings.  A column over ``N`` lines contains
+``N / 2`` two-by-two switches; switch ``t`` connects lines ``2t`` and
+``2t + 1``.  A switch is either *straight* (``through``) or *exchange*
+(``cross``); the column's state is the vector of those control bits.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence, Tuple
+
+from ..bits import require_power_of_two
+
+__all__ = ["SwitchState", "SwitchColumn"]
+
+
+class SwitchState(enum.IntEnum):
+    """Setting of one 2 x 2 switch.
+
+    The integer values match the control-bit convention used across the
+    library: 0 routes input ``2t`` to output ``2t`` (straight), 1 routes
+    input ``2t`` to output ``2t + 1`` (exchange).
+    """
+
+    STRAIGHT = 0
+    EXCHANGE = 1
+
+
+class SwitchColumn:
+    """One column of ``n/2`` two-by-two switches over *n* lines.
+
+    The column is stateless by itself; callers pass explicit control
+    vectors so that the same structural object can be reused across
+    routing passes (and so the fault injector can perturb controls
+    without mutating shared state).
+    """
+
+    def __init__(self, n: int, label: str = "") -> None:
+        require_power_of_two(n, "column width")
+        self.n = n
+        self.label = label
+
+    @property
+    def switch_count(self) -> int:
+        """Number of 2 x 2 switches in the column."""
+        return self.n // 2
+
+    def validate_controls(self, controls: Sequence[int]) -> None:
+        """Raise ``ValueError`` unless *controls* is a valid control vector."""
+        if len(controls) != self.switch_count:
+            raise ValueError(
+                f"column of {self.switch_count} switches got "
+                f"{len(controls)} controls"
+            )
+        for c in controls:
+            if c not in (0, 1):
+                raise ValueError(f"switch control must be 0 or 1, got {c!r}")
+
+    def apply(self, lines: Sequence, controls: Sequence[int]) -> List:
+        """Route *lines* through the column under *controls*.
+
+        ``controls[t] == SwitchState.EXCHANGE`` swaps the pair
+        ``(lines[2t], lines[2t+1])``.
+        """
+        if len(lines) != self.n:
+            raise ValueError(f"expected {self.n} lines, got {len(lines)}")
+        self.validate_controls(controls)
+        out: List = [None] * self.n
+        for t in range(self.switch_count):
+            a, b = lines[2 * t], lines[2 * t + 1]
+            if controls[t]:
+                a, b = b, a
+            out[2 * t] = a
+            out[2 * t + 1] = b
+        return out
+
+    def output_port(self, input_port: int, control: int) -> int:
+        """Return the output line an input leaves on under *control*."""
+        if not 0 <= input_port < self.n:
+            raise ValueError(f"input port {input_port} out of range")
+        if control not in (0, 1):
+            raise ValueError(f"switch control must be 0 or 1, got {control!r}")
+        return input_port ^ control
+
+    def controls_for_destinations(
+        self, bits: Sequence[Optional[int]]
+    ) -> Tuple[List[int], List[int]]:
+        """Derive controls from per-line desired output parities.
+
+        ``bits[j]`` is the parity (0 = even/upper port, 1 = odd/lower
+        port) the packet on line ``j`` wants to exit with, or ``None``
+        for an idle line.  Returns ``(controls, conflicts)`` where
+        *conflicts* lists the switch indices at which both packets asked
+        for the same port; the first packet wins there and the second is
+        misrouted — callers decide whether that is an error.
+        """
+        if len(bits) != self.n:
+            raise ValueError(f"expected {self.n} routing bits, got {len(bits)}")
+        controls: List[int] = [0] * self.switch_count
+        conflicts: List[int] = []
+        for t in range(self.switch_count):
+            want_upper = bits[2 * t]
+            want_lower = bits[2 * t + 1]
+            if want_upper is None and want_lower is None:
+                controls[t] = SwitchState.STRAIGHT
+            elif want_lower is None:
+                controls[t] = SwitchState.EXCHANGE if want_upper == 1 else 0
+            elif want_upper is None:
+                controls[t] = SwitchState.EXCHANGE if want_lower == 0 else 0
+            elif want_upper == want_lower:
+                conflicts.append(t)
+                controls[t] = SwitchState.EXCHANGE if want_upper == 1 else 0
+            else:
+                # want_upper != want_lower: exchange exactly when the
+                # upper input wants the lower (odd) port.
+                controls[t] = SwitchState.EXCHANGE if want_upper == 1 else 0
+        return controls, conflicts
+
+    def __repr__(self) -> str:
+        label = f" {self.label!r}" if self.label else ""
+        return f"SwitchColumn(n={self.n}{label})"

@@ -1,0 +1,24 @@
+"""Text renderings of the paper's structural figures and result reports."""
+
+from .ascii_art import (
+    render_gbn,
+    render_bnb_profile,
+    render_splitter,
+    render_function_node,
+    render_routing_trace,
+    render_multistage_routing,
+)
+from .reports import experiments_report
+from .dot import multistage_to_dot, arbiter_to_dot
+
+__all__ = [
+    "multistage_to_dot",
+    "arbiter_to_dot",
+    "render_gbn",
+    "render_bnb_profile",
+    "render_splitter",
+    "render_function_node",
+    "render_routing_trace",
+    "render_multistage_routing",
+    "experiments_report",
+]

@@ -1,0 +1,172 @@
+"""ASCII renderings of Figs. 1-5.
+
+The paper's figures are structural diagrams; these renderers regenerate
+their content as deterministic text so the documentation and the figure
+benchmarks can show (and diff) the structures without a graphics stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.arbiter import Arbiter
+from ..core.bnb import BNBNetwork, BNBRoutingRecord
+from ..core.gbn import GeneralizedBaselineNetwork
+from ..core.splitter import Splitter
+from ..core.words import Word
+
+__all__ = [
+    "render_gbn",
+    "render_bnb_profile",
+    "render_splitter",
+    "render_function_node",
+    "render_routing_trace",
+    "render_multistage_routing",
+]
+
+
+def render_gbn(m: int) -> str:
+    """Fig. 1: the stage/box inventory of an ``2**m``-input GBN."""
+    network = GeneralizedBaselineNetwork(m)
+    lines = [f"B({m}, SB): {network.n}-input generalized baseline network"]
+    for spec in network.stages():
+        boxes = " ".join(f"[SB({spec.box_exponent})]" for _ in range(spec.box_count))
+        lines.append(
+            f"  stage-{spec.stage}: {spec.box_count} x SB({spec.box_exponent})"
+            f" ({spec.box_size}x{spec.box_size})   {boxes}"
+        )
+        if spec.stage < m - 1:
+            lines.append(
+                f"           | U_{spec.connection_k}^{m} "
+                f"(2^{spec.connection_k}-unshuffle) |"
+            )
+    return "\n".join(lines)
+
+
+def render_bnb_profile(m: int, w: int = 0) -> str:
+    """Fig. 3: the NB(i, l) / BSN(i, l) profile of the BNB network."""
+    network = BNBNetwork(m, w=w)
+    lines = [
+        f"BNB network, N={network.n}, q={m}+{w} bit slices "
+        f"(slice i of stage-i nested networks is the BSN)"
+    ]
+    for i, stage in enumerate(network.profile()):
+        entries = ", ".join(
+            f"{spec.label}[{spec.size}x{spec.size}, {spec.slice_count} slices, "
+            f"{spec.bsn_label}=slice-{spec.bsn_slice}]"
+            for spec in stage
+        )
+        lines.append(f"  main stage-{i}: {entries}")
+        if i < m - 1:
+            lines.append(f"        | U_{m - i}^{m} unshuffle |")
+    return "\n".join(lines)
+
+
+def render_splitter(p: int, bits: Optional[Sequence[int]] = None) -> str:
+    """Fig. 4: an ``sp(p)`` splitter, optionally with live signal values.
+
+    With *bits* given, shows the arbiter's up values, down flags and
+    the resulting switch settings for that input vector.
+    """
+    splitter = Splitter(p)
+    lines = [f"sp({p}): 2^{p}-input splitter = A({p}) arbiter + sw({p})"]
+    if p == 1:
+        lines.append("  A(1) is wiring: control = upper input bit")
+        if bits is not None:
+            outputs, _rec = splitter.route_bits(list(bits))
+            lines.append(f"  inputs  {list(bits)}")
+            lines.append(f"  outputs {outputs}")
+        return "\n".join(lines)
+    if bits is None:
+        arbiter = Arbiter(p)
+        lines.append(
+            f"  arbiter: {arbiter.node_count} function nodes in {p} levels"
+        )
+        lines.append(f"  switches: {splitter.switch_count} x sw(1)")
+        return "\n".join(lines)
+    outputs, record = splitter.route_bits(list(bits), record=True)
+    assert record is not None and record.arbiter_trace is not None
+    trace = record.arbiter_trace
+    lines.append(f"  inputs   {list(bits)}")
+    for level in range(len(trace.nodes) - 1, -1, -1):
+        ups = " ".join(str(node.z_up) for node in trace.nodes[level])
+        downs = " ".join(str(node.z_down) for node in trace.nodes[level])
+        lines.append(f"  level {level}: z_up [{ups}]  z_down [{downs}]")
+    lines.append(f"  flags    {record.flags}")
+    lines.append(
+        "  switches "
+        + " ".join("X" if c else "=" for c in record.controls)
+        + "   (= straight, X exchange)"
+    )
+    lines.append(f"  outputs  {outputs}")
+    return "\n".join(lines)
+
+
+def render_function_node() -> str:
+    """Fig. 5: the function-node schematic as text."""
+    return "\n".join(
+        [
+            "function node (Fig. 5):",
+            "  x1 --+--[XOR]-- z_u ----------------> to parent",
+            "  x2 --+            |",
+            "                    +--[AND  z_d]--> y1 (upper child flag)",
+            "                    +--[NOT]-[OR z_d]--> y2 (lower child flag)",
+            "  z_d <----------------------------- from parent",
+            "  semantics: z_u = x1 XOR x2;",
+            "             z_u == 0 -> generate y1=0, y2=1;",
+            "             z_u == 1 -> forward  y1=y2=z_d.",
+        ]
+    )
+
+
+def render_multistage_routing(network, controls) -> str:
+    """A column-by-column picture of one multistage routing pass.
+
+    *network* is a :class:`~repro.topology.multistage.MultistageNetwork`
+    and *controls* its per-stage settings; the rendering shows each
+    line's packet value after every column (``=`` straight, ``X``
+    exchange per switch), regenerating the style of hand-drawn routing
+    examples in the MIN literature.
+    """
+    values, _traces = network.route_with_controls(
+        list(range(network.n)), controls
+    )
+    lines = [f"{network.name}: N={network.n}, {network.stage_count} stages"]
+    state = list(range(network.n))
+    if network.input_wiring is not None:
+        state = network._apply_wiring(state, network.input_wiring)
+    header = "line: " + " ".join(f"{j:>3}" for j in range(network.n))
+    lines.append(header)
+    lines.append("  in: " + " ".join(f"{v:>3}" for v in state))
+    for stage_index, column in enumerate(network.columns):
+        marks = " ".join(
+            " X " if c else " = " for c in controls[stage_index]
+        )
+        lines.append(f"      {marks}")
+        state = column.apply(state, controls[stage_index])
+        if stage_index < len(network.wirings):
+            state = network._apply_wiring(state, network.wirings[stage_index])
+        lines.append(f"  s{stage_index}: " + " ".join(f"{v:>3}" for v in state))
+    if network.output_wiring is not None:
+        state = network._apply_wiring(state, network.output_wiring)
+        lines.append(" out: " + " ".join(f"{v:>3}" for v in state))
+    assert state == values
+    return "\n".join(lines)
+
+
+def render_routing_trace(
+    network: BNBNetwork, record: BNBRoutingRecord, words: Sequence[Word]
+) -> str:
+    """Per-packet trajectories of one routing pass."""
+    lines = [f"routing trace, N={network.n}:"]
+    for path in record.all_packet_paths(list(words)):
+        hops = " -> ".join(
+            f"NB({step.main_stage},{step.nested_network})@{step.line}"
+            for step in path.steps
+        )
+        status = "ok" if path.delivered else "MISROUTED"
+        lines.append(
+            f"  in {path.input_line:>3} addr {path.address:>3}: {hops} "
+            f"-> out {path.output_line} [{status}]"
+        )
+    return "\n".join(lines)

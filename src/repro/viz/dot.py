@@ -1,0 +1,100 @@
+"""Graphviz DOT export for networks and arbiter trees.
+
+Produces plain DOT text (no graphviz dependency): feed it to ``dot``
+or any online renderer to draw Figs. 1-4-style diagrams of actual
+constructed networks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.arbiter import Arbiter
+from ..topology.multistage import MultistageNetwork
+
+__all__ = ["multistage_to_dot", "arbiter_to_dot"]
+
+
+def _quote(label: str) -> str:
+    return '"' + label.replace('"', r"\"") + '"'
+
+
+def multistage_to_dot(
+    network: MultistageNetwork, title: Optional[str] = None
+) -> str:
+    """Render a multistage network's wiring as a left-to-right DOT graph."""
+    lines: List[str] = [
+        "digraph multistage {",
+        "  rankdir=LR;",
+        "  node [shape=box, fontsize=10];",
+    ]
+    if title:
+        lines.append(f"  label={_quote(title)};")
+    n = network.n
+    for j in range(n):
+        lines.append(f'  in{j} [shape=plaintext, label="in {j}"];')
+        lines.append(f'  out{j} [shape=plaintext, label="out {j}"];')
+    for stage in range(network.stage_count):
+        with_rank = ", ".join(f"s{stage}_{t}" for t in range(n // 2))
+        for t in range(n // 2):
+            lines.append(f'  s{stage}_{t} [label="sw {stage}.{t}"];')
+        lines.append(f"  {{ rank=same; {with_rank} }}")
+
+    def switch_node(stage: int, line: int) -> str:
+        return f"s{stage}_{line // 2}"
+
+    for j in range(n):
+        first = network.input_wiring[j] if network.input_wiring else j
+        lines.append(f"  in{j} -> {switch_node(0, first)};")
+    for stage in range(network.stage_count - 1):
+        wiring = network.wirings[stage]
+        for j in range(n):
+            lines.append(
+                f"  {switch_node(stage, j)} -> "
+                f"{switch_node(stage + 1, wiring[j])};"
+            )
+    last = network.stage_count - 1
+    for j in range(n):
+        target = network.output_wiring[j] if network.output_wiring else j
+        lines.append(f"  {switch_node(last, j)} -> out{target};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def arbiter_to_dot(
+    p: int, bits: Optional[Sequence[int]] = None
+) -> str:
+    """Render the ``A(p)`` tree; with *bits*, annotate live signals."""
+    arbiter = Arbiter(p)
+    trace = arbiter.trace(list(bits)) if bits is not None else None
+    lines: List[str] = [
+        "digraph arbiter {",
+        "  rankdir=BT;",
+        "  node [shape=circle, fontsize=10];",
+    ]
+    input_count = 1 << p
+    for j in range(input_count):
+        value = f"\\n={bits[j]}" if bits is not None else ""
+        lines.append(
+            f'  x{j} [shape=plaintext, label="s({j}){value}"];'
+        )
+    level_sizes = [input_count >> (level + 1) for level in range(p)]
+    for level, size in enumerate(level_sizes):
+        for index in range(size):
+            annotation = ""
+            if trace is not None:
+                node = trace.nodes[level][index]
+                annotation = f"\\nzu={node.z_up} zd={node.z_down}"
+            lines.append(
+                f'  n{level}_{index} [label="FN{annotation}"];'
+            )
+    # Leaves to level-0 nodes.
+    for index in range(level_sizes[0]):
+        lines.append(f"  x{2 * index} -> n0_{index};")
+        lines.append(f"  x{2 * index + 1} -> n0_{index};")
+    # Internal edges.
+    for level in range(p - 1):
+        for index in range(level_sizes[level]):
+            lines.append(f"  n{level}_{index} -> n{level + 1}_{index // 2};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Markdown experiment reports.
+
+:func:`experiments_report` runs the full paper-vs-measured comparison
+and renders it as markdown.  EXPERIMENTS.md in the repository root is a
+curated snapshot of this output; regenerating it is one function call:
+
+>>> from repro.viz import experiments_report
+>>> print(experiments_report(max_m=6))            # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis import complexity as _cx_module  # noqa: F401  (re-exported style)
+from ..analysis.complexity import (
+    batcher_delay,
+    batcher_comparators,
+    bnb_delay,
+    bnb_function_nodes,
+    bnb_switch_slices,
+    delay_leading_ratio,
+    hardware_leading_ratio,
+)
+from ..analysis.delay import batcher_measured_delay, bnb_measured_delay
+from ..analysis.tables import render_table1, render_table2
+from ..analysis.verification import verify_router
+from ..baselines.batcher import BatcherNetwork
+from ..core.bnb import BNBNetwork
+
+__all__ = ["experiments_report"]
+
+
+def experiments_report(max_m: int = 6, w: int = 8) -> str:
+    """Build the paper-vs-measured markdown report."""
+    sections: List[str] = ["# BNB reproduction: paper vs measured\n"]
+
+    sections.append("## Structural counts vs closed forms (Eq. 6 / Eq. 10)\n")
+    sections.append(
+        "| N | BNB switches (built) | Eq.6 | BNB fn nodes (built) | Eq.6 | "
+        "Batcher comparators (built) | Eq.10 |"
+    )
+    sections.append("|---|---|---|---|---|---|---|")
+    for m in range(1, max_m + 1):
+        n = 1 << m
+        bnb = BNBNetwork(m)
+        bat = BatcherNetwork(m)
+        sections.append(
+            f"| {n} | {bnb.switch_count} | {bnb_switch_slices(n)} | "
+            f"{bnb.function_node_count} | {bnb_function_nodes(n)} | "
+            f"{bat.comparator_count} | {batcher_comparators(n)} |"
+        )
+
+    sections.append("\n## Measured delay vs Eq. 9 / Eq. 12\n")
+    sections.append("| N | BNB measured | Eq.9 | Batcher measured | Eq.12 |")
+    sections.append("|---|---|---|---|---|")
+    for m in range(1, max_m + 1):
+        n = 1 << m
+        sections.append(
+            f"| {n} | {bnb_measured_delay(m):.0f} | {bnb_delay(n):.0f} | "
+            f"{batcher_measured_delay(m):.0f} | {batcher_delay(n):.0f} |"
+        )
+
+    sections.append("\n## Headline ratios (Section 5.3)\n")
+    sections.append("| N | hardware BNB/Batcher | delay BNB/Batcher |")
+    sections.append("|---|---|---|")
+    for m in (3, 6, 10, 14, 20):
+        n = 1 << m
+        sections.append(
+            f"| {n} | {hardware_leading_ratio(n, w):.3f} | "
+            f"{delay_leading_ratio(n):.3f} |"
+        )
+
+    sections.append("\n## Theorem 2 verification\n")
+    for n, mode in ((4, "exhaustive"), (16, "sampled"), (64, "sampled")):
+        report = verify_router("bnb", n, mode=mode, samples=100)
+        sections.append(f"- {report.summary()}")
+
+    sections.append("\n## Tables at N=1024\n```")
+    sections.append(render_table1(1024, w=w))
+    sections.append("")
+    sections.append(render_table2(1024))
+    sections.append("```")
+    return "\n".join(sections)

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.permutations import PermutationSampler
+
+
+@pytest.fixture
+def rng():
+    """A seeded RNG so tests are reproducible."""
+    return random.Random(48107)
+
+
+@pytest.fixture
+def sampler8():
+    """A seeded permutation sampler on 8 points."""
+    return PermutationSampler(8, seed=8)
+
+
+@pytest.fixture
+def sampler16():
+    """A seeded permutation sampler on 16 points."""
+    return PermutationSampler(16, seed=16)
+
+
+@pytest.fixture
+def sampler64():
+    """A seeded permutation sampler on 64 points."""
+    return PermutationSampler(64, seed=64)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running exhaustive checks (still run by default)"
+    )

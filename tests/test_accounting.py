@@ -1,0 +1,108 @@
+"""Hardware accounting vs closed forms (the Table 1 reconciliation)."""
+
+import pytest
+
+from repro.analysis.complexity import (
+    batcher_function_slices,
+    batcher_switch_slices,
+    bnb_function_nodes,
+    bnb_switch_slices,
+    koppelman_adder_slices,
+    koppelman_function_slices,
+    koppelman_switch_slices,
+)
+from repro.hardware import (
+    CostModel,
+    DEFAULT_COST_MODEL,
+    batcher_inventory,
+    bnb_inventory,
+    koppelman_inventory,
+    table1_rows,
+)
+
+
+class TestInventories:
+    @pytest.mark.parametrize("m", [1, 3, 5, 8])
+    @pytest.mark.parametrize("w", [0, 8])
+    def test_bnb_matches_eq6(self, m, w):
+        inventory = bnb_inventory(m, w)
+        n = 1 << m
+        assert inventory.switch_slices == bnb_switch_slices(n, w)
+        assert inventory.function_units == bnb_function_nodes(n)
+        assert inventory.adder_slices == 0
+
+    @pytest.mark.parametrize("m", [1, 3, 5, 8])
+    @pytest.mark.parametrize("w", [0, 8])
+    def test_batcher_matches_eq11(self, m, w):
+        inventory = batcher_inventory(m, w)
+        n = 1 << m
+        assert inventory.switch_slices == batcher_switch_slices(n, w)
+        assert inventory.function_units == batcher_function_slices(n)
+
+    @pytest.mark.parametrize("m", [3, 6])
+    def test_koppelman_matches_table1(self, m):
+        inventory = koppelman_inventory(m)
+        n = 1 << m
+        assert inventory.switch_slices == koppelman_switch_slices(n)
+        assert inventory.function_units == koppelman_function_slices(n)
+        assert inventory.adder_slices == koppelman_adder_slices(n)
+
+    def test_table1_rows_order(self):
+        rows = table1_rows(5)
+        assert [r.network for r in rows] == [
+            "Batcher",
+            "Koppelman SRPN",
+            "BNB (this paper)",
+        ]
+
+    def test_as_row_keys(self):
+        row = bnb_inventory(3).as_row()
+        assert set(row) == {
+            "network",
+            "N",
+            "w",
+            "2x2 switches",
+            "function units",
+            "adder slices",
+        }
+
+
+class TestCostModel:
+    def test_default_unit_costs(self):
+        inventory = bnb_inventory(4)
+        assert inventory.total_cost(DEFAULT_COST_MODEL) == (
+            inventory.switch_slices + inventory.function_units
+        )
+
+    def test_weighting(self):
+        inventory = koppelman_inventory(4)
+        model = CostModel(c_sw=2.0, c_fn=0.0, c_adder=0.5).validate()
+        assert inventory.total_cost(model) == (
+            2.0 * inventory.switch_slices + 0.5 * inventory.adder_slices
+        )
+
+    def test_validate_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CostModel(c_sw=-1).validate()
+
+
+class TestHeadlineClaim:
+    def test_one_third_hardware_asymptotically(self):
+        """Abstract: 'the network needs about one third of the hardware
+        of the Batcher's network ... by the highest order term
+        comparison'.  The ratio of the m^3 coefficients is
+        (1/6) / (1/4 + 1/4) = 1/3."""
+        # Constructed inventories at a practical size agree with the
+        # closed-form ratio...
+        from repro.analysis.complexity import hardware_leading_ratio
+
+        m = 12
+        bnb = bnb_inventory(m)
+        batcher = batcher_inventory(m)
+        ratio = (bnb.switch_slices + bnb.function_units) / (
+            batcher.switch_slices + batcher.function_units
+        )
+        assert ratio == pytest.approx(hardware_leading_ratio(1 << m))
+        # ...and the closed form converges to 1/3 (checked symbolically
+        # at an astronomically large size — convergence is O(1/log N)).
+        assert abs(hardware_leading_ratio(1 << 200) - 1 / 3) < 0.01

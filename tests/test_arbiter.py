@@ -1,0 +1,130 @@
+"""Unit and property tests for the arbiter A(p) — the paper's Section 4.
+
+The load-bearing invariant (used by Theorem 3's proof): among the
+type-2 pairs (switch inputs with unequal bits), exactly half receive
+flag 0 and half receive flag 1, provided the number of 1-inputs is
+even.  Type-1 pairs always receive flags (0, 1).
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import Arbiter, arbiter_flags
+
+
+def balanced_parity_bits(p):
+    """All bit vectors of length 2**p with an even number of ones."""
+    for bits in itertools.product([0, 1], repeat=1 << p):
+        if sum(bits) % 2 == 0:
+            yield list(bits)
+
+
+class TestStructure:
+    def test_node_count(self):
+        for p in range(2, 7):
+            assert Arbiter(p).node_count == (1 << p) - 1
+
+    def test_depth(self):
+        for p in range(2, 7):
+            assert Arbiter(p).depth == p
+
+    def test_rejects_p1(self):
+        with pytest.raises(ValueError, match="wiring"):
+            Arbiter(1)
+
+    def test_input_length_validation(self):
+        with pytest.raises(ValueError):
+            Arbiter(2).flags([0, 1])
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            Arbiter(2).flags([0, 1, 2, 1])
+
+
+class TestAlgorithmSteps:
+    def test_type1_pair_generates_0_1(self):
+        """Rule 2: a node over equal bits sends 0 up and flags (0,1)."""
+        flags = Arbiter(2).flags([0, 0, 1, 1])
+        assert flags == [0, 1, 0, 1]
+
+    def test_type2_pairs_get_paired_flags(self):
+        """Rule 3: two type-2 pairs meet at their common ancestor,
+        which hands 0 to one and 1 to the other."""
+        trace = Arbiter(2).trace([0, 1, 1, 0])
+        assert trace.flags[0] == trace.flags[1]
+        assert trace.flags[2] == trace.flags[3]
+        assert trace.flags[0] != trace.flags[2]
+
+    def test_root_echo(self):
+        """Rule 4: the root's z_down is its own z_up."""
+        for bits in ([0, 1, 1, 0], [1, 1, 0, 0], [1, 0, 1, 0]):
+            trace = Arbiter(2).trace(bits)
+            assert trace.root().z_down == trace.root().z_up
+
+    def test_trace_node_count(self):
+        trace = Arbiter(3).trace([0, 1, 1, 0, 1, 0, 0, 1])
+        assert trace.node_count == 7
+
+    def test_trace_records_consistent(self):
+        trace = Arbiter(3).trace([1, 1, 0, 0, 1, 0, 0, 1])
+        for level in trace.nodes:
+            for node in level:
+                assert node.z_up == node.x1 ^ node.x2
+                if node.z_up == 0:
+                    assert (node.y1, node.y2) == (0, 1)
+                else:
+                    assert node.y1 == node.y2 == node.z_down
+
+
+class TestPairingInvariant:
+    @pytest.mark.parametrize("p", [2, 3])
+    def test_exhaustive_half_and_half(self, p):
+        """Exhaustive: over every even-parity input, the type-2 pairs
+        split evenly between flag 0 and flag 1."""
+        arbiter = Arbiter(p)
+        for bits in balanced_parity_bits(p):
+            flags = arbiter.flags(bits)
+            type2_flags = [
+                flags[2 * t]
+                for t in range((1 << p) // 2)
+                if bits[2 * t] != bits[2 * t + 1]
+            ]
+            assert sum(type2_flags) * 2 == len(type2_flags), bits
+
+    @given(st.lists(st.integers(0, 1), min_size=16, max_size=16))
+    def test_property_16_inputs(self, bits):
+        if sum(bits) % 2:
+            bits[0] ^= 1  # force even parity
+        flags = Arbiter(4).flags(bits)
+        type2_flags = [
+            flags[2 * t] for t in range(8) if bits[2 * t] != bits[2 * t + 1]
+        ]
+        assert sum(type2_flags) * 2 == len(type2_flags)
+
+    @given(st.lists(st.integers(0, 1), min_size=16, max_size=16))
+    def test_pair_members_share_flags_iff_type2(self, bits):
+        flags = Arbiter(4).flags(bits)
+        for t in range(8):
+            if bits[2 * t] != bits[2 * t + 1]:
+                assert flags[2 * t] == flags[2 * t + 1]
+            else:
+                assert (flags[2 * t], flags[2 * t + 1]) == (0, 1)
+
+
+class TestConvenienceFunction:
+    def test_two_inputs_wiring(self):
+        assert arbiter_flags([0, 1]) == [0, 0]
+        assert arbiter_flags([1, 0]) == [0, 0]
+
+    def test_delegates_to_tree(self):
+        assert arbiter_flags([0, 0, 1, 1]) == Arbiter(2).flags([0, 0, 1, 1])
+
+    def test_rejects_single_input(self):
+        with pytest.raises(ValueError):
+            arbiter_flags([0])
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(Exception):
+            arbiter_flags([0, 1, 0])

@@ -1,0 +1,136 @@
+"""Tests for Batcher's odd-even merge sorting network (Eqs. 10-12)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    BatcherNetwork,
+    batcher_comparator_count,
+    batcher_stage_count,
+    odd_even_merge_sort_pairs,
+)
+from repro.exceptions import NotAPermutationError
+from repro.permutations import random_permutation
+
+
+class TestComparatorList:
+    def test_known_small_counts(self):
+        """p(2)=1, p(4)=5, p(8)=19, p(16)=63: the textbook values."""
+        assert len(odd_even_merge_sort_pairs(2)) == 1
+        assert len(odd_even_merge_sort_pairs(4)) == 5
+        assert len(odd_even_merge_sort_pairs(8)) == 19
+        assert len(odd_even_merge_sort_pairs(16)) == 63
+
+    def test_counts_match_eq10(self):
+        for m in range(1, 11):
+            n = 1 << m
+            assert len(odd_even_merge_sort_pairs(n)) == batcher_comparator_count(n)
+
+    def test_pairs_ordered(self):
+        for i, j in odd_even_merge_sort_pairs(16):
+            assert i < j
+
+    def test_n1_empty(self):
+        assert odd_even_merge_sort_pairs(1) == []
+        assert batcher_comparator_count(1) == 0
+
+
+class TestStages:
+    def test_stage_count_formula(self):
+        for m in range(1, 9):
+            net = BatcherNetwork(m)
+            assert net.stage_count == batcher_stage_count(1 << m) == m * (m + 1) // 2
+
+    def test_stages_have_disjoint_lines(self):
+        net = BatcherNetwork(4)
+        for stage in net.stages():
+            touched = [line for pair in stage for line in pair]
+            assert len(touched) == len(set(touched))
+
+    def test_stage_comparators_sum(self):
+        net = BatcherNetwork(4)
+        assert sum(len(s) for s in net.stages()) == net.comparator_count
+
+
+class TestSorting:
+    def test_zero_one_principle_exhaustive_n8(self):
+        """Sorting every 0/1 vector proves the network sorts all inputs
+        (Knuth's 0-1 principle)."""
+        net = BatcherNetwork(3)
+        for bits in itertools.product([0, 1], repeat=8):
+            out, _ = net.sort(list(bits))
+            assert out == sorted(bits)
+
+    def test_zero_one_principle_n16(self):
+        net = BatcherNetwork(4)
+        for bits in itertools.product([0, 1], repeat=16):
+            out, _ = net.sort(list(bits))
+            if out != sorted(bits):
+                pytest.fail(f"unsorted: {bits}")
+
+    @given(st.lists(st.integers(0, 1000), min_size=16, max_size=16))
+    def test_sorts_arbitrary_keys(self, keys):
+        out, _ = BatcherNetwork(4).sort(keys)
+        assert out == sorted(keys)
+
+    def test_stable_sized_input_required(self):
+        with pytest.raises(ValueError):
+            BatcherNetwork(3).sort([1, 2, 3])
+
+
+class TestRouting:
+    def test_routes_permutations(self):
+        net = BatcherNetwork(4)
+        for seed in range(30):
+            pi = random_permutation(16, rng=seed)
+            out, _ = net.route(pi.to_list())
+            assert [w.address for w in out] == list(range(16))
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(NotAPermutationError):
+            BatcherNetwork(2).route([0, 1, 1, 3])
+
+    def test_records(self):
+        net = BatcherNetwork(3)
+        _out, records = net.route(list(range(8)), record=True)
+        assert records is not None
+        assert len(records) == net.comparator_count
+        # Identity input: nothing swaps.
+        assert not any(r.swapped for r in records)
+
+
+class TestCostModel:
+    def test_eq11_switch_slices_expansion(self):
+        """Product form p(N)(m+w) equals the paper's expanded polynomial."""
+        for m in range(1, 10):
+            n = 1 << m
+            for w in (0, 1, 8, 16):
+                net = BatcherNetwork(m, w=w)
+                expanded = (
+                    n * m**3 / 4
+                    + n * (w - 1) * m**2 / 4
+                    - (n * w / 4 - n + 1) * m
+                    + (n - 1) * w
+                )
+                assert net.switch_slice_count == round(expanded), (m, w)
+
+    def test_eq11_function_slices_expansion(self):
+        for m in range(1, 10):
+            n = 1 << m
+            net = BatcherNetwork(m)
+            expanded = n * m**3 / 4 - n * m**2 / 4 + (n - 1) * m
+            assert net.function_slice_count == round(expanded), m
+
+    def test_eq12_delay(self):
+        for m in range(1, 10):
+            net = BatcherNetwork(m)
+            expected = (m**3 + m**2) / 2 + (m**2 + m) / 2
+            assert net.propagation_delay() == pytest.approx(expected)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BatcherNetwork(-1)
+        with pytest.raises(ValueError):
+            BatcherNetwork(3, w=-2)

@@ -1,0 +1,83 @@
+"""Tests for the Benes network and Waksman's looping algorithm."""
+
+import itertools
+
+import pytest
+
+from repro.baselines import BenesNetwork, benes_switch_count
+from repro.core import Word
+from repro.exceptions import NotAPermutationError
+from repro.permutations import Permutation, random_permutation
+
+
+class TestStructure:
+    def test_switch_count(self):
+        for m in range(1, 8):
+            n = 1 << m
+            net = BenesNetwork(m)
+            assert net.switch_count == benes_switch_count(n) == (2 * m - 1) * n // 2
+            assert net.fabric.switch_count == net.switch_count
+
+    def test_stage_count(self):
+        assert BenesNetwork(4).stage_count == 7
+
+    def test_cheaper_than_sorting_networks(self):
+        """O(N log N) vs O(N log^3 N): the rearrangeable-but-global
+        tradeoff the paper's introduction describes."""
+        from repro.analysis.complexity import bnb_switch_slices
+
+        for m in range(4, 10):
+            assert benes_switch_count(1 << m) < bnb_switch_slices(1 << m)
+
+    def test_second_half_schedule(self):
+        net = BenesNetwork(3)
+        assert net.second_half_bit_schedule() == [(2, 2), (3, 1), (4, 0)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BenesNetwork(0)
+        with pytest.raises(Exception):
+            benes_switch_count(12)
+
+
+class TestLoopingAlgorithm:
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_exhaustive(self, m):
+        net = BenesNetwork(m)
+        for p in itertools.permutations(range(1 << m)):
+            out, _ = net.route(list(p))
+            assert [w.address for w in out] == list(range(1 << m)), p
+
+    @pytest.mark.parametrize("m", [4, 5, 6])
+    def test_sampled(self, m):
+        net = BenesNetwork(m)
+        for seed in range(25):
+            pi = random_permutation(1 << m, rng=seed)
+            out, _ = net.route(pi.to_list())
+            assert [w.address for w in out] == list(range(1 << m))
+
+    def test_controls_realize_the_permutation(self):
+        net = BenesNetwork(4)
+        pi = random_permutation(16, rng=9)
+        controls = net.controls_for(pi)
+        realized = net.fabric.realized_permutation(controls)
+        assert realized == pi
+
+    def test_payloads_and_traces(self):
+        net = BenesNetwork(3)
+        pi = random_permutation(8, rng=4)
+        words = [Word(address=pi(j), payload=j) for j in range(8)]
+        out, traces = net.route(words, trace=True)
+        assert traces is not None
+        for trace in traces:
+            # Every packet crosses all 2m-1 columns plus 2m-2 wirings.
+            assert len(trace.positions) == 1 + (2 * 3 - 1) + (2 * 3 - 2)
+            assert trace.packet.address == trace.output_line
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(NotAPermutationError):
+            BenesNetwork(2).route([0, 1, 1, 2])
+
+    def test_controls_size_validation(self):
+        with pytest.raises(ValueError):
+            BenesNetwork(2).controls_for(Permutation([0, 1]))

@@ -1,0 +1,73 @@
+"""Tests for the bitonic sorting network (extension baseline)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.baselines import BitonicNetwork, bitonic_sort_pairs
+from repro.baselines.bitonic import bitonic_comparator_count
+from repro.permutations import random_permutation
+
+
+class TestStructure:
+    def test_comparator_count_closed_form(self):
+        for m in range(1, 10):
+            n = 1 << m
+            assert len(bitonic_sort_pairs(n)) == bitonic_comparator_count(n)
+            assert BitonicNetwork(m).comparator_count == bitonic_comparator_count(n)
+
+    def test_known_counts(self):
+        assert bitonic_comparator_count(4) == 6
+        assert bitonic_comparator_count(8) == 24
+
+    def test_stage_count(self):
+        for m in range(1, 8):
+            assert BitonicNetwork(m).stage_count == m * (m + 1) // 2
+
+    def test_more_comparators_than_odd_even(self):
+        """Bitonic pays more comparators for its regularity — part of
+        why the paper compares against odd-even merge."""
+        from repro.baselines import batcher_comparator_count
+
+        for m in range(3, 10):
+            n = 1 << m
+            assert bitonic_comparator_count(n) > batcher_comparator_count(n)
+
+    def test_cost_model_consistency(self):
+        net = BitonicNetwork(4, w=8)
+        assert net.switch_slice_count == net.comparator_count * 12
+        assert net.function_slice_count == net.comparator_count * 4
+        assert net.propagation_delay() == net.stage_count * (4 + 1)
+
+
+class TestSorting:
+    def test_zero_one_principle_exhaustive_n8(self):
+        net = BitonicNetwork(3)
+        for bits in itertools.product([0, 1], repeat=8):
+            out, _ = net.sort(list(bits))
+            assert out == sorted(bits), bits
+
+    @given(st.lists(st.integers(0, 999), min_size=16, max_size=16))
+    def test_sorts_arbitrary_keys(self, keys):
+        out, _ = BitonicNetwork(4).sort(keys)
+        assert out == sorted(keys)
+
+    def test_routes_permutations(self):
+        net = BitonicNetwork(4)
+        for seed in range(20):
+            pi = random_permutation(16, rng=seed)
+            out, _ = net.route(pi.to_list())
+            assert [w.address for w in out] == list(range(16))
+
+    def test_records_count(self):
+        net = BitonicNetwork(3)
+        _out, records = net.sort(list(range(8)), record=True)
+        assert records is not None
+        assert len(records) == net.comparator_count
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BitonicNetwork(-1)
+        with pytest.raises(ValueError):
+            BitonicNetwork(2).sort([1, 2, 3])

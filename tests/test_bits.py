@@ -1,0 +1,204 @@
+"""Unit tests for repro.bits: the index algebra everything rests on."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import bits
+from repro.exceptions import SizeError
+
+
+class TestPowerOfTwo:
+    def test_accepts_powers(self):
+        for k in range(20):
+            assert bits.is_power_of_two(1 << k)
+
+    def test_rejects_non_powers(self):
+        for n in (0, -1, -2, 3, 5, 6, 7, 9, 12, 100, 1023):
+            assert not bits.is_power_of_two(n)
+
+    def test_rejects_non_integers(self):
+        assert not bits.is_power_of_two(2.0)
+        assert not bits.is_power_of_two("2")
+
+    def test_ilog2(self):
+        for k in range(16):
+            assert bits.ilog2(1 << k) == k
+
+    def test_ilog2_rejects(self):
+        with pytest.raises(SizeError):
+            bits.ilog2(3)
+
+    def test_require_reports_what(self):
+        with pytest.raises(SizeError, match="frobnitz"):
+            bits.require_power_of_two(7, "frobnitz")
+
+
+class TestBitAccess:
+    def test_bit_lsb_first(self):
+        assert bits.bit(0b1010, 0) == 0
+        assert bits.bit(0b1010, 1) == 1
+        assert bits.bit(0b1010, 3) == 1
+
+    def test_bit_rejects_negative_position(self):
+        with pytest.raises(ValueError):
+            bits.bit(1, -1)
+
+    def test_address_bit_msb_first(self):
+        # Paper convention: b^0 is the MSB.
+        assert bits.address_bit(0b100, 0, 3) == 1
+        assert bits.address_bit(0b100, 1, 3) == 0
+        assert bits.address_bit(0b001, 2, 3) == 1
+
+    def test_address_bit_range_check(self):
+        with pytest.raises(ValueError):
+            bits.address_bit(0, 3, 3)
+
+    def test_set_bit(self):
+        assert bits.set_bit(0b1010, 0, 1) == 0b1011
+        assert bits.set_bit(0b1010, 1, 0) == 0b1000
+        assert bits.set_bit(0b1010, 3, 1) == 0b1010
+
+    def test_set_bit_rejects_non_bit(self):
+        with pytest.raises(ValueError):
+            bits.set_bit(0, 0, 2)
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(0, 7))
+    def test_address_bit_consistent_with_to_bits(self, value, index):
+        assert bits.address_bit(value, index, 8) == bits.to_bits(value, 8)[index]
+
+
+class TestBitVectors:
+    def test_to_bits_msb_first(self):
+        assert bits.to_bits(0b110, 3) == [1, 1, 0]
+        assert bits.to_bits(5, 4) == [0, 1, 0, 1]
+
+    def test_to_bits_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            bits.to_bits(8, 3)
+
+    def test_from_bits_roundtrip(self):
+        for value in range(64):
+            assert bits.from_bits(bits.to_bits(value, 6)) == value
+
+    def test_from_bits_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            bits.from_bits([0, 2, 1])
+
+    def test_bit_reverse(self):
+        assert bits.bit_reverse(0b001, 3) == 0b100
+        assert bits.bit_reverse(0b110, 3) == 0b011
+
+    @given(st.integers(0, 1023))
+    def test_bit_reverse_involution(self, value):
+        assert bits.bit_reverse(bits.bit_reverse(value, 10), 10) == value
+
+    def test_parity_and_popcount(self):
+        assert bits.popcount(0) == 0
+        assert bits.popcount(0b1011) == 3
+        assert bits.parity(0b1011) == 1
+        assert bits.parity(0b1010) == 0
+
+    def test_popcount_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits.popcount(-1)
+
+
+class TestRotations:
+    def test_rotate_right_basic(self):
+        assert bits.rotate_right(0b0001, 4) == 0b1000
+        assert bits.rotate_right(0b0010, 4) == 0b0001
+
+    def test_rotate_left_basic(self):
+        assert bits.rotate_left(0b1000, 4) == 0b0001
+
+    @given(st.integers(0, 255), st.integers(0, 16))
+    def test_rotations_inverse(self, value, amount):
+        assert (
+            bits.rotate_left(bits.rotate_right(value, 8, amount), 8, amount)
+            == value
+        )
+
+    def test_rotate_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            bits.rotate_right(1, 0)
+
+
+class TestUnshuffle:
+    def test_definition_1_example(self):
+        # U_k^m moves b_0 to the top of the low k-bit field.
+        m, k = 4, 3
+        # index (b3 b2 b1 b0) = 0101 -> (b3 | b0 b2 b1) = 0110
+        assert bits.unshuffle_index(0b0101, k, m) == 0b0110
+
+    def test_even_offsets_to_upper_half(self):
+        m, k = 4, 4
+        for j in range(0, 16, 2):
+            assert bits.unshuffle_index(j, k, m) == j // 2
+        for j in range(1, 16, 2):
+            assert bits.unshuffle_index(j, k, m) == 8 + j // 2
+
+    def test_preserves_high_bits(self):
+        m, k = 5, 3
+        for j in range(32):
+            assert bits.unshuffle_index(j, k, m) >> k == j >> k
+
+    @given(st.integers(0, 63), st.integers(1, 6))
+    def test_shuffle_inverts_unshuffle(self, j, k):
+        m = 6
+        assert bits.shuffle_index(bits.unshuffle_index(j, k, m), k, m) == j
+
+    def test_unshuffle_permutation_is_permutation(self):
+        wiring = bits.unshuffle_permutation(3, 5)
+        assert sorted(wiring) == list(range(32))
+
+    def test_unshuffle_list_semantics(self):
+        # result[U(j)] = lines[j]
+        lines = list("abcdefgh")
+        result = bits.unshuffle(lines, 3, 3)
+        assert result == ["a", "c", "e", "g", "b", "d", "f", "h"]
+
+    def test_shuffle_list_inverts(self):
+        lines = list(range(16))
+        assert bits.shuffle(bits.unshuffle(lines, 4, 4), 4, 4) == lines
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            bits.unshuffle([1, 2, 3], 2, 2)
+        with pytest.raises(ValueError):
+            bits.unshuffle_index(4, 0, 2)
+        with pytest.raises(ValueError):
+            bits.unshuffle_index(4, 3, 2)
+
+
+class TestButterflyGray:
+    def test_butterfly_swaps_bits(self):
+        assert bits.butterfly_index(0b100, 2, 3) == 0b001
+        assert bits.butterfly_index(0b101, 2, 3) == 0b101
+
+    def test_butterfly_involution(self):
+        for j in range(16):
+            assert bits.butterfly_index(bits.butterfly_index(j, 2, 4), 2, 4) == j
+
+    def test_butterfly_range_checks(self):
+        with pytest.raises(ValueError):
+            bits.butterfly_index(0, 4, 4)
+        with pytest.raises(ValueError):
+            bits.butterfly_index(16, 2, 4)
+
+    @given(st.integers(0, 10_000))
+    def test_gray_roundtrip(self, value):
+        assert bits.inverse_gray_code(bits.gray_code(value)) == value
+
+    def test_gray_adjacent_differ_by_one_bit(self):
+        for v in range(255):
+            diff = bits.gray_code(v) ^ bits.gray_code(v + 1)
+            assert bits.popcount(diff) == 1
+
+
+class TestPairs:
+    def test_pairs_basic(self):
+        assert list(bits.pairs([1, 2, 3, 4])) == [(1, 2), (3, 4)]
+
+    def test_pairs_rejects_odd(self):
+        with pytest.raises(ValueError):
+            list(bits.pairs([1, 2, 3]))

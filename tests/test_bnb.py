@@ -1,0 +1,189 @@
+"""Tests for the BNB network — Theorem 2 and Definition 5."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BNBNetwork, Word
+from repro.exceptions import NotAPermutationError
+from repro.permutations import (
+    Permutation,
+    bit_reversal,
+    matrix_transpose,
+    perfect_shuffle,
+    random_permutation,
+    reversal,
+)
+
+
+class TestTheorem2:
+    @pytest.mark.parametrize("m", [1, 2])
+    def test_exhaustive_tiny(self, m):
+        net = BNBNetwork(m)
+        for p in itertools.permutations(range(1 << m)):
+            assert net.route_permutation(Permutation(p)), p
+
+    def test_exhaustive_n8_sample_heavy(self):
+        """All 40320 permutations of 8 would take a while; the first
+        2000 in lexicographic order plus 500 random ones cover the
+        switch space densely (the benchmark runs the full set)."""
+        net = BNBNetwork(3)
+        for i, p in enumerate(itertools.permutations(range(8))):
+            if i >= 2000:
+                break
+            assert net.route_permutation(Permutation(p)), p
+        for seed in range(500):
+            assert net.route_permutation(random_permutation(8, rng=seed))
+
+    @pytest.mark.parametrize("m", [4, 5, 6])
+    def test_sampled_larger(self, m):
+        net = BNBNetwork(m)
+        for seed in range(40):
+            assert net.route_permutation(random_permutation(1 << m, rng=seed))
+
+    def test_structured_families(self):
+        net = BNBNetwork(4)
+        for pi in (
+            Permutation.identity(16),
+            reversal(4),
+            bit_reversal(4),
+            perfect_shuffle(4),
+            matrix_transpose(4),
+        ):
+            assert net.route_permutation(pi)
+
+    def test_payloads_ride_along(self):
+        net = BNBNetwork(3)
+        pi = random_permutation(8, rng=11)
+        words = [Word(address=pi(j), payload=f"msg-from-{j}") for j in range(8)]
+        outputs, _ = net.route(words)
+        for line, word in enumerate(outputs):
+            assert word.address == line
+            source = pi.inverse()(line)
+            assert word.payload == f"msg-from-{source}"
+
+
+class TestInputValidation:
+    def test_rejects_non_permutation(self):
+        net = BNBNetwork(2)
+        with pytest.raises(NotAPermutationError):
+            net.route([0, 0, 1, 2])
+        with pytest.raises(NotAPermutationError):
+            net.route([0, 1, 2, 4])
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            BNBNetwork(2).route([0, 1])
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BNBNetwork(0)
+        with pytest.raises(ValueError):
+            BNBNetwork(3, w=-1)
+
+    def test_check_disabled_accepts_repeats(self):
+        net = BNBNetwork(2, check_inputs=False)
+        outputs, _ = net.route([0, 0, 3, 3])
+        assert sorted(w.address for w in outputs) == [0, 0, 3, 3]
+
+
+class TestStructure:
+    def test_profile_matches_definition5(self):
+        net = BNBNetwork(3, w=2)
+        profile = net.profile()
+        assert [len(stage) for stage in profile] == [1, 2, 4]
+        for i, stage in enumerate(profile):
+            for l, spec in enumerate(stage):
+                assert spec.label == f"NB({i},{l})"
+                assert spec.size == 1 << (3 - i)
+                assert spec.bsn_slice == i
+                assert spec.slice_count == (3 - i) + 2
+
+    def test_switch_count_closed_form(self):
+        from repro.analysis.complexity import bnb_switch_slices
+
+        for m in range(1, 9):
+            for w in (0, 4, 16):
+                assert BNBNetwork(m, w=w).switch_count == bnb_switch_slices(
+                    1 << m, w
+                )
+
+    def test_function_node_count_closed_form(self):
+        from repro.analysis.complexity import bnb_function_nodes
+
+        for m in range(1, 9):
+            assert BNBNetwork(m).function_node_count == bnb_function_nodes(
+                1 << m
+            )
+
+    def test_depths_match_eqs_7_8(self):
+        for m in range(1, 9):
+            net = BNBNetwork(m)
+            assert net.switch_stage_depth == m * (m + 1) // 2
+            expected_fn = 2 * sum(
+                l for k in range(2, m + 1) for l in range(2, k + 1)
+            )
+            assert net.function_node_depth == expected_fn
+
+    def test_propagation_delay_combines(self):
+        net = BNBNetwork(5)
+        assert net.propagation_delay(d_sw=1, d_fn=0) == net.switch_stage_depth
+        assert net.propagation_delay(d_sw=0, d_fn=1) == net.function_node_depth
+
+
+class TestRecords:
+    def test_record_covers_all_nested_networks(self):
+        net = BNBNetwork(3)
+        pi = random_permutation(8, rng=2)
+        _out, record = net.route(pi.to_list(), record=True)
+        assert record is not None
+        assert set(record.nested_records) == {
+            (0, 0),
+            (1, 0),
+            (1, 1),
+            (2, 0),
+            (2, 1),
+            (2, 2),
+            (2, 3),
+        }
+
+    def test_packet_paths_deliver(self):
+        net = BNBNetwork(4)
+        pi = random_permutation(16, rng=3)
+        words = [Word(address=pi(j), payload=j) for j in range(16)]
+        _out, record = net.route(words, record=True)
+        assert record is not None
+        paths = record.all_packet_paths(words)
+        for path in paths:
+            assert path.delivered
+            assert len(path.steps) == 4
+            # Nested-network indices refine like a radix trie: the
+            # NB index at stage i+1 is 2*previous or 2*previous + 1.
+            for a, b in zip(path.steps, path.steps[1:]):
+                assert b.nested_network in (
+                    2 * a.nested_network,
+                    2 * a.nested_network + 1,
+                )
+
+    def test_msb_sorted_after_stage0(self):
+        """Theorem 2's induction start: after main stage 0, even lines
+        carry MSB 0 and odd lines MSB 1."""
+        net = BNBNetwork(4)
+        pi = random_permutation(16, rng=7)
+        words = [Word(address=pi(j)) for j in range(16)]
+        _out, record = net.route(words, record=True)
+        assert record is not None
+        arrangement = record.stage_outputs[0]
+        for line, original_input in enumerate(arrangement):
+            msb = (words[original_input].address >> 3) & 1
+            assert msb == (line & 1)
+
+    def test_total_exchanges_bounded(self):
+        net = BNBNetwork(3)
+        _out, record = net.route(list(range(8)), record=True)
+        assert record is not None
+        per_slice_switches = sum(
+            (1 << i) * ((1 << (3 - i)) // 2) * (3 - i) for i in range(3)
+        )
+        assert 0 <= record.total_exchanges() <= per_slice_switches

@@ -1,0 +1,66 @@
+"""The vectorized numpy BNB path must agree with the reference model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BNBNetwork
+from repro.core.bnb import _vector_splitter_controls
+from repro.core.splitter import Splitter
+from repro.exceptions import NotAPermutationError
+from repro.permutations import random_permutation
+
+
+class TestVectorSplitter:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4])
+    def test_controls_match_reference(self, p):
+        """Element-for-element agreement with the object model over
+        random even-weight blocks."""
+        rng = np.random.default_rng(p)
+        width = 1 << p
+        splitter = Splitter(p, check_balance=False)
+        blocks = rng.integers(0, 2, size=(40, width))
+        controls = _vector_splitter_controls(blocks)
+        for row in range(blocks.shape[0]):
+            expected = splitter.controls(blocks[row].tolist())
+            assert controls[row].tolist() == expected, blocks[row]
+
+
+class TestRouteFast:
+    @pytest.mark.parametrize("m", [1, 2, 3, 4, 5, 6, 7])
+    def test_sorts_random_permutations(self, m):
+        net = BNBNetwork(m)
+        n = 1 << m
+        for seed in range(20):
+            pi = random_permutation(n, rng=seed)
+            out = net.route_fast(np.array(pi.to_list()))
+            assert np.array_equal(out, np.arange(n)), (m, seed)
+
+    def test_matches_reference_arrangements(self):
+        """Not just the final result: both models route word-for-word
+        (the output of the reference model *is* sorted, so comparing
+        outputs suffices at the boundary; inputs are randomized)."""
+        m = 5
+        net = BNBNetwork(m)
+        for seed in range(10):
+            pi = random_permutation(1 << m, rng=100 + seed)
+            reference, _ = net.route(pi.to_list())
+            fast = net.route_fast(np.array(pi.to_list()))
+            assert [w.address for w in reference] == fast.tolist()
+
+    def test_shape_validation(self):
+        net = BNBNetwork(3)
+        with pytest.raises(ValueError):
+            net.route_fast(np.zeros((2, 4), dtype=np.int64))
+
+    def test_permutation_validation(self):
+        net = BNBNetwork(2)
+        with pytest.raises(NotAPermutationError):
+            net.route_fast(np.array([0, 0, 1, 2]))
+
+    def test_large_instance(self):
+        m = 10
+        net = BNBNetwork(m)
+        pi = random_permutation(1 << m, rng=1)
+        out = net.route_fast(np.array(pi.to_list()))
+        assert np.array_equal(out, np.arange(1 << m))

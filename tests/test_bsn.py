@@ -1,0 +1,135 @@
+"""Unit and property tests for the bit-sorter network — Theorem 1."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BitSorterNetwork
+from repro.exceptions import UnbalancedInputError
+
+
+def balanced_vectors(k):
+    n = 1 << k
+    for ones_positions in itertools.combinations(range(n), n // 2):
+        bits = [0] * n
+        for j in ones_positions:
+            bits[j] = 1
+        yield bits
+
+
+class TestStructure:
+    def test_splitter_layout(self):
+        bsn = BitSorterNetwork(3)
+        assert bsn.splitter_layout() == [(0, 1, 3), (1, 2, 2), (2, 4, 1)]
+
+    def test_switch_count(self):
+        for k in range(1, 6):
+            assert BitSorterNetwork(k).switch_count == (1 << k) // 2 * k
+
+    def test_function_node_count_matches_eq4(self):
+        """Structural count equals the paper's closed form
+        P log(P/2) - P/2 + 1."""
+        for k in range(1, 8):
+            p_size = 1 << k
+            expected = p_size * (k - 1) - p_size // 2 + 1
+            assert BitSorterNetwork(k).function_node_count == expected
+
+    def test_rejects_k0(self):
+        with pytest.raises(ValueError):
+            BitSorterNetwork(0)
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_exhaustive_balanced(self, k):
+        """Every balanced vector sorts to 0 on even, 1 on odd outputs."""
+        bsn = BitSorterNetwork(k)
+        for bits in balanced_vectors(k):
+            assert bsn.sort_check(bits), bits
+
+    def test_k4_sampled(self):
+        bsn = BitSorterNetwork(4)
+        rng = random.Random(4)
+        for _ in range(300):
+            bits = [1] * 8 + [0] * 8
+            rng.shuffle(bits)
+            assert bsn.sort_check(bits)
+
+    @settings(max_examples=60)
+    @given(st.permutations(list(range(32))))
+    def test_k5_property(self, order):
+        bits = [1 if v < 16 else 0 for v in order]
+        assert BitSorterNetwork(5).sort_check(bits)
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(UnbalancedInputError):
+            BitSorterNetwork(2).sort_check([1, 1, 1, 0])
+
+
+class TestFollowerRouting:
+    def test_words_ride_with_their_key_bits(self):
+        bsn = BitSorterNetwork(3)
+        keys = [1, 0, 1, 0, 0, 1, 0, 1]
+        words = [(f"w{j}", keys[j]) for j in range(8)]
+        out, _ = bsn.route_words(words, key_of=lambda w: w[1])
+        # Words with key 0 end on even lines, key 1 on odd lines.
+        for line, (_name, key) in enumerate(out):
+            assert key == (line & 1)
+
+    def test_multiset_preserved(self):
+        bsn = BitSorterNetwork(3)
+        words = list(range(100, 108))
+        keys = [0, 1, 1, 0, 1, 0, 0, 1]
+        paired = list(zip(words, keys))
+        out, _ = bsn.route_words(paired, key_of=lambda w: w[1])
+        assert sorted(w for w, _k in out) == words
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            BitSorterNetwork(2).route_words([1, 2], key_of=lambda w: w)
+
+
+class TestRecords:
+    def test_record_covers_all_splitters(self):
+        bsn = BitSorterNetwork(3)
+        bits = [1, 0, 1, 0, 0, 1, 0, 1]
+        _out, record = bsn.route_bits(bits, record=True)
+        assert record is not None
+        assert set(record.splitters) == {
+            (0, 0),
+            (1, 0),
+            (1, 1),
+            (2, 0),
+            (2, 1),
+            (2, 2),
+            (2, 3),
+        }
+        assert record.total_switch_settings() == bsn.switch_count
+
+    def test_stage_vectors_balanced_per_block(self):
+        """Theorem 1's induction: entering stage l, every block of
+        2**(k-l) lines carries a balanced bit vector."""
+        bsn = BitSorterNetwork(4)
+        bits = [1] * 8 + [0] * 8
+        random.Random(9).shuffle(bits)
+        _out, record = bsn.route_bits(bits, record=True)
+        assert record is not None
+        for stage, vector in enumerate(record.stage_vectors):
+            block = 1 << (4 - stage)
+            for lo in range(0, 16, block):
+                segment = vector[lo : lo + block]
+                assert sum(segment) * 2 == block, (stage, lo)
+
+    def test_exchange_fraction_range(self):
+        bsn = BitSorterNetwork(3)
+        _out, record = bsn.route_bits([1, 0, 1, 0, 0, 1, 0, 1], record=True)
+        assert record is not None
+        assert 0.0 <= record.exchange_fraction() <= 1.0
+
+    def test_controls_of_accessor(self):
+        bsn = BitSorterNetwork(2)
+        _out, record = bsn.route_bits([1, 0, 0, 1], record=True)
+        assert record is not None
+        assert len(record.controls_of(0, 0)) == 2

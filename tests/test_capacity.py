@@ -1,0 +1,64 @@
+"""Exact permutation-capacity enumeration for small networks."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.topology import (
+    baseline_network,
+    butterfly_network,
+    flip_network,
+    has_unique_settings,
+    omega_network,
+    permutation_capacity,
+    realizable_permutations,
+)
+
+
+class TestCapacity:
+    @pytest.mark.parametrize(
+        "build", [baseline_network, omega_network, butterfly_network, flip_network]
+    )
+    def test_n4_capacity_is_16(self, build):
+        assert permutation_capacity(build(4)) == 16
+
+    @pytest.mark.parametrize(
+        "build", [baseline_network, omega_network, butterfly_network, flip_network]
+    )
+    def test_n8_unique_settings(self, build):
+        """Every one of the 2^12 settings realizes a distinct
+        permutation — the unique-path property, verified exhaustively."""
+        assert has_unique_settings(build(8))
+
+    def test_n8_fraction_of_all_permutations(self):
+        capacity = permutation_capacity(baseline_network(8))
+        assert capacity == 4096
+        fraction = capacity / math.factorial(8)
+        assert fraction == pytest.approx(0.1016, abs=1e-3)
+
+    def test_realized_are_valid_permutations(self):
+        realized = realizable_permutations(baseline_network(4))
+        for mapping in realized:
+            assert sorted(mapping) == [0, 1, 2, 3]
+
+    def test_guard(self):
+        with pytest.raises(ConfigurationError, match="refused"):
+            realizable_permutations(baseline_network(32))
+
+
+class TestCapacityVsSampling:
+    def test_enumerated_set_matches_self_routing(self):
+        """A permutation passes destination-tag self-routing iff it is
+        in the realizable set (for the baseline's unique paths)."""
+        import itertools
+
+        from repro.permutations import Permutation
+        from repro.topology import baseline_routing_bit_schedule
+
+        net = baseline_network(4)
+        realized = realizable_permutations(net)
+        schedule = baseline_routing_bit_schedule(4)
+        for p in itertools.permutations(range(4)):
+            passes = net.self_route(list(p), schedule).delivered
+            assert passes == (tuple(p) in realized), p

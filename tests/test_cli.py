@@ -1,0 +1,57 @@
+"""CLI tests (direct invocation of repro.cli.main)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestRoute:
+    def test_route_bnb(self, capsys):
+        assert main(["route", "16", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "delivered: True" in out
+
+    def test_route_other_networks(self, capsys):
+        for network in ("batcher", "benes", "koppelman", "crossbar"):
+            assert main(["route", "8", "--network", network]) == 0
+
+    def test_route_bad_size(self, capsys):
+        assert main(["route", "12"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestVerify:
+    def test_verify_exhaustive(self, capsys):
+        assert main(["verify", "4", "--mode", "exhaustive"]) == 0
+        assert "24/24" in capsys.readouterr().out
+
+    def test_verify_sampled(self, capsys):
+        assert main(["verify", "16", "--samples", "10"]) == 0
+        assert "10/10" in capsys.readouterr().out
+
+
+class TestTables:
+    def test_tables(self, capsys):
+        assert main(["tables", "256", "--data-width", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" in out
+        assert "This paper" in out
+
+
+class TestFigures:
+    def test_figures(self, capsys):
+        assert main(["figures", "--m", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "generalized baseline network" in out
+        assert "function node" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["route", "8", "--network", "warp"])

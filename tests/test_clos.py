@@ -1,0 +1,112 @@
+"""Tests for the three-stage Clos network and Slepian-Duguid routing."""
+
+import itertools
+
+import pytest
+
+from repro.baselines import ClosNetwork
+from repro.core import Word
+from repro.exceptions import ConfigurationError, NotAPermutationError
+from repro.permutations import Permutation, random_permutation
+
+
+class TestConstruction:
+    def test_parameters(self):
+        clos = ClosNetwork(4, 4, 8)
+        assert clos.terminals == 32
+
+    def test_rearrangeability_condition(self):
+        with pytest.raises(ConfigurationError, match="m >= n"):
+            ClosNetwork(4, 3, 2)
+
+    def test_positive_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ClosNetwork(0, 1, 1)
+
+    def test_crosspoints_beat_crossbar(self):
+        """The classic saving: C(n, n, r) uses fewer crosspoints than
+        the N x N crossbar once N is large enough."""
+        clos = ClosNetwork(4, 4, 16)  # N = 64
+        assert clos.crosspoint_count < 64 * 64
+
+    def test_crosspoint_formula(self):
+        clos = ClosNetwork(2, 3, 4)
+        assert clos.crosspoint_count == 2 * 4 * 2 * 3 + 3 * 16
+
+    def test_ingress_of(self):
+        clos = ClosNetwork(4, 4, 2)
+        assert clos.ingress_of(0) == 0
+        assert clos.ingress_of(7) == 1
+        with pytest.raises(ValueError):
+            clos.ingress_of(8)
+
+
+class TestRouting:
+    def test_exhaustive_smallest(self):
+        clos = ClosNetwork(2, 2, 2)
+        for p in itertools.permutations(range(4)):
+            outputs = clos.route(list(p))
+            assert [w.address for w in outputs] == [0, 1, 2, 3], p
+
+    @pytest.mark.parametrize("n,m,r", [(2, 2, 4), (4, 4, 4), (4, 5, 8), (2, 3, 8)])
+    def test_sampled(self, n, m, r):
+        clos = ClosNetwork(n, m, r)
+        for seed in range(15):
+            pi = random_permutation(clos.terminals, rng=seed)
+            outputs = clos.route(pi.to_list())
+            assert [w.address for w in outputs] == list(range(clos.terminals))
+
+    def test_payloads(self):
+        clos = ClosNetwork(2, 2, 2)
+        pi = random_permutation(4, rng=3)
+        words = [Word(address=pi(j), payload=j) for j in range(4)]
+        outputs = clos.route(words)
+        inverse = pi.inverse()
+        for line, word in enumerate(outputs):
+            assert word.payload == inverse(line)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(NotAPermutationError):
+            ClosNetwork(2, 2, 2).route([0, 0, 1, 2])
+
+
+class TestMiddleAssignments:
+    def test_no_double_booking(self):
+        """Within each middle switch, every ingress and egress carries
+        at most one word — the Clos conflict-freedom invariant."""
+        clos = ClosNetwork(4, 4, 4)
+        pi = random_permutation(16, rng=7)
+        for chosen in clos.middle_assignments(pi):
+            ingresses = [clos.ingress_of(s) for s in chosen]
+            egresses = [clos.ingress_of(d) for d in chosen.values()]
+            assert len(set(ingresses)) == len(ingresses)
+            assert len(set(egresses)) == len(egresses)
+
+    def test_every_word_assigned_once(self):
+        clos = ClosNetwork(4, 5, 4)
+        pi = random_permutation(16, rng=9)
+        assigned = [s for chosen in clos.middle_assignments(pi) for s in chosen]
+        assert sorted(assigned) == list(range(16))
+
+    def test_n_rounds_suffice_for_m_equals_n(self):
+        """With m == n, all n rounds are (generically) non-empty and the
+        decomposition is exactly Slepian-Duguid's n perfect matchings."""
+        clos = ClosNetwork(4, 4, 4)
+        pi = random_permutation(16, rng=11)
+        assignments = clos.middle_assignments(pi)
+        assert len(assignments) == 4
+        assert all(len(chosen) == 4 for chosen in assignments)
+
+    def test_routes_for_covers_all_sources(self):
+        clos = ClosNetwork(2, 2, 4)
+        pi = random_permutation(8, rng=2)
+        routes = clos.routes_for(pi)
+        assert sorted(route.source for route in routes) == list(range(8))
+        for route in routes:
+            assert route.destination == pi(route.source)
+            assert 0 <= route.middle_switch < 2
+
+    def test_size_validation(self):
+        clos = ClosNetwork(2, 2, 2)
+        with pytest.raises(ValueError):
+            clos.middle_assignments(Permutation([0, 1]))

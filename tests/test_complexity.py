@@ -1,0 +1,122 @@
+"""Closed forms (Eqs. 6-12, Tables 1-2) vs recurrences and structures."""
+
+import pytest
+
+from repro.analysis import complexity as cx
+from repro.analysis import recurrences as rec
+
+
+class TestBuildingBlocks:
+    def test_nested_network_switch_slices(self):
+        # Eq. 2-3 at P=8, w=2: (8/2)*3 switches per slice, 5 slices.
+        assert cx.nested_network_switch_slices(8, 2) == 4 * 3 * 5
+
+    def test_arbiter_nodes_in_bsn_small(self):
+        # P=2: A(1) only -> 0; P=4: one A(2) -> 3; P=8: A(3)+2 A(2) -> 13.
+        assert cx.arbiter_nodes_in_bsn(2) == 0
+        assert cx.arbiter_nodes_in_bsn(4) == 3
+        assert cx.arbiter_nodes_in_bsn(8) == 13
+
+    def test_arbiter_recurrence_matches(self):
+        for k in range(1, 12):
+            assert cx.arbiter_nodes_in_bsn(1 << k) == rec.arbiter_node_recurrence(
+                1 << k
+            )
+
+
+class TestEq6:
+    @pytest.mark.parametrize("w", [0, 1, 4, 16, 32])
+    def test_switch_slices_match_recurrence(self, w):
+        for m in range(1, 14):
+            n = 1 << m
+            assert cx.bnb_switch_slices(n, w) == rec.bnb_switch_recurrence(n, w)
+
+    def test_function_nodes_match_recurrence(self):
+        for m in range(1, 14):
+            n = 1 << m
+            assert cx.bnb_function_nodes(n) == rec.bnb_function_node_recurrence(n)
+
+    def test_specific_values(self):
+        # N=8, w=0: 8*27/6 + 8*9/4 + 8*3/12 = 36 + 18 + 2 = 56.
+        assert cx.bnb_switch_slices(8) == 56
+        # N=8: 8*9/2 - 24 + 8 - 1 = 19.
+        assert cx.bnb_function_nodes(8) == 19
+
+
+class TestEqs789:
+    def test_delay_components_match_sums(self):
+        for m in range(1, 14):
+            n = 1 << m
+            assert cx.bnb_delay(n, d_sw=1, d_fn=0) == rec.bnb_sw_delay_sum(n)
+            assert cx.bnb_delay(n, d_sw=0, d_fn=1) == rec.bnb_fn_delay_sum(n)
+
+    def test_table2_row_is_eq9_at_unit_delays(self):
+        for m in range(1, 14):
+            n = 1 << m
+            assert cx.bnb_delay_table2(n) == pytest.approx(cx.bnb_delay(n))
+
+    def test_delay_scaling_linear_in_units(self):
+        n = 256
+        assert cx.bnb_delay(n, d_sw=2, d_fn=3) == pytest.approx(
+            2 * cx.bnb_delay(n, 1, 0) + 3 * cx.bnb_delay(n, 0, 1)
+        )
+
+
+class TestEqs10to12:
+    def test_comparators_match_recurrence(self):
+        for m in range(1, 14):
+            n = 1 << m
+            assert cx.batcher_comparators(n) == rec.batcher_comparator_recurrence(n)
+
+    def test_eq11_is_product_form(self):
+        for m in range(1, 12):
+            n = 1 << m
+            for w in (0, 8):
+                assert cx.batcher_switch_slices(n, w) == cx.batcher_comparators(
+                    n
+                ) * (m + w)
+            assert cx.batcher_function_slices(n) == cx.batcher_comparators(n) * m
+
+    def test_table2_batcher_row_drops_switch_term(self):
+        """Documented printing quirk: Table 2's Batcher row is only the
+        D_FN polynomial of Eq. 12."""
+        n = 256
+        assert cx.batcher_delay_table2(n) == pytest.approx(
+            cx.batcher_delay(n, d_sw=0, d_fn=1)
+        )
+        assert cx.batcher_delay_table2(n) < cx.batcher_delay(n)
+
+
+class TestKoppelmanRow:
+    def test_values_at_n8(self):
+        assert cx.koppelman_switch_slices(8) == 8 * 27 // 4
+        assert cx.koppelman_function_slices(8) == 8 * 9 // 2
+        assert cx.koppelman_adder_slices(8) == 72
+        assert cx.koppelman_delay_table2(8) == pytest.approx(
+            2 * 27 / 3 - 9 + 1 + 1
+        )
+
+
+class TestHeadlineRatios:
+    def test_hardware_ratio_tends_to_one_third(self):
+        """Convergence is O(1/log N), so realistic sizes sit well above
+        the 1/3 limit (0.50 at N=2^10); a huge symbolic size pins the
+        asymptote."""
+        ratios = [cx.hardware_leading_ratio(1 << m) for m in (10, 16, 22, 26)]
+        assert ratios == sorted(ratios, reverse=True)  # monotone down
+        assert abs(cx.hardware_leading_ratio(1 << 200) - 1 / 3) < 0.01
+
+    def test_delay_ratio_tends_to_two_thirds(self):
+        ratios = [cx.delay_leading_ratio(1 << m) for m in (10, 16, 22, 26)]
+        assert ratios == sorted(ratios, reverse=True)
+        assert abs(cx.delay_leading_ratio(1 << 200) - 2 / 3) < 0.01
+
+    def test_power_of_two_required_everywhere(self):
+        for fn in (
+            cx.bnb_switch_slices,
+            cx.bnb_function_nodes,
+            cx.batcher_comparators,
+            cx.koppelman_switch_slices,
+        ):
+            with pytest.raises(Exception):
+                fn(12)

@@ -1,0 +1,92 @@
+"""Unit tests for interstage connection patterns."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology import (
+    butterfly_connection,
+    compose_connections,
+    identity_connection,
+    inverse_shuffle_connection,
+    invert_connection,
+    is_valid_connection,
+    perfect_shuffle_connection,
+    shuffle_connection,
+    unshuffle_connection,
+)
+
+
+class TestValidity:
+    def test_all_patterns_are_permutations(self):
+        n = 16
+        candidates = [
+            identity_connection(n),
+            perfect_shuffle_connection(n),
+            inverse_shuffle_connection(n),
+        ]
+        candidates += [unshuffle_connection(n, k) for k in range(1, 5)]
+        candidates += [shuffle_connection(n, k) for k in range(1, 5)]
+        candidates += [butterfly_connection(n, k) for k in range(4)]
+        for wiring in candidates:
+            assert is_valid_connection(wiring)
+
+    def test_is_valid_rejects(self):
+        assert not is_valid_connection([0, 0])
+        assert not is_valid_connection([0, 2])
+        assert not is_valid_connection([0, "x"])
+
+    def test_power_of_two_required(self):
+        with pytest.raises(Exception):
+            unshuffle_connection(12, 2)
+
+
+class TestSemantics:
+    def test_identity(self):
+        assert identity_connection(4) == [0, 1, 2, 3]
+
+    def test_unshuffle_full_width_splits_parity(self):
+        wiring = unshuffle_connection(8, 3)
+        # Even outputs land in the upper half in order.
+        assert [wiring[j] for j in range(0, 8, 2)] == [0, 1, 2, 3]
+        assert [wiring[j] for j in range(1, 8, 2)] == [4, 5, 6, 7]
+
+    def test_unshuffle_partial_width_blocks(self):
+        wiring = unshuffle_connection(8, 2)
+        # Blocks of 4: high bit untouched.
+        for j in range(8):
+            assert wiring[j] >> 2 == j >> 2
+
+    def test_perfect_shuffle_interleaves(self):
+        wiring = perfect_shuffle_connection(8)
+        # First half spreads to even lines.
+        assert [wiring[j] for j in range(4)] == [0, 2, 4, 6]
+
+    def test_butterfly_is_involution(self):
+        for k in range(4):
+            wiring = butterfly_connection(16, k)
+            assert compose_connections(wiring, wiring) == identity_connection(16)
+
+
+class TestAlgebra:
+    def test_invert_roundtrip(self):
+        wiring = unshuffle_connection(16, 3)
+        assert compose_connections(wiring, invert_connection(wiring)) == list(
+            range(16)
+        )
+
+    def test_shuffle_inverts_unshuffle(self):
+        for k in range(1, 5):
+            assert shuffle_connection(16, k) == invert_connection(
+                unshuffle_connection(16, k)
+            )
+
+    def test_compose_order(self):
+        first = perfect_shuffle_connection(8)
+        second = unshuffle_connection(8, 3)
+        composed = compose_connections(first, second)
+        for j in range(8):
+            assert composed[j] == second[first[j]]
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(ValueError):
+            compose_connections([0, 1], [0, 1, 2])

@@ -1,0 +1,36 @@
+"""Unit tests for the crossbar ground truth."""
+
+import pytest
+
+from repro.baselines import Crossbar
+from repro.core import Word
+from repro.exceptions import NotAPermutationError, PathConflictError
+
+
+class TestCrossbar:
+    def test_routes_any_permutation(self):
+        bar = Crossbar(5)  # not a power of two: crossbars don't care
+        outputs = bar.route([4, 2, 0, 3, 1])
+        assert [w.address for w in outputs] == [0, 1, 2, 3, 4]
+
+    def test_payloads(self):
+        bar = Crossbar(3)
+        outputs = bar.route([Word(2, "a"), Word(0, "b"), Word(1, "c")])
+        assert [w.payload for w in outputs] == ["b", "c", "a"]
+
+    def test_crosspoint_count(self):
+        assert Crossbar(8).crosspoint_count == 64
+
+    def test_conflict_detection(self):
+        with pytest.raises(PathConflictError):
+            Crossbar(3).route([1, 1, 0])
+
+    def test_out_of_range_address(self):
+        with pytest.raises(NotAPermutationError):
+            Crossbar(3).route([0, 1, 3])
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            Crossbar(0)
+        with pytest.raises(ValueError):
+            Crossbar(3).route([0, 1])

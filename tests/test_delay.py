@@ -1,0 +1,71 @@
+"""Measured structural delays vs the paper's delay equations."""
+
+import pytest
+
+from repro.analysis.complexity import batcher_delay, bnb_delay
+from repro.analysis.delay import (
+    batcher_measured_delay,
+    bnb_measured_delay,
+    bsn_measured_delay,
+)
+
+
+class TestBSNDelay:
+    def test_small_values(self):
+        # k=1: one sp(1): just a switch.
+        assert bsn_measured_delay(1) == 1.0
+        # k=2: sp(2) (2*2 fn + sw) then sp(1) (sw): 4 + 1 + 1 = 6.
+        assert bsn_measured_delay(2) == 6.0
+
+    def test_closed_form(self):
+        """BSN delay = sum_{p=2}^{k} 2p * D_FN + k * D_SW."""
+        for k in range(1, 10):
+            expected = sum(2 * p for p in range(2, k + 1)) + k
+            assert bsn_measured_delay(k) == expected
+
+    def test_unit_scaling(self):
+        assert bsn_measured_delay(3, d_sw=0, d_fn=1) == 10.0
+        assert bsn_measured_delay(3, d_sw=1, d_fn=0) == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bsn_measured_delay(0)
+
+
+class TestBNBDelay:
+    @pytest.mark.parametrize("m", list(range(1, 12)))
+    def test_matches_eq9_exactly(self, m):
+        assert bnb_measured_delay(m) == pytest.approx(bnb_delay(1 << m))
+
+    @pytest.mark.parametrize("d_sw,d_fn", [(1.0, 1.0), (2.0, 0.5), (0.0, 1.0)])
+    def test_matches_eq9_under_technology_scaling(self, d_sw, d_fn):
+        for m in range(1, 8):
+            assert bnb_measured_delay(m, d_sw, d_fn) == pytest.approx(
+                bnb_delay(1 << m, d_sw, d_fn)
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bnb_measured_delay(0)
+
+
+class TestBatcherDelay:
+    @pytest.mark.parametrize("m", list(range(1, 11)))
+    def test_matches_eq12_exactly(self, m):
+        assert batcher_measured_delay(m) == pytest.approx(batcher_delay(1 << m))
+
+    def test_m0_trivial(self):
+        assert batcher_measured_delay(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batcher_measured_delay(-1)
+
+
+class TestComparison:
+    def test_bnb_faster_beyond_crossover(self):
+        """BNB's measured delay beats Batcher's at every size (the
+        leading-term claim shows up immediately because Batcher's
+        m^3/2 coefficient dominates already at m=1..2)."""
+        for m in range(2, 12):
+            assert bnb_measured_delay(m) < batcher_measured_delay(m)

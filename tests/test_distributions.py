@@ -1,0 +1,45 @@
+"""Statistical bias tests on routing behaviour."""
+
+import pytest
+
+from repro.analysis.distributions import (
+    exchange_count_dispersion,
+    first_stage_control_bias,
+    output_position_uniformity,
+)
+
+
+class TestControlBias:
+    def test_controls_are_fair_coins(self):
+        report = first_stage_control_bias(3, samples=150, seed=0)
+        assert report.observations == 150 * 4
+        assert report.unbiased_at(alpha=0.01), report
+
+    def test_report_fields(self):
+        report = first_stage_control_bias(3, samples=20, seed=1)
+        assert report.statistic >= 0
+        assert 0 <= report.p_value <= 1
+
+
+class TestOutputUniformity:
+    def test_uniform_over_outputs(self):
+        report = output_position_uniformity(3, input_line=0, samples=320, seed=2)
+        assert report.unbiased_at(alpha=0.01), report
+
+    def test_other_input_lines(self):
+        report = output_position_uniformity(3, input_line=5, samples=320, seed=3)
+        assert report.unbiased_at(alpha=0.01), report
+
+
+class TestDispersion:
+    def test_moments(self):
+        stats = exchange_count_dispersion(3, samples=60, seed=4)
+        # 36 decision switches at N=8; mean near half of them.
+        assert 10 < stats["mean"] < 26
+        assert stats["variance"] > 0
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+
+    def test_deterministic_given_seed(self):
+        a = exchange_count_dispersion(3, samples=30, seed=7)
+        b = exchange_count_dispersion(3, samples=30, seed=7)
+        assert a == b

@@ -1,0 +1,49 @@
+"""Executable documentation: doctests and the ``python -m repro`` entry."""
+
+import doctest
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+
+class TestDoctests:
+    def test_package_doctest(self):
+        """The quickstart in the package docstring must actually work."""
+        results = doctest.testmod(repro, verbose=False)
+        assert results.attempted >= 3
+        assert results.failed == 0
+
+
+class TestModuleEntry:
+    def test_python_dash_m(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "tables", "64"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "Table 1" in completed.stdout
+        assert "This paper" in completed.stdout
+
+    def test_python_dash_m_route(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "route", "8", "--seed", "5"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "delivered: True" in completed.stdout
+
+    def test_python_dash_m_bad_command(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "explode"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode != 0

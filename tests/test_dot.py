@@ -1,0 +1,54 @@
+"""DOT export tests."""
+
+import pytest
+
+from repro.topology import baseline_network, omega_network
+from repro.viz import arbiter_to_dot, multistage_to_dot
+
+
+class TestMultistageDot:
+    def test_structure(self):
+        text = multistage_to_dot(baseline_network(8), title="baseline 8")
+        assert text.startswith("digraph multistage {")
+        assert text.rstrip().endswith("}")
+        assert 'label="baseline 8"' in text
+        # 8 in + 8 out terminals, 12 switches.
+        assert text.count("shape=plaintext") == 16
+        for stage in range(3):
+            for t in range(4):
+                assert f"s{stage}_{t}" in text
+
+    def test_edge_count(self):
+        text = multistage_to_dot(baseline_network(8))
+        edges = [l for l in text.splitlines() if "->" in l]
+        # in->stage0 (8) + 2 interstage layers (16) + stage2->out (8).
+        assert len(edges) == 32
+
+    def test_input_wiring_respected(self):
+        text = multistage_to_dot(omega_network(4))
+        # Omega's input shuffle: input 1 lands on line 2 -> switch 1.
+        assert "in1 -> s0_1;" in text
+
+    def test_quote_escaping(self):
+        text = multistage_to_dot(baseline_network(4), title='say "hi"')
+        assert r"\"hi\"" in text
+
+
+class TestArbiterDot:
+    def test_tree_shape(self):
+        text = arbiter_to_dot(3)
+        # 8 plaintext leaves, 7 function nodes.
+        assert text.count("shape=plaintext") == 8
+        assert sum(1 for l in text.splitlines() if '[label="FN"]' in l) == 7
+        edges = [l for l in text.splitlines() if "->" in l]
+        # 8 leaf edges + 6 internal edges.
+        assert len(edges) == 14
+
+    def test_live_annotation(self):
+        text = arbiter_to_dot(2, bits=[1, 0, 0, 1])
+        assert "zu=" in text and "zd=" in text
+        assert "s(0)\\n=1" in text
+
+    def test_requires_p2(self):
+        with pytest.raises(ValueError):
+            arbiter_to_dot(1)

@@ -1,0 +1,59 @@
+"""Tests for graph-based topological equivalence (Wu & Feng's class)."""
+
+import pytest
+
+from repro.topology import (
+    MultistageNetwork,
+    baseline_network,
+    butterfly_network,
+    identity_connection,
+    network_graph,
+    omega_network,
+    topologically_equivalent,
+)
+
+
+class TestGraphConstruction:
+    def test_node_counts(self):
+        net = baseline_network(8)
+        graph = network_graph(net)
+        # 8 inputs + 8 outputs + 3 stages * 4 switches.
+        assert graph.number_of_nodes() == 8 + 8 + 12
+
+    def test_edge_counts(self):
+        net = baseline_network(8)
+        graph = network_graph(net)
+        # 8 input wires + 2 * 8 interstage wires + 8 output wires.
+        assert graph.number_of_edges() == 8 + 16 + 8
+
+
+class TestEquivalence:
+    def test_baseline_equivalent_to_omega(self):
+        assert topologically_equivalent(baseline_network(8), omega_network(8))
+
+    def test_baseline_equivalent_to_butterfly(self):
+        assert topologically_equivalent(
+            baseline_network(8), butterfly_network(8)
+        )
+
+    def test_reflexive(self):
+        net = omega_network(16)
+        assert topologically_equivalent(net, omega_network(16))
+
+    def test_different_sizes_not_equivalent(self):
+        assert not topologically_equivalent(
+            baseline_network(8), baseline_network(16)
+        )
+
+    def test_scrambled_wiring_not_equivalent(self):
+        """A network whose middle wiring fuses switch pairs differently
+        enough is not isomorphic to the baseline."""
+        # Straight-through wiring makes each switch pair a disconnected
+        # 2-line tube: clearly not the baseline's connected butterfly.
+        tube = MultistageNetwork(
+            n=8,
+            stage_count=3,
+            wirings=[identity_connection(8), identity_connection(8)],
+            name="tube",
+        )
+        assert not topologically_equivalent(baseline_network(8), tube)

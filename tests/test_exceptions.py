@@ -1,0 +1,70 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import exceptions as exc
+
+
+class TestHierarchy:
+    def test_everything_is_repro_error(self):
+        for error_type in (
+            exc.ConfigurationError,
+            exc.SizeError,
+            exc.InputError,
+            exc.UnbalancedInputError,
+            exc.NotAPermutationError,
+            exc.RoutingError,
+            exc.PathConflictError,
+            exc.UnroutablePermutationError,
+            exc.SimulationError,
+            exc.FaultError,
+        ):
+            assert issubclass(error_type, exc.ReproError)
+
+    def test_size_error_is_configuration(self):
+        assert issubclass(exc.SizeError, exc.ConfigurationError)
+
+    def test_unbalanced_is_input_error(self):
+        assert issubclass(exc.UnbalancedInputError, exc.InputError)
+
+    def test_conflict_is_routing_error(self):
+        assert issubclass(exc.PathConflictError, exc.RoutingError)
+
+
+class TestMessages:
+    def test_size_error_payload(self):
+        error = exc.SizeError(12, "fabric width")
+        assert error.size == 12
+        assert "fabric width" in str(error)
+        assert "12" in str(error)
+
+    def test_unbalanced_counts(self):
+        error = exc.UnbalancedInputError(3, 5)
+        assert error.ones == 3 and error.zeros == 5
+        assert "3 ones" in str(error)
+
+    def test_not_a_permutation_keeps_addresses(self):
+        error = exc.NotAPermutationError([0, 0, 1])
+        assert error.addresses == [0, 0, 1]
+
+    def test_path_conflict_location(self):
+        error = exc.PathConflictError(stage=2, port=5, contenders=(1, 3))
+        assert error.stage == 2 and error.port == 5
+        assert "stage 2" in str(error)
+        assert "(1, 3)" in str(error)
+
+    def test_path_conflict_without_contenders(self):
+        error = exc.PathConflictError(stage=0, port=1)
+        assert "between" not in str(error)
+
+
+class TestCatchability:
+    def test_single_except_clause_suffices(self):
+        from repro import BNBNetwork
+
+        with pytest.raises(exc.ReproError):
+            BNBNetwork(2).route([0, 0, 1, 2])
+        with pytest.raises(exc.ReproError):
+            from repro.core import Splitter
+
+            Splitter(2).route_bits([1, 0, 0, 0])

@@ -1,0 +1,126 @@
+"""Unit tests for the named permutation families."""
+
+import pytest
+
+from repro.bits import bit_reverse, rotate_left
+from repro.permutations import (
+    FAMILY_BUILDERS,
+    Permutation,
+    bit_reversal,
+    bpc,
+    butterfly,
+    cyclic_shift,
+    exchange,
+    family,
+    identity,
+    inverse_shuffle,
+    matrix_transpose,
+    perfect_shuffle,
+    reversal,
+    transposition,
+    vector_reversal_family,
+)
+from repro.permutations.properties import is_bpc, is_involution
+
+
+class TestBasicFamilies:
+    def test_identity(self):
+        assert identity(3).mapping == tuple(range(8))
+
+    def test_reversal(self):
+        assert reversal(2).mapping == (3, 2, 1, 0)
+
+    def test_reversal_is_bpc(self):
+        assert is_bpc(reversal(4))
+
+    def test_bit_reversal_values(self):
+        pi = bit_reversal(3)
+        for j in range(8):
+            assert pi(j) == bit_reverse(j, 3)
+
+    def test_bit_reversal_involution(self):
+        assert is_involution(bit_reversal(5))
+
+    def test_perfect_shuffle(self):
+        pi = perfect_shuffle(3)
+        for j in range(8):
+            assert pi(j) == rotate_left(j, 3)
+
+    def test_shuffle_inverse_pair(self):
+        m = 4
+        assert perfect_shuffle(m) * inverse_shuffle(m) == identity(m)
+
+    def test_exchange(self):
+        pi = exchange(3)
+        assert pi(0) == 1 and pi(1) == 0 and pi(6) == 7
+
+    def test_butterfly_default_swaps_msb_lsb(self):
+        pi = butterfly(3)
+        assert pi(0b100) == 0b001
+        assert pi(0b101) == 0b101
+
+    def test_butterfly_specific_bit(self):
+        pi = butterfly(4, k=2)
+        assert pi(0b0100) == 0b0001
+
+    def test_cyclic_shift(self):
+        pi = cyclic_shift(2, 1)
+        assert pi.mapping == (1, 2, 3, 0)
+
+    def test_transposition(self):
+        pi = transposition(2, 0, 3)
+        assert pi.mapping == (3, 1, 2, 0)
+
+
+class TestBPC:
+    def test_identity_sigma_no_complement(self):
+        assert bpc(3, [0, 1, 2]) == identity(3)
+
+    def test_complement_only_is_xor(self):
+        pi = bpc(3, [0, 1, 2], 0b101)
+        for j in range(8):
+            assert pi(j) == j ^ 0b101
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            bpc(3, [0, 1, 1])
+
+    def test_rejects_bad_complement(self):
+        with pytest.raises(ValueError):
+            bpc(3, [0, 1, 2], 8)
+
+    def test_matrix_transpose_is_bpc(self):
+        pi = matrix_transpose(4)
+        assert is_bpc(pi)
+        # row-major (r, c) -> (c, r): index r*4+c maps to c*4+r
+        for r in range(4):
+            for c in range(4):
+                assert pi(r * 4 + c) == c * 4 + r
+
+    def test_matrix_transpose_rejects_odd_m(self):
+        with pytest.raises(ValueError):
+            matrix_transpose(3)
+
+    def test_vector_reversal_family(self):
+        family_perms = vector_reversal_family(3)
+        assert len(family_perms) == 3
+        # k=1 member flips the LSB: the exchange permutation.
+        assert family_perms[0] == exchange(3)
+        # k=m member reverses everything.
+        assert family_perms[-1] == reversal(3)
+
+
+class TestRegistry:
+    def test_family_lookup(self):
+        assert family("bit_reversal", 3) == bit_reversal(3)
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            family("nope", 3)
+
+    def test_all_builders_produce_permutations(self):
+        for name, builder in FAMILY_BUILDERS.items():
+            m = 4  # even, so matrix_transpose works too
+            pi = builder(m)
+            assert isinstance(pi, Permutation)
+            assert len(pi) == 16, name

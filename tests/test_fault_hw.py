@@ -1,0 +1,127 @@
+"""Gate-level stuck-at fault analysis tests."""
+
+import itertools
+
+import pytest
+
+from repro.exceptions import FaultError
+from repro.hardware import build_function_node, build_splitter_netlist, build_switch_cell
+from repro.hardware.fault_hw import (
+    all_single_stuck_at_faults,
+    evaluate_with_faults,
+    single_stuck_at_coverage,
+)
+
+
+def exhaustive_vectors(netlist):
+    names = list(netlist.inputs)
+    return [
+        dict(zip(names, values))
+        for values in itertools.product([0, 1], repeat=len(names))
+    ]
+
+
+class TestEvaluateWithFaults:
+    def test_no_faults_is_plain_evaluation(self):
+        netlist = build_function_node()
+        vector = {"x1": 1, "x2": 0, "z_down": 1}
+        assert evaluate_with_faults(netlist, vector, {}) == netlist.evaluate(
+            vector
+        )
+
+    def test_stuck_input(self):
+        netlist = build_function_node()
+        x1_net = netlist.inputs["x1"]
+        # x1 stuck at 0: behaves as if x1 were 0 regardless of the vector.
+        forced = evaluate_with_faults(
+            netlist, {"x1": 1, "x2": 0, "z_down": 1}, {x1_net: 0}
+        )
+        assert forced == netlist.evaluate({"x1": 0, "x2": 0, "z_down": 1})
+
+    def test_stuck_internal_net(self):
+        netlist = build_switch_cell()
+        # Force the first mux output; the second output is unaffected.
+        out_upper_net = netlist.outputs["out_upper"]
+        result = evaluate_with_faults(
+            netlist, {"a": 0, "b": 1, "control": 0}, {out_upper_net: 1}
+        )
+        assert result["out_upper"] == 1
+        assert result["out_lower"] == 1  # fault-free value
+
+    def test_validation(self):
+        netlist = build_function_node()
+        with pytest.raises(FaultError):
+            evaluate_with_faults(netlist, {"x1": 0, "x2": 0, "z_down": 0}, {0: 2})
+        with pytest.raises(FaultError):
+            evaluate_with_faults(
+                netlist, {"x1": 0, "x2": 0, "z_down": 0}, {9999: 1}
+            )
+        with pytest.raises(ValueError):
+            evaluate_with_faults(netlist, {"x1": 0}, {})
+
+
+class TestCoverage:
+    def test_function_node_fully_testable(self):
+        """Every single stuck-at in the Fig. 5 node is detectable with
+        the exhaustive 8-vector set: the cell has no redundancy."""
+        netlist = build_function_node()
+        report = single_stuck_at_coverage(netlist, exhaustive_vectors(netlist))
+        assert report.coverage == 1.0
+        assert report.undetected == []
+
+    def test_switch_cell_fully_testable(self):
+        netlist = build_switch_cell()
+        report = single_stuck_at_coverage(netlist, exhaustive_vectors(netlist))
+        assert report.coverage == 1.0
+
+    def test_splitter_has_root_redundancy(self):
+        """A genuine finding: the arbiter's root node is partially
+        redundant.  Its parent flag is wired to its own z_up (the echo
+        rule), so the node computes ``AND(z, z)`` and ``OR(~z, z) == 1``
+        — logic whose faults no input can expose.  Operational
+        (balanced) vectors therefore top out well below full coverage."""
+        netlist = build_splitter_netlist(2)
+        vectors = [
+            dict(zip([f"s[{j}]" for j in range(4)], bits))
+            for bits in itertools.product([0, 1], repeat=4)
+            if sum(bits) % 2 == 0
+        ]
+        report = single_stuck_at_coverage(netlist, vectors)
+        assert 0.55 < report.coverage < 0.85
+        assert report.undetected  # the redundant root logic
+
+    def test_optimizer_removes_the_redundancy(self):
+        """After optimization (idempotence + tautology folding) the
+        splitter's surviving gates are fully testable by the
+        operational vectors: the redundancy was exactly the root node."""
+        from repro.hardware.synthesis import optimize
+
+        netlist = build_splitter_netlist(2)
+        optimized, report = optimize(netlist)
+        assert optimized.gate_count < netlist.gate_count
+        vectors = [
+            dict(zip([f"s[{j}]" for j in range(4)], bits))
+            for bits in itertools.product([0, 1], repeat=4)
+            if sum(bits) % 2 == 0
+        ]
+        coverage = single_stuck_at_coverage(optimized, vectors)
+        baseline = single_stuck_at_coverage(netlist, vectors)
+        assert coverage.coverage > baseline.coverage
+
+    def test_single_vector_misses_faults(self):
+        netlist = build_function_node()
+        report = single_stuck_at_coverage(
+            netlist, [{"x1": 0, "x2": 0, "z_down": 0}]
+        )
+        assert report.coverage < 1.0
+        assert report.undetected
+
+    def test_fault_list_size(self):
+        netlist = build_function_node()
+        faults = all_single_stuck_at_faults(netlist)
+        # 3 inputs + 4 gates, stuck at 0 and at 1.
+        assert len(faults) == 2 * 7
+
+    def test_needs_vectors(self):
+        with pytest.raises(ValueError):
+            single_stuck_at_coverage(build_function_node(), [])

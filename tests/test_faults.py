@@ -1,0 +1,127 @@
+"""Tests for fault injection, replay and coverage experiments."""
+
+import pytest
+
+from repro.core import BNBNetwork, Word
+from repro.exceptions import FaultError
+from repro.faults import (
+    SwitchCoordinate,
+    enumerate_switch_coordinates,
+    extract_controls,
+    fault_coverage_experiment,
+    inject_stuck_control,
+    misrouted_outputs,
+    replay_controls,
+)
+from repro.permutations import random_permutation
+
+
+def routed_words(m, seed=0):
+    net = BNBNetwork(m)
+    pi = random_permutation(1 << m, rng=seed)
+    words = [Word(address=pi(j), payload=j) for j in range(1 << m)]
+    outputs, record = net.route(words, record=True)
+    assert record is not None
+    return words, outputs, record
+
+
+class TestEnumeration:
+    def test_count_matches_per_slice_switch_total(self):
+        for m in (2, 3, 4):
+            expected = sum(
+                (1 << i) * ((1 << (m - i)) // 2) * (m - i) for i in range(m)
+            )
+            assert len(enumerate_switch_coordinates(m)) == expected
+
+    def test_coordinates_unique(self):
+        coords = enumerate_switch_coordinates(3)
+        assert len(coords) == len(set(coords))
+
+
+class TestReplay:
+    def test_replay_reproduces_fault_free(self):
+        words, outputs, record = routed_words(4)
+        replayed = replay_controls(4, words, extract_controls(record))
+        assert [w.address for w in replayed] == [w.address for w in outputs]
+
+    def test_replay_validates_length(self):
+        words, _outputs, record = routed_words(3)
+        with pytest.raises(ValueError):
+            replay_controls(3, words[:4], extract_controls(record))
+
+    def test_replay_missing_splitter(self):
+        words, _outputs, record = routed_words(3)
+        table = extract_controls(record)
+        del table[(0, 0, 0, 0)]
+        with pytest.raises(FaultError):
+            replay_controls(3, words, table)
+
+
+class TestInjection:
+    def test_inject_flips_one_switch(self):
+        _words, _outputs, record = routed_words(3)
+        table = extract_controls(record)
+        original = table[(0, 0, 0, 0)][0]
+        coordinate = SwitchCoordinate(0, 0, 0, 0, 0)
+        perturbed = inject_stuck_control(table, coordinate, 1 - original)
+        assert perturbed[(0, 0, 0, 0)][0] == 1 - original
+        # Original untouched.
+        assert table[(0, 0, 0, 0)][0] == original
+
+    def test_activated_fault_misroutes_detectably(self):
+        words, _outputs, record = routed_words(3, seed=5)
+        table = extract_controls(record)
+        coordinate = SwitchCoordinate(0, 0, 0, 0, 0)
+        stuck = 1 - table[(0, 0, 0, 0)][0]
+        faulty = replay_controls(
+            3, words, inject_stuck_control(table, coordinate, stuck)
+        )
+        bad = misrouted_outputs(faulty)
+        assert len(bad) >= 2
+        assert len(bad) % 2 == 0  # packets displace in pairs
+
+    def test_inert_fault_is_silent(self):
+        words, outputs, record = routed_words(3, seed=6)
+        table = extract_controls(record)
+        coordinate = SwitchCoordinate(0, 0, 0, 0, 0)
+        same = table[(0, 0, 0, 0)][0]
+        faulty = replay_controls(
+            3, words, inject_stuck_control(table, coordinate, same)
+        )
+        assert misrouted_outputs(faulty) == []
+
+    def test_validation(self):
+        _words, _outputs, record = routed_words(2)
+        table = extract_controls(record)
+        with pytest.raises(FaultError):
+            inject_stuck_control(table, SwitchCoordinate(9, 0, 0, 0, 0), 1)
+        with pytest.raises(FaultError):
+            inject_stuck_control(table, SwitchCoordinate(0, 0, 0, 0, 99), 1)
+        with pytest.raises(FaultError):
+            inject_stuck_control(table, SwitchCoordinate(0, 0, 0, 0, 0), 2)
+
+
+class TestCoverageExperiment:
+    def test_report_statistics(self):
+        report = fault_coverage_experiment(3, trials=40, seed=2)
+        assert report.trial_count == 40
+        assert 0.0 <= report.activation_rate <= 1.0
+        # Every activated single stuck-at in the BNB moves packets:
+        # the address check catches all of them.
+        assert report.detection_rate_given_activation == 1.0
+        assert report.max_blast_radius >= 2
+
+    def test_histogram_sums_to_trials(self):
+        report = fault_coverage_experiment(3, trials=25, seed=3)
+        assert sum(report.blast_radius_histogram().values()) == 25
+
+    def test_fixed_coordinate(self):
+        coordinate = SwitchCoordinate(0, 0, 0, 0, 0)
+        report = fault_coverage_experiment(
+            3, trials=10, seed=4, coordinate=coordinate
+        )
+        assert all(t.coordinate == coordinate for t in report.trials)
+
+    def test_trials_validation(self):
+        with pytest.raises(ValueError):
+            fault_coverage_experiment(3, trials=0)

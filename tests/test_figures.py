@@ -1,0 +1,68 @@
+"""Tests for figure data series and crossover analysis."""
+
+import pytest
+
+from repro.analysis.figures import (
+    delay_growth_series,
+    gbn_structure_summary,
+    hardware_growth_series,
+    ratio_crossovers,
+)
+
+
+class TestGrowthSeries:
+    def test_hardware_series_monotone(self):
+        series = hardware_growth_series(range(3, 12))
+        for a, b in zip(series, series[1:]):
+            assert b.batcher > a.batcher
+            assert b.bnb > a.bnb
+            assert b.koppelman > a.koppelman
+
+    def test_ratio_decreases(self):
+        series = hardware_growth_series(range(3, 16))
+        ratios = [point.bnb_over_batcher for point in series]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_delay_series_shapes(self):
+        series = delay_growth_series(range(3, 10))
+        assert all(p.bnb < p.batcher for p in series)
+        assert series[0].n == 8
+
+    def test_growth_point_fields(self):
+        point = hardware_growth_series([4])[0]
+        assert point.n == 16
+        assert point.bnb_over_batcher == point.bnb / point.batcher
+
+
+class TestCrossovers:
+    def test_delay_thresholds_ordered(self):
+        crossings = ratio_crossovers(
+            thresholds=(0.85, 0.80, 0.75), quantity="delay"
+        )
+        n85, n80, n75 = crossings[0.85], crossings[0.80], crossings[0.75]
+        assert n85 is not None and n80 is not None and n75 is not None
+        assert n85 <= n80 <= n75
+
+    def test_delay_never_reaches_below_two_thirds(self):
+        crossings = ratio_crossovers(
+            thresholds=(0.60,), quantity="delay", max_exponent=25
+        )
+        assert crossings[0.60] is None
+
+    def test_hardware_below_one_half(self):
+        crossings = ratio_crossovers(thresholds=(0.5,), quantity="hardware")
+        assert crossings[0.5] is not None
+
+    def test_quantity_validation(self):
+        with pytest.raises(ValueError):
+            ratio_crossovers(quantity="latency")
+
+
+class TestGBNSummary:
+    def test_fig1_inventory(self):
+        summary = gbn_structure_summary(3)
+        assert summary == [
+            {"stage": 0, "boxes": 1, "box_size": 8, "box_exponent": 3},
+            {"stage": 1, "boxes": 2, "box_size": 4, "box_exponent": 2},
+            {"stage": 2, "boxes": 4, "box_size": 2, "box_exponent": 1},
+        ]

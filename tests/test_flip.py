@@ -1,0 +1,64 @@
+"""Tests for the flip (STARAN) network."""
+
+import itertools
+
+import pytest
+
+from repro.permutations import Permutation
+from repro.topology import (
+    baseline_network,
+    flip_network,
+    flip_routing_bit_schedule,
+    omega_network,
+    topologically_equivalent,
+)
+
+
+class TestStructure:
+    def test_counts(self):
+        for m in (1, 2, 3, 4):
+            net = flip_network(1 << m)
+            assert net.stage_count == m
+            assert net.switch_count == (1 << m) // 2 * m
+
+    def test_equivalent_to_the_class(self):
+        assert topologically_equivalent(flip_network(8), omega_network(8))
+        assert topologically_equivalent(flip_network(8), baseline_network(8))
+
+
+class TestRouting:
+    def test_full_reachability(self):
+        n = 16
+        net = flip_network(n)
+        schedule = flip_routing_bit_schedule(n)
+        for source in range(n):
+            for dest in range(n):
+                request = [None] * n
+                request[source] = dest
+                report = net.self_route(request, schedule)
+                assert report.outputs[dest] == dest
+
+    def test_passable_count_n4(self):
+        net = flip_network(4)
+        schedule = flip_routing_bit_schedule(4)
+        passed = sum(
+            net.self_route(list(p), schedule).delivered
+            for p in itertools.permutations(range(4))
+        )
+        assert passed == 16
+
+    def test_different_passable_set_than_omega(self):
+        from repro.topology import omega_routing_bit_schedule
+
+        omega = omega_network(8)
+        flip = flip_network(8)
+        o_sched = omega_routing_bit_schedule(8)
+        f_sched = flip_routing_bit_schedule(8)
+        differ = 0
+        for p in itertools.islice(itertools.permutations(range(8)), 2000):
+            if (
+                omega.self_route(list(p), o_sched).delivered
+                != flip.self_route(list(p), f_sched).delivered
+            ):
+                differ += 1
+        assert differ > 0

@@ -1,0 +1,49 @@
+"""Unit tests for gate primitives."""
+
+import pytest
+
+from repro.hardware import GateType, evaluate_gate
+from repro.hardware.gates import Gate
+
+
+class TestEvaluate:
+    def test_truth_tables(self):
+        assert evaluate_gate(GateType.NOT, [0]) == 1
+        assert evaluate_gate(GateType.AND, [1, 1]) == 1
+        assert evaluate_gate(GateType.AND, [1, 0]) == 0
+        assert evaluate_gate(GateType.OR, [0, 0]) == 0
+        assert evaluate_gate(GateType.OR, [0, 1]) == 1
+        assert evaluate_gate(GateType.XOR, [1, 1]) == 0
+        assert evaluate_gate(GateType.XNOR, [1, 1]) == 1
+        assert evaluate_gate(GateType.NAND, [1, 1]) == 0
+        assert evaluate_gate(GateType.NOR, [0, 0]) == 1
+        assert evaluate_gate(GateType.BUF, [1]) == 1
+        assert evaluate_gate(GateType.CONST0, []) == 0
+        assert evaluate_gate(GateType.CONST1, []) == 1
+
+    def test_mux_select(self):
+        # inputs (sel, a, b): sel 0 -> a, sel 1 -> b
+        assert evaluate_gate(GateType.MUX2, [0, 1, 0]) == 1
+        assert evaluate_gate(GateType.MUX2, [1, 1, 0]) == 0
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.AND, [1, 2])
+
+    def test_input_not_evaluable(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.INPUT, [])
+
+
+class TestGateDataclass:
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Gate(gate_id=0, gate_type=GateType.AND, inputs=(1,), output=2)
+        with pytest.raises(ValueError):
+            Gate(gate_id=0, gate_type=GateType.NOT, inputs=(1, 2), output=3)
+
+    def test_valid_gate(self):
+        gate = Gate(
+            gate_id=0, gate_type=GateType.XOR, inputs=(0, 1), output=2, group="fn"
+        )
+        assert gate.group == "fn"

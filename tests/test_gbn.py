@@ -1,0 +1,90 @@
+"""Unit tests for the generalized baseline network scaffold (Fig. 1)."""
+
+import pytest
+
+from repro.core import GeneralizedBaselineNetwork, gbn_route
+from repro.topology import baseline_network
+
+
+class TestStructure:
+    def test_definition_2(self):
+        """Stage i has 2**i boxes SB(m - i)."""
+        gbn = GeneralizedBaselineNetwork(4)
+        for spec in gbn.stages():
+            assert spec.box_count == 1 << spec.stage
+            assert spec.box_exponent == 4 - spec.stage
+            assert spec.box_size == 1 << (4 - spec.stage)
+
+    def test_fig1_inventory(self):
+        """Fig. 1: B(3, SB) has 1 SB(3), 2 SB(2), 4 SB(1)."""
+        gbn = GeneralizedBaselineNetwork(3)
+        assert [(s.box_count, s.box_exponent) for s in gbn.stages()] == [
+            (1, 3),
+            (2, 2),
+            (4, 1),
+        ]
+
+    def test_total_boxes(self):
+        assert GeneralizedBaselineNetwork(5).total_boxes() == 31
+
+    def test_switches_if_simple(self):
+        """With sw boxes the GBN is the baseline network: (N/2) log N."""
+        gbn = GeneralizedBaselineNetwork(4)
+        assert gbn.switch_count_if_simple() == baseline_network(16).switch_count
+
+    def test_box_line_range(self):
+        gbn = GeneralizedBaselineNetwork(3)
+        assert gbn.box_line_range(0, 0) == (0, 8)
+        assert gbn.box_line_range(1, 1) == (4, 8)
+        assert gbn.box_line_range(2, 3) == (6, 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeneralizedBaselineNetwork(0)
+        gbn = GeneralizedBaselineNetwork(3)
+        with pytest.raises(ValueError):
+            gbn.stage_spec(3)
+        with pytest.raises(ValueError):
+            gbn.box_line_range(1, 2)
+
+
+class TestRoutingDriver:
+    def test_identity_boxes_apply_only_wirings(self):
+        """With pass-through boxes the route is the composition of the
+        unshuffle connections — exactly the baseline's wiring."""
+        seen = []
+
+        def passthrough(stage, box, lines):
+            seen.append((stage, box, len(lines)))
+            return lines
+
+        out = gbn_route(list(range(8)), 3, passthrough)
+        # Box visit pattern matches Definition 2.
+        assert seen == [
+            (0, 0, 8),
+            (1, 0, 4),
+            (1, 1, 4),
+            (2, 0, 2),
+            (2, 1, 2),
+            (2, 2, 2),
+            (2, 3, 2),
+        ]
+        # U_3 then U_2 composition on 8 lines.
+        from repro.bits import unshuffle
+
+        expected = unshuffle(unshuffle(list(range(8)), 3, 3), 2, 3)
+        assert out == expected
+
+    def test_box_router_output_length_checked(self):
+        with pytest.raises(ValueError):
+            gbn_route([0, 1], 1, lambda s, b, lines: lines[:1])
+
+    def test_input_length_checked(self):
+        with pytest.raises(ValueError):
+            gbn_route([0, 1, 2], 2, lambda s, b, lines: lines)
+
+    def test_method_delegates(self):
+        gbn = GeneralizedBaselineNetwork(2)
+        assert gbn.route(
+            ["a", "b", "c", "d"], lambda s, b, lines: lines
+        ) == gbn_route(["a", "b", "c", "d"], 2, lambda s, b, lines: lines)

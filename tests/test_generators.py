@@ -1,0 +1,102 @@
+"""Unit tests for permutation workload generators."""
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.permutations import (
+    PermutationSampler,
+    all_permutations,
+    random_bpc,
+    random_derangement,
+    random_involution,
+    random_permutation,
+    sampled_permutations,
+)
+from repro.permutations.properties import is_bpc, is_derangement, is_involution
+
+
+class TestRandomPermutation:
+    def test_deterministic_from_seed(self):
+        assert random_permutation(16, rng=3) == random_permutation(16, rng=3)
+
+    def test_different_seeds_differ(self):
+        draws = {random_permutation(16, rng=s) for s in range(20)}
+        assert len(draws) > 15
+
+    def test_accepts_random_instance(self):
+        r = random.Random(1)
+        pi1 = random_permutation(8, rng=r)
+        pi2 = random_permutation(8, rng=r)
+        assert len(pi1) == len(pi2) == 8
+
+    def test_uniformity_rough(self):
+        # Each of the 6 permutations of 3 points should appear.
+        seen = {random_permutation(3, rng=s).mapping for s in range(200)}
+        assert len(seen) == 6
+
+
+class TestStructuredGenerators:
+    def test_derangement_has_no_fixed_points(self):
+        for seed in range(30):
+            assert is_derangement(random_derangement(8, rng=seed))
+
+    def test_derangement_rejects_n1(self):
+        with pytest.raises(ValueError):
+            random_derangement(1)
+
+    def test_involution_squares_to_identity(self):
+        for seed in range(30):
+            assert is_involution(random_involution(9, rng=seed))
+
+    def test_bpc_is_bpc(self):
+        for seed in range(30):
+            assert is_bpc(random_bpc(16, rng=seed))
+
+    def test_bpc_requires_power_of_two(self):
+        with pytest.raises(Exception):
+            random_bpc(12)
+
+
+class TestEnumerators:
+    def test_all_permutations_count(self):
+        assert sum(1 for _ in all_permutations(4)) == math.factorial(4)
+
+    def test_all_permutations_distinct(self):
+        perms = list(all_permutations(3))
+        assert len({p.mapping for p in perms}) == 6
+
+    def test_sampled_permutations_count_and_size(self):
+        perms = list(sampled_permutations(8, 10, rng=0))
+        assert len(perms) == 10
+        assert all(len(p) == 8 for p in perms)
+
+
+class TestSampler:
+    def test_reproducible(self):
+        a = PermutationSampler(16, seed=5).batch(5)
+        b = PermutationSampler(16, seed=5).batch(5)
+        assert a == b
+
+    def test_distributions(self):
+        sampler = PermutationSampler(8, seed=1)
+        assert is_derangement(sampler.draw("derangement"))
+        assert is_involution(sampler.draw("involution"))
+        assert is_bpc(sampler.draw("bpc"))
+        assert sampler.draw("identity").mapping == tuple(range(8))
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            PermutationSampler(8).draw("zipf")
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            PermutationSampler(0)
+
+    def test_word_lists_shape(self):
+        lists = PermutationSampler(8, seed=2).word_lists(3)
+        assert len(lists) == 3
+        for wl in lists:
+            assert sorted(wl) == list(range(8))

@@ -1,0 +1,69 @@
+"""Golden-value regression guard.
+
+``tests/data/golden_counts.json`` snapshots every headline quantity for
+``N = 2 .. 4096``.  Any change to the cost/delay code that shifts a
+single number — even by one switch — fails here with a precise diff,
+independent of the algebraic cross-checks (which could, in principle,
+all drift together if a shared helper changed meaning).
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.complexity import (
+    batcher_comparators,
+    batcher_delay,
+    batcher_switch_slices,
+    bnb_delay,
+    bnb_function_nodes,
+    bnb_switch_slices,
+    koppelman_delay_table2,
+    koppelman_switch_slices,
+)
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_counts.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_golden_file_covers_all_sizes(golden):
+    assert sorted(int(n) for n in golden) == [1 << m for m in range(1, 13)]
+
+
+def test_every_quantity_matches(golden):
+    mismatches = []
+    for n_text, expected in golden.items():
+        n = int(n_text)
+        actual = {
+            "bnb_switches_w0": bnb_switch_slices(n, 0),
+            "bnb_switches_w16": bnb_switch_slices(n, 16),
+            "bnb_function_nodes": bnb_function_nodes(n),
+            "bnb_delay": bnb_delay(n),
+            "batcher_comparators": batcher_comparators(n),
+            "batcher_switches_w16": batcher_switch_slices(n, 16),
+            "batcher_delay": batcher_delay(n),
+            "koppelman_switches": koppelman_switch_slices(n),
+            "koppelman_delay": koppelman_delay_table2(n),
+        }
+        for key, value in expected.items():
+            if actual[key] != value:
+                mismatches.append((n, key, value, actual[key]))
+    assert not mismatches, mismatches
+
+
+def test_structural_counts_match_golden(golden):
+    """The constructed networks hit the same snapshot (spot sizes)."""
+    from repro.baselines import BatcherNetwork
+    from repro.core import BNBNetwork
+
+    for m in (3, 6, 9):
+        n = 1 << m
+        expected = golden[str(n)]
+        assert BNBNetwork(m).switch_count == expected["bnb_switches_w0"]
+        assert BNBNetwork(m).function_node_count == expected["bnb_function_nodes"]
+        assert BatcherNetwork(m).comparator_count == expected["batcher_comparators"]

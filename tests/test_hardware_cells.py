@@ -1,0 +1,105 @@
+"""Gate-level cells vs their reference truth functions (Figs. 4-5)."""
+
+import itertools
+
+import pytest
+
+from repro.core import Arbiter, Splitter
+from repro.hardware import (
+    GateType,
+    build_arbiter_netlist,
+    build_function_node,
+    build_splitter_netlist,
+    build_switch_cell,
+    function_node_truth,
+    switch_cell_truth,
+)
+
+
+class TestFunctionNode:
+    def test_truth_table_exhaustive(self):
+        netlist = build_function_node()
+        for x1, x2, z_down in itertools.product([0, 1], repeat=3):
+            got = netlist.evaluate({"x1": x1, "x2": x2, "z_down": z_down})
+            z_up, y1, y2 = function_node_truth(x1, x2, z_down)
+            assert (got["z_up"], got["y1"], got["y2"]) == (z_up, y1, y2)
+
+    def test_few_gates(self):
+        """'The function node ... consists of few gates.'"""
+        assert build_function_node().gate_count == 4
+
+    def test_reference_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            function_node_truth(2, 0, 0)
+
+
+class TestSwitchCell:
+    def test_truth_table_exhaustive(self):
+        netlist = build_switch_cell()
+        for a, b, control in itertools.product([0, 1], repeat=3):
+            got = netlist.evaluate({"a": a, "b": b, "control": control})
+            upper, lower = switch_cell_truth(a, b, control)
+            assert (got["out_upper"], got["out_lower"]) == (upper, lower)
+
+    def test_two_muxes(self):
+        assert build_switch_cell().gate_census() == {GateType.MUX2: 2}
+
+    def test_reference_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            switch_cell_truth(0, 1, 2)
+
+
+class TestArbiterNetlist:
+    @pytest.mark.parametrize("p", [2, 3])
+    def test_matches_functional_model(self, p):
+        netlist = build_arbiter_netlist(p)
+        arbiter = Arbiter(p)
+        n = 1 << p
+        for bits in itertools.product([0, 1], repeat=n):
+            if sum(bits) % 2:
+                continue  # the contract assumes even weight
+            got = netlist.evaluate({f"s[{j}]": bits[j] for j in range(n)})
+            assert [got[f"f[{j}]"] for j in range(n)] == arbiter.flags(list(bits))
+
+    def test_node_gate_count(self):
+        """4 gates per function node, 2**p - 1 nodes."""
+        for p in (2, 3, 4):
+            netlist = build_arbiter_netlist(p)
+            assert netlist.gate_count == 4 * ((1 << p) - 1)
+            assert netlist.group_census() == {"fn": 4 * ((1 << p) - 1)}
+
+    def test_rejects_p1(self):
+        with pytest.raises(ValueError):
+            build_arbiter_netlist(1)
+
+
+class TestSplitterNetlist:
+    @pytest.mark.parametrize("p", [1, 2, 3])
+    def test_matches_functional_model(self, p):
+        netlist = build_splitter_netlist(p)
+        splitter = Splitter(p)
+        n = 1 << p
+        for bits in itertools.product([0, 1], repeat=n):
+            if p >= 2 and sum(bits) % 2:
+                continue
+            if p == 1 and bits[0] == bits[1]:
+                continue
+            got = netlist.evaluate({f"s[{j}]": bits[j] for j in range(n)})
+            expected, record = splitter.route_bits(list(bits), record=True)
+            assert [got[f"o[{j}]"] for j in range(n)] == expected
+            assert record is not None
+            assert [got[f"c[{t}]"] for t in range(n // 2)] == record.controls
+
+    def test_group_census_separates_units(self):
+        census = build_splitter_netlist(3).group_census()
+        assert census["fn"] == 4 * 7      # arbiter nodes
+        assert census["swctl"] == 4       # one XOR per switch
+        assert census["sw"] == 8          # two MUX2 per switch cell
+
+    def test_sp1_is_switch_only(self):
+        census = build_splitter_netlist(1).group_census()
+        assert census == {"sw": 2}
+
+    def test_rejects_p0(self):
+        with pytest.raises(ValueError):
+            build_splitter_netlist(0)

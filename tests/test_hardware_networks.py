@@ -1,0 +1,126 @@
+"""Gate-level BSN / BNB / Batcher networks vs the functional models."""
+
+import itertools
+
+import pytest
+
+from repro.core import BitSorterNetwork, BNBNetwork
+from repro.hardware import (
+    build_batcher_netlist,
+    build_bnb_netlist,
+    build_bsn_netlist,
+    build_comparator_cell,
+)
+from repro.permutations import random_permutation
+
+
+class TestBSNNetlist:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_sorts_all_balanced_vectors(self, k):
+        netlist = build_bsn_netlist(k)
+        n = 1 << k
+        for positions in itertools.combinations(range(n), n // 2):
+            bits = [1 if j in positions else 0 for j in range(n)]
+            got = netlist.evaluate({f"s[{j}]": bits[j] for j in range(n)})
+            assert [got[f"o[{j}]"] for j in range(n)] == [j & 1 for j in range(n)]
+
+    def test_matches_functional_on_unbalanced(self):
+        """Even outside Theorem 1's precondition, gate level and
+        functional model must make identical (possibly useless)
+        decisions."""
+        netlist = build_bsn_netlist(2)
+        bsn = BitSorterNetwork(2, check_balance=False)
+        for bits in itertools.product([0, 1], repeat=4):
+            got = netlist.evaluate({f"s[{j}]": bits[j] for j in range(4)})
+            expected, _ = bsn.route_bits(list(bits))
+            assert [got[f"o[{j}]"] for j in range(4)] == expected, bits
+
+    def test_switch_cell_count(self):
+        """sw gates = 2 MUX2 per switch; (n/2)*k switches per slice."""
+        netlist = build_bsn_netlist(3)
+        assert netlist.group_census()["sw"] == 2 * (8 // 2) * 3
+
+
+class TestBNBNetlist:
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_routes_random_permutations(self, m):
+        netlist, ports = build_bnb_netlist(m)
+        n = 1 << m
+        for seed in range(30):
+            pi = random_permutation(n, rng=seed)
+            out = netlist.evaluate(ports.input_assignment(pi.to_list()))
+            assert ports.decode_outputs(out) == list(range(n)), (m, seed)
+
+    def test_exhaustive_m2(self):
+        netlist, ports = build_bnb_netlist(2)
+        for p in itertools.permutations(range(4)):
+            out = netlist.evaluate(ports.input_assignment(list(p)))
+            assert ports.decode_outputs(out) == [0, 1, 2, 3], p
+
+    def test_m4_samples(self):
+        netlist, ports = build_bnb_netlist(4)
+        for seed in range(10):
+            pi = random_permutation(16, rng=seed)
+            out = netlist.evaluate(ports.input_assignment(pi.to_list()))
+            assert ports.decode_outputs(out) == list(range(16))
+
+    def test_function_node_gates_match_structure(self):
+        """fn-group gates = 4 * function_node_count of the functional
+        network: the netlist and the object model count identically."""
+        for m in (2, 3, 4):
+            netlist, _ports = build_bnb_netlist(m)
+            expected = BNBNetwork(m).function_node_count
+            assert netlist.group_census().get("fn", 0) == 4 * expected
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            build_bnb_netlist(7)
+        with pytest.raises(ValueError):
+            build_bnb_netlist(0)
+
+    def test_port_helpers_validate(self):
+        _netlist, ports = build_bnb_netlist(2)
+        with pytest.raises(ValueError):
+            ports.input_assignment([0, 1])
+
+
+class TestComparatorCell:
+    def test_exhaustive_3bit(self):
+        netlist = build_comparator_cell(3)
+        for a in range(8):
+            for b in range(8):
+                values = {}
+                for i in range(3):
+                    values[f"a[{i}]"] = (a >> (2 - i)) & 1
+                    values[f"b[{i}]"] = (b >> (2 - i)) & 1
+                got = netlist.evaluate(values)
+                got_min = sum(got[f"min[{i}]"] << (2 - i) for i in range(3))
+                got_max = sum(got[f"max[{i}]"] << (2 - i) for i in range(3))
+                assert (got_min, got_max) == (min(a, b), max(a, b))
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            build_comparator_cell(0)
+
+
+class TestBatcherNetlist:
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_sorts_random_permutations(self, m):
+        netlist, input_names, output_names = build_batcher_netlist(m)
+        n = 1 << m
+        for seed in range(20):
+            pi = random_permutation(n, rng=seed)
+            values = {}
+            for j in range(n):
+                for b in range(m):
+                    values[input_names[j][b]] = (pi(j) >> (m - 1 - b)) & 1
+            got = netlist.evaluate(values)
+            result = [
+                sum(got[output_names[j][b]] << (m - 1 - b) for b in range(m))
+                for j in range(n)
+            ]
+            assert result == list(range(n))
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            build_batcher_netlist(5)

@@ -1,0 +1,79 @@
+"""JSON persistence round-trips."""
+
+import pytest
+
+from repro.analysis.scaling import bnb_delay_scaling
+from repro.analysis.verification import verify_router
+from repro.core import Word
+from repro.hardware import bnb_inventory, wiring_cost
+from repro.io import from_jsonable, load_json, save_json, to_jsonable
+from repro.permutations import Permutation, random_permutation
+from repro.topology.connections import unshuffle_connection
+
+
+class TestRoundTrips:
+    def test_primitives_pass_through(self):
+        for value in (None, True, 3, 2.5, "x", [1, 2], {"a": 1}):
+            assert from_jsonable(to_jsonable(value)) == value
+
+    def test_permutation(self):
+        pi = random_permutation(16, rng=4)
+        assert from_jsonable(to_jsonable(pi)) == pi
+
+    def test_word_with_payload(self):
+        word = Word(address=3, payload={"source": 7})
+        back = from_jsonable(to_jsonable(word))
+        assert back == word
+
+    def test_hardware_inventory(self):
+        inventory = bnb_inventory(4, w=8)
+        back = from_jsonable(to_jsonable(inventory))
+        assert back == inventory
+
+    def test_wiring_cost(self):
+        cost = wiring_cost(unshuffle_connection(16, 4))
+        assert from_jsonable(to_jsonable(cost)) == cost
+
+    def test_polynomial_fit(self):
+        fit = bnb_delay_scaling(range(2, 8))
+        back = from_jsonable(to_jsonable(fit))
+        assert back == fit
+        assert isinstance(back.coefficients, tuple)
+
+    def test_verification_report(self):
+        report = verify_router("bnb", 8, mode="sampled", samples=5)
+        back = from_jsonable(to_jsonable(report))
+        assert back.router == report.router
+        assert back.delivered == report.delivered
+        assert back.failures == report.failures
+
+    def test_nested_structures(self):
+        data = {"perms": [Permutation([1, 0]), Permutation([0, 1])], "n": 2}
+        back = from_jsonable(to_jsonable(data))
+        assert back["perms"][0] == Permutation([1, 0])
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "result.json"
+        inventory = bnb_inventory(3)
+        save_json(inventory, path)
+        assert load_json(path) == inventory
+        # The file is human-readable JSON.
+        assert '"__repro__"' in path.read_text()
+
+    def test_stable_output(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        save_json(bnb_inventory(3), a)
+        save_json(bnb_inventory(3), b)
+        assert a.read_text() == b.read_text()
+
+
+class TestErrors:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError, match="cannot serialize"):
+            to_jsonable(object())
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError, match="unknown type tag"):
+            from_jsonable({"__repro__": "Spaceship"})

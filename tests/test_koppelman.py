@@ -1,0 +1,107 @@
+"""Tests for the Koppelman-Oruc SRPN functional model."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.baselines import KoppelmanSRPN, ranking_circuit_ranks
+from repro.baselines.koppelman import prefix_popcounts
+from repro.exceptions import NotAPermutationError
+from repro.permutations import Permutation, random_permutation
+
+
+class TestRankingCircuit:
+    def test_prefix_popcounts_basic(self):
+        assert prefix_popcounts([1, 0, 1, 1]) == [0, 1, 1, 2]
+
+    @given(st.lists(st.integers(0, 1), min_size=16, max_size=16))
+    def test_prefix_popcounts_property(self, bits):
+        prefixes = prefix_popcounts(bits)
+        running = 0
+        for j, bit in enumerate(bits):
+            assert prefixes[j] == running
+            running += bit
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(Exception):
+            prefix_popcounts([1, 0, 1])
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            prefix_popcounts([0, 1, 2, 0])
+
+    def test_ranks_pair(self):
+        zeros, ones = ranking_circuit_ranks([0, 1, 1, 0])
+        assert ones == [0, 0, 1, 2]
+        assert zeros == [0, 1, 1, 1]
+
+
+class TestRouting:
+    def test_exhaustive_n4(self):
+        net = KoppelmanSRPN(2)
+        for p in itertools.permutations(range(4)):
+            assert net.route_permutation(Permutation(p)), p
+
+    def test_sampled_n8_to_n64(self):
+        for m in (3, 4, 5, 6):
+            net = KoppelmanSRPN(m)
+            for seed in range(25):
+                assert net.route_permutation(random_permutation(1 << m, rng=seed))
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(NotAPermutationError):
+            KoppelmanSRPN(2).route([0, 1, 1, 2])
+
+    def test_check_disable_still_routes_permutations(self):
+        net = KoppelmanSRPN(3, check_inputs=False)
+        assert net.route_permutation(random_permutation(8, rng=1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KoppelmanSRPN(0)
+        with pytest.raises(ValueError):
+            KoppelmanSRPN(3, w=-1)
+        with pytest.raises(ValueError):
+            KoppelmanSRPN(2).route([0, 1])
+
+
+class TestPublishedComplexities:
+    def test_table1_row(self):
+        net = KoppelmanSRPN(6)
+        n, m = 64, 6
+        assert net.switch_slice_count == n * m**3 // 4
+        assert net.function_slice_count == n * m**2 // 2
+        assert net.adder_slice_count == n * m**2
+
+    def test_table2_row(self):
+        net = KoppelmanSRPN(5)
+        m = 5
+        expected = 2 * m**3 / 3 - m**2 + m / 3 + 1
+        assert net.propagation_delay() == pytest.approx(expected)
+
+    def test_section_5_3_ordering(self):
+        """The relative ordering the paper's Section 5.3 narrates:
+        Koppelman is slower than BNB, and its switch count matches
+        Batcher's at leading order (both are N/4 log^3 N) while BNB's
+        sits at 2/3 of that."""
+        from repro.analysis.complexity import (
+            bnb_delay,
+            bnb_switch_slices,
+            batcher_switch_slices,
+        )
+
+        # Delay: the printed polynomials actually cross near m=7 — the
+        # Koppelman row's negative m^2 term beats BNB's +3/2 m^2 at
+        # small N, so the BNB advantage is asymptotic.
+        assert KoppelmanSRPN(6).propagation_delay() < bnb_delay(1 << 6)
+        for m in (8, 10, 14):
+            n = 1 << m
+            net = KoppelmanSRPN(m)
+            assert net.propagation_delay() > bnb_delay(n)
+            # Leading-order agreement with Batcher's switch count.
+            ratio = net.switch_slice_count / batcher_switch_slices(n)
+            assert 0.9 < ratio < 1.3, (m, ratio)
+            # BNB's switch count trends to 2/3 of Koppelman's.
+            bnb_ratio = bnb_switch_slices(n) / net.switch_slice_count
+            assert 0.6 < bnb_ratio < 0.95, (m, bnb_ratio)

@@ -1,0 +1,79 @@
+"""Wire-length / layout model tests."""
+
+import pytest
+
+from repro.hardware.layout import (
+    bnb_total_wire_length,
+    gbn_wiring_costs,
+    wiring_cost,
+)
+from repro.topology.connections import (
+    identity_connection,
+    perfect_shuffle_connection,
+    unshuffle_connection,
+)
+
+
+class TestWiringCost:
+    def test_identity_costs_nothing(self):
+        cost = wiring_cost(identity_connection(8))
+        assert cost.total_length == 0
+        assert cost.max_length == 0
+        assert cost.track_count == 0
+        assert cost.average_length == 0.0
+
+    def test_full_unshuffle_n4(self):
+        # U_2 on 4 lines: 0->0, 1->2, 2->1, 3->3.
+        cost = wiring_cost(unshuffle_connection(4, 2))
+        assert cost.total_length == 2
+        assert cost.max_length == 1
+        assert cost.track_count == 2
+
+    def test_shuffle_longest_wire_spans_half(self):
+        n = 16
+        cost = wiring_cost(perfect_shuffle_connection(n))
+        # Line n/2 - 1 maps to n - 2: a span of ~n/2.
+        assert cost.max_length == n // 2 - 1
+
+    def test_track_count_bounded_by_wires(self):
+        for k in range(1, 5):
+            cost = wiring_cost(unshuffle_connection(16, k))
+            assert cost.track_count <= 16
+            assert cost.wire_count == 16
+
+
+class TestGBNWiring:
+    def test_block_locality(self):
+        """Later GBN connections act within smaller blocks, so their
+        wire lengths shrink: the 'regularity' the paper mentions has a
+        wiring payoff."""
+        costs = gbn_wiring_costs(5)
+        totals = [cost.total_length for cost in costs]
+        assert totals == sorted(totals, reverse=True)
+        maxima = [cost.max_length for cost in costs]
+        assert maxima == sorted(maxima, reverse=True)
+
+    def test_connection_count(self):
+        assert len(gbn_wiring_costs(4)) == 3
+
+
+class TestBNBWireLength:
+    def test_monotone_in_size_and_width(self):
+        assert bnb_total_wire_length(4) < bnb_total_wire_length(5)
+        assert bnb_total_wire_length(4, w=0) < bnb_total_wire_length(4, w=8)
+
+    def test_m1_has_no_connections(self):
+        assert bnb_total_wire_length(1) == 0
+
+    def test_superlinear_growth(self):
+        """Total wiring grows faster than N log N — wiring, not
+        switches, dominates physical area at scale."""
+        a = bnb_total_wire_length(6)
+        b = bnb_total_wire_length(8)
+        growth = b / a
+        n_ratio = (1 << 8) / (1 << 6)
+        assert growth > n_ratio * (8 / 6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bnb_total_wire_length(0)

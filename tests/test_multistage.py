@@ -1,0 +1,124 @@
+"""Unit tests for the generic multistage network framework."""
+
+import pytest
+
+from repro.exceptions import PathConflictError
+from repro.permutations import Permutation
+from repro.topology import (
+    MultistageNetwork,
+    baseline_network,
+    baseline_routing_bit_schedule,
+    identity_connection,
+    perfect_shuffle_connection,
+)
+
+
+def tiny_network():
+    """A 4-line, 2-stage network with a shuffle between the stages."""
+    return MultistageNetwork(
+        n=4,
+        stage_count=2,
+        wirings=[perfect_shuffle_connection(4)],
+        name="tiny",
+    )
+
+
+class TestConstruction:
+    def test_counts(self):
+        net = tiny_network()
+        assert net.stage_count == 2
+        assert net.switch_count == 4
+        assert net.depth == 2
+        assert net.controls_shape() == [2, 2]
+
+    def test_wiring_count_validation(self):
+        with pytest.raises(ValueError):
+            MultistageNetwork(4, 2, wirings=[])
+
+    def test_wiring_permutation_validation(self):
+        with pytest.raises(ValueError):
+            MultistageNetwork(4, 2, wirings=[[0, 0, 1, 2]])
+
+    def test_io_wiring_validation(self):
+        with pytest.raises(ValueError):
+            MultistageNetwork(
+                4, 1, wirings=[], input_wiring=[0, 1]
+            )
+
+    def test_needs_a_stage(self):
+        with pytest.raises(ValueError):
+            MultistageNetwork(4, 0, wirings=[])
+
+
+class TestExplicitRouting:
+    def test_all_straight_is_wiring_only(self):
+        net = tiny_network()
+        out, _ = net.route_with_controls(list("abcd"), net.empty_controls())
+        # Only the shuffle moves things: a->0, b->2, c->1, d->3.
+        assert out == ["a", "c", "b", "d"]
+
+    def test_trace_positions(self):
+        net = tiny_network()
+        _out, traces = net.route_with_controls(
+            list("abcd"), [[1, 0], [0, 0]], trace=True
+        )
+        assert traces is not None
+        trace_a = traces[0]
+        assert trace_a.packet == "a"
+        assert trace_a.input_line == 0
+        # a exchanges to line 1, shuffles to line 2, stays.
+        assert trace_a.positions == (0, 1, 2, 2)
+
+    def test_realized_permutation_matches_route(self):
+        net = tiny_network()
+        controls = [[1, 1], [0, 1]]
+        pi = net.realized_permutation(controls)
+        items = list("wxyz")
+        routed, _ = net.route_with_controls(items, controls)
+        assert pi.apply(items) == routed
+
+    def test_control_shape_validation(self):
+        net = tiny_network()
+        with pytest.raises(ValueError):
+            net.route_with_controls(list("abcd"), [[0, 0]])
+        with pytest.raises(ValueError):
+            net.route_with_controls(list("abc"), net.empty_controls())
+
+
+class TestSelfRouting:
+    def test_baseline_routes_routable_permutation(self):
+        net = baseline_network(8)
+        schedule = baseline_routing_bit_schedule(8)
+        from repro.permutations import bit_reversal
+
+        report = net.self_route(bit_reversal(3).to_list(), schedule)
+        assert report.delivered
+        assert report.conflict_count == 0
+        assert report.outputs == list(range(8))
+
+    def test_conflict_reported_not_raised(self):
+        net = baseline_network(4)
+        schedule = baseline_routing_bit_schedule(4)
+        report = net.self_route([0, 1, 2, 3], schedule)  # identity blocks
+        assert not report.delivered
+        assert report.conflict_count > 0
+
+    def test_strict_mode_raises(self):
+        net = baseline_network(4)
+        schedule = baseline_routing_bit_schedule(4)
+        with pytest.raises(PathConflictError):
+            net.self_route([0, 1, 2, 3], schedule, strict=True)
+
+    def test_idle_lines_allowed(self):
+        net = baseline_network(4)
+        schedule = baseline_routing_bit_schedule(4)
+        report = net.self_route([2, None, None, 1], schedule)
+        assert report.outputs[2] == 2
+        assert report.outputs[1] == 1
+
+    def test_schedule_length_validation(self):
+        net = baseline_network(4)
+        with pytest.raises(ValueError):
+            net.self_route([0, 1, 2, 3], [1])
+        with pytest.raises(ValueError):
+            net.self_route([0, 1], baseline_routing_bit_schedule(4))

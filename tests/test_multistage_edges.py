@@ -1,0 +1,70 @@
+"""Edge cases of the multistage framework not hit by the main suites."""
+
+import pytest
+
+from repro.baselines import BenesNetwork
+from repro.permutations import random_permutation
+from repro.topology import butterfly_network, flip_network, omega_network
+
+
+class TestTracingThroughIOWirings:
+    def test_omega_trace_includes_input_wiring_hop(self):
+        net = omega_network(4)
+        _out, traces = net.route_with_controls(
+            list("abcd"), net.empty_controls(), trace=True
+        )
+        assert traces is not None
+        # positions: input, after input wiring, then per column/wiring.
+        for trace in traces:
+            assert len(trace.positions) == 1 + 1 + 2 * net.stage_count - 1
+
+    def test_butterfly_trace_includes_output_wiring_hop(self):
+        net = butterfly_network(8)
+        _out, traces = net.route_with_controls(
+            list(range(8)), net.empty_controls(), trace=True
+        )
+        assert traces is not None
+        for trace in traces:
+            # input + columns(3) + wirings(2) + output wiring.
+            assert len(trace.positions) == 1 + 3 + 2 + 1
+
+    def test_benes_trace_consistency(self):
+        net = BenesNetwork(3)
+        pi = random_permutation(8, rng=2)
+        controls = net.controls_for(pi)
+        outputs, traces = net.fabric.route_with_controls(
+            pi.to_list(), controls, trace=True
+        )
+        assert traces is not None
+        for trace in traces:
+            assert outputs[trace.output_line] == trace.packet
+
+    def test_realized_permutation_with_io_wirings(self):
+        for build in (omega_network, butterfly_network, flip_network):
+            net = build(8)
+            pi = net.realized_permutation(net.empty_controls())
+            # All-straight is pure wiring: composing the wirings of the
+            # network must yield the same permutation.
+            items = list(range(8))
+            routed, _ = net.route_with_controls(items, net.empty_controls())
+            assert pi.apply(items) == routed
+
+
+class TestSelfRouteEdgeCases:
+    def test_all_idle(self):
+        net = omega_network(4)
+        from repro.topology import omega_routing_bit_schedule
+
+        report = net.self_route([None] * 4, omega_routing_bit_schedule(4))
+        assert report.delivered  # vacuous delivery
+        assert report.outputs == [None] * 4
+
+    def test_controls_recorded_per_stage(self):
+        net = omega_network(8)
+        from repro.topology import omega_routing_bit_schedule
+
+        report = net.self_route(
+            [None] * 7 + [0], omega_routing_bit_schedule(8)
+        )
+        assert len(report.controls) == net.stage_count
+        assert all(len(c) == 4 for c in report.controls)

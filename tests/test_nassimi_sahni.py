@@ -1,0 +1,70 @@
+"""Tests for bit-controlled (Nassimi-Sahni-style) self-routing on Benes.
+
+These tests pin down the paper's motivation: a one-bit switch-setting
+rule self-routes the whole BPC class, but the fraction of *arbitrary*
+permutations it can route collapses as N grows.
+"""
+
+import itertools
+
+import pytest
+
+from repro.baselines import NassimiSahniRouter
+from repro.exceptions import NotAPermutationError, UnroutablePermutationError
+from repro.permutations import random_bpc, random_permutation
+from repro.permutations.families import bpc
+
+
+class TestBPCClass:
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_all_bpc_route_exhaustively(self, m):
+        router = NassimiSahniRouter(m)
+        for sigma in itertools.permutations(range(m)):
+            for complement in range(1 << m):
+                pi = bpc(m, list(sigma), complement)
+                assert router.can_route(pi), (sigma, complement)
+
+    @pytest.mark.parametrize("m", [5, 6])
+    def test_random_bpc_route(self, m):
+        router = NassimiSahniRouter(m)
+        for seed in range(40):
+            assert router.can_route(random_bpc(1 << m, rng=seed))
+
+    def test_route_returns_sorted_words(self):
+        router = NassimiSahniRouter(3)
+        pi = bpc(3, [2, 0, 1], 0b101)
+        outputs = router.route(pi.to_list())
+        assert [w.address for w in outputs] == list(range(8))
+
+
+class TestRestriction:
+    def test_unroutable_raises_with_location(self):
+        router = NassimiSahniRouter(4)
+        # Find a permutation that fails and check the error surface.
+        for seed in range(200):
+            pi = random_permutation(16, rng=seed)
+            attempt = router.try_route(pi.to_list())
+            if not attempt.success:
+                assert attempt.conflict_stage is not None
+                assert attempt.conflict_stage >= router.m - 1  # second half
+                with pytest.raises(UnroutablePermutationError):
+                    router.route(pi.to_list())
+                return
+        pytest.fail("expected at least one unroutable permutation at N=16")
+
+    def test_routable_fraction_collapses(self):
+        fractions = {}
+        for m in (3, 4):
+            fractions[m] = NassimiSahniRouter(m).routable_fraction(
+                200, seed=11
+            )
+        assert fractions[3] > fractions[4]
+        assert fractions[4] < 0.05
+
+    def test_routable_fraction_validation(self):
+        with pytest.raises(ValueError):
+            NassimiSahniRouter(3).routable_fraction(0)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(NotAPermutationError):
+            NassimiSahniRouter(2).try_route([0, 1, 1, 2])

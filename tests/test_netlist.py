@@ -1,0 +1,98 @@
+"""Unit tests for netlist construction and analysis."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hardware import GateType, Netlist
+
+
+def xor_of_three():
+    """A small 2-level netlist: y = a ^ b ^ c."""
+    netlist = Netlist("xor3")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    c = netlist.add_input("c")
+    ab = netlist.add_gate(GateType.XOR, (a, b), group="l1")
+    y = netlist.add_gate(GateType.XOR, (ab, c), group="l2")
+    netlist.mark_output("y", y)
+    return netlist
+
+
+class TestConstruction:
+    def test_duplicate_input_name(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        with pytest.raises(ConfigurationError):
+            netlist.add_input("a")
+
+    def test_undriven_net_rejected(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        with pytest.raises(ConfigurationError):
+            netlist.add_gate(GateType.AND, (a, 99))
+
+    def test_duplicate_output_name(self):
+        netlist = xor_of_three()
+        with pytest.raises(ConfigurationError):
+            netlist.mark_output("y", netlist.outputs["y"])
+
+    def test_mark_output_requires_driver(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        with pytest.raises(ConfigurationError):
+            netlist.mark_output("y", 42)
+
+    def test_gate_count_excludes_inputs(self):
+        assert xor_of_three().gate_count == 2
+
+
+class TestEvaluation:
+    def test_xor3(self):
+        netlist = xor_of_three()
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    out = netlist.evaluate({"a": a, "b": b, "c": c})
+                    assert out["y"] == a ^ b ^ c
+
+    def test_missing_input(self):
+        with pytest.raises(ValueError, match="missing input"):
+            xor_of_three().evaluate({"a": 1, "b": 0})
+
+    def test_non_bit_input(self):
+        with pytest.raises(ValueError):
+            xor_of_three().evaluate({"a": 2, "b": 0, "c": 0})
+
+    def test_constants(self):
+        netlist = Netlist()
+        one = netlist.add_gate(GateType.CONST1, ())
+        netlist.mark_output("y", one)
+        assert netlist.evaluate({}) == {"y": 1}
+
+
+class TestAnalysis:
+    def test_levelize(self):
+        netlist = xor_of_three()
+        levels = netlist.levelize()
+        assert max(levels) == 2
+
+    def test_critical_path(self):
+        assert xor_of_three().critical_path_length() == 2
+
+    def test_critical_path_requires_outputs(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        with pytest.raises(ConfigurationError):
+            netlist.critical_path_length()
+
+    def test_weighted_depth(self):
+        netlist = xor_of_three()
+        assert netlist.weighted_depth({GateType.XOR: 2.5}) == 5.0
+
+    def test_census(self):
+        netlist = xor_of_three()
+        assert netlist.gate_census() == {GateType.XOR: 2}
+        assert netlist.group_census() == {"l1": 1, "l2": 1}
+
+    def test_repr(self):
+        assert "xor3" in repr(xor_of_three())

@@ -1,0 +1,65 @@
+"""Path-multiplicity tests: the banyan property and the Benes slack."""
+
+import pytest
+
+from repro.baselines import BenesNetwork
+from repro.topology import (
+    baseline_network,
+    butterfly_network,
+    flip_network,
+    is_banyan,
+    omega_network,
+    path_count_matrix,
+    path_multiplicity,
+)
+
+
+class TestBanyanClass:
+    @pytest.mark.parametrize(
+        "build", [baseline_network, omega_network, butterfly_network, flip_network]
+    )
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_unique_path(self, build, n):
+        assert is_banyan(build(n))
+        assert path_multiplicity(build(n)) == 1
+
+    def test_capacity_follows_from_banyan(self):
+        """Unique paths imply distinct settings -> distinct permutations,
+        so the enumerated capacity must be 2^S (cross-check)."""
+        from repro.topology import permutation_capacity
+
+        net = baseline_network(8)
+        assert is_banyan(net)
+        assert permutation_capacity(net) == 1 << net.switch_count
+
+
+class TestBenesSlack:
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_benes_has_2_to_m_minus_1_paths(self, m):
+        fabric = BenesNetwork(m).fabric
+        assert path_multiplicity(fabric) == 1 << (m - 1)
+
+    def test_matrix_rows_sum_to_settings_reachability(self):
+        """Each row of the path matrix sums to 2^(stages): every switch
+        doubles the reachable leaf count."""
+        fabric = BenesNetwork(3).fabric
+        matrix = path_count_matrix(fabric)
+        for row in matrix:
+            assert sum(row) == 1 << fabric.stage_count
+
+
+class TestErrors:
+    def test_non_uniform_raises(self):
+        """A network with identity wirings keeps packets inside their
+        2-line tube: path counts are 2^stages within the tube and zero
+        outside, so multiplicity is undefined."""
+        from repro.topology import MultistageNetwork, identity_connection
+
+        tube = MultistageNetwork(
+            n=4,
+            stage_count=2,
+            wirings=[identity_connection(4)],
+            name="tube",
+        )
+        with pytest.raises(ValueError, match="not uniform"):
+            path_multiplicity(tube)

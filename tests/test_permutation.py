@@ -1,0 +1,146 @@
+"""Unit tests for the Permutation value type."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import NotAPermutationError
+from repro.permutations import Permutation, random_permutation
+
+
+def permutations_st(n=8):
+    return st.permutations(list(range(n))).map(Permutation)
+
+
+class TestConstruction:
+    def test_valid(self):
+        pi = Permutation([2, 0, 1])
+        assert pi(0) == 2 and pi(1) == 0 and pi(2) == 1
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(NotAPermutationError):
+            Permutation([0, 0, 1])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(NotAPermutationError):
+            Permutation([0, 1, 3])
+        with pytest.raises(NotAPermutationError):
+            Permutation([-1, 0, 1])
+
+    def test_identity(self):
+        assert Permutation.identity(4) == Permutation([0, 1, 2, 3])
+        assert len(Permutation.identity(0)) == 0
+
+    def test_identity_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Permutation.identity(-1)
+
+    def test_from_cycles(self):
+        pi = Permutation.from_cycles(5, [(0, 1, 2)])
+        assert pi.mapping == (1, 2, 0, 3, 4)
+
+    def test_from_cycles_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            Permutation.from_cycles(4, [(0, 1), (1, 2)])
+
+    def test_from_cycles_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Permutation.from_cycles(3, [(0, 5)])
+
+
+class TestProtocols:
+    def test_sequence_protocol(self):
+        pi = Permutation([1, 2, 0])
+        assert len(pi) == 3
+        assert list(pi) == [1, 2, 0]
+        assert pi[1] == 2
+
+    def test_equality_with_sequences(self):
+        pi = Permutation([1, 0])
+        assert pi == [1, 0]
+        assert pi == (1, 0)
+        assert pi != [0, 1]
+
+    def test_hashable(self):
+        assert len({Permutation([0, 1]), Permutation([0, 1]), Permutation([1, 0])}) == 2
+
+    def test_repr_small_and_large(self):
+        assert "Permutation" in repr(Permutation([1, 0]))
+        big = Permutation.identity(32)
+        assert "n=32" in repr(big)
+
+
+class TestAlgebra:
+    @given(permutations_st())
+    def test_inverse_property(self, pi):
+        inv = pi.inverse()
+        for j in range(len(pi)):
+            assert inv(pi(j)) == j
+            assert pi(inv(j)) == j
+
+    @given(permutations_st(), permutations_st())
+    def test_compose_definition(self, pi, sigma):
+        composed = pi * sigma
+        for j in range(len(pi)):
+            assert composed(j) == pi(sigma(j))
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Permutation([0, 1]) * Permutation([0, 1, 2])
+
+    @given(permutations_st())
+    def test_power_matches_repeated_composition(self, pi):
+        assert pi**0 == Permutation.identity(len(pi))
+        assert pi**1 == pi
+        assert pi**3 == pi * pi * pi
+        assert pi**-1 == pi.inverse()
+
+    @given(permutations_st())
+    def test_order(self, pi):
+        assert pi ** pi.order() == Permutation.identity(len(pi))
+
+    @given(permutations_st(6))
+    def test_sign_multiplicative(self, pi):
+        assert (pi * pi).sign() == 1
+
+    def test_inversions(self):
+        assert Permutation.identity(5).inversions() == 0
+        assert Permutation([4, 3, 2, 1, 0]).inversions() == 10
+
+
+class TestApplication:
+    def test_apply_scatter_semantics(self):
+        pi = Permutation([2, 0, 1])
+        # input j lands on output pi(j)
+        assert pi.apply(["a", "b", "c"]) == ["b", "c", "a"]
+
+    def test_permute_positions_gather_semantics(self):
+        pi = Permutation([2, 0, 1])
+        assert pi.permute_positions(["a", "b", "c"]) == ["c", "a", "b"]
+
+    @given(permutations_st())
+    def test_apply_then_inverse_apply(self, pi):
+        items = [f"item{j}" for j in range(len(pi))]
+        assert pi.inverse().apply(pi.apply(items)) == items
+
+    def test_apply_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Permutation([0, 1]).apply([1])
+        with pytest.raises(ValueError):
+            Permutation([0, 1]).permute_positions([1, 2, 3])
+
+
+class TestCycles:
+    def test_cycles_cover_all_points(self):
+        pi = random_permutation(32, rng=7)
+        covered = sorted(point for cycle in pi.cycles() for point in cycle)
+        assert covered == list(range(32))
+
+    def test_cycle_content(self):
+        pi = Permutation([1, 0, 2, 4, 3])
+        assert pi.cycles() == [(0, 1), (2,), (3, 4)]
+
+    @given(permutations_st())
+    def test_cycles_consistent_with_mapping(self, pi):
+        for cycle in pi.cycles():
+            for i, point in enumerate(cycle):
+                assert pi(point) == cycle[(i + 1) % len(cycle)]

@@ -1,0 +1,122 @@
+"""Tests for the cycle-accurate pipelined BNB fabric."""
+
+import pytest
+
+from repro.core import PipelinedBNBFabric
+from repro.exceptions import NotAPermutationError
+from repro.permutations import random_permutation
+
+
+class TestBasicOperation:
+    def test_single_batch_latency(self):
+        """Latency = m + 1 cycles: one to enter, one per main stage."""
+        for m in (1, 2, 3, 4):
+            fabric = PipelinedBNBFabric(m)
+            pi = random_permutation(1 << m, rng=m)
+            fabric.offer(pi.to_list(), tag="only")
+            completed = fabric.drain()
+            assert len(completed) == 1
+            tag, outputs = completed[0]
+            assert tag == "only"
+            assert [w.address for w in outputs] == list(range(1 << m))
+            assert fabric.stats().latencies == [m + 1]
+
+    def test_payload_provenance(self):
+        fabric = PipelinedBNBFabric(3)
+        pi = random_permutation(8, rng=9)
+        fabric.offer(pi.to_list(), tag=42)
+        (_tag, outputs), = fabric.drain()
+        for line, word in enumerate(outputs):
+            tag, source = word.payload
+            assert tag == 42
+            assert pi(source) == line
+
+
+class TestPipelining:
+    def test_back_to_back_batches(self):
+        m = 4
+        fabric = PipelinedBNBFabric(m)
+        perms = [random_permutation(16, rng=s) for s in range(12)]
+        completed = []
+        for i, pi in enumerate(perms):
+            fabric.offer(pi.to_list(), tag=i)
+            completed.extend(fabric.step())
+        completed.extend(fabric.drain())
+        assert [tag for tag, _out in completed] == list(range(12))
+        for tag, outputs in completed:
+            assert [w.address for w in outputs] == list(range(16))
+
+    def test_steady_state_throughput(self):
+        """With the pipe full, one permutation completes per cycle."""
+        m = 3
+        fabric = PipelinedBNBFabric(m)
+        completions_per_cycle = []
+        for i in range(30):
+            pi = random_permutation(8, rng=100 + i)
+            fabric.offer(pi.to_list(), tag=i)
+            completions_per_cycle.append(len(fabric.step()))
+        # After the m+1-cycle fill, every cycle completes exactly one.
+        assert all(c == 1 for c in completions_per_cycle[m + 1 :])
+        assert sum(completions_per_cycle[: m + 1]) <= 1
+
+    def test_in_flight_count(self):
+        m = 4
+        fabric = PipelinedBNBFabric(m)
+        for i in range(m):
+            fabric.offer(random_permutation(16, rng=i).to_list(), tag=i)
+            fabric.step()
+        assert fabric.in_flight == m
+
+    def test_bubbles_pass_through(self):
+        fabric = PipelinedBNBFabric(3)
+        fabric.offer(random_permutation(8, rng=1).to_list(), tag="a")
+        fabric.step()
+        fabric.step()  # bubble
+        fabric.offer(random_permutation(8, rng=2).to_list(), tag="b")
+        completed = fabric.drain()
+        assert [tag for tag, _out in completed] == ["a", "b"]
+
+    def test_interleaved_batches_do_not_mix(self):
+        """Words of different in-flight batches never cross."""
+        m = 3
+        fabric = PipelinedBNBFabric(m)
+        perms = {i: random_permutation(8, rng=300 + i) for i in range(6)}
+        completed = []
+        for i in range(6):
+            fabric.offer(perms[i].to_list(), tag=i)
+            completed.extend(fabric.step())
+        completed.extend(fabric.drain())
+        for tag, outputs in completed:
+            for line, word in enumerate(outputs):
+                word_tag, source = word.payload
+                assert word_tag == tag
+                assert perms[tag](source) == line
+
+
+class TestStatsAndValidation:
+    def test_stats(self):
+        fabric = PipelinedBNBFabric(2)
+        for i in range(5):
+            fabric.offer(random_permutation(4, rng=i).to_list(), tag=i)
+            fabric.step()
+        fabric.drain()
+        stats = fabric.stats()
+        assert stats.accepted == 5
+        assert stats.delivered == 5
+        assert stats.fill_latency == 3
+        assert 0 < stats.throughput <= 1.0
+
+    def test_double_offer_rejected(self):
+        fabric = PipelinedBNBFabric(2)
+        fabric.offer([0, 1, 2, 3])
+        with pytest.raises(ValueError, match="already waiting"):
+            fabric.offer([0, 1, 2, 3])
+
+    def test_non_permutation_rejected(self):
+        fabric = PipelinedBNBFabric(2)
+        with pytest.raises(NotAPermutationError):
+            fabric.offer([0, 0, 1, 2])
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            PipelinedBNBFabric(0)

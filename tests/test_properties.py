@@ -1,0 +1,149 @@
+"""Unit tests for permutation predicates and routability classifiers."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.permutations import (
+    Permutation,
+    bit_reversal,
+    bpc,
+    cyclic_shift,
+    identity,
+    perfect_shuffle,
+    random_bpc,
+    random_permutation,
+    reversal,
+)
+from repro.permutations.properties import (
+    baseline_passable,
+    cycle_structure,
+    fixed_points,
+    infer_bpc,
+    is_bpc,
+    is_derangement,
+    is_identity,
+    is_involution,
+    omega_passable,
+)
+
+
+class TestBasicPredicates:
+    def test_is_identity(self):
+        assert is_identity(identity(3))
+        assert not is_identity(reversal(3))
+
+    def test_is_involution(self):
+        assert is_involution(reversal(3))
+        assert not is_involution(Permutation([1, 2, 0]))
+
+    def test_is_derangement(self):
+        assert is_derangement(reversal(2))
+        assert not is_derangement(identity(2))
+
+    def test_fixed_points(self):
+        assert fixed_points(Permutation([0, 2, 1, 3])) == [0, 3]
+
+    def test_cycle_structure(self):
+        assert cycle_structure(Permutation([1, 0, 3, 2])) == {2: 2}
+        assert cycle_structure(identity(3)) == {1: 8}
+
+
+class TestBPCInference:
+    def test_recovers_parameters(self):
+        sigma = [2, 0, 1]
+        pi = bpc(3, sigma, 0b011)
+        recovered = infer_bpc(pi)
+        assert recovered is not None
+        assert recovered == (sigma, 0b011)
+
+    def test_rejects_non_bpc(self):
+        # A 3-cycle on two points of an otherwise-identity permutation
+        # is not linear.
+        pi = Permutation([0, 2, 1, 3, 4, 5, 6, 7])
+        assert infer_bpc(pi) is None
+
+    def test_rejects_non_power_of_two(self):
+        assert infer_bpc(Permutation([1, 2, 0])) is None
+
+    @given(st.integers(0, 100))
+    def test_random_bpc_always_inferred(self, seed):
+        pi = random_bpc(16, rng=seed)
+        assert is_bpc(pi)
+
+    def test_random_permutations_rarely_bpc(self):
+        # There are m! * 2^m = 384 BPC permutations of 16 points out of
+        # 16! ~ 2e13; a random draw is essentially never BPC.
+        hits = sum(is_bpc(random_permutation(16, rng=s)) for s in range(100))
+        assert hits == 0
+
+
+class TestPassability:
+    def test_identity_passes_omega_but_not_baseline(self):
+        assert omega_passable(identity(3))
+        # In the baseline numbering, inputs 0 and 1 share the first
+        # switch but both outputs 0 and 1 live in the upper recursive
+        # half — the switch has only one link up, so even the identity
+        # blocks.  (The plain baseline network really is that weak.)
+        assert not baseline_passable(identity(3))
+
+    def test_bit_reversal_blocks_omega_passes_baseline(self):
+        # The classic omega-blocking pattern — which the baseline
+        # numbering happens to route (its stages unscramble exactly the
+        # reversed bit order).
+        assert not omega_passable(bit_reversal(3))
+        assert baseline_passable(bit_reversal(3))
+
+    def test_uniform_shift_passes_omega(self):
+        # Nearest-neighbour shift: one of Lawrie's access patterns.
+        assert omega_passable(cyclic_shift(3, 1))
+
+    def test_perfect_shuffle_blocks_omega(self):
+        # Perhaps surprising: the shuffle permutation itself is not
+        # omega-passable at N=8 (two packets collide in stage 1).
+        assert not omega_passable(perfect_shuffle(3))
+
+    def test_exhaustive_counts_n4(self):
+        """Exactly N^(N/2) = 16 of the 24 permutations of 4 points pass
+        a 2-stage 4-line network (4 switches, 2 settings each)."""
+        omega_count = sum(
+            omega_passable(Permutation(p))
+            for p in itertools.permutations(range(4))
+        )
+        baseline_count = sum(
+            baseline_passable(Permutation(p))
+            for p in itertools.permutations(range(4))
+        )
+        assert omega_count == 16
+        assert baseline_count == 16
+
+    def test_passable_sets_differ(self):
+        """Omega and baseline are topologically equivalent but accept
+        different permutation sets."""
+        omega_set = {
+            p
+            for p in itertools.permutations(range(8))
+            if omega_passable(Permutation(p))
+        }
+        baseline_set = set()
+        count = 0
+        for p in itertools.permutations(range(8)):
+            if baseline_passable(Permutation(p)):
+                baseline_set.add(p)
+            count += 1
+            if count >= 5000:  # sample prefix; enough to find a difference
+                break
+        assert baseline_set - omega_set or omega_set - baseline_set
+
+    def test_fraction_collapses(self):
+        """The fraction of passable permutations collapses with N —
+        the quantitative motivation for the BNB network."""
+        passed8 = sum(
+            baseline_passable(random_permutation(8, rng=s)) for s in range(300)
+        )
+        passed32 = sum(
+            baseline_passable(random_permutation(32, rng=s)) for s in range(300)
+        )
+        assert passed8 > passed32
+        assert passed32 <= 2

@@ -1,0 +1,112 @@
+"""Cross-cutting property-based invariants (hypothesis).
+
+These complement the per-module suites with whole-system properties:
+router equivalence, conservation laws, and algebraic identities that
+must hold for *any* input the strategies can produce.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import BatcherNetwork, BenesNetwork, KoppelmanSRPN
+from repro.core import BitSorterNetwork, BNBNetwork, Splitter, Word
+from repro.permutations import Permutation
+
+
+def permutations16():
+    return st.permutations(list(range(16))).map(Permutation)
+
+
+def permutations8():
+    return st.permutations(list(range(8))).map(Permutation)
+
+
+class TestRouterEquivalence:
+    @settings(max_examples=40)
+    @given(permutations16())
+    def test_all_routers_agree(self, pi):
+        words = [Word(address=pi(j), payload=j) for j in range(16)]
+        bnb, _ = BNBNetwork(4).route(list(words))
+        batcher, _ = BatcherNetwork(4).route(list(words))
+        benes, _ = BenesNetwork(4).route(list(words))
+        koppelman = KoppelmanSRPN(4).route(list(words))
+        reference = [(w.address, w.payload) for w in bnb]
+        for outputs in (batcher, benes, koppelman):
+            assert [(w.address, w.payload) for w in outputs] == reference
+
+    @settings(max_examples=40)
+    @given(permutations16())
+    def test_vectorized_equals_reference(self, pi):
+        net = BNBNetwork(4)
+        reference, _ = net.route(pi.to_list())
+        fast = net.route_fast(np.array(pi.to_list()))
+        assert [w.address for w in reference] == fast.tolist()
+
+
+class TestConservation:
+    @settings(max_examples=60)
+    @given(permutations8())
+    def test_payload_multiset_preserved(self, pi):
+        words = [Word(address=pi(j), payload=f"p{j}") for j in range(8)]
+        outputs, _ = BNBNetwork(3).route(words)
+        assert sorted(w.payload for w in outputs) == sorted(
+            w.payload for w in words
+        )
+
+    @settings(max_examples=60)
+    @given(st.lists(st.integers(0, 1), min_size=16, max_size=16))
+    def test_bsn_preserves_bit_multiset(self, bits):
+        bsn = BitSorterNetwork(4, check_balance=False)
+        outputs, _ = bsn.route_bits(bits)
+        assert sorted(outputs) == sorted(bits)
+
+    @settings(max_examples=60)
+    @given(st.lists(st.integers(0, 1), min_size=8, max_size=8))
+    def test_splitter_preserves_bit_multiset(self, bits):
+        splitter = Splitter(3, check_balance=False)
+        outputs, _ = splitter.route_bits(bits)
+        assert sorted(outputs) == sorted(bits)
+
+
+class TestAlgebraicIdentities:
+    @settings(max_examples=50)
+    @given(permutations8())
+    def test_routing_inverse_identity(self, pi):
+        """Routing pi then reading back through pi^{-1} recovers order:
+        output line a holds the word from input pi^{-1}(a)."""
+        words = [Word(address=pi(j), payload=j) for j in range(8)]
+        outputs, _ = BNBNetwork(3).route(words)
+        inverse = pi.inverse()
+        for line, word in enumerate(outputs):
+            assert word.payload == inverse(line)
+
+    @settings(max_examples=30)
+    @given(permutations8(), permutations8())
+    def test_two_pass_composition(self, pi, sigma):
+        """Routing sigma, then re-addressing by pi and routing again,
+        realizes the composition pi o sigma."""
+        net = BNBNetwork(3)
+        first, _ = net.route(
+            [Word(address=sigma(j), payload=j) for j in range(8)]
+        )
+        second, _ = net.route(
+            [Word(address=pi(line), payload=word.payload)
+             for line, word in enumerate(first)]
+        )
+        composed = pi * sigma
+        inverse = composed.inverse()
+        for line, word in enumerate(second):
+            assert word.payload == inverse(line)
+
+
+class TestBenesControlsAreValid:
+    @settings(max_examples=30)
+    @given(permutations16())
+    def test_looping_always_legal(self, pi):
+        """The looping algorithm never produces out-of-range controls
+        and always realizes exactly the requested permutation."""
+        net = BenesNetwork(4)
+        controls = net.controls_for(pi)
+        for column_controls in controls:
+            assert all(c in (0, 1) for c in column_controls)
+        assert net.fabric.realized_permutation(controls) == pi

@@ -1,0 +1,69 @@
+"""Direct unit tests for routing-record value types."""
+
+import pytest
+
+from repro.core import BNBNetwork, PacketPath, RouteStep, Word
+from repro.permutations import random_permutation
+
+
+class TestRouteStep:
+    def test_fields(self):
+        step = RouteStep(main_stage=1, nested_network=2, line=5)
+        assert (step.main_stage, step.nested_network, step.line) == (1, 2, 5)
+
+    def test_frozen(self):
+        step = RouteStep(main_stage=0, nested_network=0, line=0)
+        with pytest.raises(Exception):
+            step.line = 3  # type: ignore[misc]
+
+
+class TestPacketPath:
+    def make_path(self, delivered=True):
+        return PacketPath(
+            input_line=2,
+            output_line=4 if delivered else 5,
+            address=4,
+            payload="msg",
+            steps=(
+                RouteStep(0, 0, 6),
+                RouteStep(1, 1, 5),
+                RouteStep(2, 2, 4),
+            ),
+        )
+
+    def test_delivered(self):
+        assert self.make_path(delivered=True).delivered
+        assert not self.make_path(delivered=False).delivered
+
+    def test_nested_networks_visited(self):
+        path = self.make_path()
+        assert path.nested_networks_visited() == [(0, 0), (1, 1), (2, 2)]
+
+
+class TestConsistencyWithNetwork:
+    def test_paths_follow_physical_lines(self):
+        """Every recorded line must sit inside the recorded nested
+        network's span at that stage."""
+        m = 4
+        network = BNBNetwork(m)
+        pi = random_permutation(16, rng=12)
+        words = [Word(address=pi(j), payload=j) for j in range(16)]
+        _out, record = network.route(words, record=True)
+        assert record is not None
+        for path in record.all_packet_paths(words):
+            for step in path.steps:
+                block = 1 << (m - step.main_stage)
+                lo = step.nested_network * block
+                assert lo <= step.line < lo + block
+
+    def test_each_line_holds_one_packet_per_stage(self):
+        m = 3
+        network = BNBNetwork(m)
+        pi = random_permutation(8, rng=13)
+        words = [Word(address=pi(j), payload=j) for j in range(8)]
+        _out, record = network.route(words, record=True)
+        assert record is not None
+        paths = record.all_packet_paths(words)
+        for stage in range(m):
+            lines = [path.steps[stage].line for path in paths]
+            assert sorted(lines) == list(range(8))

@@ -1,0 +1,71 @@
+"""Empirical scaling fits recover the paper's coefficients from data."""
+
+import pytest
+
+from repro.analysis.scaling import (
+    batcher_delay_scaling,
+    batcher_switch_scaling,
+    bnb_delay_scaling,
+    bnb_switch_scaling,
+    fit_log_polynomial,
+    fit_per_input_series,
+)
+
+
+class TestFitter:
+    def test_exact_polynomial_recovered(self):
+        fit = fit_log_polynomial(
+            [1, 2, 3, 4, 5], [2 + 3 * m + 0.5 * m**2 for m in range(1, 6)], 2
+        )
+        assert fit.coefficients == pytest.approx((2.0, 3.0, 0.5), abs=1e-8)
+        assert fit.residual < 1e-8
+
+    def test_needs_enough_points(self):
+        with pytest.raises(ValueError):
+            fit_log_polynomial([1, 2], [1.0, 2.0], 2)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_log_polynomial([1, 2, 3], [1.0, 2.0], 1)
+
+    def test_per_input_normalization(self):
+        fit = fit_per_input_series(lambda m: (1 << m) * (m + 1), [2, 3, 4, 5], 1)
+        assert fit.coefficients == pytest.approx((1.0, 1.0), abs=1e-9)
+
+
+class TestPaperCoefficients:
+    def test_bnb_switch_cubic(self):
+        """Fitting the constructed BNB recovers [0, 1/12, 1/4, 1/6]."""
+        fit = bnb_switch_scaling(range(2, 12))
+        assert fit.residual < 1e-6
+        assert fit.coefficients[3] == pytest.approx(1 / 6, abs=1e-6)
+        assert fit.coefficients[2] == pytest.approx(1 / 4, abs=1e-6)
+        assert fit.coefficients[1] == pytest.approx(1 / 12, abs=1e-5)
+        assert fit.coefficients[0] == pytest.approx(0.0, abs=1e-5)
+
+    def test_batcher_switch_cubic(self):
+        """Leading 1/4 with the (N-1)/N wrinkle bounded by the residual."""
+        fit = batcher_switch_scaling(range(2, 12))
+        assert fit.coefficients[3] == pytest.approx(1 / 4, abs=1e-2)
+        assert fit.residual < 1.0
+
+    def test_bnb_delay_cubic(self):
+        """Measured delays fit 1/3 m^3 + 3/2 m^2 - 5/6 m exactly."""
+        fit = bnb_delay_scaling(range(2, 12))
+        assert fit.residual < 1e-6
+        assert fit.coefficients[3] == pytest.approx(1 / 3, abs=1e-6)
+        assert fit.coefficients[2] == pytest.approx(3 / 2, abs=1e-5)
+        assert fit.coefficients[1] == pytest.approx(-5 / 6, abs=1e-4)
+
+    def test_batcher_delay_cubic(self):
+        """Measured delays fit 1/2 m^3 + m^2 + 1/2 m exactly."""
+        fit = batcher_delay_scaling(range(2, 12))
+        assert fit.residual < 1e-6
+        assert fit.coefficients[3] == pytest.approx(1 / 2, abs=1e-6)
+        assert fit.coefficients[2] == pytest.approx(1.0, abs=1e-5)
+
+    def test_leading_ratio_from_fits(self):
+        """The 2/3 delay claim, derived purely from measured data."""
+        bnb = bnb_delay_scaling(range(2, 12))
+        batcher = batcher_delay_scaling(range(2, 12))
+        assert bnb.leading / batcher.leading == pytest.approx(2 / 3, abs=1e-6)

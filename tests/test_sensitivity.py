@@ -1,0 +1,50 @@
+"""Technology-sensitivity tests: the delay advantage is unconditional."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    advantage_ratio_sweep,
+    delay_advantage_holds,
+    fn_term_gap,
+    switch_terms_identical,
+)
+
+
+class TestStructure:
+    def test_switch_terms_identical_all_sizes(self):
+        """Both fabrics cross m(m+1)/2 switch columns: Eq. 9's and
+        Eq. 12's D_SW polynomials coincide."""
+        for m in range(1, 14):
+            assert switch_terms_identical(1 << m)
+
+    def test_fn_gap_positive(self):
+        for m in range(1, 14):
+            assert fn_term_gap(1 << m) >= 0
+        assert fn_term_gap(2) >= 0  # m=1: 1 vs 0
+
+    def test_fn_gap_grows_cubically(self):
+        gap_small = fn_term_gap(1 << 5)
+        gap_large = fn_term_gap(1 << 10)
+        assert gap_large / gap_small > (10 / 5) ** 2.5
+
+
+class TestAdvantage:
+    @pytest.mark.parametrize("d_sw,d_fn", [(1, 1), (10, 1), (1, 10), (0, 1), (1, 0), (3.7, 0.2)])
+    def test_holds_for_any_technology(self, d_sw, d_fn):
+        for m in (2, 5, 9):
+            assert delay_advantage_holds(1 << m, d_sw, d_fn)
+
+    def test_rejects_negative_constants(self):
+        with pytest.raises(ValueError):
+            delay_advantage_holds(8, -1, 1)
+
+    def test_ratio_sweep_limits(self):
+        sweep = advantage_ratio_sweep(1 << 8)
+        ratios = dict(sweep)
+        # Function logic dominating: best case, near the log^3 ratio.
+        assert ratios[0.0] < 0.82
+        # Switch dominating: advantage washes out toward 1, never above.
+        assert 0.95 < ratios[100.0] <= 1.0
+        # Monotone in the technology ratio.
+        ordered = [value for _ratio, value in sweep]
+        assert ordered == sorted(ordered)

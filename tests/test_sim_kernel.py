@@ -1,0 +1,111 @@
+"""Unit tests for the DES kernel and event queue."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(3.0, lambda: fired.append("c"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(2.0, lambda: fired.append("b"))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_among_equal_times(self):
+        queue = EventQueue()
+        fired = []
+        for name in "abc":
+            queue.push(1.0, lambda n=name: fired.append(n))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert fired == ["a", "b", "c"]
+
+    def test_cancellation(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        event.cancel()
+        assert queue.pop() is None
+
+    def test_peek_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 2.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, lambda: None)
+
+    def test_len(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        assert len(queue) == 1
+
+
+class TestSimulator:
+    def test_relative_scheduling(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(5.0, lambda: times.append(sim.now))
+        assert sim.run() == 5.0
+        assert times == [5.0]
+
+    def test_chained_events(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(("first", sim.now))
+            sim.schedule(2.0, second)
+
+        def second():
+            log.append(("second", sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == [("first", 1.0), ("second", 3.0)]
+
+    def test_until_bound(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def oscillate():
+            sim.schedule(1.0, oscillate)
+
+        sim.schedule(0.0, oscillate)
+        with pytest.raises(SimulationError, match="oscillating"):
+            sim.run(max_events=100)
+
+    def test_reset(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.processed_events == 0

@@ -1,0 +1,111 @@
+"""Event-driven gate simulation vs levelized evaluation and timing."""
+
+import itertools
+
+import pytest
+
+from repro.hardware import (
+    GateType,
+    Netlist,
+    build_bsn_netlist,
+    build_function_node,
+    build_splitter_netlist,
+)
+from repro.sim import GateLevelSimulator, Probe, Signal, SignalBus, UNIT_DELAYS, WaveformRecorder
+
+
+class TestSignals:
+    def test_set_notifies_on_change_only(self):
+        signal = Signal("s")
+        seen = []
+        signal.listen(lambda s: seen.append(s.value))
+        assert signal.set(1, 0.0)
+        assert not signal.set(1, 1.0)
+        assert signal.set(0, 2.0)
+        assert seen == [1, 0]
+
+    def test_bus(self):
+        bus = SignalBus("b", 3)
+        bus.drive([1, 0, 1], 0.0)
+        assert bus.values() == [1, 0, 1]
+        assert bus.settled()
+        with pytest.raises(ValueError):
+            bus.drive([1, 0], 1.0)
+        with pytest.raises(ValueError):
+            SignalBus("x", 0)
+
+
+class TestGateLevelSimulator:
+    def test_function_node_settles_correctly(self):
+        netlist = build_function_node()
+        sim = GateLevelSimulator(netlist)
+        for x1, x2, z_down in itertools.product([0, 1], repeat=3):
+            result = sim.run({"x1": x1, "x2": x2, "z_down": z_down})
+            assert result.outputs == netlist.evaluate(
+                {"x1": x1, "x2": x2, "z_down": z_down}
+            )
+
+    @pytest.mark.parametrize("p", [1, 2, 3])
+    def test_splitter_agrees_with_levelized(self, p):
+        netlist = build_splitter_netlist(p)
+        sim = GateLevelSimulator(netlist)
+        n = 1 << p
+        cases = 0
+        for bits in itertools.product([0, 1], repeat=n):
+            if sum(bits) % 2:
+                continue
+            values = {f"s[{j}]": bits[j] for j in range(n)}
+            assert sim.run(values).outputs == netlist.evaluate(values)
+            cases += 1
+            if cases >= 20:
+                break
+
+    def test_settle_time_bounded_by_weighted_depth(self):
+        netlist = build_bsn_netlist(3)
+        sim = GateLevelSimulator(netlist)
+        result = sim.run({f"s[{j}]": (j * 3 + 1) % 2 for j in range(8)})
+        assert result.settle_time <= netlist.weighted_depth(UNIT_DELAYS)
+        assert result.event_count > 0
+
+    def test_custom_delays_scale_settle_time(self):
+        netlist = build_function_node()
+        slow = GateLevelSimulator(netlist, delays={g: 10.0 for g in UNIT_DELAYS})
+        fast = GateLevelSimulator(netlist)
+        inputs = {"x1": 1, "x2": 0, "z_down": 1}
+        assert slow.run(inputs).settle_time == 10 * fast.run(inputs).settle_time
+
+    def test_missing_inputs_rejected(self):
+        sim = GateLevelSimulator(build_function_node())
+        with pytest.raises(ValueError):
+            sim.run({"x1": 1})
+
+    def test_constant_netlist(self):
+        netlist = Netlist()
+        one = netlist.add_gate(GateType.CONST1, ())
+        netlist.mark_output("y", one)
+        result = GateLevelSimulator(netlist).run({})
+        assert result.outputs == {"y": 1}
+
+
+class TestMonitors:
+    def test_probe_records_transitions(self):
+        signal = Signal("s")
+        probe = Probe(signal)
+        signal.set(1, 1.0)
+        signal.set(0, 2.0)
+        assert probe.transition_count == 2
+        assert probe.final_value() == 0
+        assert probe.settle_time() == 2.0
+
+    def test_waveform_render(self):
+        recorder = WaveformRecorder()
+        signal = Signal("clk")
+        recorder.watch("clk", signal)
+        signal.set(0, 0.0)
+        signal.set(1, 2.0)
+        rendered = recorder.render()
+        assert "clk" in rendered
+        assert recorder.settle_time() == 2.0
+
+    def test_empty_recorder(self):
+        assert "no signals" in WaveformRecorder().render()

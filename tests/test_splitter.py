@@ -1,0 +1,147 @@
+"""Unit and property tests for the splitter sp(p) — Theorem 3."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import Splitter, splitter_balance
+from repro.exceptions import UnbalancedInputError
+
+
+def even_parity_vectors(p):
+    for bits in itertools.product([0, 1], repeat=1 << p):
+        if sum(bits) % 2 == 0:
+            yield list(bits)
+
+
+class TestStructure:
+    def test_counts(self):
+        sp = Splitter(3)
+        assert sp.size == 8
+        assert sp.switch_count == 4
+        assert sp.function_node_count == 7
+
+    def test_sp1_has_no_nodes(self):
+        assert Splitter(1).function_node_count == 0
+
+    def test_rejects_p0(self):
+        with pytest.raises(ValueError):
+            Splitter(0)
+
+
+class TestSp1:
+    def test_routes_zero_up_one_down(self):
+        sp = Splitter(1)
+        assert sp.route_bits([0, 1])[0] == [0, 1]
+        assert sp.route_bits([1, 0])[0] == [0, 1]
+
+    def test_words_follow(self):
+        sp = Splitter(1)
+        out, _ = sp.route_words(["hi", "lo"], [1, 0])
+        assert out == ["lo", "hi"]
+
+
+class TestTheorem3:
+    """M_e(out) == M_o(out) for every even-weight input (Theorem 3).
+
+    Note the paper prints the condition as ``p <= 2``; the construction
+    and proof are clearly for ``p >= 2`` and that is what holds.
+    """
+
+    @pytest.mark.parametrize("p", [2, 3])
+    def test_exhaustive_even_weight(self, p):
+        sp = Splitter(p)
+        for bits in even_parity_vectors(p):
+            out, _ = sp.route_bits(bits)
+            even, odd = splitter_balance(out)
+            assert even == odd, bits
+
+    @pytest.mark.parametrize("p", [2, 3])
+    def test_output_is_multiset_preserving(self, p):
+        sp = Splitter(p)
+        for bits in even_parity_vectors(p):
+            out, _ = sp.route_bits(bits)
+            assert sorted(out) == sorted(bits)
+
+    @given(st.lists(st.integers(0, 1), min_size=16, max_size=16))
+    def test_property_p4(self, bits):
+        if sum(bits) % 2:
+            bits[0] ^= 1
+        out, _ = Splitter(4).route_bits(bits)
+        even, odd = splitter_balance(out)
+        assert even == odd
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(UnbalancedInputError):
+            Splitter(2).route_bits([1, 0, 0, 0])
+
+    def test_unbalanced_allowed_when_check_disabled(self):
+        sp = Splitter(2, check_balance=False)
+        out, _ = sp.route_bits([1, 0, 0, 0])
+        assert sorted(out) == [0, 0, 0, 1]
+
+
+class TestSwitchSetting:
+    def test_control_is_input_xor_flag(self):
+        sp = Splitter(3)
+        bits = [1, 0, 0, 1, 1, 0, 1, 0]
+        _out, record = sp.route_bits(bits, record=True)
+        assert record is not None
+        for t in range(4):
+            assert record.controls[t] == bits[2 * t] ^ record.flags[2 * t]
+
+    def test_record_contents(self):
+        sp = Splitter(2)
+        out, record = sp.route_bits([1, 0, 0, 1], record=True)
+        assert record is not None
+        assert record.input_bits == [1, 0, 0, 1]
+        assert record.output_bits == out
+        assert record.arbiter_trace is not None
+        assert record.switch_count == 2
+
+    def test_words_follow_key_bits(self):
+        """The follower contract: route_words applies exactly the
+        controls derived from the key bits."""
+        sp = Splitter(2)
+        words = ["w0", "w1", "w2", "w3"]
+        keys = [1, 0, 0, 1]
+        out_words, record = sp.route_words(words, keys, record=True)
+        assert record is not None
+        expected = []
+        for t in range(2):
+            pair = [words[2 * t], words[2 * t + 1]]
+            if record.controls[t]:
+                pair.reverse()
+            expected.extend(pair)
+        assert out_words == expected
+
+    def test_words_length_validation(self):
+        with pytest.raises(ValueError):
+            Splitter(2).route_words(["a", "b"], [0, 1, 1, 0])
+
+    def test_input_validation(self):
+        sp = Splitter(2)
+        with pytest.raises(ValueError):
+            sp.route_bits([0, 1])
+        with pytest.raises(ValueError):
+            sp.route_bits([0, 1, 2, 1])
+
+
+class TestLemma1:
+    """Type-2 pairs: flag 0 routes the 1 to the lower output (OL);
+    flag 1 routes the 1 to the upper output (OU)."""
+
+    @pytest.mark.parametrize("p", [2, 3])
+    def test_lemma(self, p):
+        sp = Splitter(p)
+        for bits in even_parity_vectors(p):
+            out, record = sp.route_bits(bits, record=True)
+            assert record is not None
+            for t in range(1 << (p - 1)):
+                a, b = bits[2 * t], bits[2 * t + 1]
+                if a == b:
+                    continue
+                flag = record.flags[2 * t]
+                one_went_lower = out[2 * t + 1] == 1
+                assert one_went_lower == (flag == 0)

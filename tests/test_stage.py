@@ -1,0 +1,74 @@
+"""Unit tests for switch columns."""
+
+import pytest
+
+from repro.topology import SwitchColumn, SwitchState
+
+
+class TestApply:
+    def test_straight(self):
+        column = SwitchColumn(4)
+        assert column.apply(["a", "b", "c", "d"], [0, 0]) == ["a", "b", "c", "d"]
+
+    def test_exchange(self):
+        column = SwitchColumn(4)
+        assert column.apply(["a", "b", "c", "d"], [1, 0]) == ["b", "a", "c", "d"]
+
+    def test_switch_count(self):
+        assert SwitchColumn(8).switch_count == 4
+
+    def test_validation(self):
+        column = SwitchColumn(4)
+        with pytest.raises(ValueError):
+            column.apply(["a", "b"], [0, 0])
+        with pytest.raises(ValueError):
+            column.apply(["a", "b", "c", "d"], [0])
+        with pytest.raises(ValueError):
+            column.apply(["a", "b", "c", "d"], [0, 2])
+
+    def test_output_port(self):
+        column = SwitchColumn(4)
+        assert column.output_port(0, SwitchState.STRAIGHT) == 0
+        assert column.output_port(0, SwitchState.EXCHANGE) == 1
+        assert column.output_port(3, SwitchState.EXCHANGE) == 2
+        with pytest.raises(ValueError):
+            column.output_port(4, 0)
+        with pytest.raises(ValueError):
+            column.output_port(0, 2)
+
+
+class TestControlsForDestinations:
+    def test_opposite_wants(self):
+        column = SwitchColumn(4)
+        controls, conflicts = column.controls_for_destinations([0, 1, 1, 0])
+        assert conflicts == []
+        assert controls == [0, 1]
+
+    def test_conflict_reported(self):
+        column = SwitchColumn(2)
+        controls, conflicts = column.controls_for_destinations([1, 1])
+        assert conflicts == [0]
+        # First packet wins: upper input wanting 1 forces exchange.
+        assert controls == [1]
+
+    def test_idle_lines(self):
+        column = SwitchColumn(4)
+        controls, conflicts = column.controls_for_destinations(
+            [None, None, 1, None]
+        )
+        assert conflicts == []
+        # Idle pair stays straight; a lone packet gets its wish.
+        assert controls[0] == 0
+        assert controls[1] == 1  # upper input wants odd port -> exchange
+
+    def test_lone_lower_packet(self):
+        column = SwitchColumn(2)
+        controls, _ = column.controls_for_destinations([None, 0])
+        assert controls == [1]  # lower input wants even port -> exchange
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            SwitchColumn(4).controls_for_destinations([0, 1])
+
+    def test_repr_mentions_label(self):
+        assert "probe" in repr(SwitchColumn(4, label="probe"))

@@ -1,0 +1,66 @@
+"""Unit tests for sw(p) switch boxes and pair-control application."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import SimpleSwitchBox, apply_pair_controls, controls_to_permutation
+
+
+class TestApplyPairControls:
+    def test_straight_and_exchange(self):
+        assert apply_pair_controls(["a", "b", "c", "d"], [0, 1]) == [
+            "a",
+            "b",
+            "d",
+            "c",
+        ]
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            apply_pair_controls(["a", "b", "c"], [0])
+
+    @given(
+        st.lists(st.integers(), min_size=8, max_size=8),
+        st.lists(st.integers(0, 1), min_size=4, max_size=4),
+    )
+    def test_involution(self, lines, controls):
+        once = apply_pair_controls(lines, controls)
+        twice = apply_pair_controls(once, controls)
+        assert twice == lines
+
+    @given(st.lists(st.integers(0, 1), min_size=4, max_size=4))
+    def test_matches_permutation_form(self, controls):
+        lines = list(range(8))
+        assert apply_pair_controls(lines, controls) == controls_to_permutation(
+            controls
+        ).apply(lines)
+
+
+class TestControlsToPermutation:
+    def test_values(self):
+        pi = controls_to_permutation([1, 0])
+        assert pi.mapping == (1, 0, 2, 3)
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            controls_to_permutation([2])
+
+
+class TestSimpleSwitchBox:
+    def test_counts(self):
+        box = SimpleSwitchBox(3)
+        assert box.size == 8
+        assert box.switch_count == 4
+
+    def test_apply(self):
+        box = SimpleSwitchBox(2)
+        assert box.apply([1, 2, 3, 4], [1, 1]) == [2, 1, 4, 3]
+
+    def test_validation(self):
+        box = SimpleSwitchBox(2)
+        with pytest.raises(ValueError):
+            box.apply([1, 2], [1, 1])
+        with pytest.raises(ValueError):
+            box.apply([1, 2, 3, 4], [1])
+        with pytest.raises(ValueError):
+            SimpleSwitchBox(0)

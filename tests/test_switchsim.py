@@ -1,0 +1,90 @@
+"""Packet-level switch simulation tests (HOL blocking vs VOQ)."""
+
+import pytest
+
+from repro.sim import SwitchSimulator
+
+
+class TestBasics:
+    def test_no_load_no_packets(self):
+        sim = SwitchSimulator(3, seed=1)
+        stats = sim.run(50, load=0.0)
+        assert stats.delivered == 0
+        assert stats.offered == 0
+        assert stats.throughput == 0.0
+
+    def test_light_load_delivers_everything(self):
+        for mode in ("fifo", "voq"):
+            sim = SwitchSimulator(4, mode=mode, seed=2)
+            stats = sim.run(300, load=0.2)
+            # Throughput tracks offered load almost exactly.
+            assert stats.throughput == pytest.approx(stats.offered_load, abs=0.02)
+            assert stats.mean_latency < 2.0
+
+    def test_packets_only_reach_their_destination(self):
+        sim = SwitchSimulator(3, mode="fifo", seed=3)
+        sim.run(100, load=0.6)
+        for packet in sim.delivered:
+            assert packet.delivered_cycle is not None
+            assert packet.delivered_cycle >= packet.arrived_cycle
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            SwitchSimulator(3, mode="crossbar")
+
+    def test_load_validation(self):
+        sim = SwitchSimulator(2)
+        with pytest.raises(ValueError):
+            sim.step(load=1.5)
+        with pytest.raises(ValueError):
+            sim.run(0, load=0.5)
+
+
+class TestHOLBlocking:
+    def test_fifo_saturates_below_full(self):
+        """The classic input-queued result: FIFO HOL blocking caps the
+        throughput near 2 - sqrt(2) ~ 0.586 under uniform overload."""
+        sim = SwitchSimulator(4, mode="fifo", seed=5)
+        stats = sim.run(500, load=1.0)
+        assert 0.5 < stats.throughput < 0.72
+
+    def test_voq_sustains_high_load(self):
+        sim = SwitchSimulator(4, mode="voq", seed=5)
+        stats = sim.run(500, load=1.0)
+        assert stats.throughput > 0.85
+
+    def test_voq_beats_fifo_at_saturation(self):
+        fifo = SwitchSimulator(4, mode="fifo", seed=7).run(400, load=1.0)
+        voq = SwitchSimulator(4, mode="voq", seed=7).run(400, load=1.0)
+        assert voq.throughput > fifo.throughput + 0.15
+        assert voq.mean_latency < fifo.mean_latency
+
+    def test_fifo_queues_grow_at_overload(self):
+        sim = SwitchSimulator(4, mode="fifo", seed=9)
+        stats = sim.run(400, load=1.0)
+        # Saturated FIFO queues grow roughly linearly with time.
+        assert stats.max_queue_depth > 50
+
+    def test_hol_saturation_decreases_toward_asymptote(self):
+        """Karol et al.: FIFO saturation throughput falls with N toward
+        2 - sqrt(2) ~ 0.586.  The simulated trend must be monotone and
+        stay above the asymptote at these sizes."""
+        throughputs = {}
+        for m in (2, 3, 4):
+            sim = SwitchSimulator(m, mode="fifo", seed=31)
+            throughputs[m] = sim.run(600, load=1.0).throughput
+        assert throughputs[2] > throughputs[3] > throughputs[4]
+        assert all(tp > 0.58 for tp in throughputs.values())
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self):
+        a = SwitchSimulator(3, mode="voq", seed=11).run(200, load=0.7)
+        b = SwitchSimulator(3, mode="voq", seed=11).run(200, load=0.7)
+        assert a.delivered == b.delivered
+        assert a.mean_latency == b.mean_latency
+
+    def test_different_seeds_differ(self):
+        a = SwitchSimulator(3, mode="voq", seed=1).run(200, load=0.7)
+        b = SwitchSimulator(3, mode="voq", seed=2).run(200, load=0.7)
+        assert a.offered != b.offered or a.mean_latency != b.mean_latency

@@ -1,0 +1,134 @@
+"""Logic-optimizer tests: behaviour preserved, junk removed."""
+
+import itertools
+
+import pytest
+
+from repro.hardware import (
+    GateType,
+    Netlist,
+    build_arbiter_netlist,
+    build_bsn_netlist,
+    build_function_node,
+    build_splitter_netlist,
+    build_switch_cell,
+)
+from repro.hardware.synthesis import optimize
+
+
+def assert_equivalent(original: Netlist, optimized: Netlist, max_cases=256):
+    names = list(original.inputs)
+    cases = itertools.product([0, 1], repeat=len(names))
+    for count, values in enumerate(cases):
+        if count >= max_cases:
+            break
+        assignment = dict(zip(names, values))
+        assert optimized.evaluate(assignment) == original.evaluate(assignment)
+
+
+class TestBehaviourPreservation:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            build_function_node,
+            build_switch_cell,
+            lambda: build_arbiter_netlist(2),
+            lambda: build_splitter_netlist(2),
+            lambda: build_bsn_netlist(2),
+        ],
+    )
+    def test_library_cells_unchanged_behaviour(self, builder):
+        original = builder()
+        optimized, report = optimize(original)
+        assert_equivalent(original, optimized)
+        assert report.gates_after <= report.gates_before
+
+
+class TestConstantFolding:
+    def test_folds_through_logic(self):
+        netlist = Netlist("fold")
+        a = netlist.add_input("a")
+        one = netlist.add_gate(GateType.CONST1, ())
+        zero = netlist.add_gate(GateType.CONST0, ())
+        and_gate = netlist.add_gate(GateType.AND, (one, zero))  # = 0
+        or_gate = netlist.add_gate(GateType.OR, (and_gate, a))  # = a... via gates
+        netlist.mark_output("y", or_gate)
+        optimized, report = optimize(netlist)
+        assert report.folded_constants >= 1
+        assert_equivalent(netlist, optimized)
+
+    def test_fully_constant_output(self):
+        netlist = Netlist("const")
+        a = netlist.add_input("a")
+        one = netlist.add_gate(GateType.CONST1, ())
+        y = netlist.add_gate(GateType.OR, (a, one))  # always 1... not folded
+        z = netlist.add_gate(GateType.XOR, (one, one))  # folds to 0
+        netlist.mark_output("y", y)
+        netlist.mark_output("z", z)
+        optimized, _report = optimize(netlist)
+        assert optimized.evaluate({"a": 0})["z"] == 0
+        assert_equivalent(netlist, optimized)
+
+    def test_mux_with_constant_select(self):
+        netlist = Netlist("muxsel")
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        one = netlist.add_gate(GateType.CONST1, ())
+        y = netlist.add_gate(GateType.MUX2, (one, a, b))  # selects b
+        netlist.mark_output("y", y)
+        optimized, _report = optimize(netlist)
+        assert_equivalent(netlist, optimized)
+        # The mux is gone; at most a constant survives alongside nothing.
+        assert GateType.MUX2 not in optimized.gate_census()
+
+
+class TestCollapsing:
+    def test_buffer_chain(self):
+        netlist = Netlist("bufchain")
+        a = netlist.add_input("a")
+        b1 = netlist.add_gate(GateType.BUF, (a,))
+        b2 = netlist.add_gate(GateType.BUF, (b1,))
+        netlist.mark_output("y", b2)
+        optimized, report = optimize(netlist)
+        assert report.collapsed_buffers == 2
+        assert optimized.gate_count == 0 or optimized.gate_census().get(
+            GateType.BUF, 0
+        ) == 0
+        assert_equivalent(netlist, optimized)
+
+    def test_double_inverter(self):
+        netlist = Netlist("dblnot")
+        a = netlist.add_input("a")
+        n1 = netlist.add_gate(GateType.NOT, (a,))
+        n2 = netlist.add_gate(GateType.NOT, (n1,))
+        y = netlist.add_gate(GateType.AND, (n2, a))
+        netlist.mark_output("y", y)
+        optimized, report = optimize(netlist)
+        assert report.collapsed_buffers >= 1
+        assert_equivalent(netlist, optimized)
+        # n1 becomes dead once n2 forwards to a.
+        assert optimized.gate_census().get(GateType.NOT, 0) == 0
+
+    def test_mux_same_branches(self):
+        netlist = Netlist("muxsame")
+        s = netlist.add_input("s")
+        a = netlist.add_input("a")
+        y = netlist.add_gate(GateType.MUX2, (s, a, a))
+        netlist.mark_output("y", y)
+        optimized, _report = optimize(netlist)
+        assert GateType.MUX2 not in optimized.gate_census()
+        assert_equivalent(netlist, optimized)
+
+
+class TestDeadCode:
+    def test_unused_cone_removed(self):
+        netlist = Netlist("dead")
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        used = netlist.add_gate(GateType.AND, (a, b))
+        _unused = netlist.add_gate(GateType.XOR, (a, b))
+        netlist.mark_output("y", used)
+        optimized, report = optimize(netlist)
+        assert report.removed_dead == 1
+        assert optimized.gate_count == 1
+        assert_equivalent(netlist, optimized)

@@ -1,0 +1,87 @@
+"""Tests for the Table 1 / Table 2 renderers."""
+
+import pytest
+
+from repro.analysis.tables import (
+    TABLE1_LEADING_TERMS,
+    TABLE2_POLYNOMIALS,
+    format_table,
+    render_table1,
+    render_table2,
+    table1_values,
+    table2_values,
+)
+
+
+class TestTable1Values:
+    def test_rows_and_networks(self):
+        rows = table1_values(64)
+        assert [r["network"] for r in rows] == [
+            "Batcher",
+            "Koppelman[11]",
+            "This paper",
+        ]
+
+    def test_batcher_ratio_is_one(self):
+        rows = table1_values(256)
+        assert rows[0]["vs Batcher"] == 1.0
+
+    def test_totals_consistent(self):
+        for row in table1_values(128, w=8):
+            assert row["total"] == (
+                row["2x2 switches"] + row["function slices"] + row["adder slices"]
+            )
+
+    def test_bnb_wins_asymptotically_on_total(self):
+        small = table1_values(64)
+        large = table1_values(1 << 14)
+        bnb_small = small[2]["vs Batcher"]
+        bnb_large = large[2]["vs Batcher"]
+        assert bnb_large < bnb_small
+
+
+class TestTable2Values:
+    def test_bnb_printed_equals_full(self):
+        rows = table2_values(256)
+        bnb = rows[2]
+        assert bnb["printed polynomial"] == pytest.approx(bnb["full equation"])
+
+    def test_batcher_printed_below_full(self):
+        """The documented Table 2 quirk: printed Batcher row omits the
+        switch term."""
+        rows = table2_values(256)
+        batcher = rows[0]
+        assert batcher["printed polynomial"] < batcher["full equation"]
+
+    def test_bnb_is_fastest_at_n1024(self):
+        rows = table2_values(1024)
+        delays = {r["network"]: r["full equation"] for r in rows}
+        assert delays["This paper"] < delays["Koppelman[11]"]
+        assert delays["This paper"] < delays["Batcher"]
+
+
+class TestRenderers:
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "bb": 22}, {"a": 333, "bb": 4}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # aligned
+
+    def test_format_empty(self):
+        assert "empty" in format_table([])
+
+    def test_render_table1_contains_terms(self):
+        text = render_table1(64)
+        for terms in TABLE1_LEADING_TERMS.values():
+            assert terms["2x2 switches"] in text
+
+    def test_render_table2_contains_polynomials(self):
+        text = render_table2(64)
+        for poly in TABLE2_POLYNOMIALS.values():
+            assert poly in text
+
+    def test_power_of_two_enforced(self):
+        with pytest.raises(Exception):
+            table1_values(12)
+        with pytest.raises(Exception):
+            table2_values(12)

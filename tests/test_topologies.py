@@ -1,0 +1,111 @@
+"""Tests for the baseline / omega / butterfly topology constructors."""
+
+import itertools
+
+import pytest
+
+from repro.permutations import Permutation, random_permutation
+from repro.topology import (
+    baseline_network,
+    baseline_routing_bit_schedule,
+    butterfly_network,
+    butterfly_routing_bit_schedule,
+    omega_network,
+    omega_routing_bit_schedule,
+)
+
+
+TOPOLOGIES = [
+    (baseline_network, baseline_routing_bit_schedule),
+    (omega_network, omega_routing_bit_schedule),
+    (butterfly_network, butterfly_routing_bit_schedule),
+]
+
+
+class TestStructure:
+    @pytest.mark.parametrize("build,schedule", TOPOLOGIES)
+    def test_log_stages(self, build, schedule):
+        for m in (1, 2, 3, 4):
+            net = build(1 << m)
+            assert net.stage_count == m
+            assert net.switch_count == (1 << m) // 2 * m
+            assert len(schedule(1 << m)) == m
+
+    def test_baseline_wirings_are_unshuffles(self):
+        net = baseline_network(8)
+        from repro.topology import unshuffle_connection
+
+        assert net.wirings[0] == unshuffle_connection(8, 3)
+        assert net.wirings[1] == unshuffle_connection(8, 2)
+
+
+class TestReachability:
+    """Destination-tag routing with idle lines reaches every output
+    from every input: the single-path property of log-stage networks."""
+
+    @pytest.mark.parametrize("build,schedule", TOPOLOGIES)
+    def test_single_packet_reaches_every_output(self, build, schedule):
+        n = 8
+        net = build(n)
+        bit_schedule = schedule(n)
+        for source in range(n):
+            for dest in range(n):
+                request = [None] * n
+                request[source] = dest
+                report = net.self_route(request, bit_schedule)
+                assert report.outputs[dest] == dest, (source, dest)
+
+
+class TestPassableCounts:
+    """Each topology passes exactly 2**(total switches) permutations of
+    4 lines — every switch-setting combination realizes a distinct
+    permutation at this size."""
+
+    @pytest.mark.parametrize("build,schedule", TOPOLOGIES)
+    def test_n4_count(self, build, schedule):
+        n = 4
+        net = build(n)
+        bit_schedule = schedule(n)
+        passed = sum(
+            net.self_route(list(p), bit_schedule).delivered
+            for p in itertools.permutations(range(n))
+        )
+        assert passed == 16
+
+    @pytest.mark.parametrize("build,schedule", TOPOLOGIES)
+    def test_settings_give_distinct_permutations_n4(self, build, schedule):
+        net = build(4)
+        realized = set()
+        for bits in itertools.product([0, 1], repeat=4):
+            controls = [list(bits[:2]), list(bits[2:])]
+            realized.add(net.realized_permutation(controls).mapping)
+        assert len(realized) == 16
+
+
+class TestButterflyCorrectness:
+    def test_butterfly_routes_by_lsb_first(self):
+        """A permutation that only permutes within bit-0 pairs passes."""
+        from repro.permutations import exchange
+
+        n = 8
+        net = butterfly_network(n)
+        report = net.self_route(
+            exchange(3).to_list(), butterfly_routing_bit_schedule(n)
+        )
+        assert report.delivered
+
+    def test_butterfly_differs_from_omega_in_passable_set(self):
+        n = 8
+        butterfly = butterfly_network(n)
+        omega = omega_network(n)
+        b_sched = butterfly_routing_bit_schedule(n)
+        o_sched = omega_routing_bit_schedule(n)
+        differ = 0
+        for seed in range(200):
+            pi = random_permutation(n, rng=seed).to_list()
+            if (
+                butterfly.self_route(pi, b_sched).delivered
+                != omega.self_route(pi, o_sched).delivered
+            ):
+                differ += 1
+        assert differ > 0

@@ -1,0 +1,154 @@
+"""Tests for partial-permutation and contention-resolved traffic."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    BNBNetwork,
+    MultipassRouter,
+    complete_partial_permutation,
+    route_partial,
+)
+from repro.exceptions import InputError
+
+
+class TestCompletion:
+    def test_fills_unused_addresses(self):
+        full, real = complete_partial_permutation([3, None, 0, None])
+        assert sorted(full) == [0, 1, 2, 3]
+        assert full[0] == 3 and full[2] == 0
+        assert real == [True, False, True, False]
+
+    def test_all_idle(self):
+        full, real = complete_partial_permutation([None] * 4)
+        assert sorted(full) == [0, 1, 2, 3]
+        assert real == [False] * 4
+
+    def test_already_full(self):
+        full, real = complete_partial_permutation([1, 0, 3, 2])
+        assert full == [1, 0, 3, 2]
+        assert all(real)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(InputError, match="twice"):
+            complete_partial_permutation([1, 1, None, None])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(InputError, match="out of range"):
+            complete_partial_permutation([4, None, None, None])
+
+    @given(
+        st.lists(
+            st.one_of(st.none(), st.integers(0, 15)), min_size=16, max_size=16
+        )
+    )
+    def test_property_completion(self, destinations):
+        active = [d for d in destinations if d is not None]
+        if len(set(active)) != len(active):
+            with pytest.raises(InputError):
+                complete_partial_permutation(destinations)
+            return
+        full, real = complete_partial_permutation(destinations)
+        assert sorted(full) == list(range(16))
+        for j, dest in enumerate(destinations):
+            if dest is not None:
+                assert full[j] == dest
+                assert real[j]
+
+
+class TestRoutePartial:
+    def test_active_words_delivered(self):
+        net = BNBNetwork(3)
+        result = route_partial(
+            net, [(5, "a"), None, (0, "b"), None, (7, "c"), None, None, None]
+        )
+        assert result.outputs[5] == "a"
+        assert result.outputs[0] == "b"
+        assert result.outputs[7] == "c"
+        assert result.active_count == 3
+        assert result.filler_count == 5
+
+    def test_unrequested_outputs_are_none(self):
+        net = BNBNetwork(3)
+        result = route_partial(net, [(2, "only")] + [None] * 7)
+        assert [o is not None for o in result.outputs] == [
+            line == 2 for line in range(8)
+        ]
+
+    def test_single_active_word_every_position(self):
+        net = BNBNetwork(3)
+        for source in range(8):
+            for dest in range(8):
+                requests = [None] * 8
+                requests[source] = (dest, (source, dest))
+                result = route_partial(net, requests)
+                assert result.outputs[dest] == (source, dest)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            route_partial(BNBNetwork(2), [None, None])
+
+
+class TestMultipass:
+    def test_round_count_equals_max_multiplicity(self):
+        net = BNBNetwork(3)
+        router = MultipassRouter(net)
+        requests = [(3, "a"), (3, "b"), (3, "c"), (0, "d"), None, None, None, None]
+        result = router.route(requests)
+        assert result.rounds == 3
+        assert result.max_multiplicity == 3
+
+    def test_fifo_order_per_destination(self):
+        net = BNBNetwork(3)
+        router = MultipassRouter(net)
+        requests = [(1, f"req{j}") for j in range(8)]  # total contention
+        result = router.route(requests)
+        assert result.rounds == 8
+        assert result.all_payloads_at(1) == [f"req{j}" for j in range(8)]
+        # No other output ever receives anything.
+        for output in range(8):
+            if output != 1:
+                assert result.all_payloads_at(output) == []
+
+    def test_permutation_traffic_is_one_round(self):
+        net = BNBNetwork(3)
+        router = MultipassRouter(net)
+        requests = [(7 - j, j) for j in range(8)]
+        result = router.route(requests)
+        assert result.rounds == 1
+        for j in range(8):
+            assert result.all_payloads_at(7 - j) == [j]
+
+    def test_all_idle_is_zero_rounds(self):
+        router = MultipassRouter(BNBNetwork(2))
+        result = router.route([None] * 4)
+        assert result.rounds == 0
+        assert result.max_multiplicity == 0
+
+    def test_every_request_delivered_exactly_once(self):
+        import random
+
+        net = BNBNetwork(4)
+        router = MultipassRouter(net)
+        rng = random.Random(5)
+        requests = []
+        for j in range(16):
+            if rng.random() < 0.2:
+                requests.append(None)
+            else:
+                requests.append((rng.randrange(16), f"p{j}"))
+        result = router.route(requests)
+        delivered = [
+            payload
+            for output in range(16)
+            for payload in result.all_payloads_at(output)
+        ]
+        expected = [req[1] for req in requests if req is not None]
+        assert sorted(delivered) == sorted(expected)
+
+    def test_validation(self):
+        router = MultipassRouter(BNBNetwork(2))
+        with pytest.raises(ValueError):
+            router.route([None] * 3)
+        with pytest.raises(InputError):
+            router.route([(9, "x"), None, None, None])

@@ -1,0 +1,51 @@
+"""Tests for the generic permutation-delivery verification harness."""
+
+import math
+
+import pytest
+
+from repro.analysis.verification import ROUTERS, verify_router
+
+
+class TestExhaustive:
+    @pytest.mark.parametrize("router", sorted(ROUTERS))
+    def test_all_routers_deliver_n4(self, router):
+        report = verify_router(router, 4, mode="exhaustive")
+        assert report.attempted == math.factorial(4)
+        assert report.all_delivered, report.summary()
+
+    def test_auto_mode_picks_exhaustive_small(self):
+        report = verify_router("bnb", 4)
+        assert report.mode == "exhaustive"
+
+    def test_auto_mode_picks_sampled_large(self):
+        report = verify_router("bnb", 16, samples=10)
+        assert report.mode == "sampled"
+        assert report.attempted == 10
+
+
+class TestSampled:
+    @pytest.mark.parametrize("router", ["bnb", "batcher", "benes", "koppelman"])
+    def test_sampled_n32(self, router):
+        report = verify_router(router, 32, mode="sampled", samples=15, seed=5)
+        assert report.all_delivered, report.summary()
+
+    def test_seed_reproducibility(self):
+        a = verify_router("bnb", 16, mode="sampled", samples=5, seed=1)
+        b = verify_router("bnb", 16, mode="sampled", samples=5, seed=1)
+        assert a.delivered == b.delivered == 5
+
+
+class TestValidation:
+    def test_unknown_router(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            verify_router("teleporter", 8)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            verify_router("bnb", 8, mode="psychic")
+
+    def test_summary_format(self):
+        report = verify_router("crossbar", 4, mode="exhaustive")
+        assert "crossbar" in report.summary()
+        assert "24/24" in report.summary()

@@ -1,0 +1,178 @@
+"""Verilog emission and round-trip re-import."""
+
+import itertools
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hardware import (
+    GateType,
+    Netlist,
+    build_bsn_netlist,
+    build_function_node,
+    build_splitter_netlist,
+    build_switch_cell,
+    emit_verilog,
+    parse_verilog,
+    sanitize_identifier,
+)
+from repro.permutations import random_permutation
+
+
+class TestSanitize:
+    def test_brackets(self):
+        assert sanitize_identifier("s[3]") == "s_3"
+
+    def test_plain_passthrough(self):
+        assert sanitize_identifier("clk_enable") == "clk_enable"
+
+    def test_leading_digit(self):
+        assert sanitize_identifier("3x")[0] not in "0123456789"
+
+
+class TestEmission:
+    def test_module_structure(self):
+        text = emit_verilog(build_function_node())
+        assert text.startswith("module function_node (")
+        assert text.rstrip().endswith("endmodule")
+        assert "input wire x1" in text
+        assert "output wire z_up" in text
+
+    def test_one_assign_per_gate_plus_outputs(self):
+        netlist = build_function_node()
+        text = emit_verilog(netlist)
+        assigns = [l for l in text.splitlines() if l.strip().startswith("assign")]
+        assert len(assigns) == netlist.gate_count + len(netlist.outputs)
+
+    def test_mux_expression(self):
+        text = emit_verilog(build_switch_cell())
+        assert "?" in text and ":" in text
+
+    def test_custom_module_name(self):
+        text = emit_verilog(build_function_node(), module_name="fig5 node")
+        assert text.startswith("module fig5_node (")
+
+    def test_constants(self):
+        netlist = Netlist("consts")
+        one = netlist.add_gate(GateType.CONST1, ())
+        zero = netlist.add_gate(GateType.CONST0, ())
+        netlist.mark_output("hi", one)
+        netlist.mark_output("lo", zero)
+        text = emit_verilog(netlist)
+        assert "1'b1" in text and "1'b0" in text
+
+    def test_all_gate_types_emit(self):
+        netlist = Netlist("allgates")
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        for kind in (
+            GateType.BUF,
+            GateType.NOT,
+            GateType.AND,
+            GateType.OR,
+            GateType.XOR,
+            GateType.NAND,
+            GateType.NOR,
+            GateType.XNOR,
+        ):
+            inputs = (a,) if kind in (GateType.BUF, GateType.NOT) else (a, b)
+            netlist.mark_output(kind.value, netlist.add_gate(kind, inputs))
+        text = emit_verilog(netlist)
+        assert "~(" in text  # negated binaries present
+        parsed = parse_verilog(text)
+        for va in (0, 1):
+            for vb in (0, 1):
+                assert parsed.evaluate({"a": va, "b": vb}) == netlist.evaluate(
+                    {"a": va, "b": vb}
+                )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "builder",
+        [build_function_node, build_switch_cell, lambda: build_splitter_netlist(2)],
+    )
+    def test_small_cells_roundtrip_exhaustively(self, builder):
+        netlist = builder()
+        parsed = parse_verilog(emit_verilog(netlist))
+        names = list(netlist.inputs)
+        for values in itertools.product([0, 1], repeat=len(names)):
+            assignment = dict(zip(names, values))
+            original = netlist.evaluate(assignment)
+            sanitized = {
+                sanitize_identifier(k): v for k, v in assignment.items()
+            }
+            reparsed = parsed.evaluate(sanitized)
+            for name, value in original.items():
+                assert reparsed[sanitize_identifier(name)] == value
+
+    def test_bsn_roundtrip_behaviour(self):
+        netlist = build_bsn_netlist(3)
+        parsed = parse_verilog(emit_verilog(netlist))
+        # The parser reads the final output-binding assigns as BUFs.
+        assert parsed.gate_count == netlist.gate_count + len(netlist.outputs)
+        import random
+
+        rng = random.Random(3)
+        for _ in range(10):
+            bits = [1] * 4 + [0] * 4
+            rng.shuffle(bits)
+            assignment = {f"s[{j}]": bits[j] for j in range(8)}
+            sanitized = {f"s_{j}": bits[j] for j in range(8)}
+            original = netlist.evaluate(assignment)
+            reparsed = parsed.evaluate(sanitized)
+            for j in range(8):
+                assert reparsed[f"o_{j}"] == original[f"o[{j}]"]
+
+    def test_bnb_netlist_roundtrip(self):
+        from repro.hardware import build_bnb_netlist
+
+        netlist, ports = build_bnb_netlist(2)
+        parsed = parse_verilog(emit_verilog(netlist))
+        pi = random_permutation(4, rng=8)
+        assignment = ports.input_assignment(pi.to_list())
+        sanitized = {sanitize_identifier(k): v for k, v in assignment.items()}
+        reparsed = parsed.evaluate(sanitized)
+        original = netlist.evaluate(assignment)
+        assert all(
+            reparsed[sanitize_identifier(k)] == v for k, v in original.items()
+        )
+
+
+class TestParserErrors:
+    def test_unparseable_line(self):
+        with pytest.raises(ConfigurationError, match="unparseable"):
+            parse_verilog("module m (\n);\nalways @(posedge clk) x <= y;\nendmodule")
+
+    def test_forward_reference(self):
+        bad = "\n".join(
+            [
+                "module m (",
+                "  input wire a,",
+                "  output wire y",
+                ");",
+                "  wire n1, n2;",
+                "  assign n1 = n2 & a;",  # n2 not yet assigned
+                "  assign n2 = a;",
+                "  assign y = n1;",
+                "endmodule",
+            ]
+        )
+        with pytest.raises(ConfigurationError, match="before assignment"):
+            parse_verilog(bad)
+
+    def test_unsupported_expression(self):
+        bad = "\n".join(
+            [
+                "module m (",
+                "  input wire a,",
+                "  output wire y",
+                ");",
+                "  wire n1;",
+                "  assign n1 = a + a;",
+                "  assign y = n1;",
+                "endmodule",
+            ]
+        )
+        with pytest.raises(ConfigurationError, match="unsupported"):
+            parse_verilog(bad)

@@ -1,0 +1,40 @@
+"""Unit tests for the Word type and word-list helpers."""
+
+import pytest
+
+from repro.core import Word, addresses_of, payloads_of, words_from_permutation
+from repro.permutations import Permutation
+
+
+class TestWord:
+    def test_address_bits_msb_first(self):
+        word = Word(address=0b101)
+        assert word.address_bits(3) == [1, 0, 1]
+        assert word.address_bit(0, 3) == 1  # b^0 is the MSB
+        assert word.address_bit(1, 3) == 0
+
+    def test_frozen(self):
+        word = Word(address=1)
+        with pytest.raises(Exception):
+            word.address = 2  # type: ignore[misc]
+
+    def test_repr(self):
+        assert repr(Word(3)) == "Word(3)"
+        assert "payload" in repr(Word(3, payload="msg"))
+
+
+class TestWordLists:
+    def test_words_from_permutation(self):
+        pi = Permutation([2, 0, 1])
+        words = words_from_permutation(pi)
+        assert addresses_of(words) == [2, 0, 1]
+        assert payloads_of(words) == [None, None, None]
+
+    def test_payload_attachment(self):
+        pi = Permutation([1, 0])
+        words = words_from_permutation(pi, payloads=["a", "b"])
+        assert payloads_of(words) == ["a", "b"]
+
+    def test_payload_length_validation(self):
+        with pytest.raises(ValueError):
+            words_from_permutation(Permutation([1, 0]), payloads=["a"])
