@@ -20,10 +20,14 @@ from ._version import __version__
 from .exceptions import (
     ConfigurationError,
     FaultError,
+    FaultServiceError,
     InputError,
+    LocalizationAmbiguousError,
     NotAPermutationError,
     PathConflictError,
+    QuarantineExhaustedError,
     ReproError,
+    RetryBudgetExceededError,
     RoutingError,
     SimulationError,
     SizeError,
@@ -67,6 +71,10 @@ __all__ = [
     "UnroutablePermutationError",
     "SimulationError",
     "FaultError",
+    "FaultServiceError",
+    "QuarantineExhaustedError",
+    "LocalizationAmbiguousError",
+    "RetryBudgetExceededError",
     "Permutation",
     "PermutationSampler",
     "random_permutation",

@@ -7,9 +7,13 @@ Commands
 ``tables``   print the paper's Table 1 and Table 2 at a given size
 ``figures``  print the ASCII renderings of Figs. 1-5
 ``report``   print the full paper-vs-measured experiments report
+``faults``   BIST schedule, fault localization and the resilient service
 
 Every command writes plain text to stdout and exits non-zero on
-failure, so the CLI is scriptable.
+failure, so the CLI is scriptable.  Library failures
+(:class:`~repro.exceptions.ReproError`) exit with code 2 and a
+one-line ``error:`` message on stderr — never a traceback; anything
+else escaping is a genuine bug and is allowed to crash loudly.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from typing import List, Optional
 from .analysis.tables import render_table1, render_table2
 from .analysis.verification import ROUTERS, verify_router
 from .bits import require_power_of_two
+from .exceptions import FaultError, ReproError
 from .permutations.generators import random_permutation
 
 __all__ = ["main", "build_parser"]
@@ -57,6 +62,29 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--m", type=int, default=3)
 
     sub.add_parser("report", help="print the experiments report")
+
+    faults = sub.add_parser(
+        "faults",
+        help="run the resilient fabric: BIST probes, localization, failover",
+    )
+    faults.add_argument("n", type=int, help="network size (power of two)")
+    faults.add_argument(
+        "--stuck",
+        metavar="I,L,J,BOX,SW",
+        default=None,
+        help="inject a stuck switch at this coordinate "
+        "(main stage, nested, nested stage, box, switch)",
+    )
+    faults.add_argument(
+        "--stuck-value", type=int, choices=(0, 1), default=1
+    )
+    faults.add_argument("--batches", type=int, default=3)
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument(
+        "--report",
+        action="store_true",
+        help="print the fault-tolerance markdown report instead",
+    )
     return parser
 
 
@@ -114,12 +142,83 @@ def _command_report(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_coordinate(text: str):
+    from .faults import SwitchCoordinate
+
+    parts = text.split(",")
+    if len(parts) != 5:
+        raise FaultError(
+            f"--stuck takes five comma-separated integers "
+            f"(main stage, nested, nested stage, box, switch), got {text!r}"
+        )
+    try:
+        fields = [int(part) for part in parts]
+    except ValueError:
+        raise FaultError(f"--stuck fields must be integers, got {text!r}")
+    return SwitchCoordinate(*fields)
+
+
+def _command_faults(args: argparse.Namespace) -> int:
+    require_power_of_two(args.n, "network size")
+    m = args.n.bit_length() - 1
+    if args.report:
+        from .viz import fault_tolerance_report
+
+        print(fault_tolerance_report(m))
+        return 0
+
+    from .core.pipeline import PipelinedBNBFabric, stuck_control_override
+    from .faults import build_bist_schedule, enumerate_switch_coordinates
+    from .service import HealthMonitor, ResilientFabric
+
+    schedule = build_bist_schedule(m)
+    pipeline = None
+    if args.stuck is not None:
+        coordinate = _parse_coordinate(args.stuck)
+        if coordinate not in enumerate_switch_coordinates(m):
+            raise FaultError(
+                f"{coordinate} is not a switch of the N={args.n} BNB network"
+            )
+        pipeline = PipelinedBNBFabric(
+            m,
+            control_override=stuck_control_override(
+                coordinate.main_stage,
+                coordinate.nested,
+                coordinate.nested_stage,
+                coordinate.box,
+                coordinate.switch,
+                args.stuck_value,
+            ),
+        )
+        print(
+            f"injected : stuck-at-{args.stuck_value} at "
+            f"({args.stuck}) in the primary plane"
+        )
+    fabric = ResilientFabric(m, pipeline=pipeline, schedule=schedule)
+    monitor = HealthMonitor(fabric.registry)
+    for index in range(args.batches):
+        pi = random_permutation(args.n, rng=args.seed + index)
+        result = fabric.submit(pi.to_list(), tag=f"batch-{index}")
+        print(
+            f"batch {index}  : mode={result.mode} retries={result.retries}"
+        )
+        if index == 0 and not fabric.registry.is_quarantined:
+            fabric.check(tag="scheduled-bist")
+    print()
+    print(fabric.summary())
+    print()
+    print("event log:")
+    print(monitor.render())
+    return 0
+
+
 _HANDLERS = {
     "route": _command_route,
     "verify": _command_verify,
     "tables": _command_tables,
     "figures": _command_figures,
     "report": _command_report,
+    "faults": _command_faults,
 }
 
 
@@ -129,6 +228,6 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _HANDLERS[args.command](args)
-    except Exception as error:  # surfaced as a message, not a traceback
+    except ReproError as error:  # one-line message, never a traceback
         print(f"error: {error}", file=sys.stderr)
         return 2

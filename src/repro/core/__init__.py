@@ -35,7 +35,12 @@ from .traffic import (
     complete_partial_permutation,
     route_partial,
 )
-from .pipeline import PipelinedBNBFabric, PipelineBatch, PipelineStats
+from .pipeline import (
+    PipelinedBNBFabric,
+    PipelineBatch,
+    PipelineStats,
+    stuck_control_override,
+)
 
 __all__ = [
     "Word",
@@ -68,6 +73,7 @@ __all__ = [
     "MultipassRouter",
     "MultipassResult",
     "PipelinedBNBFabric",
+    "stuck_control_override",
     "PipelineBatch",
     "PipelineStats",
 ]

@@ -17,15 +17,59 @@ around verified logic, not a reimplementation.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..bits import address_bit, unshuffle_index
 from ..exceptions import NotAPermutationError
 from .bnb import BNBNetwork
 from .bsn import BitSorterNetwork
+from .splitter import Splitter
+from .switchbox import apply_pair_controls
 from .words import Word
 
-__all__ = ["PipelinedBNBFabric", "PipelineBatch", "PipelineStats"]
+__all__ = [
+    "PipelinedBNBFabric",
+    "PipelineBatch",
+    "PipelineStats",
+    "ControlOverride",
+    "stuck_control_override",
+]
+
+#: ``(main_stage, nested, nested_stage, box, controls) -> controls`` —
+#: intercepts every splitter decision; used to model physical switch
+#: faults inside the pipeline (the fault-tolerance service's test rig).
+ControlOverride = Callable[[int, int, int, int, List[int]], List[int]]
+
+
+def stuck_control_override(
+    main_stage: int,
+    nested: int,
+    nested_stage: int,
+    box: int,
+    switch: int,
+    value: int,
+) -> ControlOverride:
+    """An override forcing one switch's control to *value* (stuck-at).
+
+    Accepts the five fields of a
+    :class:`~repro.faults.injector.SwitchCoordinate` (kept positional
+    so :mod:`repro.core` need not import the faults layer).
+    """
+    if value not in (0, 1):
+        raise ValueError(f"stuck-at value must be 0 or 1, got {value!r}")
+
+    def override(
+        i: int, l: int, j: int, b: int, controls: List[int]
+    ) -> List[int]:
+        if (
+            (i, l, j, b) == (main_stage, nested, nested_stage, box)
+            and 0 <= switch < len(controls)
+        ):
+            controls = list(controls)
+            controls[switch] = value
+        return controls
+
+    return override
 
 
 @dataclasses.dataclass
@@ -64,7 +108,9 @@ class PipelinedBNBFabric:
     :meth:`step` as ``(tag, outputs)`` pairs.
     """
 
-    def __init__(self, m: int) -> None:
+    def __init__(
+        self, m: int, control_override: Optional[ControlOverride] = None
+    ) -> None:
         if m < 1:
             raise ValueError(f"the fabric needs m >= 1, got {m}")
         self.m = m
@@ -72,6 +118,15 @@ class PipelinedBNBFabric:
         self._bsns: Dict[int, BitSorterNetwork] = {
             k: BitSorterNetwork(k) for k in range(1, m + 1)
         }
+        # With an override installed, splitter decisions are made here
+        # (balance checks off: an intercepted control can unbalance a
+        # downstream block — that is the physics being modelled).
+        self._control_override = control_override
+        self._free_splitters: Dict[int, Splitter] = (
+            {}
+            if control_override is None
+            else {p: Splitter(p, check_balance=False) for p in range(1, m + 1)}
+        )
         # _stages[i] holds the batch currently inside main stage i.
         self._stages: List[Optional[PipelineBatch]] = [None] * m
         self._pending: Optional[PipelineBatch] = None
@@ -89,16 +144,24 @@ class PipelinedBNBFabric:
         Raises if a permutation is already waiting (the fabric accepts
         one batch per cycle) or if the addresses are not a permutation.
         """
-        if self._pending is not None:
-            raise ValueError("a batch is already waiting to enter this cycle")
-        if sorted(addresses) != list(range(self.n)):
-            raise NotAPermutationError(list(addresses))
         words = [
             Word(address=address, payload=(tag, j))
             for j, address in enumerate(addresses)
         ]
+        self.offer_words(words, tag=tag)
+
+    def offer_words(self, words: Sequence[Word], tag: Any = None) -> None:
+        """Queue pre-built words (payloads preserved) for the next cycle.
+
+        The service layer uses this to re-inject misdelivered words
+        whose payloads identify the original batch and source line.
+        """
+        if self._pending is not None:
+            raise ValueError("a batch is already waiting to enter this cycle")
+        if sorted(word.address for word in words) != list(range(self.n)):
+            raise NotAPermutationError([word.address for word in words])
         self._pending = PipelineBatch(
-            tag=tag, words=words, entered_cycle=self.cycle
+            tag=tag, words=list(words), entered_cycle=self.cycle
         )
 
     # ------------------------------------------------------------------
@@ -117,7 +180,12 @@ class PipelinedBNBFabric:
         routed: List[Word] = [None] * self.n  # type: ignore[list-item]
         for l in range(1 << stage):
             lo = l * block
-            out, _rec = bsn.route_words(words[lo : lo + block], key_of)
+            if self._control_override is not None:
+                out = self._route_nested_overridden(
+                    stage, l, words[lo : lo + block]
+                )
+            else:
+                out, _rec = bsn.route_words(words[lo : lo + block], key_of)
             routed[lo : lo + block] = out
         if stage < m - 1:
             connected: List[Word] = [None] * self.n  # type: ignore[list-item]
@@ -125,6 +193,47 @@ class PipelinedBNBFabric:
                 connected[unshuffle_index(j, m - stage, m)] = value
             return connected
         return routed
+
+    def _route_nested_overridden(
+        self, stage: int, nested: int, segment: List[Word]
+    ) -> List[Word]:
+        """One nested network with every control passed to the override.
+
+        Same walk as :meth:`~repro.core.bsn.BitSorterNetwork.route_words`,
+        but each splitter's decision is routed through
+        ``self._control_override`` before the switches apply it.
+        """
+        assert self._control_override is not None
+        m = self.m
+        block_exp = m - stage
+        block = 1 << block_exp
+        current = list(segment)
+        for j in range(block_exp):
+            width = 1 << (block_exp - j)
+            splitter = self._free_splitters[block_exp - j]
+            routed: List[Word] = [None] * block  # type: ignore[list-item]
+            for box in range(1 << j):
+                base = box * width
+                sub = current[base : base + width]
+                key_bits = [
+                    address_bit(word.address, stage, m) for word in sub
+                ]
+                controls = self._control_override(
+                    stage, nested, j, box, list(splitter.controls(key_bits))
+                )
+                routed[base : base + width] = apply_pair_controls(
+                    sub, controls
+                )
+            if j < block_exp - 1:
+                connected: List[Word] = [None] * block  # type: ignore[list-item]
+                for offset, value in enumerate(routed):
+                    connected[
+                        unshuffle_index(offset, block_exp - j, block_exp)
+                    ] = value
+                current = connected
+            else:
+                current = routed
+        return current
 
     def step(self) -> List[Tuple[Any, List[Word]]]:
         """Advance one clock; return batches that completed this cycle."""
@@ -156,6 +265,33 @@ class PipelinedBNBFabric:
         while any(stage is not None for stage in self._stages) or self._pending:
             completed.extend(self.step())
         return completed
+
+    def idle(self, cycles: int) -> None:
+        """Clock *cycles* bubbles through the fabric (used for backoff)."""
+        for _ in range(cycles):
+            self.step()
+
+    def route_batch(
+        self, words: Sequence[Word], tag: Any = None
+    ) -> List[Word]:
+        """Synchronously route one batch of words through an idle fabric.
+
+        Offers the batch, clocks until it emerges and returns its
+        outputs.  The fabric must be idle — the method is the
+        batch-at-a-time interface the fault-tolerance service drives;
+        interleaved streaming still goes through :meth:`offer` /
+        :meth:`step`.
+        """
+        if self.in_flight or self._pending is not None:
+            raise ValueError(
+                "route_batch needs an idle fabric; drain in-flight "
+                "batches first"
+            )
+        self.offer_words(words, tag=tag)
+        for completed_tag, outputs in self.drain():
+            if completed_tag is tag or completed_tag == tag:
+                return outputs
+        raise AssertionError("offered batch never completed")  # pragma: no cover
 
     # ------------------------------------------------------------------
     # Reporting

@@ -95,3 +95,45 @@ class SimulationError(ReproError):
 
 class FaultError(ReproError):
     """A fault-injection request referenced a non-existent element."""
+
+
+class FaultServiceError(ReproError):
+    """The resilient fabric service could not uphold its delivery contract.
+
+    Raised by :class:`repro.service.ResilientFabric` when the
+    detect/localize/quarantine/failover lifecycle runs out of options;
+    the three concrete subclasses name the exhausted resource.
+    """
+
+
+class QuarantineExhaustedError(FaultServiceError):
+    """A fault was detected but no healthy plane remains to fail over to."""
+
+    def __init__(self, detail: str = "") -> None:
+        message = "no healthy routing plane left to quarantine onto"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+class LocalizationAmbiguousError(FaultServiceError):
+    """The syndrome decoder could not narrow the fault to one switch."""
+
+    def __init__(self, candidates: object = None) -> None:
+        message = "fault localization did not converge to a unique switch"
+        if candidates is not None:
+            message += f"; surviving candidates: {candidates!r}"
+        super().__init__(message)
+        self.candidates = candidates
+
+
+class RetryBudgetExceededError(FaultServiceError):
+    """Bounded retry finished with words still undelivered."""
+
+    def __init__(self, pending: int, retries: int) -> None:
+        super().__init__(
+            f"{pending} word(s) still undelivered after {retries} "
+            f"retry pass(es) and no failover plane is available"
+        )
+        self.pending = pending
+        self.retries = retries

@@ -27,8 +27,30 @@ from .adaptive import (
     detect_and_reroute,
     recovery_experiment,
 )
+from .bist import (
+    BISTProbe,
+    BISTSchedule,
+    build_bist_schedule,
+    candidate_probe_stream,
+)
+from .localization import (
+    LocalizationResult,
+    ProbeObservation,
+    candidate_switches,
+    localize,
+    trace_switch_paths,
+)
 
 __all__ = [
+    "BISTProbe",
+    "BISTSchedule",
+    "build_bist_schedule",
+    "candidate_probe_stream",
+    "LocalizationResult",
+    "ProbeObservation",
+    "candidate_switches",
+    "localize",
+    "trace_switch_paths",
     "SwitchCoordinate",
     "enumerate_switch_coordinates",
     "extract_controls",

@@ -184,13 +184,26 @@ def detect_and_reroute(
 
 
 def recovery_experiment(
-    m: int, trials: int = 50, seed: int = 0, max_passes: int = 8
+    m: int,
+    trials: int = 50,
+    seed: int = 0,
+    max_passes: int = 8,
+    rng: Optional[random.Random] = None,
 ) -> Dict[str, float]:
-    """Recovery statistics over random faults and random permutations."""
+    """Recovery statistics over random faults and random permutations.
+
+    Determinism contract: permutations, fault sites and stuck values
+    all come from one ``random.Random`` stream.  Pass *rng* to thread a
+    shared seeded instance through several experiments (see
+    :func:`~repro.faults.detection.fault_coverage_experiment`); else a
+    private ``random.Random(seed)`` makes equal ``(m, trials, seed,
+    max_passes)`` reproduce identical statistics.
+    """
     from ..permutations.generators import random_permutation
     from .injector import enumerate_switch_coordinates
 
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     coordinates = enumerate_switch_coordinates(m)
     recovered = 0
     total_passes = 0

@@ -97,6 +97,7 @@ def fault_coverage_experiment(
     trials: int = 100,
     seed: int = 0,
     coordinate: Optional[SwitchCoordinate] = None,
+    rng: Optional[random.Random] = None,
 ) -> FaultCoverageReport:
     """Run single-stuck-at trials on a ``2**m``-input BNB network.
 
@@ -104,10 +105,20 @@ def fault_coverage_experiment(
     collect controls, sticks one switch (a fixed *coordinate* if given,
     else a random one per trial) at a random value, replays, and counts
     misrouted outputs.
+
+    Determinism contract: all randomness (permutations, fault sites,
+    stuck values) is drawn from a single ``random.Random`` stream.
+    Pass *rng* to share that stream across several experiments — e.g.
+    one seeded instance threaded through this and
+    :func:`~repro.faults.adaptive.recovery_experiment` makes the whole
+    multi-experiment run reproducible from one seed.  Without *rng*, a
+    private ``random.Random(seed)`` is used, so equal ``(m, trials,
+    seed, coordinate)`` always reproduce the same report.
     """
     if trials <= 0:
         raise ValueError(f"need a positive trial count, got {trials}")
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     network = BNBNetwork(m)
     coordinates = enumerate_switch_coordinates(m)
     results: List[FaultTrial] = []

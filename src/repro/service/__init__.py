@@ -1,0 +1,31 @@
+"""Online fault-tolerance service for the BNB fabric.
+
+Where :mod:`repro.faults` runs offline *experiments* (inject a known
+fault, measure the damage), this package runs the online *service*
+loop: verify every batch, retry misdelivered words with backoff,
+diagnose via BIST probes and syndrome decoding, quarantine the
+confirmed fault and fail over to a rearrangeable Benes spare plane.
+
+Entry point: :class:`ResilientFabric`.  Book-keeping types
+(:class:`HealthState`, :class:`FaultEvent`, :class:`ServiceCounters`,
+:class:`HealthMonitor`) live in :mod:`repro.service.registry`.
+"""
+
+from .fabric import BatchResult, ResilientFabric
+from .registry import (
+    FaultEvent,
+    FaultRegistry,
+    HealthMonitor,
+    HealthState,
+    ServiceCounters,
+)
+
+__all__ = [
+    "ResilientFabric",
+    "BatchResult",
+    "FaultEvent",
+    "FaultRegistry",
+    "HealthMonitor",
+    "HealthState",
+    "ServiceCounters",
+]

@@ -8,7 +8,7 @@ from .ascii_art import (
     render_routing_trace,
     render_multistage_routing,
 )
-from .reports import experiments_report
+from .reports import experiments_report, fault_tolerance_report
 from .dot import multistage_to_dot, arbiter_to_dot
 
 __all__ = [
@@ -21,4 +21,5 @@ __all__ = [
     "render_routing_trace",
     "render_multistage_routing",
     "experiments_report",
+    "fault_tolerance_report",
 ]

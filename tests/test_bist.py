@@ -1,0 +1,115 @@
+"""BIST probe schedules: coverage, determinism, detection guarantee."""
+
+import pytest
+
+from repro.core import BNBNetwork
+from repro.exceptions import FaultError
+from repro.faults import (
+    BISTSchedule,
+    build_bist_schedule,
+    candidate_probe_stream,
+    enumerate_switch_coordinates,
+)
+
+
+@pytest.fixture(scope="module", params=[2, 3])
+def schedule(request):
+    return build_bist_schedule(request.param)
+
+
+class TestCandidateStream:
+    def test_starts_with_identity_and_reversal(self):
+        stream = candidate_probe_stream(3)
+        assert next(stream) == list(range(8))
+        assert next(stream) == list(reversed(range(8)))
+
+    def test_deterministic(self):
+        a = candidate_probe_stream(3)
+        b = candidate_probe_stream(3)
+        for _ in range(10):
+            assert next(a) == next(b)
+
+    def test_yields_permutations(self):
+        stream = candidate_probe_stream(2)
+        for _ in range(10):
+            assert sorted(next(stream)) == list(range(4))
+
+
+class TestScheduleConstruction:
+    def test_probes_are_permutations(self, schedule):
+        for probe in schedule.probes:
+            assert sorted(probe.addresses) == list(range(schedule.n))
+
+    def test_deterministic_build(self, schedule):
+        again = build_bist_schedule(schedule.m)
+        assert [p.addresses for p in again.probes] == [
+            p.addresses for p in schedule.probes
+        ]
+
+    def test_probe_count_small(self, schedule):
+        """A handful of probes certifies all O(N log^2 N) switches —
+        far fewer than the 2 * switch_count faults they cover."""
+        faults = 2 * len(enumerate_switch_coordinates(schedule.m))
+        assert schedule.probe_count < faults // 2
+
+    def test_controls_match_healthy_route(self, schedule):
+        """Cached control tables agree with a fresh healthy route."""
+        from repro.core import Word
+        from repro.faults import extract_controls
+
+        probe = schedule.probes[0]
+        words = [
+            Word(address=a, payload=j) for j, a in enumerate(probe.addresses)
+        ]
+        _outputs, record = BNBNetwork(schedule.m).route(words, record=True)
+        assert extract_controls(record) == probe.controls
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(FaultError):
+            build_bist_schedule(0)
+
+    def test_exhaustion_raises(self):
+        """An impossible candidate budget fails loudly, not silently."""
+        with pytest.raises(FaultError, match="coverage incomplete"):
+            build_bist_schedule(3, max_candidates=1)
+
+
+class TestCoverage:
+    def test_both_values_of_every_switch(self, schedule):
+        assert schedule.uncovered() == []
+
+    def test_coverage_maps_every_hypothesis(self, schedule):
+        coverage = schedule.coverage()
+        coordinates = enumerate_switch_coordinates(schedule.m)
+        assert len(coverage) == 2 * len(coordinates)
+        assert all(hits for hits in coverage.values())
+
+    def test_skipping_detection_phase_still_covers(self):
+        schedule = build_bist_schedule(3, ensure_detection=False)
+        assert schedule.uncovered() == []
+
+
+class TestDetectionGuarantee:
+    def test_every_fault_detected(self, schedule):
+        """ensure_detection=True means every single stuck-at fault has
+        a probe with a visible adaptive syndrome."""
+        for coordinate in enumerate_switch_coordinates(schedule.m):
+            for value in (0, 1):
+                assert schedule.detects(coordinate, value) is not None
+
+    def test_healthy_fabric_runs_clean(self, schedule):
+        observations = schedule.run(
+            lambda words: BNBNetwork(schedule.m).route(words)[0]
+        )
+        assert all(observation.clean for observation in observations)
+
+    def test_run_checks_output_width(self, schedule):
+        with pytest.raises(FaultError, match="outputs"):
+            schedule.run(lambda words: words[:-1])
+
+
+def test_manual_schedule_reports_uncovered():
+    """A hand-built single-probe schedule knows what it misses."""
+    full = build_bist_schedule(2, ensure_detection=False)
+    thin = BISTSchedule(m=2, probes=full.probes[:1])
+    assert thin.uncovered()  # one probe cannot drive both values anywhere

@@ -47,6 +47,46 @@ class TestFigures:
         assert "function node" in out
 
 
+class TestFaults:
+    def test_healthy_service(self, capsys):
+        assert main(["faults", "8", "--batches", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "batch 0  : mode=clean" in out
+        assert "state     : healthy" in out
+
+    def test_injected_fault_fails_over(self, capsys):
+        assert main(
+            ["faults", "8", "--stuck", "0,0,1,1,1", "--stuck-value", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "injected : stuck-at-0" in out
+        assert "state     : quarantined" in out
+        assert "confirmed : (0,0,1,1,1)/stuck-0" in out
+        assert "quarantine" in out  # event log
+
+    def test_bad_coordinate_format_exits_2(self, capsys):
+        assert main(["faults", "8", "--stuck", "1,2,3"]) == 2
+        assert "five comma-separated" in capsys.readouterr().err
+
+    def test_non_integer_coordinate_exits_2(self, capsys):
+        assert main(["faults", "8", "--stuck", "a,b,c,d,e"]) == 2
+        assert "integers" in capsys.readouterr().err
+
+    def test_unknown_coordinate_exits_2(self, capsys):
+        assert main(["faults", "8", "--stuck", "9,9,9,9,9"]) == 2
+        assert "not a switch" in capsys.readouterr().err
+
+    def test_bad_size_exits_2(self, capsys):
+        assert main(["faults", "12"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_report(self, capsys):
+        assert main(["faults", "8", "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "Exhaustive single stuck-at sweep" in out
+        assert "48/48" in out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

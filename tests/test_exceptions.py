@@ -18,8 +18,20 @@ class TestHierarchy:
             exc.UnroutablePermutationError,
             exc.SimulationError,
             exc.FaultError,
+            exc.FaultServiceError,
+            exc.QuarantineExhaustedError,
+            exc.LocalizationAmbiguousError,
+            exc.RetryBudgetExceededError,
         ):
             assert issubclass(error_type, exc.ReproError)
+
+    def test_service_errors_share_a_base(self):
+        for error_type in (
+            exc.QuarantineExhaustedError,
+            exc.LocalizationAmbiguousError,
+            exc.RetryBudgetExceededError,
+        ):
+            assert issubclass(error_type, exc.FaultServiceError)
 
     def test_size_error_is_configuration(self):
         assert issubclass(exc.SizeError, exc.ConfigurationError)
@@ -56,6 +68,19 @@ class TestMessages:
     def test_path_conflict_without_contenders(self):
         error = exc.PathConflictError(stage=0, port=1)
         assert "between" not in str(error)
+
+    def test_quarantine_exhausted_detail(self):
+        assert "spare" in str(exc.QuarantineExhaustedError("no spare plane"))
+
+    def test_localization_ambiguous_keeps_candidates(self):
+        error = exc.LocalizationAmbiguousError([("c1", 0), ("c2", 0)])
+        assert error.candidates == [("c1", 0), ("c2", 0)]
+        assert "2" in str(error)
+
+    def test_retry_budget_payload(self):
+        error = exc.RetryBudgetExceededError(pending=3, retries=4)
+        assert error.pending == 3 and error.retries == 4
+        assert "3" in str(error) and "4" in str(error)
 
 
 class TestCatchability:
