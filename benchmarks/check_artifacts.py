@@ -1,0 +1,124 @@
+"""Schema-check the JSON benchmark artifacts under ``benchmarks/out/``.
+
+CI runs this after the benchmark smoke jobs: every ``.json`` artifact
+must parse, and the known artifact families must carry their required
+keys with sane values — so a benchmark refactor that silently changes
+an artifact's shape (and breaks downstream trend tracking) fails the
+build instead of landing.
+
+Usage::
+
+    python benchmarks/check_artifacts.py [out_dir]
+
+Exit code 0 when every artifact validates, 1 otherwise (missing
+directory, no artifacts, parse failure, or schema violation).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from typing import Any, Callable, Dict, List
+
+
+def _require(
+    condition: bool, artifact: str, detail: str, errors: List[str]
+) -> None:
+    if not condition:
+        errors.append(f"{artifact}: {detail}")
+
+
+def check_gateway_load(data: Dict[str, Any], name: str, errors: List[str]) -> None:
+    _require(isinstance(data.get("sweep"), list), name, "'sweep' must be a list", errors)
+    for row in data.get("sweep", []):
+        for key in (
+            "m",
+            "n",
+            "offered_load",
+            "steady_fill",
+            "words_delivered",
+            "words_accepted",
+            "words_rejected",
+            "sustained_words_per_sec",
+            "max_queue_depth",
+        ):
+            _require(key in row, name, f"sweep row missing {key!r}", errors)
+        if "steady_fill" in row:
+            _require(
+                0.0 <= row["steady_fill"] <= 1.0,
+                name,
+                f"fill {row['steady_fill']} outside [0, 1]",
+                errors,
+            )
+        if {"words_delivered", "words_accepted"} <= row.keys():
+            _require(
+                row["words_delivered"] == row["words_accepted"],
+                name,
+                "delivered != accepted (words were lost)",
+                errors,
+            )
+
+
+def check_gateway_plane_kill(
+    data: Dict[str, Any], name: str, errors: List[str]
+) -> None:
+    for key in ("admitted", "delivered", "delivery_ratio", "requeued_words"):
+        _require(key in data, name, f"missing {key!r}", errors)
+    _require(
+        data.get("delivery_ratio") == 1.0,
+        name,
+        f"delivery_ratio {data.get('delivery_ratio')!r} != 1.0",
+        errors,
+    )
+
+
+def check_probe_counts(data: Any, name: str, errors: List[str]) -> None:
+    _require(
+        isinstance(data, (list, dict)) and bool(data),
+        name,
+        "expected a non-empty JSON container",
+        errors,
+    )
+
+
+#: filename -> validator; anything else just has to parse.
+SCHEMAS: Dict[str, Callable[[Any, str, List[str]], None]] = {
+    "gateway_load.json": check_gateway_load,
+    "gateway_plane_kill.json": check_gateway_plane_kill,
+    "bist_probe_counts.json": check_probe_counts,
+}
+
+
+def main(argv: List[str]) -> int:
+    out_dir = pathlib.Path(
+        argv[1] if len(argv) > 1 else pathlib.Path(__file__).parent / "out"
+    )
+    if not out_dir.is_dir():
+        print(f"error: artifact directory {out_dir} does not exist")
+        return 1
+    artifacts = sorted(out_dir.glob("*.json"))
+    if not artifacts:
+        print(f"error: no JSON artifacts under {out_dir}")
+        return 1
+    errors: List[str] = []
+    for path in artifacts:
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            errors.append(f"{path.name}: unreadable ({error})")
+            continue
+        validator = SCHEMAS.get(path.name)
+        if validator is not None:
+            validator(data, path.name, errors)
+    if errors:
+        print(f"{len(errors)} artifact problem(s):")
+        for problem in errors:
+            print(f"  - {problem}")
+        return 1
+    print(f"{len(artifacts)} JSON artifact(s) validated under {out_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

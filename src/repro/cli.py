@@ -8,17 +8,21 @@ Commands
 ``figures``  print the ASCII renderings of Figs. 1-5
 ``report``   print the full paper-vs-measured experiments report
 ``faults``   BIST schedule, fault localization and the resilient service
+``serve``    host the async traffic gateway (TCP JSON-lines, or --demo)
 
 Every command writes plain text to stdout and exits non-zero on
-failure, so the CLI is scriptable.  Library failures
+failure, so the CLI is scriptable; ``route``/``verify``/``serve`` take
+``--json`` for machine-readable output.  Library failures
 (:class:`~repro.exceptions.ReproError`) exit with code 2 and a
-one-line ``error:`` message on stderr — never a traceback; anything
-else escaping is a genuine bug and is allowed to crash loudly.
+one-line ``error:`` message on stderr — never a traceback; Ctrl-C
+exits 130 cleanly; anything else escaping is a genuine bug and is
+allowed to crash loudly.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -44,6 +48,9 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument(
         "--network", choices=sorted(ROUTERS), default="bnb"
     )
+    route.add_argument(
+        "--json", action="store_true", help="emit a JSON object, not prose"
+    )
 
     verify = sub.add_parser("verify", help="verify permutation delivery")
     verify.add_argument("n", type=int)
@@ -53,6 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("--samples", type=int, default=200)
     verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument(
+        "--json", action="store_true", help="emit a JSON object, not prose"
+    )
 
     tables = sub.add_parser("tables", help="print Tables 1 and 2")
     tables.add_argument("n", type=int)
@@ -85,6 +95,39 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the fault-tolerance markdown report instead",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="host the async traffic gateway over the pipelined fabric",
+    )
+    serve.add_argument("n", type=int, help="network size (power of two)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="0 picks a free port"
+    )
+    serve.add_argument(
+        "--planes", type=int, default=1, help="fabric planes in the pool"
+    )
+    serve.add_argument(
+        "--capacity", type=int, default=32, help="per-destination queue bound"
+    )
+    serve.add_argument(
+        "--resilient",
+        action="store_true",
+        help="wrap each plane in the fault-tolerant ResilientFabric",
+    )
+    serve.add_argument(
+        "--demo",
+        type=int,
+        metavar="WORDS",
+        default=None,
+        help="skip the socket: serve WORDS synthetic words in-process, "
+        "print the stats and exit",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--json", action="store_true", help="emit stats as JSON (with --demo)"
+    )
     return parser
 
 
@@ -94,11 +137,25 @@ def _command_route(args: argparse.Namespace) -> int:
     m = args.n.bit_length() - 1
     route = ROUTERS[args.network](m)
     outputs = route(pi.to_list())
-    print(f"network : {args.network} (N={args.n})")
-    print(f"request : {pi.to_list()}")
-    print(f"arrived : {[word.address for word in outputs]}")
     delivered = all(word.address == line for line, word in enumerate(outputs))
-    print(f"delivered: {delivered}")
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "network": args.network,
+                    "n": args.n,
+                    "seed": args.seed,
+                    "request": pi.to_list(),
+                    "arrived": [word.address for word in outputs],
+                    "delivered": delivered,
+                }
+            )
+        )
+    else:
+        print(f"network : {args.network} (N={args.n})")
+        print(f"request : {pi.to_list()}")
+        print(f"arrived : {[word.address for word in outputs]}")
+        print(f"delivered: {delivered}")
     return 0 if delivered else 1
 
 
@@ -106,7 +163,24 @@ def _command_verify(args: argparse.Namespace) -> int:
     report = verify_router(
         args.network, args.n, mode=args.mode, samples=args.samples, seed=args.seed
     )
-    print(report.summary())
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "router": report.router,
+                    "n": report.n,
+                    "mode": report.mode,
+                    "attempted": report.attempted,
+                    "delivered": report.delivered,
+                    "all_delivered": report.all_delivered,
+                    "failures": [
+                        failure.to_list() for failure in report.failures
+                    ],
+                }
+            )
+        )
+    else:
+        print(report.summary())
     return 0 if report.all_delivered else 1
 
 
@@ -212,6 +286,81 @@ def _command_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import random
+
+    require_power_of_two(args.n, "network size")
+    m = args.n.bit_length() - 1
+
+    from .server import AsyncGateway, GatewayConfig, GatewayServer
+
+    config = GatewayConfig(
+        m=m,
+        planes=args.planes,
+        queue_capacity=args.capacity,
+        resilient=args.resilient,
+    )
+
+    async def _demo(words: int) -> dict:
+        rng = random.Random(args.seed)
+        async with AsyncGateway(config) as gateway:
+            receipts = await asyncio.gather(
+                *(
+                    gateway.send_with_retry(
+                        rng.randrange(args.n), payload=index
+                    )
+                    for index in range(words)
+                )
+            )
+            assert all(
+                receipt.payload == index
+                for index, receipt in enumerate(receipts)
+            )
+            return gateway.stats()
+
+    async def _serve() -> None:
+        async with AsyncGateway(config) as gateway:
+            async with GatewayServer(
+                gateway, host=args.host, port=args.port
+            ) as server:
+                print(
+                    f"serving N={args.n} on {args.host}:{server.port} "
+                    f"({args.planes} plane(s), capacity {args.capacity}"
+                    f"{', resilient' if args.resilient else ''}) — Ctrl-C stops"
+                )
+                sys.stdout.flush()
+                await server.serve_forever()
+
+    if args.demo is not None:
+        stats = asyncio.run(_demo(args.demo))
+        if args.json:
+            print(json.dumps(stats, indent=2))
+        else:
+            queues = stats["queues"]
+            latency = stats["latency_cycles"]
+            print(f"gateway  : N={stats['n']} planes={len(stats['planes'])}")
+            print(
+                f"traffic  : {queues['offered']} offered, "
+                f"{queues['accepted']} accepted, {queues['rejected']} rejected"
+            )
+            print(
+                f"frames   : {stats['delivered_frames']} delivered, "
+                f"mean fill {stats['scheduler']['mean_fill']:.3f}"
+            )
+            print(
+                f"latency  : p50={latency['p50']} p99={latency['p99']} "
+                f"cycles (over {latency['samples']} words)"
+            )
+        return 0
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\ninterrupted — gateway drained and closed", file=sys.stderr)
+        return 130
+    return 0
+
+
 _HANDLERS = {
     "route": _command_route,
     "verify": _command_verify,
@@ -219,6 +368,7 @@ _HANDLERS = {
     "figures": _command_figures,
     "report": _command_report,
     "faults": _command_faults,
+    "serve": _command_serve,
 }
 
 
@@ -228,6 +378,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _HANDLERS[args.command](args)
+    except KeyboardInterrupt:
+        # POSIX convention: 128 + SIGINT.  A clean line, never a traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
     except ReproError as error:  # one-line message, never a traceback
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -109,7 +109,10 @@ class PipelinedBNBFabric:
     """
 
     def __init__(
-        self, m: int, control_override: Optional[ControlOverride] = None
+        self,
+        m: int,
+        control_override: Optional[ControlOverride] = None,
+        retain_delivered: bool = True,
     ) -> None:
         if m < 1:
             raise ValueError(f"the fabric needs m >= 1, got {m}")
@@ -132,8 +135,15 @@ class PipelinedBNBFabric:
         self._pending: Optional[PipelineBatch] = None
         self.cycle = 0
         self.accepted = 0
+        # A long-running server can clock millions of frames; with
+        # retain_delivered off the fabric keeps counters (and a bounded
+        # latency window for stats) instead of the full history.
+        self.retain_delivered = retain_delivered
         self.delivered_batches: List[Tuple[Any, List[Word]]] = []
+        self.delivered_count = 0
         self._latencies: List[int] = []
+        self._latency_window = 4096
+        self._delivery_hooks: List[Callable[[Any, List[Word]], None]] = []
 
     # ------------------------------------------------------------------
     # Feeding
@@ -163,6 +173,32 @@ class PipelinedBNBFabric:
         self._pending = PipelineBatch(
             tag=tag, words=list(words), entered_cycle=self.cycle
         )
+
+    @property
+    def can_accept(self) -> bool:
+        """Whether :meth:`offer` would succeed this cycle (no batch waiting)."""
+        return self._pending is None
+
+    def try_offer_words(self, words: Sequence[Word], tag: Any = None) -> bool:
+        """Non-blocking :meth:`offer_words`: ``False`` when a batch already
+        waits, instead of raising.  Address validation still raises — a
+        malformed batch is a caller bug, not backpressure."""
+        if self._pending is not None:
+            return False
+        self.offer_words(words, tag=tag)
+        return True
+
+    def add_delivery_hook(
+        self, hook: Callable[[Any, List[Word]], None]
+    ) -> None:
+        """Register ``hook(tag, outputs)`` to fire as each batch drains.
+
+        Hooks run inside :meth:`step`, synchronously and in registration
+        order — the non-blocking alternative to polling the return value
+        of every :meth:`step` call (an asyncio server parks completions
+        into futures from here without clocking-loop bookkeeping).
+        """
+        self._delivery_hooks.append(hook)
 
     # ------------------------------------------------------------------
     # Clocking
@@ -243,8 +279,17 @@ class PipelinedBNBFabric:
         if leaving is not None:
             outputs = self._route_stage(self.m - 1, leaving.words)
             completed.append((leaving.tag, outputs))
-            self.delivered_batches.append((leaving.tag, outputs))
+            self.delivered_count += 1
+            if self.retain_delivered:
+                self.delivered_batches.append((leaving.tag, outputs))
             self._latencies.append(self.cycle + 1 - leaving.entered_cycle)
+            if (
+                not self.retain_delivered
+                and len(self._latencies) > self._latency_window
+            ):
+                del self._latencies[: -self._latency_window]
+            for hook in self._delivery_hooks:
+                hook(leaving.tag, outputs)
         # Everything else shifts forward through its stage's logic.
         for stage in range(self.m - 2, -1, -1):
             batch = self._stages[stage]
@@ -304,7 +349,7 @@ class PipelinedBNBFabric:
         return PipelineStats(
             cycles=self.cycle,
             accepted=self.accepted,
-            delivered=len(self.delivered_batches),
+            delivered=self.delivered_count,
             latencies=list(self._latencies),
         )
 

@@ -31,6 +31,8 @@ from .words import Word
 
 __all__ = [
     "complete_partial_permutation",
+    "coalesce_frame",
+    "FramePlan",
     "route_partial",
     "PartialRoutingResult",
     "MultipassRouter",
@@ -67,6 +69,52 @@ def complete_partial_permutation(
         dest if dest is not None else next(unused) for dest in destinations
     ]
     return full, real
+
+
+@dataclasses.dataclass
+class FramePlan:
+    """A conflict-free frame ready to enter the fabric.
+
+    ``addresses`` is a full permutation (idle-filled); ``line_of[dest]``
+    is the input line carrying the word for *dest* (only genuine
+    requests appear); ``fill`` is the fraction of lines carrying real
+    traffic — the frame fill ratio the serving layer reports.
+    """
+
+    addresses: List[int]
+    line_of: Dict[int, int]
+
+    @property
+    def active(self) -> int:
+        return len(self.line_of)
+
+    @property
+    def fill(self) -> float:
+        return self.active / len(self.addresses) if self.addresses else 0.0
+
+
+def coalesce_frame(head_destinations: Sequence[int], n: int) -> FramePlan:
+    """Coalesce one head-of-line word per destination into a frame.
+
+    This is the online scheduling step of decomposing arbitrary traffic
+    into permutation rounds (POPS / routing-via-matchings): the caller
+    picks at most one waiting word per distinct destination, and this
+    function places them on consecutive input lines and idle-fills the
+    rest so the balanced-bit precondition of every splitter holds.
+    Duplicate or out-of-range destinations raise
+    :class:`~repro.exceptions.InputError` — the caller's per-output
+    queues should make duplicates impossible.
+    """
+    if len(head_destinations) > n:
+        raise InputError(
+            f"{len(head_destinations)} requests cannot fit an N={n} frame"
+        )
+    partial: List[Optional[int]] = list(head_destinations) + [None] * (
+        n - len(head_destinations)
+    )
+    full, real = complete_partial_permutation(partial)
+    line_of = {full[j]: j for j in range(n) if real[j]}
+    return FramePlan(addresses=full, line_of=line_of)
 
 
 @dataclasses.dataclass

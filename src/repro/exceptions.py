@@ -137,3 +137,69 @@ class RetryBudgetExceededError(FaultServiceError):
         )
         self.pending = pending
         self.retries = retries
+
+
+class ServerError(ReproError):
+    """The async traffic gateway could not serve a request.
+
+    Raised by :mod:`repro.server`; the concrete subclasses distinguish
+    transient conditions the client should retry
+    (:class:`AdmissionRejectedError`) from terminal ones
+    (:class:`GatewayClosedError`, :class:`PlaneUnavailableError`,
+    :class:`MisdeliveryError`).
+    """
+
+
+class AdmissionRejectedError(ServerError):
+    """Backpressure: the destination's virtual output queue is full.
+
+    The request was *not* enqueued; the client owns the retry.
+    ``retry_after_cycles`` is the gateway's estimate of how many fabric
+    cycles must elapse before the queue can drain one slot — a
+    ``Retry-After`` hint in fabric time, not a reservation.
+    """
+
+    def __init__(self, destination: int, depth: int, retry_after_cycles: int) -> None:
+        super().__init__(
+            f"destination {destination} queue full ({depth} words); "
+            f"retry after ~{retry_after_cycles} fabric cycle(s)"
+        )
+        self.destination = destination
+        self.depth = depth
+        self.retry_after_cycles = retry_after_cycles
+
+
+class GatewayClosedError(ServerError):
+    """A request arrived at (or was stranded in) a gateway that shut down."""
+
+    def __init__(self, detail: str = "") -> None:
+        message = "the gateway is not accepting traffic"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+class PlaneUnavailableError(ServerError):
+    """No healthy fabric plane remains to carry a frame."""
+
+    def __init__(self, planes: int = 0) -> None:
+        super().__init__(
+            f"no healthy fabric plane available (pool size {planes})"
+        )
+        self.planes = planes
+
+
+class MisdeliveryError(ServerError):
+    """A frame emerged from a plane with a word on the wrong line.
+
+    For a healthy BNB plane this is Theorem-2-impossible, so seeing it
+    means either a physical fault on an unprotected plane or a bug; the
+    gateway quarantines the plane and requeues the frame either way.
+    """
+
+    def __init__(self, plane: object, detail: str = "") -> None:
+        message = f"plane {plane!r} misdelivered a frame"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.plane = plane

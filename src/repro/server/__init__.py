@@ -1,0 +1,46 @@
+"""Async traffic gateway: serving live traffic over the BNB fabric.
+
+Where :mod:`repro.core.traffic` answers "how does messy traffic map
+onto the permutation contract" for one offline batch, this package
+keeps answering it forever, online, for concurrent clients:
+
+* :mod:`repro.server.voq` — per-destination **virtual output queues**
+  with bounded-depth admission control (reject-with-retry-after, never
+  unbounded buffering);
+* :mod:`repro.server.scheduler` — the **frame scheduler** that each
+  cycle coalesces queued words into a conflict-free full permutation
+  (one head-of-line word per destination, idle-filled via
+  :func:`~repro.core.traffic.complete_partial_permutation`);
+* :mod:`repro.server.planes` — **fabric planes**: pipelined BNB planes
+  for back-to-back throughput, or
+  :class:`~repro.service.ResilientFabric`-wrapped planes that survive
+  physical faults; a faulty plane drains, its words requeue, and the
+  pool serves on;
+* :mod:`repro.server.gateway` — the **asyncio dataplane** tying them
+  together: ``await gateway.send(dest, payload)`` returns a delivery
+  receipt; a clock task schedules frames onto the least-loaded plane;
+* :mod:`repro.server.protocol` — the **JSON-lines TCP** wire protocol
+  (``repro serve`` hosts it).
+
+See ``docs/serving.md`` for the architecture and the backpressure
+contract.
+"""
+
+from .gateway import AsyncGateway, GatewayConfig, Receipt
+from .planes import PipelinedPlane, ResilientPlane
+from .protocol import GatewayServer
+from .scheduler import FrameScheduler, ScheduledFrame
+from .voq import QueueEntry, VirtualOutputQueues
+
+__all__ = [
+    "AsyncGateway",
+    "GatewayConfig",
+    "GatewayServer",
+    "FrameScheduler",
+    "PipelinedPlane",
+    "QueueEntry",
+    "Receipt",
+    "ResilientPlane",
+    "ScheduledFrame",
+    "VirtualOutputQueues",
+]

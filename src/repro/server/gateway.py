@@ -1,0 +1,363 @@
+"""The asyncio dataplane: concurrent clients -> VOQs -> frames -> planes.
+
+:class:`AsyncGateway` owns the whole serving path.  Clients call
+``await gateway.send(dest, payload)`` (or speak the JSON-lines TCP
+protocol in :mod:`repro.server.protocol`, which lands here); admitted
+words wait in the virtual output queues; a single clock task runs the
+gateway *cycle*: coalesce frames, dispatch them to the least-loaded
+ready plane, step every plane, resolve the futures of delivered words.
+
+Because all fabric work is pure CPU and all shared state is touched
+only between awaits, the gateway needs no locks — the event loop is the
+serialization point.  Backpressure is the admission bound: a full VOQ
+rejects with a retry-after hint rather than buffering without limit, so
+overload costs clients latency, never the server memory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional
+
+from ..exceptions import (
+    AdmissionRejectedError,
+    GatewayClosedError,
+    InputError,
+    PlaneUnavailableError,
+)
+from .planes import CompletedFrame, PipelinedPlane, ResilientPlane
+from .scheduler import FrameScheduler
+from .voq import QueueEntry, VirtualOutputQueues
+
+__all__ = ["AsyncGateway", "GatewayConfig", "Receipt"]
+
+#: Builds plane *i* for a gateway of address width *m*.
+PlaneFactory = Callable[[int, int], Any]
+
+
+@dataclasses.dataclass
+class GatewayConfig:
+    """Knobs for a gateway deployment."""
+
+    m: int
+    planes: int = 1
+    queue_capacity: int = 32
+    resilient: bool = False
+    #: Bound on latency samples kept for the percentile estimate.
+    latency_window: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.m < 1:
+            raise ValueError(f"the gateway needs m >= 1, got {self.m}")
+        if self.planes < 1:
+            raise ValueError(f"need at least one plane, got {self.planes}")
+        if self.queue_capacity < 1:
+            raise ValueError(
+                f"queue capacity must be >= 1, got {self.queue_capacity}"
+            )
+
+    @property
+    def n(self) -> int:
+        return 1 << self.m
+
+
+@dataclasses.dataclass
+class Receipt:
+    """Proof of delivery handed back to the sender."""
+
+    destination: int
+    payload: Any
+    plane_id: int
+    frame_tag: int
+    enqueued_cycle: int
+    delivered_cycle: int
+    mode: str
+    requeues: int
+
+    @property
+    def latency_cycles(self) -> int:
+        return self.delivered_cycle - self.enqueued_cycle
+
+
+class AsyncGateway:
+    """Online serving of word-send requests over a pool of BNB planes."""
+
+    def __init__(
+        self,
+        config: GatewayConfig,
+        plane_factory: Optional[PlaneFactory] = None,
+    ) -> None:
+        self.config = config
+        self.n = config.n
+        self.voqs = VirtualOutputQueues(self.n, config.queue_capacity)
+        self.scheduler = FrameScheduler(self.n)
+        if plane_factory is None:
+            if config.resilient:
+                plane_factory = lambda i, m: ResilientPlane(i, m)
+            else:
+                plane_factory = lambda i, m: PipelinedPlane(i, m)
+        self.planes = [
+            plane_factory(i, config.m) for i in range(config.planes)
+        ]
+        self.cycle = 0
+        self.delivered_words = 0
+        self.delivered_frames = 0
+        self._latencies: List[int] = []
+        self._mode_counts: Dict[str, int] = {}
+        self._accepting = False
+        self._clock_task: Optional[asyncio.Task] = None
+        self._work = asyncio.Event()
+        self._cycle_waiters: List[Any] = []  # (target_cycle, future) pairs
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "AsyncGateway":
+        if self._clock_task is not None:
+            raise GatewayClosedError("gateway already started")
+        self._accepting = True
+        self._clock_task = asyncio.get_running_loop().create_task(
+            self._run_clock()
+        )
+        return self
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting; optionally serve out the backlog first."""
+        self._accepting = False
+        if drain and self._clock_task is not None:
+            while self.voqs.total or self._frames_in_flight():
+                self._work.set()
+                await asyncio.sleep(0)
+                if not any(plane.healthy for plane in self.planes):
+                    break
+        task, self._clock_task = self._clock_task, None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        for entry in self.voqs.drain_all():
+            if entry.future is not None and not entry.future.done():
+                entry.future.set_exception(
+                    GatewayClosedError("shut down with words still queued")
+                )
+        for target, future in self._cycle_waiters:
+            if not future.done():
+                future.set_result(self.cycle)
+        self._cycle_waiters.clear()
+
+    async def __aenter__(self) -> "AsyncGateway":
+        return await self.start()
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    async def send(self, destination: int, payload: Any = None) -> Receipt:
+        """Admit one word and await its delivery receipt.
+
+        Raises :class:`AdmissionRejectedError` (with a retry-after hint
+        in cycles) under backpressure, :class:`InputError` for a bad
+        destination, :class:`GatewayClosedError` when not serving.
+        """
+        if not self._accepting:
+            raise GatewayClosedError()
+        if not 0 <= destination < self.n:
+            raise InputError(
+                f"destination {destination} out of range for N={self.n}"
+            )
+        if not any(plane.healthy for plane in self.planes):
+            raise PlaneUnavailableError(len(self.planes))
+        entry = QueueEntry(
+            destination=destination,
+            payload=payload,
+            enqueued_cycle=self.cycle,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        self.voqs.admit(entry)  # raises AdmissionRejectedError when full
+        self._work.set()
+        return await entry.future
+
+    async def send_with_retry(
+        self,
+        destination: int,
+        payload: Any = None,
+        attempts: int = 16,
+    ) -> Receipt:
+        """Like :meth:`send`, but honour backpressure by waiting it out.
+
+        Each rejection waits the advertised ``retry_after_cycles`` (at
+        least one) before retrying; after *attempts* rejections the last
+        :class:`AdmissionRejectedError` propagates.
+        """
+        for attempt in range(attempts):
+            try:
+                return await self.send(destination, payload)
+            except AdmissionRejectedError as error:
+                if attempt == attempts - 1:
+                    raise
+                await self.wait_cycles(max(1, error.retry_after_cycles))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def wait_cycles(self, cycles: int) -> int:
+        """Await *cycles* gateway cycles; returns the cycle reached.
+
+        The clock keeps ticking while waiters exist, so this never
+        deadlocks even when the queues are empty.
+        """
+        future = asyncio.get_running_loop().create_future()
+        self._cycle_waiters.append((self.cycle + max(1, cycles), future))
+        self._work.set()
+        return await future
+
+    def kill_plane(self, plane_id: int, reason: str = "operator kill") -> int:
+        """Fail one plane; its in-flight words requeue.  Returns how many."""
+        plane = self.planes[plane_id]
+        stranded = plane.kill(reason=reason)
+        self.voqs.requeue_front(stranded)
+        self._work.set()
+        return len(stranded)
+
+    # ------------------------------------------------------------------
+    # The clock
+    # ------------------------------------------------------------------
+    def _frames_in_flight(self) -> int:
+        return sum(
+            plane.load for plane in self.planes if plane.healthy
+        )
+
+    def _has_work(self) -> bool:
+        return bool(
+            self.voqs.total or self._frames_in_flight() or self._cycle_waiters
+        )
+
+    async def _run_clock(self) -> None:
+        try:
+            while True:
+                if not self._has_work():
+                    self._work.clear()
+                    await self._work.wait()
+                    continue
+                self.tick()
+                # Yield so client coroutines run between cycles.
+                await asyncio.sleep(0)
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 — clock must not die silently
+            # A clock crash would strand every awaiting client; fail them
+            # loudly instead and refuse further traffic.
+            self._accepting = False
+            failure = GatewayClosedError(f"clock task crashed: {error!r}")
+            for entry in self.voqs.drain_all():
+                if entry.future is not None and not entry.future.done():
+                    entry.future.set_exception(failure)
+            for plane in self.planes:
+                for stranded in plane.kill(reason="clock crash"):
+                    if (
+                        stranded.future is not None
+                        and not stranded.future.done()
+                    ):
+                        stranded.future.set_exception(failure)
+            for _target, future in self._cycle_waiters:
+                if not future.done():
+                    future.set_exception(failure)
+            self._cycle_waiters.clear()
+            raise
+
+    def tick(self) -> None:
+        """One synchronous gateway cycle (the benchmark harness calls it
+        directly; the clock task calls it between awaits)."""
+        self.cycle += 1
+        healthy = [plane for plane in self.planes if plane.healthy]
+        # Dispatch: least-loaded ready planes first, while backlog remains.
+        ready = sorted(
+            (plane for plane in healthy if plane.ready),
+            key=lambda plane: plane.load,
+        )
+        for plane in ready:
+            if not self.voqs.total:
+                break
+            frame = self.scheduler.next_frame(self.voqs, self.cycle)
+            if frame is None:
+                break
+            plane.offer(frame)
+        # Clock every healthy plane; collect deliveries and casualties.
+        for plane in healthy:
+            completed, requeue = plane.step()
+            for completion in completed:
+                self._resolve(completion)
+            if requeue:
+                self.voqs.requeue_front(requeue)
+        # Release cycle waiters that reached their target.
+        if self._cycle_waiters:
+            still_waiting = []
+            for target, future in self._cycle_waiters:
+                if self.cycle >= target:
+                    if not future.done():
+                        future.set_result(self.cycle)
+                else:
+                    still_waiting.append((target, future))
+            self._cycle_waiters = still_waiting
+
+    def _resolve(self, completion: CompletedFrame) -> None:
+        frame = completion.frame
+        self.delivered_frames += 1
+        self._mode_counts[completion.mode] = (
+            self._mode_counts.get(completion.mode, 0) + 1
+        )
+        for destination, entry in frame.entries.items():
+            self.delivered_words += 1
+            latency = self.cycle - entry.enqueued_cycle
+            self._latencies.append(latency)
+            if entry.future is not None and not entry.future.done():
+                entry.future.set_result(
+                    Receipt(
+                        destination=destination,
+                        payload=entry.payload,
+                        plane_id=completion.plane_id,
+                        frame_tag=frame.tag,
+                        enqueued_cycle=entry.enqueued_cycle,
+                        delivered_cycle=self.cycle,
+                        mode=completion.mode,
+                        requeues=entry.requeues,
+                    )
+                )
+        window = self.config.latency_window
+        if len(self._latencies) > 2 * window:
+            del self._latencies[:-window]
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _percentile(samples: List[int], q: float) -> Optional[int]:
+        if not samples:
+            return None
+        ordered = sorted(samples)
+        index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+        return ordered[index]
+
+    def stats(self) -> Dict[str, Any]:
+        """One JSON-safe snapshot of every component's counters."""
+        latencies = self._latencies
+        return {
+            "cycle": self.cycle,
+            "n": self.n,
+            "accepting": self._accepting,
+            "delivered_words": self.delivered_words,
+            "delivered_frames": self.delivered_frames,
+            "delivery_modes": dict(self._mode_counts),
+            "queues": self.voqs.snapshot(),
+            "scheduler": self.scheduler.snapshot(),
+            "latency_cycles": {
+                "samples": len(latencies),
+                "p50": self._percentile(latencies, 0.50),
+                "p99": self._percentile(latencies, 0.99),
+                "max": max(latencies) if latencies else None,
+            },
+            "planes": [plane.describe() for plane in self.planes],
+        }

@@ -1,0 +1,246 @@
+"""Fabric planes: the switching capacity behind the gateway.
+
+A *plane* is one independent copy of the fabric plus the book-keeping
+to track which frames are inside it.  Two kinds:
+
+* :class:`PipelinedPlane` — a raw
+  :class:`~repro.core.pipeline.PipelinedBNBFabric` clocked frame-per-
+  cycle, ``m`` frames in flight back-to-back.  Deliveries are verified
+  at the plane boundary; a misdelivery (physical fault on an
+  unprotected plane) fails the plane, and its words requeue.
+* :class:`ResilientPlane` — a
+  :class:`~repro.service.ResilientFabric` whose submit path already
+  verifies, retries, BIST-diagnoses and fails over to a Benes spare, so
+  a stuck switch degrades the plane instead of failing it.  One frame
+  per step (the resilient submit drains its pipeline), so use it for
+  fault tolerance, not peak throughput.
+
+Both expose the same interface the gateway's clock loop drives:
+``ready`` / ``offer`` / ``step`` / ``kill`` / ``load``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.pipeline import ControlOverride, PipelinedBNBFabric
+from ..core.words import Word
+from ..exceptions import FaultServiceError, MisdeliveryError
+from ..service.fabric import ResilientFabric
+from .scheduler import ScheduledFrame
+from .voq import QueueEntry
+
+__all__ = ["CompletedFrame", "PipelinedPlane", "ResilientPlane"]
+
+
+@dataclasses.dataclass
+class CompletedFrame:
+    """A frame that left a plane with every word on its addressed line."""
+
+    frame: ScheduledFrame
+    outputs: List[Optional[Word]]
+    plane_id: int
+    mode: str  # "clean" | "degraded" | "failover"
+
+
+class _PlaneBase:
+    """Shared identity, health and accounting for both plane kinds."""
+
+    def __init__(self, plane_id: int) -> None:
+        self.plane_id = plane_id
+        self.healthy = True
+        self.frames_delivered = 0
+        self.words_delivered = 0
+        self.failure: Optional[str] = None
+        self._in_flight: Dict[int, ScheduledFrame] = {}
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._in_flight)
+
+    def kill(self, reason: str = "killed") -> List[QueueEntry]:
+        """Take the plane out of service; return stranded queue entries.
+
+        Idempotent: a second kill returns nothing.  The caller (the
+        gateway) requeues the entries so in-flight words survive the
+        plane's death.
+        """
+        if not self.healthy:
+            return []
+        self.healthy = False
+        self.failure = reason
+        stranded = [
+            entry
+            for frame in self._in_flight.values()
+            for entry in frame.entries.values()
+        ]
+        self._in_flight.clear()
+        return stranded
+
+    def _verify(
+        self, frame: ScheduledFrame, outputs: List[Optional[Word]]
+    ) -> None:
+        """Every entry's word must sit on its addressed line, payload intact."""
+        for destination, entry in frame.entries.items():
+            word = outputs[destination]
+            if word is None or word.payload is not entry:
+                raise MisdeliveryError(
+                    self.plane_id,
+                    f"frame {frame.tag}: output {destination} carries "
+                    f"{word!r}, expected the word for {entry.destination}",
+                )
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "id": self.plane_id,
+            "kind": type(self).__name__,
+            "healthy": self.healthy,
+            "failure": self.failure,
+            "in_flight": self.in_flight,
+            "frames_delivered": self.frames_delivered,
+            "words_delivered": self.words_delivered,
+        }
+
+
+class PipelinedPlane(_PlaneBase):
+    """A raw pipelined BNB plane: one frame enters per cycle, ``m`` in flight."""
+
+    def __init__(
+        self,
+        plane_id: int,
+        m: int,
+        control_override: Optional[ControlOverride] = None,
+    ) -> None:
+        super().__init__(plane_id)
+        self.m = m
+        self.fabric = PipelinedBNBFabric(
+            m, control_override=control_override, retain_delivered=False
+        )
+        self._delivered_now: List[Tuple[Any, List[Word]]] = []
+        self.fabric.add_delivery_hook(
+            lambda tag, outputs: self._delivered_now.append((tag, outputs))
+        )
+
+    @property
+    def ready(self) -> bool:
+        return self.healthy and self.fabric.can_accept
+
+    @property
+    def load(self) -> int:
+        return self.in_flight + (0 if self.fabric.can_accept else 1)
+
+    def offer(self, frame: ScheduledFrame) -> None:
+        if not self.ready:
+            raise ValueError(f"plane {self.plane_id} cannot accept a frame now")
+        self.fabric.offer_words(frame.words, tag=frame.tag)
+        self._in_flight[frame.tag] = frame
+
+    def step(self) -> Tuple[List[CompletedFrame], List[QueueEntry]]:
+        """One clock: returns (verified completions, entries to requeue).
+
+        A verification failure — only possible with a physical fault
+        injected into this unprotected plane — fails the whole plane:
+        the bad frame's words and everything else in flight requeue,
+        and ``healthy`` drops so the pool stops scheduling onto it.
+        """
+        if not self.healthy or (
+            self.fabric.in_flight == 0 and self.fabric.can_accept
+        ):
+            return [], []
+        self._delivered_now = []
+        self.fabric.step()
+        completed: List[CompletedFrame] = []
+        for tag, outputs in self._delivered_now:
+            frame = self._in_flight.pop(tag)
+            try:
+                self._verify(frame, outputs)
+            except MisdeliveryError as error:
+                requeue = list(frame.entries.values())
+                requeue.extend(self.kill(reason=str(error)))
+                return completed, requeue
+            self.frames_delivered += 1
+            self.words_delivered += frame.active
+            completed.append(
+                CompletedFrame(
+                    frame=frame,
+                    outputs=outputs,
+                    plane_id=self.plane_id,
+                    mode="clean",
+                )
+            )
+        return completed, []
+
+
+class ResilientPlane(_PlaneBase):
+    """A :class:`ResilientFabric`-protected plane: slower, self-healing.
+
+    ``step`` runs the full verified submit for one queued frame, so a
+    frame occupies the plane for several internal fabric cycles; the
+    gateway sees at most one completion per step.  Faults degrade the
+    plane (retries, Benes failover) rather than killing it; only an
+    exhausted fault service (:class:`FaultServiceError`) fails it.
+    """
+
+    def __init__(
+        self,
+        plane_id: int,
+        m: int,
+        fabric: Optional[ResilientFabric] = None,
+    ) -> None:
+        super().__init__(plane_id)
+        self.m = m
+        self.fabric = fabric if fabric is not None else ResilientFabric(m)
+        self._queued: Optional[ScheduledFrame] = None
+
+    @property
+    def ready(self) -> bool:
+        return self.healthy and self._queued is None
+
+    @property
+    def load(self) -> int:
+        return self.in_flight + (0 if self._queued is None else 1)
+
+    @property
+    def degraded(self) -> bool:
+        return self.fabric.registry.is_quarantined
+
+    def offer(self, frame: ScheduledFrame) -> None:
+        if not self.ready:
+            raise ValueError(f"plane {self.plane_id} cannot accept a frame now")
+        self._queued = frame
+        self._in_flight[frame.tag] = frame
+
+    def step(self) -> Tuple[List[CompletedFrame], List[QueueEntry]]:
+        if not self.healthy or self._queued is None:
+            return [], []
+        frame = self._queued
+        self._queued = None
+        try:
+            result = self.fabric.submit_words(frame.words, tag=frame.tag)
+            self._verify(frame, result.outputs)
+        except (FaultServiceError, MisdeliveryError) as error:
+            requeue = list(frame.entries.values())
+            self._in_flight.pop(frame.tag, None)
+            requeue.extend(self.kill(reason=str(error)))
+            return [], requeue
+        self._in_flight.pop(frame.tag, None)
+        self.frames_delivered += 1
+        self.words_delivered += frame.active
+        return (
+            [
+                CompletedFrame(
+                    frame=frame,
+                    outputs=result.outputs,
+                    plane_id=self.plane_id,
+                    mode=result.mode,
+                )
+            ],
+            [],
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        info = super().describe()
+        info["service_state"] = self.fabric.state.value
+        info["service_retries"] = self.fabric.counters.retries
+        return info

@@ -1,0 +1,229 @@
+"""JSON-lines TCP wire protocol in front of :class:`AsyncGateway`.
+
+One request per line, one response per line, both UTF-8 JSON objects.
+Requests carry an ``op`` (``send`` | ``stats`` | ``ping``) and an
+optional ``id`` echoed verbatim in the response, so clients may
+correlate.  Requests on one connection are handled concurrently — a
+slow ``send`` (waiting for a frame) does not block a ``stats`` probe on
+the same socket; responses are therefore *not* guaranteed to arrive in
+request order, which is what ``id`` is for.
+
+::
+
+    -> {"op": "send", "dest": 3, "payload": "hello", "id": 1}
+    <- {"ok": true, "op": "send", "dest": 3, "latency_cycles": 5,
+        "plane": 0, "mode": "clean", "id": 1}
+    -> {"op": "send", "dest": 3, "id": 2}          # queue full
+    <- {"ok": false, "error": "admission-rejected",
+        "retry_after_cycles": 32, "id": 2}
+    -> {"op": "stats"}
+    <- {"ok": true, "op": "stats", "stats": {...}}
+
+Error responses always have ``ok: false`` and a stable ``error`` slug:
+``admission-rejected`` (transient; honour ``retry_after_cycles``),
+``bad-request`` (malformed JSON / unknown op / bad destination),
+``gateway-closed``, ``plane-unavailable``, ``internal``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Set
+
+from ..exceptions import (
+    AdmissionRejectedError,
+    GatewayClosedError,
+    InputError,
+    PlaneUnavailableError,
+)
+from .gateway import AsyncGateway
+
+__all__ = ["GatewayServer"]
+
+#: Refuse absurd lines before json.loads chews on them.
+MAX_LINE_BYTES = 1 << 16
+
+
+class GatewayServer:
+    """Host an :class:`AsyncGateway` on a TCP socket, JSON-lines framed."""
+
+    def __init__(
+        self,
+        gateway: AsyncGateway,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.gateway = gateway
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._request_tasks: Set[asyncio.Task] = set()
+        self.connections_served = 0
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "GatewayServer":
+        if self._server is not None:
+            raise GatewayClosedError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        for task in list(self._request_tasks):
+            task.cancel()
+        if self._request_tasks:
+            await asyncio.gather(*self._request_tasks, return_exceptions=True)
+
+    async def __aenter__(self) -> "GatewayServer":
+        return await self.start()
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.stop()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_served += 1
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    ConnectionResetError,
+                    asyncio.LimitOverrunError,
+                ):
+                    break
+                if not line:
+                    break
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                task = asyncio.ensure_future(
+                    self._serve_request(stripped, writer, write_lock)
+                )
+                self._request_tasks.add(task)
+                task.add_done_callback(self._request_tasks.discard)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):
+                pass
+
+    async def _serve_request(
+        self,
+        raw: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        response = await self._dispatch(raw)
+        self.requests_served += 1
+        payload = (json.dumps(response) + "\n").encode("utf-8")
+        try:
+            async with write_lock:
+                writer.write(payload)
+                await writer.drain()
+        except (ConnectionResetError, OSError):
+            pass  # client went away; the word (if any) was still delivered
+
+    async def _dispatch(self, raw: bytes) -> Dict[str, Any]:
+        if len(raw) > MAX_LINE_BYTES:
+            return _error("bad-request", detail="request line too long")
+        try:
+            request = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return _error("bad-request", detail=f"malformed JSON: {error}")
+        if not isinstance(request, dict):
+            return _error("bad-request", detail="request must be an object")
+        request_id = request.get("id")
+        op = request.get("op")
+        try:
+            if op == "ping":
+                return _ok({"op": "ping"}, request_id)
+            if op == "stats":
+                return _ok(
+                    {"op": "stats", "stats": self.gateway.stats()}, request_id
+                )
+            if op == "send":
+                return await self._op_send(request, request_id)
+            return _error(
+                "bad-request", request_id, detail=f"unknown op {op!r}"
+            )
+        except AdmissionRejectedError as error:
+            return _error(
+                "admission-rejected",
+                request_id,
+                dest=error.destination,
+                retry_after_cycles=error.retry_after_cycles,
+            )
+        except GatewayClosedError as error:
+            return _error("gateway-closed", request_id, detail=str(error))
+        except PlaneUnavailableError as error:
+            return _error("plane-unavailable", request_id, detail=str(error))
+        except InputError as error:
+            return _error("bad-request", request_id, detail=str(error))
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 — protocol boundary
+            return _error("internal", request_id, detail=repr(error))
+
+    async def _op_send(
+        self, request: Dict[str, Any], request_id: Any
+    ) -> Dict[str, Any]:
+        destination = request.get("dest")
+        if not isinstance(destination, int) or isinstance(destination, bool):
+            return _error(
+                "bad-request",
+                request_id,
+                detail="'dest' must be an integer output line",
+            )
+        retry = bool(request.get("retry", False))
+        send = (
+            self.gateway.send_with_retry if retry else self.gateway.send
+        )
+        receipt = await send(destination, request.get("payload"))
+        return _ok(
+            {
+                "op": "send",
+                "dest": receipt.destination,
+                "plane": receipt.plane_id,
+                "frame": receipt.frame_tag,
+                "latency_cycles": receipt.latency_cycles,
+                "mode": receipt.mode,
+            },
+            request_id,
+        )
+
+
+def _ok(body: Dict[str, Any], request_id: Any = None) -> Dict[str, Any]:
+    response = {"ok": True, **body}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def _error(slug: str, request_id: Any = None, **fields: Any) -> Dict[str, Any]:
+    response: Dict[str, Any] = {"ok": False, "error": slug, **fields}
+    if request_id is not None:
+        response["id"] = request_id
+    return response

@@ -1,0 +1,103 @@
+"""The frame scheduler: queued words -> conflict-free permutation frames.
+
+Each gateway cycle the scheduler pops at most one head-of-line word per
+destination from the VOQs (pairwise-distinct destinations — a
+conflict-free matching of inputs to outputs, in the
+routing-via-matchings sense) and completes the partial request into a
+full permutation with :func:`~repro.core.traffic.coalesce_frame`, so
+every frame satisfies the balanced-bit precondition the BNB splitters
+need.  Idle lines carry filler words with ``payload=None``; real words
+carry their :class:`~repro.server.voq.QueueEntry` as payload, which is
+how delivery is matched back to the awaiting client.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..core.traffic import FramePlan, coalesce_frame
+from ..core.words import Word
+from .voq import QueueEntry, VirtualOutputQueues
+
+__all__ = ["FrameScheduler", "ScheduledFrame"]
+
+
+@dataclasses.dataclass
+class ScheduledFrame:
+    """One coalesced frame: a full permutation of words plus its book-keeping.
+
+    ``entries[dest]`` is the queue entry whose word rides the frame to
+    output *dest*; ``words[line].payload`` is that entry for real lines
+    and ``None`` for idle filler.
+    """
+
+    tag: int
+    words: List[Word]
+    entries: Dict[int, QueueEntry]
+    plan: FramePlan
+    scheduled_cycle: int
+
+    @property
+    def active(self) -> int:
+        return len(self.entries)
+
+    @property
+    def fill(self) -> float:
+        return self.plan.fill
+
+
+class FrameScheduler:
+    """Coalesce VOQ heads into frames; account fill ratio."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.frames_scheduled = 0
+        self.words_scheduled = 0
+        self._fill_sum = 0.0
+        self._next_tag = 0
+
+    def next_frame(
+        self, voqs: VirtualOutputQueues, cycle: int
+    ) -> Optional[ScheduledFrame]:
+        """Build the next frame from *voqs*, or ``None`` when idle."""
+        entries = voqs.pop_heads(self.n)
+        if not entries:
+            return None
+        plan = coalesce_frame([entry.destination for entry in entries], self.n)
+        by_destination = {entry.destination: entry for entry in entries}
+        words = [
+            Word(
+                address=address,
+                payload=by_destination[address]
+                if address in plan.line_of
+                else None,
+            )
+            for address in plan.addresses
+        ]
+        tag = self._next_tag
+        self._next_tag += 1
+        self.frames_scheduled += 1
+        self.words_scheduled += len(entries)
+        self._fill_sum += plan.fill
+        return ScheduledFrame(
+            tag=tag,
+            words=words,
+            entries=by_destination,
+            plan=plan,
+            scheduled_cycle=cycle,
+        )
+
+    @property
+    def mean_fill(self) -> float:
+        """Average frame fill ratio over everything scheduled so far."""
+        if not self.frames_scheduled:
+            return 0.0
+        return self._fill_sum / self.frames_scheduled
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "frames": self.frames_scheduled,
+            "words": self.words_scheduled,
+            "mean_fill": self.mean_fill,
+        }

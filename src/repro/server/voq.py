@@ -1,0 +1,167 @@
+"""Virtual output queues with bounded-depth admission control.
+
+One FIFO per destination (the classic VOQ arrangement that defeats
+head-of-line blocking: a burst for output 3 never delays a word for
+output 5).  Depth is bounded — an arrival to a full queue is **rejected
+at admission** with a retry-after hint instead of buffered, so offered
+load beyond capacity degrades into client-visible backpressure rather
+than unbounded memory growth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from ..exceptions import AdmissionRejectedError
+
+__all__ = ["QueueEntry", "VirtualOutputQueues"]
+
+
+@dataclasses.dataclass
+class QueueEntry:
+    """One admitted word waiting for (or riding) a frame.
+
+    ``future`` is set by the asyncio gateway so the submitting client
+    can await the delivery receipt; the synchronous benchmark harness
+    leaves it ``None``.
+    """
+
+    destination: int
+    payload: Any
+    enqueued_cycle: int
+    future: Any = None
+    requeues: int = 0
+
+
+class VirtualOutputQueues:
+    """``n`` bounded FIFOs, one per output, with round-robin head pick.
+
+    The round-robin start pointer makes :meth:`pop_heads` fair: when
+    more than ``limit`` destinations have backlog, successive frames
+    rotate which destinations ride first instead of always favouring
+    low-numbered outputs.
+    """
+
+    def __init__(self, n: int, capacity: int) -> None:
+        if n < 1:
+            raise ValueError(f"need at least one output queue, got n={n}")
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.n = n
+        self.capacity = capacity
+        self._queues: List[Deque[QueueEntry]] = [deque() for _ in range(n)]
+        self._rr_start = 0
+        # Admission counters (offered = accepted + rejected).
+        self.offered = 0
+        self.accepted = 0
+        self.rejected = 0
+        self.requeued = 0
+        self.max_depth = 0
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def admit(self, entry: QueueEntry) -> None:
+        """Enqueue *entry* or raise :class:`AdmissionRejectedError`.
+
+        The retry-after hint is the queue's current depth: the fabric
+        drains at most one word per destination per frame, so a full
+        queue needs at least ``depth`` cycles before a slot frees.
+        """
+        self.offered += 1
+        if not 0 <= entry.destination < self.n:
+            self.rejected += 1
+            raise AdmissionRejectedError(
+                entry.destination, 0, 0
+            ) from ValueError(
+                f"destination {entry.destination} out of range for N={self.n}"
+            )
+        queue = self._queues[entry.destination]
+        if len(queue) >= self.capacity:
+            self.rejected += 1
+            raise AdmissionRejectedError(
+                entry.destination, len(queue), len(queue)
+            )
+        queue.append(entry)
+        self.accepted += 1
+        self.max_depth = max(self.max_depth, len(queue))
+
+    def requeue_front(self, entries: List[QueueEntry]) -> None:
+        """Put already-admitted entries back at the head of their queues.
+
+        Used when a plane dies with frames in flight: the words were
+        admitted once and must not be re-rejected, so this may push a
+        queue transiently above capacity (new admissions still bounce
+        until it drains).
+        """
+        for entry in reversed(entries):
+            entry.requeues += 1
+            self._queues[entry.destination].appendleft(entry)
+            self.requeued += 1
+            self.max_depth = max(
+                self.max_depth, len(self._queues[entry.destination])
+            )
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+    def pop_heads(self, limit: Optional[int] = None) -> List[QueueEntry]:
+        """Pop the head word of up to *limit* distinct non-empty queues.
+
+        By construction the result has pairwise-distinct destinations —
+        exactly the conflict-free partial traffic one frame can carry.
+        """
+        if limit is None:
+            limit = self.n
+        picked: List[QueueEntry] = []
+        for offset in range(self.n):
+            if len(picked) >= limit:
+                break
+            destination = (self._rr_start + offset) % self.n
+            queue = self._queues[destination]
+            if queue:
+                picked.append(queue.popleft())
+        self._rr_start = (self._rr_start + 1) % self.n
+        return picked
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def depth(self, destination: int) -> int:
+        return len(self._queues[destination])
+
+    @property
+    def total(self) -> int:
+        return sum(len(queue) for queue in self._queues)
+
+    def depths(self) -> List[int]:
+        return [len(queue) for queue in self._queues]
+
+    def drain_all(self) -> List[QueueEntry]:
+        """Remove and return every queued entry (gateway shutdown)."""
+        stranded: List[QueueEntry] = []
+        for queue in self._queues:
+            stranded.extend(queue)
+            queue.clear()
+        return stranded
+
+    def snapshot(self) -> Dict[str, Any]:
+        depths = self.depths()
+        return {
+            "capacity": self.capacity,
+            "queued": sum(depths),
+            "depths": depths,
+            "max_depth": self.max_depth,
+            "offered": self.offered,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "requeued": self.requeued,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"VirtualOutputQueues(n={self.n}, capacity={self.capacity}, "
+            f"queued={self.total})"
+        )

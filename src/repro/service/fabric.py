@@ -58,19 +58,21 @@ class BatchResult:
     """One batch's delivery report.
 
     ``outputs[line]`` is the word delivered to output *line* (its
-    address always equals the line); ``mode`` is ``"clean"`` (first
-    pass, no misroutes), ``"degraded"`` (delivered by primary-plane
-    retries) or ``"failover"`` (some or all words rode the spare).
+    address always equals the line), or ``None`` when the batch was a
+    partial frame that addressed no word to that line; ``mode`` is
+    ``"clean"`` (first pass, no misroutes), ``"degraded"`` (delivered
+    by primary-plane retries) or ``"failover"`` (some or all words rode
+    the spare).
     """
 
     tag: Any
-    outputs: List[Word]
+    outputs: List[Optional[Word]]
     mode: str
     retries: int
 
     @property
     def delivered(self) -> int:
-        return len(self.outputs)
+        return sum(word is not None for word in self.outputs)
 
 
 class ResilientFabric:
@@ -164,33 +166,65 @@ class ResilientFabric:
     # ------------------------------------------------------------------
     def submit(self, addresses: Sequence[int], tag: Any = None) -> BatchResult:
         """Deliver one permutation batch, whatever it takes."""
-        counters = self.counters
-        counters.batches += 1
         words = [
             Word(address=address, payload=(tag, j))
             for j, address in enumerate(addresses)
         ]
+        return self.submit_words(words, tag=tag)
+
+    def submit_words(
+        self, words: Sequence[Word], tag: Any = None
+    ) -> BatchResult:
+        """Deliver a pre-built word batch, payloads preserved.
+
+        The serving layer's entry point: *words* must carry a full
+        permutation of addresses, but words with ``payload is None`` are
+        treated as idle filler (a coalesced partial frame) — they are
+        routed for the balanced-bit precondition yet owed no delivery,
+        and their lines come back ``None`` in the result.
+
+        The call is **async-safe** in the event-loop sense: it is pure
+        CPU work with no blocking I/O and touches only this fabric's
+        state, so an asyncio gateway may call it directly between
+        awaits.  It is not thread-safe — concurrent calls on one fabric
+        must be serialized (a single event loop does this naturally).
+        """
+        counters = self.counters
+        counters.batches += 1
+        words = list(words)
+        expected = {
+            word.address for word in words if word.payload is not None
+        }
+        active = len(expected)
         if self.registry.is_quarantined:
             outputs = self._route_spare(words, tag)
             counters.batches_failover += 1
-            counters.words_failover += self.n
+            counters.words_failover += active
             self.registry.emit(
-                "delivery", tag, f"{self.n} words via spare plane",
-                mode="failover", words=self.n,
+                "delivery", tag, f"{active} words via spare plane",
+                mode="failover", words=active,
             )
-            return BatchResult(tag=tag, outputs=outputs, mode="failover", retries=0)
+            return BatchResult(
+                tag=tag,
+                outputs=self._collect(self._split(outputs)[0], expected),
+                mode="failover",
+                retries=0,
+            )
 
         outputs = self.pipeline.route_batch(words, tag=tag)
         delivered, pending = self._split(outputs)
         if not pending:
             counters.batches_clean += 1
-            counters.words_clean += self.n
+            counters.words_clean += active
             self.registry.emit(
-                "delivery", tag, f"{self.n} words clean",
-                mode="clean", words=self.n,
+                "delivery", tag, f"{active} words clean",
+                mode="clean", words=active,
             )
             return BatchResult(
-                tag=tag, outputs=self._collect(delivered), mode="clean", retries=0
+                tag=tag,
+                outputs=self._collect(delivered, expected),
+                mode="clean",
+                retries=0,
             )
 
         # Fault path: detect, retry with backoff, then diagnose.
@@ -199,7 +233,7 @@ class ResilientFabric:
             self.registry.transition(HealthState.SUSPECT)
         self.registry.emit(
             "detection", tag,
-            f"{len(pending)} of {self.n} words misrouted",
+            f"{len(pending)} of {active} words misrouted",
             misrouted=len(pending), state=self.registry.state.value,
         )
         retries = 0
@@ -238,7 +272,7 @@ class ResilientFabric:
                     delivered[line] = word
             pending = []
 
-        spare_words = self.n - primary_words
+        spare_words = active - primary_words
         mode = "failover" if spare_words else "degraded"
         if mode == "failover":
             counters.batches_failover += 1
@@ -246,15 +280,18 @@ class ResilientFabric:
             counters.words_failover += spare_words
         else:
             counters.batches_degraded += 1
-            counters.words_degraded += self.n
+            counters.words_degraded += active
         self.registry.emit(
             "delivery", tag,
-            f"{self.n} words after {retries} retr{'y' if retries == 1 else 'ies'} "
+            f"{active} words after {retries} retr{'y' if retries == 1 else 'ies'} "
             f"({mode})",
-            mode=mode, words=self.n, retries=retries,
+            mode=mode, words=active, retries=retries,
         )
         return BatchResult(
-            tag=tag, outputs=self._collect(delivered), mode=mode, retries=retries
+            tag=tag,
+            outputs=self._collect(delivered, expected),
+            mode=mode,
+            retries=retries,
         )
 
     def check(self, tag: Any = "bist") -> LocalizationResult:
@@ -288,9 +325,13 @@ class ResilientFabric:
                 pending.append(word)
         return delivered, pending
 
-    def _collect(self, delivered: Dict[int, Word]) -> List[Word]:
-        assert len(delivered) == self.n, "batch left the service incomplete"
-        return [delivered[line] for line in range(self.n)]
+    def _collect(
+        self, delivered: Dict[int, Word], expected: Optional[set] = None
+    ) -> List[Optional[Word]]:
+        if expected is None:
+            expected = set(range(self.n))
+        assert set(delivered) == expected, "batch left the service incomplete"
+        return [delivered.get(line) for line in range(self.n)]
 
     def _repair_pass(self, pending: Sequence[Word]) -> List[Word]:
         """Pack pending words onto the first lines; fill the rest."""

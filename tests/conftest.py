@@ -2,11 +2,16 @@
 
 from __future__ import annotations
 
+import asyncio
 import random
 
 import pytest
 
 from repro.permutations import PermutationSampler
+
+#: Hard wall for any one async test; a wedged event loop fails fast
+#: instead of hanging the suite.
+ASYNC_TEST_TIMEOUT = 60.0
 
 
 @pytest.fixture
@@ -33,7 +38,41 @@ def sampler64():
     return PermutationSampler(64, seed=64)
 
 
+@pytest.fixture
+def run_async():
+    """Run a coroutine on a fresh event loop with a per-test timeout.
+
+    The async suite runs on stock pytest: with ``pytest-asyncio``
+    installed (the ``dev`` extra) its native mode also works, but
+    nothing here requires the plugin — each test drives its coroutine
+    through this fixture, and :func:`asyncio.wait_for` enforces the
+    per-test deadline either way.
+    """
+
+    def _run(coro, timeout: float = ASYNC_TEST_TIMEOUT):
+        async def _bounded():
+            return await asyncio.wait_for(coro, timeout)
+
+        return asyncio.run(_bounded())
+
+    return _run
+
+
 def pytest_configure(config):
     config.addinivalue_line(
         "markers", "slow: long-running exhaustive checks (still run by default)"
     )
+    config.addinivalue_line(
+        "markers", "asyncio_suite: drives an asyncio event loop"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    # With pytest-timeout available (the dev extra), give every async
+    # test a belt-and-braces process-level deadline on top of the
+    # event-loop one from the run_async fixture.
+    if not config.pluginmanager.hasplugin("timeout"):
+        return
+    for item in items:
+        if item.get_closest_marker("asyncio_suite") is not None:
+            item.add_marker(pytest.mark.timeout(ASYNC_TEST_TIMEOUT + 30))

@@ -1,5 +1,7 @@
 """CLI tests (direct invocation of repro.cli.main)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -19,6 +21,15 @@ class TestRoute:
         assert main(["route", "12"]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_route_json(self, capsys):
+        assert main(["route", "16", "--seed", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["network"] == "bnb"
+        assert payload["n"] == 16
+        assert payload["delivered"] is True
+        assert sorted(payload["request"]) == list(range(16))
+        assert payload["arrived"] == list(range(16))
+
 
 class TestVerify:
     def test_verify_exhaustive(self, capsys):
@@ -28,6 +39,17 @@ class TestVerify:
     def test_verify_sampled(self, capsys):
         assert main(["verify", "16", "--samples", "10"]) == 0
         assert "10/10" in capsys.readouterr().out
+
+    def test_verify_json(self, capsys):
+        assert main(
+            ["verify", "4", "--mode", "exhaustive", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["router"] == "bnb"
+        assert payload["attempted"] == 24
+        assert payload["delivered"] == 24
+        assert payload["all_delivered"] is True
+        assert payload["failures"] == []
 
 
 class TestTables:
@@ -85,6 +107,48 @@ class TestFaults:
         out = capsys.readouterr().out
         assert "Exhaustive single stuck-at sweep" in out
         assert "48/48" in out
+
+
+class TestServe:
+    def test_demo_prose(self, capsys):
+        assert main(["serve", "8", "--demo", "40", "--planes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "gateway  : N=8" in out
+        assert "40 offered" in out
+
+    def test_demo_json(self, capsys):
+        assert main(
+            ["serve", "8", "--demo", "60", "--capacity", "4", "--json"]
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["n"] == 8
+        assert stats["delivered_words"] == 60
+        assert stats["queues"]["max_depth"] <= 4
+        assert stats["latency_cycles"]["p50"] >= 1
+
+    def test_demo_resilient(self, capsys):
+        assert main(["serve", "8", "--demo", "24", "--resilient", "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["delivered_words"] == 24
+        assert stats["planes"][0]["kind"] == "ResilientPlane"
+
+    def test_serve_bad_size_exits_2(self, capsys):
+        assert main(["serve", "12"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestKeyboardInterrupt:
+    def test_sigint_exits_130(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(cli._HANDLERS, "report", interrupted)
+        assert main(["report"]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "Traceback" not in err
 
 
 class TestParser:

@@ -1,0 +1,195 @@
+"""The JSON-lines TCP protocol: framing, ops, error mapping."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server import AsyncGateway, GatewayConfig, GatewayServer
+
+pytestmark = pytest.mark.asyncio_suite
+
+
+async def start_stack(m=3, planes=1, capacity=8):
+    gateway = await AsyncGateway(
+        GatewayConfig(m=m, planes=planes, queue_capacity=capacity)
+    ).start()
+    server = await GatewayServer(gateway).start()
+    return gateway, server
+
+
+async def request_lines(port, lines, expect):
+    """Send raw lines, collect *expect* JSON responses (any order)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(b"".join(lines))
+    await writer.drain()
+    responses = []
+    for _ in range(expect):
+        responses.append(json.loads(await reader.readline()))
+    writer.close()
+    await writer.wait_closed()
+    return responses
+
+
+class TestOps:
+    def test_ping_send_stats_round_trip(self, run_async):
+        async def scenario():
+            gateway, server = await start_stack()
+            try:
+                responses = await request_lines(
+                    server.port,
+                    [
+                        b'{"op": "ping", "id": 1}\n',
+                        b'{"op": "send", "dest": 5, "payload": "w", '
+                        b'"retry": true, "id": 2}\n',
+                        b'{"op": "stats", "id": 3}\n',
+                    ],
+                    expect=3,
+                )
+            finally:
+                await server.stop()
+                await gateway.stop()
+            return {response["id"]: response for response in responses}
+
+        by_id = run_async(scenario())
+        assert by_id[1] == {"ok": True, "op": "ping", "id": 1}
+        assert by_id[2]["ok"] is True
+        assert by_id[2]["dest"] == 5
+        assert by_id[2]["latency_cycles"] >= 1
+        assert by_id[2]["mode"] == "clean"
+        # Requests on one connection run concurrently, so the stats
+        # snapshot may precede the send's delivery — assert shape only.
+        assert by_id[3]["stats"]["n"] == 8
+        assert "queues" in by_id[3]["stats"]
+
+    def test_many_connections_zero_misdelivery(self, run_async):
+        async def one_client(port, cid):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            deliveries = []
+            for k in range(3):
+                dest = (cid + k) % 8
+                writer.write(
+                    (
+                        json.dumps(
+                            {
+                                "op": "send",
+                                "dest": dest,
+                                "retry": True,
+                                "id": k,
+                            }
+                        )
+                        + "\n"
+                    ).encode()
+                )
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                deliveries.append((dest, response))
+            writer.close()
+            await writer.wait_closed()
+            return deliveries
+
+        async def scenario():
+            gateway, server = await start_stack(planes=2, capacity=16)
+            try:
+                results = await asyncio.gather(
+                    *(one_client(server.port, cid) for cid in range(25))
+                )
+            finally:
+                await server.stop()
+                await gateway.stop()
+            return results
+
+        results = run_async(scenario())
+        for deliveries in results:
+            for dest, response in deliveries:
+                assert response["ok"] is True
+                assert response["dest"] == dest
+
+    def test_concurrent_requests_one_connection_by_id(self, run_async):
+        async def scenario():
+            gateway, server = await start_stack()
+            try:
+                responses = await request_lines(
+                    server.port,
+                    [
+                        json.dumps(
+                            {"op": "send", "dest": d, "retry": True, "id": d}
+                        ).encode()
+                        + b"\n"
+                        for d in range(8)
+                    ],
+                    expect=8,
+                )
+            finally:
+                await server.stop()
+                await gateway.stop()
+            return responses
+
+        responses = run_async(scenario())
+        assert sorted(response["id"] for response in responses) == list(
+            range(8)
+        )
+        assert all(
+            response["dest"] == response["id"] for response in responses
+        )
+
+
+class TestErrors:
+    def test_error_responses(self, run_async):
+        async def scenario():
+            gateway, server = await start_stack()
+            try:
+                responses = await request_lines(
+                    server.port,
+                    [
+                        b"this is not json\n",
+                        b'["not", "an", "object"]\n',
+                        b'{"op": "warp", "id": 1}\n',
+                        b'{"op": "send", "dest": "three", "id": 2}\n',
+                        b'{"op": "send", "dest": 99, "id": 3}\n',
+                    ],
+                    expect=5,
+                )
+            finally:
+                await server.stop()
+                await gateway.stop()
+            return responses
+
+        responses = run_async(scenario())
+        assert all(response["ok"] is False for response in responses)
+        assert all(
+            response["error"] == "bad-request" for response in responses
+        )
+
+    def test_admission_reject_maps_to_retry_hint(self, run_async):
+        async def scenario():
+            gateway, server = await start_stack(capacity=1)
+            rejected = []
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                for k in range(20):
+                    writer.write(
+                        (
+                            json.dumps({"op": "send", "dest": 2, "id": k})
+                            + "\n"
+                        ).encode()
+                    )
+                await writer.drain()
+                for _ in range(20):
+                    response = json.loads(await reader.readline())
+                    if not response["ok"]:
+                        rejected.append(response)
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.stop()
+                await gateway.stop()
+            return rejected
+
+        rejected = run_async(scenario())
+        assert rejected  # flooding a 1-deep queue must bounce something
+        for response in rejected:
+            assert response["error"] == "admission-rejected"
+            assert response["retry_after_cycles"] >= 1

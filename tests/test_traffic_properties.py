@@ -1,0 +1,112 @@
+"""Property-based sweep of :func:`complete_partial_permutation`.
+
+The completion is the load-bearing step between messy traffic and the
+Theorem-2 contract (both the offline :func:`route_partial` path and the
+online frame scheduler ride it), so its invariants get an adversarial
+hypothesis sweep: arbitrary hole patterns, duplicate requests, and
+out-of-range destinations.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.core.traffic import coalesce_frame, complete_partial_permutation
+from repro.exceptions import InputError
+
+SIZES = st.sampled_from([2, 4, 8, 16, 32])
+
+
+@st.composite
+def partial_requests(draw):
+    """A valid partial request: holes anywhere, distinct in-range dests."""
+    n = draw(SIZES)
+    destinations = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            max_size=n,
+            unique=True,
+        )
+    )
+    slots = draw(st.sets(st.integers(0, n - 1), min_size=len(destinations), max_size=len(destinations)))
+    request = [None] * n
+    for slot, dest in zip(sorted(slots), destinations):
+        request[slot] = dest
+    return n, request
+
+
+class TestCompletionProperties:
+    @given(partial_requests())
+    @settings(max_examples=300, deadline=None)
+    def test_completion_is_permutation_preserving_requests(self, case):
+        n, request = case
+        full, real = complete_partial_permutation(request)
+        # A full permutation of 0..n-1 ...
+        assert sorted(full) == list(range(n))
+        # ... that preserves every requested (source, dest) pair ...
+        for source, dest in enumerate(request):
+            if dest is not None:
+                assert full[source] == dest
+                assert real[source] is True
+            else:
+                assert real[source] is False
+        # ... and marks exactly the genuine requests as real.
+        assert sum(real) == sum(dest is not None for dest in request)
+
+    @given(partial_requests())
+    @settings(max_examples=150, deadline=None)
+    def test_fillers_use_exactly_the_unused_addresses(self, case):
+        n, request = case
+        full, real = complete_partial_permutation(request)
+        requested = {dest for dest in request if dest is not None}
+        fillers = {full[j] for j in range(n) if not real[j]}
+        assert fillers == set(range(n)) - requested
+
+    @given(partial_requests())
+    @settings(max_examples=150, deadline=None)
+    def test_completion_is_deterministic(self, case):
+        _n, request = case
+        assert complete_partial_permutation(request) == (
+            complete_partial_permutation(list(request))
+        )
+
+    @given(
+        SIZES,
+        st.data(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_duplicate_destination_rejected(self, n, data):
+        dest = data.draw(st.integers(0, n - 1))
+        first, second = data.draw(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda pair: pair[0] != pair[1]
+            )
+        )
+        request = [None] * n
+        request[first] = dest
+        request[second] = dest
+        with pytest.raises(InputError):
+            complete_partial_permutation(request)
+
+    @given(SIZES, st.integers())
+    @settings(max_examples=150, deadline=None)
+    def test_out_of_range_destination_rejected(self, n, dest):
+        if 0 <= dest < n:
+            dest = n + abs(dest)
+        request = [dest] + [None] * (n - 1)
+        with pytest.raises(InputError):
+            complete_partial_permutation(request)
+
+
+class TestCoalesceProperties:
+    @given(partial_requests())
+    @settings(max_examples=150, deadline=None)
+    def test_coalesce_frame_agrees_with_completion(self, case):
+        n, request = case
+        heads = [dest for dest in request if dest is not None]
+        plan = coalesce_frame(heads, n)
+        assert sorted(plan.addresses) == list(range(n))
+        assert set(plan.line_of) == set(heads)
+        for dest, line in plan.line_of.items():
+            assert plan.addresses[line] == dest
+        assert plan.fill == pytest.approx(len(heads) / n)
