@@ -83,10 +83,57 @@ def check_probe_counts(data: Any, name: str, errors: List[str]) -> None:
 
 
 #: filename -> validator; anything else just has to parse.
+def check_vector_pipeline(
+    data: Dict[str, Any], name: str, errors: List[str]
+) -> None:
+    sweep = data.get("sweep")
+    _require(
+        isinstance(sweep, list) and bool(sweep),
+        name,
+        "'sweep' must be a non-empty list",
+        errors,
+    )
+    for row in sweep or []:
+        for key in (
+            "m",
+            "n",
+            "cycles_timed",
+            "object_cycles_per_sec",
+            "vector_cycles_per_sec",
+            "speedup",
+        ):
+            _require(key in row, name, f"sweep row missing {key!r}", errors)
+        if "speedup" in row:
+            _require(
+                row["speedup"] > 1.0,
+                name,
+                f"m={row.get('m')} speedup {row['speedup']} is not a win",
+                errors,
+            )
+    gateway = data.get("gateway", {})
+    for key in ("engine", "steady_fill", "words_delivered", "words_accepted"):
+        _require(key in gateway, name, f"gateway missing {key!r}", errors)
+    if "steady_fill" in gateway:
+        _require(
+            0.0 <= gateway["steady_fill"] <= 1.0,
+            name,
+            f"gateway fill {gateway['steady_fill']} outside [0, 1]",
+            errors,
+        )
+    if {"words_delivered", "words_accepted"} <= gateway.keys():
+        _require(
+            gateway["words_delivered"] == gateway["words_accepted"],
+            name,
+            "gateway delivered != accepted (words were lost)",
+            errors,
+        )
+
+
 SCHEMAS: Dict[str, Callable[[Any, str, List[str]], None]] = {
     "gateway_load.json": check_gateway_load,
     "gateway_plane_kill.json": check_gateway_plane_kill,
     "bist_probe_counts.json": check_probe_counts,
+    "vector_pipeline.json": check_vector_pipeline,
 }
 
 

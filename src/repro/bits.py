@@ -21,7 +21,8 @@ Conventions
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence
+import functools
+from typing import Iterable, Iterator, List, Sequence, Tuple
 
 from .exceptions import SizeError
 
@@ -45,6 +46,8 @@ __all__ = [
     "shuffle",
     "unshuffle_permutation",
     "shuffle_permutation",
+    "cached_unshuffle_permutation",
+    "cached_shuffle_permutation",
     "butterfly_index",
     "gray_code",
     "inverse_gray_code",
@@ -181,18 +184,38 @@ def shuffle_index(index: int, k: int, m: int) -> int:
     return (high << k) | rotate_left(low, k)
 
 
+@functools.lru_cache(maxsize=None)
+def cached_unshuffle_permutation(k: int, m: int) -> Tuple[int, ...]:
+    """Memoized ``U_k^m`` wiring as an immutable tuple.
+
+    ``unshuffle_index`` is pure, so the wiring of a given ``(k, m)`` is
+    computed once per process and shared by every stage evaluation
+    (the pipeline recomputes nothing per line per cycle).  Returned as a
+    tuple so cache sharing can never be corrupted by a caller mutation.
+    """
+    return tuple(unshuffle_index(j, k, m) for j in range(1 << m))
+
+
+@functools.lru_cache(maxsize=None)
+def cached_shuffle_permutation(k: int, m: int) -> Tuple[int, ...]:
+    """Memoized inverse of :func:`cached_unshuffle_permutation`."""
+    return tuple(shuffle_index(j, k, m) for j in range(1 << m))
+
+
 def unshuffle_permutation(k: int, m: int) -> List[int]:
     """Return ``U_k^m`` as a list: entry ``j`` is ``U_k^m(j)``.
 
     Interpreted as a wiring diagram, output ``j`` of one stage drives
-    input ``U_k^m(j)`` of the next (Definition 1).
+    input ``U_k^m(j)`` of the next (Definition 1).  Backed by
+    :func:`cached_unshuffle_permutation`; the returned list is a fresh
+    copy the caller may mutate freely.
     """
-    return [unshuffle_index(j, k, m) for j in range(1 << m)]
+    return list(cached_unshuffle_permutation(k, m))
 
 
 def shuffle_permutation(k: int, m: int) -> List[int]:
     """Return the inverse wiring of :func:`unshuffle_permutation`."""
-    return [shuffle_index(j, k, m) for j in range(1 << m)]
+    return list(cached_shuffle_permutation(k, m))
 
 
 def unshuffle(lines: Sequence, k: int, m: int) -> List:
@@ -204,9 +227,10 @@ def unshuffle(lines: Sequence, k: int, m: int) -> List:
     n = 1 << m
     if len(lines) != n:
         raise ValueError(f"expected {n} lines, got {len(lines)}")
+    wiring = cached_unshuffle_permutation(k, m)
     result: List = [None] * n
     for j, value in enumerate(lines):
-        result[unshuffle_index(j, k, m)] = value
+        result[wiring[j]] = value
     return result
 
 
@@ -215,9 +239,10 @@ def shuffle(lines: Sequence, k: int, m: int) -> List:
     n = 1 << m
     if len(lines) != n:
         raise ValueError(f"expected {n} lines, got {len(lines)}")
+    wiring = cached_shuffle_permutation(k, m)
     result: List = [None] * n
     for j, value in enumerate(lines):
-        result[shuffle_index(j, k, m)] = value
+        result[wiring[j]] = value
     return result
 
 

@@ -49,6 +49,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--network", choices=sorted(ROUTERS), default="bnb"
     )
     route.add_argument(
+        "--fast",
+        action="store_true",
+        help="route on the compiled vectorized numpy path (BNB only)",
+    )
+    route.add_argument(
         "--json", action="store_true", help="emit a JSON object, not prose"
     )
 
@@ -117,6 +122,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="wrap each plane in the fault-tolerant ResilientFabric",
     )
     serve.add_argument(
+        "--engine",
+        choices=("object", "vector"),
+        default="object",
+        help="plane dataplane engine: reference object model, or the "
+        "compiled vectorized numpy pipeline",
+    )
+    serve.add_argument(
+        "--pool-workers",
+        type=int,
+        default=0,
+        metavar="W",
+        help="shard W vector planes across W worker processes with "
+        "shared-memory frame buffers (overrides --planes/--engine)",
+    )
+    serve.add_argument(
         "--demo",
         type=int,
         metavar="WORDS",
@@ -135,26 +155,47 @@ def _command_route(args: argparse.Namespace) -> int:
     require_power_of_two(args.n, "network size")
     pi = random_permutation(args.n, rng=args.seed)
     m = args.n.bit_length() - 1
-    route = ROUTERS[args.network](m)
-    outputs = route(pi.to_list())
-    delivered = all(word.address == line for line, word in enumerate(outputs))
+    if args.fast:
+        # The compiled vectorized path; same verification (route_fast
+        # raises on bad inputs and misdelivery exactly like route) and
+        # the same exit codes as the object path.
+        if args.network != "bnb":
+            from .exceptions import InputError
+
+            raise InputError(
+                f"--fast is the vectorized BNB path; it cannot route "
+                f"the {args.network!r} network"
+            )
+        import numpy as np
+
+        from .core import BNBNetwork
+
+        arrived = BNBNetwork(m).route_fast(
+            np.array(pi.to_list(), dtype=np.int64)
+        ).tolist()
+    else:
+        route = ROUTERS[args.network](m)
+        arrived = [word.address for word in route(pi.to_list())]
+    delivered = arrived == list(range(args.n))
     if args.json:
         print(
             json.dumps(
                 {
                     "network": args.network,
+                    "engine": "fast" if args.fast else "object",
                     "n": args.n,
                     "seed": args.seed,
                     "request": pi.to_list(),
-                    "arrived": [word.address for word in outputs],
+                    "arrived": arrived,
                     "delivered": delivered,
                 }
             )
         )
     else:
-        print(f"network : {args.network} (N={args.n})")
+        engine = " [fast]" if args.fast else ""
+        print(f"network : {args.network}{engine} (N={args.n})")
         print(f"request : {pi.to_list()}")
-        print(f"arrived : {[word.address for word in outputs]}")
+        print(f"arrived : {arrived}")
         print(f"delivered: {delivered}")
     return 0 if delivered else 1
 
@@ -292,19 +333,40 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     require_power_of_two(args.n, "network size")
     m = args.n.bit_length() - 1
+    if args.resilient and args.engine == "vector":
+        from .exceptions import InputError
+
+        raise InputError(
+            "resilient planes run on the object engine; drop --resilient "
+            "or --engine vector"
+        )
 
     from .server import AsyncGateway, GatewayConfig, GatewayServer
 
+    pool = None
+    plane_factory = None
+    planes = args.planes
+    engine = args.engine
+    if args.pool_workers:
+        from .server import ProcessPlanePool
+
+        # A multi-process pool shards one vector plane per worker core;
+        # the in-process engine flag is moot for the pooled planes.
+        pool = ProcessPlanePool(m, workers=args.pool_workers)
+        plane_factory = pool.plane_factory
+        planes = args.pool_workers
+        engine = "object"  # config engine unused under an explicit factory
     config = GatewayConfig(
         m=m,
-        planes=args.planes,
+        planes=planes,
         queue_capacity=args.capacity,
         resilient=args.resilient,
+        engine=engine,
     )
 
     async def _demo(words: int) -> dict:
         rng = random.Random(args.seed)
-        async with AsyncGateway(config) as gateway:
+        async with AsyncGateway(config, plane_factory=plane_factory) as gateway:
             receipts = await asyncio.gather(
                 *(
                     gateway.send_with_retry(
@@ -320,45 +382,58 @@ def _command_serve(args: argparse.Namespace) -> int:
             return gateway.stats()
 
     async def _serve() -> None:
-        async with AsyncGateway(config) as gateway:
+        async with AsyncGateway(config, plane_factory=plane_factory) as gateway:
             async with GatewayServer(
                 gateway, host=args.host, port=args.port
             ) as server:
+                pool_note = (
+                    f", {args.pool_workers} worker process(es)"
+                    if pool is not None
+                    else f", engine {config.engine}"
+                )
                 print(
                     f"serving N={args.n} on {args.host}:{server.port} "
-                    f"({args.planes} plane(s), capacity {args.capacity}"
-                    f"{', resilient' if args.resilient else ''}) — Ctrl-C stops"
+                    f"({planes} plane(s), capacity {args.capacity}"
+                    f"{', resilient' if args.resilient else ''}"
+                    f"{pool_note}) — Ctrl-C stops"
                 )
                 sys.stdout.flush()
                 await server.serve_forever()
 
-    if args.demo is not None:
-        stats = asyncio.run(_demo(args.demo))
-        if args.json:
-            print(json.dumps(stats, indent=2))
-        else:
-            queues = stats["queues"]
-            latency = stats["latency_cycles"]
-            print(f"gateway  : N={stats['n']} planes={len(stats['planes'])}")
-            print(
-                f"traffic  : {queues['offered']} offered, "
-                f"{queues['accepted']} accepted, {queues['rejected']} rejected"
-            )
-            print(
-                f"frames   : {stats['delivered_frames']} delivered, "
-                f"mean fill {stats['scheduler']['mean_fill']:.3f}"
-            )
-            print(
-                f"latency  : p50={latency['p50']} p99={latency['p99']} "
-                f"cycles (over {latency['samples']} words)"
-            )
-        return 0
     try:
-        asyncio.run(_serve())
-    except KeyboardInterrupt:
-        print("\ninterrupted — gateway drained and closed", file=sys.stderr)
-        return 130
-    return 0
+        if args.demo is not None:
+            stats = asyncio.run(_demo(args.demo))
+            if args.json:
+                print(json.dumps(stats, indent=2))
+            else:
+                queues = stats["queues"]
+                latency = stats["latency_cycles"]
+                print(
+                    f"gateway  : N={stats['n']} planes={len(stats['planes'])}"
+                )
+                print(
+                    f"traffic  : {queues['offered']} offered, "
+                    f"{queues['accepted']} accepted, "
+                    f"{queues['rejected']} rejected"
+                )
+                print(
+                    f"frames   : {stats['delivered_frames']} delivered, "
+                    f"mean fill {stats['scheduler']['mean_fill']:.3f}"
+                )
+                print(
+                    f"latency  : p50={latency['p50']} p99={latency['p99']} "
+                    f"cycles (over {latency['samples']} words)"
+                )
+            return 0
+        try:
+            asyncio.run(_serve())
+        except KeyboardInterrupt:
+            print("\ninterrupted — gateway drained and closed", file=sys.stderr)
+            return 130
+        return 0
+    finally:
+        if pool is not None:
+            pool.close()
 
 
 _HANDLERS = {

@@ -41,6 +41,8 @@ from .pipeline import (
     PipelineStats,
     stuck_control_override,
 )
+from .plan import CompiledPlan, compiled_plan
+from .pipeline_fast import VectorPipelinedFabric, route_frame_sources
 
 __all__ = [
     "Word",
@@ -76,4 +78,8 @@ __all__ = [
     "stuck_control_override",
     "PipelineBatch",
     "PipelineStats",
+    "CompiledPlan",
+    "compiled_plan",
+    "VectorPipelinedFabric",
+    "route_frame_sources",
 ]

@@ -35,6 +35,12 @@ from ..bits import address_bit, require_power_of_two, unshuffle_index
 from ..exceptions import NotAPermutationError, RoutingError
 from ..permutations.permutation import Permutation
 from .bsn import BitSorterNetwork, BSNRecord
+from .plan import (
+    compiled_plan,
+    stage_take_indices,
+    vector_apply_controls,
+    vector_splitter_controls,
+)
 from .routing import PacketPath, RouteStep
 from .words import Word
 
@@ -323,95 +329,45 @@ class BNBNetwork:
         """Vectorized routing of raw addresses; returns the output lines.
 
         Same algorithm as :meth:`route`, expressed as whole-array
-        operations.  ``result[line] == line`` for every line when the
+        operations over the per-``m`` :func:`~repro.core.plan.compiled_plan`
+        index tables.  ``result[line] == line`` for every line when the
         input is a permutation; the function returns the array of
         addresses in output-line order so callers can assert that.
+
+        Validation parity with :meth:`route` (honouring
+        ``check_inputs``): a wrong input count raises the same
+        ``ValueError``, a non-permutation raises
+        :class:`~repro.exceptions.NotAPermutationError` with the same
+        message, and a misdelivered output (impossible by Theorem 2
+        without a fault) raises :class:`~repro.exceptions.RoutingError`.
         """
         lines = np.asarray(addresses, dtype=np.int64)
-        if lines.shape != (self.n,):
+        if lines.ndim != 1:
             raise ValueError(f"expected shape ({self.n},), got {lines.shape}")
+        if lines.shape[0] != self.n:
+            raise ValueError(
+                f"expected {self.n} inputs, got {lines.shape[0]}"
+            )
+        plan = compiled_plan(self.m)
         if self.check_inputs:
-            if not np.array_equal(np.sort(lines), np.arange(self.n)):
+            if not np.array_equal(np.sort(lines), plan.identity):
                 raise NotAPermutationError(lines.tolist())
-        m = self.m
-        for i in range(m):
-            block_exp = m - i
-            shift = m - 1 - i  # address bit b^i, MSB-first
-            # Nested networks: 2**i blocks of size 2**block_exp; run the
-            # nested GBN stage by stage entirely within blocks.
-            for j in range(block_exp):
-                splitter_exp = block_exp - j
-                width = 1 << splitter_exp
-                blocks = lines.reshape(-1, width)
-                bits = (blocks >> shift) & 1
-                controls = _vector_splitter_controls(bits)
-                blocks = _vector_apply_controls(blocks, controls)
-                if j < block_exp - 1:
-                    # Unshuffle within each splitter-sized block: even
-                    # offsets to the upper half, odd to the lower half.
-                    half = width // 2
-                    shuffled = np.empty_like(blocks)
-                    shuffled[:, :half] = blocks[:, 0::2]
-                    shuffled[:, half:] = blocks[:, 1::2]
-                    blocks = shuffled
-                lines = blocks.reshape(-1)
-            if i < m - 1:
-                # Main-network unshuffle U_{m-i}^m: within blocks of the
-                # *current* nested size.
-                width = 1 << block_exp
-                half = width // 2
-                blocks = lines.reshape(-1, width)
-                shuffled = np.empty_like(blocks)
-                shuffled[:, :half] = blocks[:, 0::2]
-                shuffled[:, half:] = blocks[:, 1::2]
-                lines = shuffled.reshape(-1)
+        for stage in plan.stages:
+            lines = lines[stage_take_indices(plan, stage, lines)]
+        if self.check_inputs and not np.array_equal(lines, plan.identity):
+            line = int(np.argmin(lines == plan.identity))
+            raise RoutingError(
+                f"word addressed to {int(lines[line])} arrived on line "
+                f"{line}; this indicates a library bug since "
+                f"Theorem 2 guarantees delivery"
+            )
         return lines
 
     def __repr__(self) -> str:
         return f"BNBNetwork(m={self.m}, n={self.n}, w={self.w})"
 
 
-def _vector_splitter_controls(bits: "np.ndarray") -> "np.ndarray":
-    """Vectorized arbiter + switch-setting over blocks of bit rows.
-
-    *bits* has shape ``(blocks, width)``; returns controls of shape
-    ``(blocks, width // 2)``.  Mirrors :class:`~repro.core.arbiter.Arbiter`
-    exactly (tests enforce agreement element by element).
-    """
-    width = bits.shape[1]
-    if width == 2:
-        # sp(1): the upper input bit is the control.
-        return bits[:, 0:1].copy()
-    # Upward pass.
-    ups = []
-    current = bits
-    while current.shape[1] > 1:
-        current = current[:, 0::2] ^ current[:, 1::2]
-        ups.append(current)
-    # Downward pass; the root echoes its own up-value as its parent flag.
-    z_down = ups[-1]  # shape (blocks, 1)
-    for level in range(len(ups) - 1, -1, -1):
-        u = ups[level]
-        y1 = np.where(u == 0, 0, z_down)
-        y2 = np.where(u == 0, 1, z_down)
-        interleaved = np.empty(
-            (u.shape[0], u.shape[1] * 2), dtype=bits.dtype
-        )
-        interleaved[:, 0::2] = y1
-        interleaved[:, 1::2] = y2
-        z_down = interleaved
-    flags = z_down  # shape (blocks, width): one flag per input line
-    return bits[:, 0::2] ^ flags[:, 0::2]
-
-
-def _vector_apply_controls(
-    blocks: "np.ndarray", controls: "np.ndarray"
-) -> "np.ndarray":
-    """Apply pairwise exchange controls to blocks of lines."""
-    out = np.empty_like(blocks)
-    even = blocks[:, 0::2]
-    odd = blocks[:, 1::2]
-    exchange = controls.astype(bool)
-    out[:, 0::2] = np.where(exchange, odd, even)
-    out[:, 1::2] = np.where(exchange, even, odd)
-    return out
+# The vector kernels moved to :mod:`repro.core.plan` (shared with the
+# pipelined engine); these aliases keep the historical import path.
+_vector_splitter_controls = vector_splitter_controls
+_vector_apply_controls = vector_apply_controls

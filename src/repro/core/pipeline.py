@@ -19,7 +19,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..bits import address_bit, unshuffle_index
+from ..bits import address_bit, cached_unshuffle_permutation
 from ..exceptions import NotAPermutationError
 from .bnb import BNBNetwork
 from .bsn import BitSorterNetwork
@@ -224,9 +224,10 @@ class PipelinedBNBFabric:
                 out, _rec = bsn.route_words(words[lo : lo + block], key_of)
             routed[lo : lo + block] = out
         if stage < m - 1:
+            wiring = cached_unshuffle_permutation(m - stage, m)
             connected: List[Word] = [None] * self.n  # type: ignore[list-item]
             for j, value in enumerate(routed):
-                connected[unshuffle_index(j, m - stage, m)] = value
+                connected[wiring[j]] = value
             return connected
         return routed
 
@@ -261,11 +262,12 @@ class PipelinedBNBFabric:
                     sub, controls
                 )
             if j < block_exp - 1:
+                wiring = cached_unshuffle_permutation(
+                    block_exp - j, block_exp
+                )
                 connected: List[Word] = [None] * block  # type: ignore[list-item]
                 for offset, value in enumerate(routed):
-                    connected[
-                        unshuffle_index(offset, block_exp - j, block_exp)
-                    ] = value
+                    connected[wiring[offset]] = value
                 current = connected
             else:
                 current = routed

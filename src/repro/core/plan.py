@@ -1,0 +1,237 @@
+"""Compiled routing plans: precomputed index tables for the vector dataplane.
+
+The BNB network's wiring is entirely static — only the splitter
+*controls* depend on the words in flight.  The object model nonetheless
+recomputes ``unshuffle_index`` per line per stage per cycle, which is
+exactly the kind of work a hardware fabric does zero of.  A
+:class:`CompiledPlan` hoists all of it out of the hot loop: for each
+main stage it precomputes, as numpy arrays,
+
+* the **inner gathers** — the within-splitter-block unshuffle of every
+  nested-GBN stage, expressed as one full-width gather index so a stage
+  transition is a single fancy-indexing operation;
+* the **main-stage gather** — the ``U_{m-i}^m`` unshuffle following the
+  stage's nested networks;
+* the **nested-network line groupings** — which contiguous lines form
+  each NB(i, l), for boundary checks and sampled verification;
+* the **pair indices** — even/odd line index arrays the switch columns
+  pair up.
+
+Plans are cached per ``m`` (:func:`compiled_plan`), so every fabric,
+plane and worker process of a given size shares one set of tables.
+
+The two routing kernels live here too: :func:`vector_splitter_controls`
+(the log-depth XOR-up/flag-down arbiter pass over all boxes of a stage
+at once) and :func:`vector_apply_controls`.  They are the single vector
+implementation behind both the combinational
+:meth:`~repro.core.bnb.BNBNetwork.route_fast` and the registered
+:class:`~repro.core.pipeline_fast.VectorPipelinedFabric`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..bits import cached_shuffle_permutation
+
+__all__ = [
+    "CompiledPlan",
+    "StagePlan",
+    "compiled_plan",
+    "stage_take_indices",
+    "vector_splitter_controls",
+    "vector_apply_controls",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class StagePlan:
+    """Precomputed index tables for one main stage of the BNB network.
+
+    ``inner_gathers[j]`` implements the interstage unshuffle after inner
+    (nested-GBN) stage ``j`` as a full-width gather: ``new = old[g]``.
+    The last inner stage has no trailing unshuffle (``None``), matching
+    the object model.  ``stage_gather`` is the main-network unshuffle
+    ``U_{m-i}^m`` following the stage (``None`` on the last main stage).
+    """
+
+    stage: int
+    block_exp: int  # nested networks have size 2**block_exp
+    shift: int  # address bit b^stage sits at this LSB-first position
+    inner_widths: Tuple[int, ...]
+    inner_gathers: Tuple[Optional[np.ndarray], ...]
+    stage_gather: Optional[np.ndarray]
+
+    @property
+    def nested_count(self) -> int:
+        return 1 << self.stage
+
+
+@dataclasses.dataclass(frozen=True)
+class CompiledPlan:
+    """All static routing structure of an ``N = 2**m`` BNB network."""
+
+    m: int
+    n: int
+    stages: Tuple[StagePlan, ...]
+    #: ``line_groups[i]`` has shape ``(2**i, 2**(m-i))``: row ``l`` lists
+    #: the contiguous lines of nested network NB(i, l).
+    line_groups: Tuple[np.ndarray, ...]
+    #: Even/odd members of every switch pair (``pair_even[t]`` and
+    #: ``pair_odd[t]`` are the two lines of pair ``t``).
+    pair_even: np.ndarray
+    pair_odd: np.ndarray
+    #: ``identity[j] == j`` — the scratch index base for swap composition.
+    identity: np.ndarray
+
+
+def _block_gather(n: int, width_exp: int) -> np.ndarray:
+    """Gather array applying the same unshuffle inside every width block.
+
+    The scatter form used by the object model is
+    ``new[U(x)] = old[x]`` within each block of ``2**width_exp`` lines;
+    the equivalent gather is ``new[x] = old[S(x)]`` with ``S`` the
+    shuffle (inverse) wiring.  Composed over all blocks of the full
+    ``n``-line column.
+    """
+    width = 1 << width_exp
+    inverse = np.fromiter(
+        cached_shuffle_permutation(width_exp, width_exp),
+        dtype=np.int64,
+        count=width,
+    )
+    bases = np.arange(0, n, width, dtype=np.int64)
+    return (bases[:, None] + inverse[None, :]).reshape(-1)
+
+
+@functools.lru_cache(maxsize=None)
+def compiled_plan(m: int) -> CompiledPlan:
+    """Build (once per process per ``m``) the compiled routing plan."""
+    if m < 1:
+        raise ValueError(f"a routing plan needs m >= 1, got {m}")
+    n = 1 << m
+    stages = []
+    for i in range(m):
+        block_exp = m - i
+        widths = tuple(1 << (block_exp - j) for j in range(block_exp))
+        gathers = tuple(
+            _block_gather(n, block_exp - j) if j < block_exp - 1 else None
+            for j in range(block_exp)
+        )
+        stage_gather = _block_gather(n, block_exp) if i < m - 1 else None
+        stages.append(
+            StagePlan(
+                stage=i,
+                block_exp=block_exp,
+                shift=m - 1 - i,
+                inner_widths=widths,
+                inner_gathers=gathers,
+                stage_gather=stage_gather,
+            )
+        )
+    line_groups = tuple(
+        np.arange(n, dtype=np.int64).reshape(1 << i, 1 << (m - i))
+        for i in range(m)
+    )
+    plan = CompiledPlan(
+        m=m,
+        n=n,
+        stages=tuple(stages),
+        line_groups=line_groups,
+        pair_even=np.arange(0, n, 2, dtype=np.int64),
+        pair_odd=np.arange(1, n, 2, dtype=np.int64),
+        identity=np.arange(n, dtype=np.int64),
+    )
+    # The plan is cached and shared by every fabric, plane and worker of
+    # this size; freeze the tables so no caller can corrupt the cache.
+    for stage in plan.stages:
+        for gather in stage.inner_gathers:
+            if gather is not None:
+                gather.flags.writeable = False
+        if stage.stage_gather is not None:
+            stage.stage_gather.flags.writeable = False
+    for group in plan.line_groups:
+        group.flags.writeable = False
+    for array in (plan.pair_even, plan.pair_odd, plan.identity):
+        array.flags.writeable = False
+    return plan
+
+
+def vector_splitter_controls(bits: np.ndarray) -> np.ndarray:
+    """Vectorized arbiter + switch-setting over blocks of bit rows.
+
+    *bits* has shape ``(blocks, width)``; returns controls of shape
+    ``(blocks, width // 2)``.  Mirrors :class:`~repro.core.arbiter.Arbiter`
+    exactly (tests enforce agreement element by element).
+    """
+    width = bits.shape[1]
+    if width == 2:
+        # sp(1): the upper input bit is the control.
+        return bits[:, 0:1].copy()
+    # Upward pass.
+    ups = []
+    current = bits
+    while current.shape[1] > 1:
+        current = current[:, 0::2] ^ current[:, 1::2]
+        ups.append(current)
+    # Downward pass; the root echoes its own up-value as its parent flag.
+    z_down = ups[-1]  # shape (blocks, 1)
+    for level in range(len(ups) - 1, -1, -1):
+        u = ups[level]
+        y1 = np.where(u == 0, 0, z_down)
+        y2 = np.where(u == 0, 1, z_down)
+        interleaved = np.empty((u.shape[0], u.shape[1] * 2), dtype=bits.dtype)
+        interleaved[:, 0::2] = y1
+        interleaved[:, 1::2] = y2
+        z_down = interleaved
+    flags = z_down  # shape (blocks, width): one flag per input line
+    return bits[:, 0::2] ^ flags[:, 0::2]
+
+
+def vector_apply_controls(
+    blocks: np.ndarray, controls: np.ndarray
+) -> np.ndarray:
+    """Apply pairwise exchange controls to blocks of lines."""
+    out = np.empty_like(blocks)
+    even = blocks[:, 0::2]
+    odd = blocks[:, 1::2]
+    exchange = controls.astype(bool)
+    out[:, 0::2] = np.where(exchange, odd, even)
+    out[:, 1::2] = np.where(exchange, even, odd)
+    return out
+
+
+def stage_take_indices(
+    plan: CompiledPlan, stage: StagePlan, addresses: np.ndarray
+) -> np.ndarray:
+    """One main stage's full line permutation, as a gather index array.
+
+    Runs the stage's nested networks over *addresses* (the per-line
+    destination addresses at the stage's input) exactly as the hardware
+    would — all boxes of each inner stage decided at once by the
+    log-depth arbiter pass — and composes the resulting exchanges with
+    the precompiled unshuffle gathers.  The caller applies the returned
+    ``take`` to every per-line array it carries:
+    ``new_arr = arr[take]``.
+    """
+    take = plan.identity
+    current = addresses
+    shift = stage.shift
+    for width, gather in zip(stage.inner_widths, stage.inner_gathers):
+        blocks = current.reshape(-1, width)
+        bits = (blocks >> shift) & 1
+        controls = vector_splitter_controls(bits)
+        # One full-width "swap with partner" index per line...
+        exchange = np.repeat(controls.reshape(-1).astype(bool), 2)
+        swap = np.where(exchange, plan.identity ^ 1, plan.identity)
+        # ...composed with the (precompiled) interstage unshuffle.
+        step = swap if gather is None else swap[gather]
+        take = take[step]
+        current = current[step]
+    if stage.stage_gather is not None:
+        take = take[stage.stage_gather]
+    return take

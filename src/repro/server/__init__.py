@@ -12,10 +12,14 @@ keeps answering it forever, online, for concurrent clients:
   (one head-of-line word per destination, idle-filled via
   :func:`~repro.core.traffic.complete_partial_permutation`);
 * :mod:`repro.server.planes` — **fabric planes**: pipelined BNB planes
-  for back-to-back throughput, or
+  for back-to-back throughput, compiled-numpy
+  :class:`~repro.server.planes.VectorPlane` planes with sampled
+  boundary verification for hardware-speed serving, or
   :class:`~repro.service.ResilientFabric`-wrapped planes that survive
   physical faults; a faulty plane drains, its words requeue, and the
   pool serves on;
+* :mod:`repro.server.pool` — the **multi-process plane pool** sharding
+  vector planes across CPU cores with shared-memory frame buffers;
 * :mod:`repro.server.gateway` — the **asyncio dataplane** tying them
   together: ``await gateway.send(dest, payload)`` returns a delivery
   receipt; a clock task schedules frames onto the least-loaded plane;
@@ -27,7 +31,8 @@ contract.
 """
 
 from .gateway import AsyncGateway, GatewayConfig, Receipt
-from .planes import PipelinedPlane, ResilientPlane
+from .planes import PipelinedPlane, ResilientPlane, VectorPlane
+from .pool import ProcessPlane, ProcessPlanePool
 from .protocol import GatewayServer
 from .scheduler import FrameScheduler, ScheduledFrame
 from .voq import QueueEntry, VirtualOutputQueues
@@ -38,9 +43,12 @@ __all__ = [
     "GatewayServer",
     "FrameScheduler",
     "PipelinedPlane",
+    "ProcessPlane",
+    "ProcessPlanePool",
     "QueueEntry",
     "Receipt",
     "ResilientPlane",
     "ScheduledFrame",
+    "VectorPlane",
     "VirtualOutputQueues",
 ]

@@ -26,7 +26,12 @@ from ..exceptions import (
     InputError,
     PlaneUnavailableError,
 )
-from .planes import CompletedFrame, PipelinedPlane, ResilientPlane
+from .planes import (
+    CompletedFrame,
+    PipelinedPlane,
+    ResilientPlane,
+    VectorPlane,
+)
 from .scheduler import FrameScheduler
 from .voq import QueueEntry, VirtualOutputQueues
 
@@ -44,6 +49,11 @@ class GatewayConfig:
     planes: int = 1
     queue_capacity: int = 32
     resilient: bool = False
+    #: Dataplane engine for the default (non-resilient) planes:
+    #: ``"object"`` clocks the reference ``PipelinedBNBFabric``,
+    #: ``"vector"`` the compiled-plan numpy ``VectorPipelinedFabric``
+    #: with sampled boundary verification.
+    engine: str = "object"
     #: Bound on latency samples kept for the percentile estimate.
     latency_window: int = 8192
 
@@ -55,6 +65,15 @@ class GatewayConfig:
         if self.queue_capacity < 1:
             raise ValueError(
                 f"queue capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.engine not in ("object", "vector"):
+            raise ValueError(
+                f"engine must be 'object' or 'vector', got {self.engine!r}"
+            )
+        if self.resilient and self.engine != "object":
+            raise ValueError(
+                "resilient planes run on the object engine; drop "
+                "engine='vector' or resilient=True"
             )
 
     @property
@@ -95,6 +114,8 @@ class AsyncGateway:
         if plane_factory is None:
             if config.resilient:
                 plane_factory = lambda i, m: ResilientPlane(i, m)
+            elif config.engine == "vector":
+                plane_factory = lambda i, m: VectorPlane(i, m)
             else:
                 plane_factory = lambda i, m: PipelinedPlane(i, m)
         self.planes = [

@@ -1,13 +1,19 @@
 """Fabric planes: the switching capacity behind the gateway.
 
 A *plane* is one independent copy of the fabric plus the book-keeping
-to track which frames are inside it.  Two kinds:
+to track which frames are inside it.  Three kinds:
 
 * :class:`PipelinedPlane` — a raw
   :class:`~repro.core.pipeline.PipelinedBNBFabric` clocked frame-per-
   cycle, ``m`` frames in flight back-to-back.  Deliveries are verified
   at the plane boundary; a misdelivery (physical fault on an
   unprotected plane) fails the plane, and its words requeue.
+* :class:`VectorPlane` — the same schedule on the compiled numpy
+  engine (:class:`~repro.core.pipeline_fast.VectorPipelinedFabric`).
+  Boundary verification is *sampled* so it cannot erase the engine's
+  speed advantage: a full check every ``verify_every``-th frame, a
+  rotating spot check of a few destinations otherwise.  A detected
+  misdelivery still kills the plane and requeues everything in flight.
 * :class:`ResilientPlane` — a
   :class:`~repro.service.ResilientFabric` whose submit path already
   verifies, retries, BIST-diagnoses and fails over to a Benes spare, so
@@ -15,7 +21,7 @@ to track which frames are inside it.  Two kinds:
   per step (the resilient submit drains its pipeline), so use it for
   fault tolerance, not peak throughput.
 
-Both expose the same interface the gateway's clock loop drives:
+All expose the same interface the gateway's clock loop drives:
 ``ready`` / ``offer`` / ``step`` / ``kill`` / ``load``.
 """
 
@@ -25,13 +31,19 @@ import dataclasses
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.pipeline import ControlOverride, PipelinedBNBFabric
+from ..core.pipeline_fast import VectorPipelinedFabric
 from ..core.words import Word
 from ..exceptions import FaultServiceError, MisdeliveryError
 from ..service.fabric import ResilientFabric
 from .scheduler import ScheduledFrame
 from .voq import QueueEntry
 
-__all__ = ["CompletedFrame", "PipelinedPlane", "ResilientPlane"]
+__all__ = [
+    "CompletedFrame",
+    "PipelinedPlane",
+    "ResilientPlane",
+    "VectorPlane",
+]
 
 
 @dataclasses.dataclass
@@ -170,6 +182,134 @@ class PipelinedPlane(_PlaneBase):
                 )
             )
         return completed, []
+
+
+class VectorPlane(_PlaneBase):
+    """A compiled-plan numpy plane with sampled boundary verification.
+
+    Same clocking contract as :class:`PipelinedPlane` — one frame may
+    enter per cycle, ``m`` in flight — but the fabric is a
+    :class:`~repro.core.pipeline_fast.VectorPipelinedFabric`, so a step
+    costs a handful of whole-array passes instead of a Python-object
+    walk per word.  Verifying every line of every frame would put the
+    per-word Python loop right back on the hot path, so verification is
+    sampled: every ``verify_every``-th delivered frame is fully
+    checked; the others get ``spot_checks`` rotating per-destination
+    probes.  Any detected misdelivery (Theorem-2-impossible without a
+    fault or engine bug) kills the plane and requeues its words, same
+    as the object plane.
+    """
+
+    def __init__(
+        self,
+        plane_id: int,
+        m: int,
+        verify_every: int = 16,
+        spot_checks: int = 2,
+    ) -> None:
+        super().__init__(plane_id)
+        if verify_every < 1:
+            raise ValueError(
+                f"verify_every must be >= 1, got {verify_every}"
+            )
+        if spot_checks < 0:
+            raise ValueError(
+                f"spot_checks must be >= 0, got {spot_checks}"
+            )
+        self.m = m
+        self.verify_every = verify_every
+        self.spot_checks = spot_checks
+        self.full_verifies = 0
+        self.spot_verifies = 0
+        self.fabric = VectorPipelinedFabric(m, retain_delivered=False)
+        self._delivered_now: List[Tuple[Any, List[Word]]] = []
+        self.fabric.add_delivery_hook(
+            lambda tag, outputs: self._delivered_now.append((tag, outputs))
+        )
+        self._verified_counter = 0
+        self._spot_cursor = 0
+
+    @property
+    def ready(self) -> bool:
+        return self.healthy and self.fabric.can_accept
+
+    @property
+    def load(self) -> int:
+        return self.in_flight + (0 if self.fabric.can_accept else 1)
+
+    def offer(self, frame: ScheduledFrame) -> None:
+        if not self.ready:
+            raise ValueError(f"plane {self.plane_id} cannot accept a frame now")
+        self.fabric.offer_words(frame.words, tag=frame.tag)
+        self._in_flight[frame.tag] = frame
+
+    def _verify_sampled(
+        self, frame: ScheduledFrame, outputs: List[Optional[Word]]
+    ) -> None:
+        """Full verify every k-th frame, rotating spot checks otherwise."""
+        index = self._verified_counter
+        self._verified_counter += 1
+        if index % self.verify_every == 0:
+            self.full_verifies += 1
+            self._verify(frame, outputs)
+            return
+        if not self.spot_checks or not frame.entries:
+            return
+        self.spot_verifies += 1
+        destinations = sorted(frame.entries)
+        for probe in range(min(self.spot_checks, len(destinations))):
+            destination = destinations[
+                (self._spot_cursor + probe) % len(destinations)
+            ]
+            entry = frame.entries[destination]
+            word = outputs[destination]
+            if word is None or word.payload is not entry:
+                raise MisdeliveryError(
+                    self.plane_id,
+                    f"frame {frame.tag}: spot check found output "
+                    f"{destination} carrying {word!r}, expected the word "
+                    f"for {entry.destination}",
+                )
+        self._spot_cursor = (self._spot_cursor + self.spot_checks) % max(
+            len(destinations), 1
+        )
+
+    def step(self) -> Tuple[List[CompletedFrame], List[QueueEntry]]:
+        """One clock: returns (verified completions, entries to requeue)."""
+        if not self.healthy or (
+            self.fabric.in_flight == 0 and self.fabric.can_accept
+        ):
+            return [], []
+        self._delivered_now = []
+        self.fabric.step()
+        completed: List[CompletedFrame] = []
+        for tag, outputs in self._delivered_now:
+            frame = self._in_flight.pop(tag)
+            try:
+                self._verify_sampled(frame, outputs)
+            except MisdeliveryError as error:
+                requeue = list(frame.entries.values())
+                requeue.extend(self.kill(reason=str(error)))
+                return completed, requeue
+            self.frames_delivered += 1
+            self.words_delivered += frame.active
+            completed.append(
+                CompletedFrame(
+                    frame=frame,
+                    outputs=outputs,
+                    plane_id=self.plane_id,
+                    mode="clean",
+                )
+            )
+        return completed, []
+
+    def describe(self) -> Dict[str, Any]:
+        info = super().describe()
+        info["engine"] = "vector"
+        info["verify_every"] = self.verify_every
+        info["full_verifies"] = self.full_verifies
+        info["spot_verifies"] = self.spot_verifies
+        return info
 
 
 class ResilientPlane(_PlaneBase):

@@ -1,0 +1,249 @@
+"""A multi-process plane pool: fabric planes sharded across CPU cores.
+
+The in-process planes all route on the gateway's core; once the vector
+engine makes a single plane cheap, the next scaling axis is *cores*.
+:class:`ProcessPlanePool` runs one worker process per plane.  Each
+worker owns the compiled routing plan for its size and routes whole
+frames with :func:`~repro.core.pipeline_fast.route_frame_sources`; the
+frame payload crosses the process boundary through a **shared-memory
+frame buffer** (one ``int64`` slab per plane: ``n`` input addresses in,
+``n`` routed source lines out), so the per-frame pipe traffic is a
+two-int doorbell, never the words themselves.
+
+Gateway-facing, a :class:`ProcessPlane` looks like any other plane
+(``ready`` / ``offer`` / ``step`` / ``kill`` / ``load``): ``offer``
+writes the frame into the shared slab and rings the worker; ``step``
+polls for completions without blocking the event loop.  Like
+:class:`~repro.server.planes.ResilientPlane` it carries one frame at a
+time — the parallelism is across planes, not within one.  A worker
+that dies mid-frame fails its plane; the gateway requeues the words
+onto survivors, the same containment contract as every other plane
+kind.
+
+Pools own OS resources (processes, shared memory); use them as context
+managers or call :meth:`ProcessPlanePool.close`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import multiprocessing.shared_memory
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.pipeline_fast import route_frame_sources
+from ..core.words import Word
+from ..exceptions import MisdeliveryError
+from .planes import CompletedFrame, _PlaneBase
+from .scheduler import ScheduledFrame
+from .voq import QueueEntry
+
+__all__ = ["ProcessPlane", "ProcessPlanePool"]
+
+
+def _worker_main(m: int, conn, shm_name: str, n: int) -> None:
+    """Worker loop: route frames from the shared slab until told to stop."""
+    shm = multiprocessing.shared_memory.SharedMemory(name=shm_name)
+    try:
+        slab = np.ndarray((2 * n,), dtype=np.int64, buffer=shm.buf)
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message[0] == "stop":
+                break
+            # ("frame", tag): addresses sit in slab[:n]; answer in-place.
+            _kind, tag = message
+            slab[n:] = route_frame_sources(m, slab[:n].copy())
+            conn.send(("done", tag))
+    finally:
+        conn.close()
+        shm.close()
+
+
+class ProcessPlane(_PlaneBase):
+    """Gateway-facing proxy for one plane hosted in a worker process."""
+
+    def __init__(
+        self,
+        plane_id: int,
+        m: int,
+        process: multiprocessing.process.BaseProcess,
+        conn,
+        slab: np.ndarray,
+    ) -> None:
+        super().__init__(plane_id)
+        self.m = m
+        self.n = 1 << m
+        self._process = process
+        self._conn = conn
+        self._slab = slab
+        self._current: Optional[ScheduledFrame] = None
+
+    @property
+    def ready(self) -> bool:
+        return self.healthy and self._current is None
+
+    @property
+    def load(self) -> int:
+        return self.in_flight
+
+    def offer(self, frame: ScheduledFrame) -> None:
+        if not self.ready:
+            raise ValueError(f"plane {self.plane_id} cannot accept a frame now")
+        for line, word in enumerate(frame.words):
+            self._slab[line] = word.address
+        self._current = frame
+        self._in_flight[frame.tag] = frame
+        try:
+            self._conn.send(("frame", frame.tag))
+        except (BrokenPipeError, OSError):
+            # The worker died under us; don't crash the gateway clock —
+            # the next step() sees the dead process and requeues.
+            pass
+
+    def step(self) -> Tuple[List[CompletedFrame], List[QueueEntry]]:
+        """Poll the worker; return (completions, entries to requeue)."""
+        if not self.healthy or self._current is None:
+            return [], []
+        if not self._conn.poll(0):
+            if not self._process.is_alive():
+                return [], self.kill(reason="worker process died")
+            return [], []
+        try:
+            _kind, tag = self._conn.recv()
+        except (EOFError, OSError):
+            return [], self.kill(reason="worker connection lost")
+        frame = self._in_flight.pop(tag)
+        self._current = None
+        sources = self._slab[self.n :].tolist()
+        outputs: List[Optional[Word]] = [
+            frame.words[source] for source in sources
+        ]
+        try:
+            self._verify(frame, outputs)
+        except MisdeliveryError as error:
+            requeue = list(frame.entries.values())
+            requeue.extend(self.kill(reason=str(error)))
+            return [], requeue
+        self.frames_delivered += 1
+        self.words_delivered += frame.active
+        return (
+            [
+                CompletedFrame(
+                    frame=frame,
+                    outputs=outputs,
+                    plane_id=self.plane_id,
+                    mode="clean",
+                )
+            ],
+            [],
+        )
+
+    def kill(self, reason: str = "killed") -> List[QueueEntry]:
+        stranded = super().kill(reason=reason)
+        self._current = None
+        self._shutdown_worker()
+        return stranded
+
+    def _shutdown_worker(self, timeout: float = 1.0) -> None:
+        if self._process.is_alive():
+            try:
+                self._conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            self._process.join(timeout)
+            if self._process.is_alive():
+                self._process.terminate()
+                self._process.join(timeout)
+
+    def describe(self) -> Dict[str, Any]:
+        info = super().describe()
+        info["engine"] = "vector-process"
+        info["worker_pid"] = self._process.pid
+        info["worker_alive"] = self._process.is_alive()
+        return info
+
+
+class ProcessPlanePool:
+    """``workers`` vector planes, one per process, shared-memory framed."""
+
+    def __init__(self, m: int, workers: int) -> None:
+        if m < 1:
+            raise ValueError(f"the pool needs m >= 1, got {m}")
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.m = m
+        self.n = 1 << m
+        self.workers = workers
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover — non-POSIX fallback
+            context = multiprocessing.get_context()
+        self._shms: List[multiprocessing.shared_memory.SharedMemory] = []
+        self.planes: List[ProcessPlane] = []
+        self._closed = False
+        try:
+            for plane_id in range(workers):
+                shm = multiprocessing.shared_memory.SharedMemory(
+                    create=True, size=2 * self.n * 8
+                )
+                self._shms.append(shm)
+                slab = np.ndarray((2 * self.n,), dtype=np.int64, buffer=shm.buf)
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(m, child_conn, shm.name, self.n),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self.planes.append(
+                    ProcessPlane(plane_id, m, process, parent_conn, slab)
+                )
+        except Exception:
+            self.close()
+            raise
+
+    def plane_factory(self, plane_id: int, m: int) -> ProcessPlane:
+        """An :class:`~repro.server.gateway.AsyncGateway` plane factory."""
+        if m != self.m:
+            raise ValueError(
+                f"pool was built for m={self.m}, gateway asked for m={m}"
+            )
+        return self.planes[plane_id]
+
+    def close(self) -> None:
+        """Stop every worker and release the shared-memory slabs."""
+        if self._closed:
+            return
+        self._closed = True
+        for plane in self.planes:
+            plane._shutdown_worker()
+        for shm in self._shms:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover — already gone
+                pass
+
+    def __enter__(self) -> "ProcessPlanePool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover — belt and braces
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessPlanePool(m={self.m}, workers={self.workers}, "
+            f"closed={self._closed})"
+        )

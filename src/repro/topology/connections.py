@@ -14,11 +14,11 @@ from typing import List, Sequence
 
 from ..bits import (
     butterfly_index,
+    cached_shuffle_permutation,
+    cached_unshuffle_permutation,
     require_power_of_two,
     rotate_left,
     rotate_right,
-    shuffle_index,
-    unshuffle_index,
 )
 
 __all__ = [
@@ -48,13 +48,13 @@ def unshuffle_connection(n: int, k: int) -> List[int]:
     the odd offsets in its lower half, preserving order.
     """
     m = require_power_of_two(n)
-    return [unshuffle_index(j, k, m) for j in range(n)]
+    return list(cached_unshuffle_permutation(k, m))
 
 
 def shuffle_connection(n: int, k: int) -> List[int]:
     """Inverse of :func:`unshuffle_connection` (low *k* bits rotate left)."""
     m = require_power_of_two(n)
-    return [shuffle_index(j, k, m) for j in range(n)]
+    return list(cached_shuffle_permutation(k, m))
 
 
 def butterfly_connection(n: int, k: int) -> List[int]:

@@ -151,6 +151,29 @@ class TestUnshuffle:
         wiring = bits.unshuffle_permutation(3, 5)
         assert sorted(wiring) == list(range(32))
 
+    def test_cached_wirings_memoize_as_immutable_tuples(self):
+        """The cache hands back one shared tuple per (k, m); the public
+        list functions return fresh copies a caller may mutate."""
+        assert bits.cached_unshuffle_permutation(
+            3, 5
+        ) is bits.cached_unshuffle_permutation(3, 5)
+        assert bits.cached_shuffle_permutation(
+            3, 5
+        ) is bits.cached_shuffle_permutation(3, 5)
+        first = bits.unshuffle_permutation(3, 5)
+        second = bits.unshuffle_permutation(3, 5)
+        assert first == second and first is not second
+        first[0] = -1  # must not poison the cache
+        assert bits.unshuffle_permutation(3, 5) == second
+
+    def test_cached_wirings_match_index_functions(self):
+        for k in range(1, 6):
+            unshuffle = bits.cached_unshuffle_permutation(k, 5)
+            shuffle = bits.cached_shuffle_permutation(k, 5)
+            for j in range(32):
+                assert unshuffle[j] == bits.unshuffle_index(j, k, 5)
+                assert shuffle[j] == bits.shuffle_index(j, k, 5)
+
     def test_unshuffle_list_semantics(self):
         # result[U(j)] = lines[j]
         lines = list("abcdefgh")

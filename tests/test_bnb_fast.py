@@ -64,3 +64,55 @@ class TestRouteFast:
         pi = random_permutation(1 << m, rng=1)
         out = net.route_fast(np.array(pi.to_list()))
         assert np.array_equal(out, np.arange(1 << m))
+
+
+class TestValidationParity:
+    """``route_fast`` must fail exactly like ``route``: same exception
+    types, same messages, same ``check_inputs`` escape hatch."""
+
+    def test_wrong_length_same_error_as_route(self):
+        net = BNBNetwork(3)
+        with pytest.raises(ValueError) as fast_info:
+            net.route_fast(np.array([0, 1, 2]))
+        with pytest.raises(ValueError) as slow_info:
+            net.route([0, 1, 2])
+        assert str(fast_info.value) == str(slow_info.value)
+        assert str(fast_info.value) == "expected 8 inputs, got 3"
+
+    def test_non_permutation_same_error_as_route(self):
+        net = BNBNetwork(2)
+        bad = [0, 0, 1, 2]
+        with pytest.raises(NotAPermutationError) as fast_info:
+            net.route_fast(np.array(bad))
+        with pytest.raises(NotAPermutationError) as slow_info:
+            net.route(list(bad))
+        assert str(fast_info.value) == str(slow_info.value)
+        assert fast_info.value.addresses == bad
+
+    def test_out_of_range_address_rejected(self):
+        net = BNBNetwork(2)
+        with pytest.raises(NotAPermutationError):
+            net.route_fast(np.array([0, 1, 2, 99]))
+
+    def test_bad_shape_rejected(self):
+        net = BNBNetwork(3)
+        with pytest.raises(ValueError, match=r"expected shape \(8,\)"):
+            net.route_fast(np.zeros((2, 4), dtype=np.int64))
+
+    def test_check_inputs_false_skips_address_validation(self):
+        """Both paths honour the escape hatch: with ``check_inputs``
+        off, neither raises :class:`NotAPermutationError` (the object
+        model's splitters may still trip on unbalanced garbage — that
+        is a deeper layer, not input validation)."""
+        unchecked = BNBNetwork(2, check_inputs=False)
+        bad = np.array([0, 0, 1, 2])
+        out = unchecked.route_fast(bad)  # no validation: must not raise
+        assert out.shape == (4,)
+        with pytest.raises(NotAPermutationError):
+            BNBNetwork(2).route_fast(bad)
+
+    def test_check_inputs_false_still_routes_valid_input(self):
+        net = BNBNetwork(3, check_inputs=False)
+        pi = random_permutation(8, rng=5)
+        out = net.route_fast(np.array(pi.to_list()))
+        assert np.array_equal(out, np.arange(8))

@@ -25,10 +25,36 @@ class TestRoute:
         assert main(["route", "16", "--seed", "3", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["network"] == "bnb"
+        assert payload["engine"] == "object"
         assert payload["n"] == 16
         assert payload["delivered"] is True
         assert sorted(payload["request"]) == list(range(16))
         assert payload["arrived"] == list(range(16))
+
+    def test_route_fast_prose(self, capsys):
+        assert main(["route", "16", "--seed", "3", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "bnb [fast]" in out
+        assert "delivered: True" in out
+
+    def test_route_fast_json_matches_object_path(self, capsys):
+        assert main(["route", "16", "--seed", "3", "--fast", "--json"]) == 0
+        fast = json.loads(capsys.readouterr().out)
+        assert main(["route", "16", "--seed", "3", "--json"]) == 0
+        slow = json.loads(capsys.readouterr().out)
+        assert fast["engine"] == "fast"
+        # Same seed, same request, same verified outcome either engine.
+        assert fast["request"] == slow["request"]
+        assert fast["arrived"] == slow["arrived"]
+        assert fast["delivered"] is True
+
+    def test_route_fast_non_bnb_exits_2(self, capsys):
+        assert main(["route", "8", "--network", "batcher", "--fast"]) == 2
+        assert "cannot route" in capsys.readouterr().err
+
+    def test_route_fast_bad_size_exits_2(self, capsys):
+        assert main(["route", "12", "--fast"]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestVerify:
@@ -131,6 +157,32 @@ class TestServe:
         stats = json.loads(capsys.readouterr().out)
         assert stats["delivered_words"] == 24
         assert stats["planes"][0]["kind"] == "ResilientPlane"
+
+    def test_demo_vector_engine(self, capsys):
+        assert main(
+            ["serve", "8", "--demo", "40", "--engine", "vector", "--json"]
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["delivered_words"] == 40
+        assert stats["planes"][0]["kind"] == "VectorPlane"
+        assert stats["planes"][0]["engine"] == "vector"
+
+    def test_demo_resilient_vector_conflict_exits_2(self, capsys):
+        assert main(
+            ["serve", "8", "--demo", "8", "--resilient", "--engine", "vector"]
+        ) == 2
+        assert "resilient" in capsys.readouterr().err
+
+    def test_demo_pool_workers(self, capsys):
+        assert main(
+            ["serve", "8", "--demo", "24", "--pool-workers", "2", "--json"]
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["delivered_words"] == 24
+        assert len(stats["planes"]) == 2
+        assert all(
+            plane["kind"] == "ProcessPlane" for plane in stats["planes"]
+        )
 
     def test_serve_bad_size_exits_2(self, capsys):
         assert main(["serve", "12"]) == 2

@@ -1,0 +1,95 @@
+"""The compiled routing plan: cached index tables behind the fast path."""
+
+import numpy as np
+import pytest
+
+from repro.core import BNBNetwork, compiled_plan
+from repro.core.plan import (
+    stage_take_indices,
+    vector_apply_controls,
+    vector_splitter_controls,
+)
+from repro.core.splitter import Splitter
+from repro.permutations import random_permutation
+
+
+class TestPlanCache:
+    def test_same_object_per_m(self):
+        """The plan is built once per size and shared thereafter."""
+        assert compiled_plan(4) is compiled_plan(4)
+        assert compiled_plan(4) is not compiled_plan(5)
+
+    @pytest.mark.parametrize("m", [1, 2, 3, 4, 5])
+    def test_shape_matches_paper_recursion(self, m):
+        """Stage i has 2^i nested networks of size 2^(m-i), each
+        contributing m-i inner passes (Section III structure)."""
+        plan = compiled_plan(m)
+        assert plan.m == m and plan.n == 1 << m
+        assert len(plan.stages) == m
+        for i, stage in enumerate(plan.stages):
+            assert stage.stage == i
+            assert stage.nested_count == 1 << i
+            assert stage.block_exp == m - i
+            assert len(stage.inner_widths) == m - i
+            assert stage.inner_widths[0] == 1 << (m - i)
+            # Widths halve pass by pass down the nested recursion.
+            for a, b in zip(stage.inner_widths, stage.inner_widths[1:]):
+                assert b == a // 2
+
+    @pytest.mark.parametrize("m", [2, 3, 4, 5])
+    def test_gathers_are_permutations(self, m):
+        plan = compiled_plan(m)
+        identity = np.arange(plan.n)
+        for stage in plan.stages:
+            for gather in stage.inner_gathers:
+                if gather is not None:
+                    assert np.array_equal(np.sort(gather), identity)
+            if stage.stage_gather is not None:
+                assert np.array_equal(np.sort(stage.stage_gather), identity)
+
+    def test_line_groups_partition_lines(self):
+        plan = compiled_plan(4)
+        for stage, groups in enumerate(plan.line_groups):
+            flat = sorted(
+                line for group in groups for line in group.tolist()
+            )
+            assert flat == list(range(plan.n)), stage
+
+    def test_tables_are_immutable(self):
+        plan = compiled_plan(3)
+        with pytest.raises(ValueError):
+            plan.identity[0] = 99
+
+
+class TestVectorKernels:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4])
+    def test_splitter_controls_match_object_model(self, p):
+        rng = np.random.default_rng(p)
+        splitter = Splitter(p, check_balance=False)
+        blocks = rng.integers(0, 2, size=(25, 1 << p))
+        controls = vector_splitter_controls(blocks)
+        for row in range(blocks.shape[0]):
+            assert (
+                controls[row].tolist()
+                == splitter.controls(blocks[row].tolist())
+            )
+
+    def test_apply_controls_swaps_exactly_the_set_pairs(self):
+        lines = np.array([[10, 11, 12, 13]])
+        out = vector_apply_controls(lines, np.array([[1, 0]]))
+        assert out.tolist() == [[11, 10, 12, 13]]
+
+    @pytest.mark.parametrize("m", [1, 2, 3, 4, 5, 6])
+    def test_stage_take_composition_equals_route(self, m):
+        """Composing per-stage take indices reproduces the reference
+        route for every stage prefix, not just end to end."""
+        n = 1 << m
+        net = BNBNetwork(m)
+        plan = compiled_plan(m)
+        for seed in range(5):
+            pi = np.array(random_permutation(n, rng=seed).to_list())
+            lines = pi
+            for stage in plan.stages:
+                lines = lines[stage_take_indices(plan, stage, lines)]
+            assert np.array_equal(lines, np.arange(n))
+            assert np.array_equal(net.route_fast(pi), np.arange(n))

@@ -66,6 +66,22 @@ class TestBasics:
             GatewayConfig(m=3, planes=0)
         with pytest.raises(ValueError):
             GatewayConfig(m=3, queue_capacity=0)
+        with pytest.raises(ValueError):
+            GatewayConfig(m=3, engine="simd")
+        # The resilient wrapper drives the object fabric; combining it
+        # with the vector engine must refuse, not silently pick one.
+        with pytest.raises(ValueError):
+            GatewayConfig(m=3, resilient=True, engine="vector")
+
+    def test_engine_selects_plane_kind(self, run_async):
+        async def scenario(engine):
+            config = GatewayConfig(m=3, engine=engine)
+            async with AsyncGateway(config) as gateway:
+                await gateway.send(2, payload="x")
+                return gateway.stats()["planes"][0]["kind"]
+
+        assert run_async(scenario("object")) == "PipelinedPlane"
+        assert run_async(scenario("vector")) == "VectorPlane"
 
 
 class TestConcurrentDelivery:
@@ -95,9 +111,11 @@ class TestConcurrentDelivery:
         assert stats["queues"]["max_depth"] <= 16
 
     @pytest.mark.slow
-    def test_acceptance_1000_clients_m4(self, run_async):
+    @pytest.mark.parametrize("engine", ["object", "vector"])
+    def test_acceptance_1000_clients_m4(self, run_async, engine):
         """ISSUE acceptance: 1000 concurrent clients at m=4, zero
-        misdelivered words, bounded queues under overload."""
+        misdelivered words, bounded queues under overload — on both
+        the reference object engine and the compiled vector engine."""
 
         async def client(gateway, rng, cid, receipts):
             for k in range(2):
@@ -107,7 +125,9 @@ class TestConcurrentDelivery:
                 receipts.append(((cid, k), receipt))
 
         async def scenario():
-            config = GatewayConfig(m=4, planes=2, queue_capacity=64)
+            config = GatewayConfig(
+                m=4, planes=2, queue_capacity=64, engine=engine
+            )
             receipts = []
             async with AsyncGateway(config) as gateway:
                 seeder = random.Random(42)
