@@ -129,11 +129,45 @@ def check_vector_pipeline(
         )
 
 
+def check_obs_overhead(data: Dict[str, Any], name: str, errors: List[str]) -> None:
+    for key in (
+        "m",
+        "n",
+        "engine",
+        "offered_load",
+        "samples_per_side",
+        "baseline_fill",
+        "instrumented_fill",
+        "baseline_median_cycle_seconds",
+        "instrumented_median_cycle_seconds",
+        "throughput_ratio",
+        "overhead",
+        "overhead_budget",
+    ):
+        _require(key in data, name, f"missing {key!r}", errors)
+    for key in ("baseline_fill", "instrumented_fill"):
+        if key in data:
+            _require(
+                data[key] >= 0.9,
+                name,
+                f"{key} {data[key]} below the 0.9 acceptance bar",
+                errors,
+            )
+    if {"overhead", "overhead_budget"} <= data.keys():
+        _require(
+            data["overhead"] < data["overhead_budget"],
+            name,
+            f"overhead {data['overhead']} >= budget {data['overhead_budget']}",
+            errors,
+        )
+
+
 SCHEMAS: Dict[str, Callable[[Any, str, List[str]], None]] = {
     "gateway_load.json": check_gateway_load,
     "gateway_plane_kill.json": check_gateway_plane_kill,
     "bist_probe_counts.json": check_probe_counts,
     "vector_pipeline.json": check_vector_pipeline,
+    "obs_overhead.json": check_obs_overhead,
 }
 
 

@@ -9,10 +9,13 @@ Commands
 ``report``   print the full paper-vs-measured experiments report
 ``faults``   BIST schedule, fault localization and the resilient service
 ``serve``    host the async traffic gateway (TCP JSON-lines, or --demo)
+``stats``    scrape a running gateway, or one-shot an in-process snapshot
 
 Every command writes plain text to stdout and exits non-zero on
 failure, so the CLI is scriptable; ``route``/``verify``/``serve`` take
-``--json`` for machine-readable output.  Library failures
+``--json`` for machine-readable output (all JSON surfaces share the
+:func:`repro.obs.snapshot.dump_json` serializer, so numeric formatting
+and NaN handling are identical everywhere).  Library failures
 (:class:`~repro.exceptions.ReproError`) exit with code 2 and a
 one-line ``error:`` message on stderr — never a traceback; Ctrl-C
 exits 130 cleanly; anything else escaping is a genuine bug and is
@@ -148,6 +151,69 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--json", action="store_true", help="emit stats as JSON (with --demo)"
     )
+    serve.add_argument(
+        "--metrics",
+        action="store_true",
+        help="instrument the gateway: enables the 'metrics' wire op, "
+        "GET /metrics scrapes, and frame tracing",
+    )
+    serve.add_argument(
+        "--trace-sample",
+        type=int,
+        default=16,
+        metavar="K",
+        help="trace every K-th frame (with --metrics; 1 traces all)",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve for SECONDS, then print a final snapshot and exit "
+        "instead of running until Ctrl-C",
+    )
+
+    stats = sub.add_parser(
+        "stats",
+        help="telemetry snapshot: scrape a running gateway or run one-shot",
+    )
+    stats.add_argument(
+        "n",
+        type=int,
+        nargs="?",
+        default=None,
+        help="network size for a one-shot in-process snapshot "
+        "(omit when using --connect)",
+    )
+    stats.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="scrape a running 'repro serve --metrics' gateway over TCP",
+    )
+    stats.add_argument(
+        "--words",
+        type=int,
+        default=256,
+        help="synthetic words to drive in one-shot mode",
+    )
+    stats.add_argument(
+        "--engine",
+        choices=("object", "vector"),
+        default="object",
+        help="plane engine for one-shot mode",
+    )
+    stats.add_argument(
+        "--trace-sample", type=int, default=16, metavar="K",
+        help="trace every K-th frame in one-shot mode (1 traces all)",
+    )
+    stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument(
+        "--format",
+        choices=("json", "prometheus"),
+        default="json",
+        help="json: the combined snapshot; prometheus: the text exposition",
+    )
     return parser
 
 
@@ -178,8 +244,10 @@ def _command_route(args: argparse.Namespace) -> int:
         arrived = [word.address for word in route(pi.to_list())]
     delivered = arrived == list(range(args.n))
     if args.json:
+        from .obs.snapshot import dump_json
+
         print(
-            json.dumps(
+            dump_json(
                 {
                     "network": args.network,
                     "engine": "fast" if args.fast else "object",
@@ -188,7 +256,8 @@ def _command_route(args: argparse.Namespace) -> int:
                     "request": pi.to_list(),
                     "arrived": arrived,
                     "delivered": delivered,
-                }
+                },
+                indent=None,
             )
         )
     else:
@@ -364,9 +433,22 @@ def _command_serve(args: argparse.Namespace) -> int:
         engine=engine,
     )
 
+    def _instrument(gateway):
+        """Attach telemetry when asked; ``None`` keeps the hot path bare."""
+        if not args.metrics:
+            return None
+        from .obs import GatewayInstrumentation, Registry
+
+        return GatewayInstrumentation(
+            gateway,
+            registry=Registry(),
+            trace_sample_every=args.trace_sample,
+        ).attach()
+
     async def _demo(words: int) -> dict:
         rng = random.Random(args.seed)
         async with AsyncGateway(config, plane_factory=plane_factory) as gateway:
+            instrumentation = _instrument(gateway)
             receipts = await asyncio.gather(
                 *(
                     gateway.send_with_retry(
@@ -379,51 +461,92 @@ def _command_serve(args: argparse.Namespace) -> int:
                 receipt.payload == index
                 for index, receipt in enumerate(receipts)
             )
+            if instrumentation is not None:
+                return instrumentation.snapshot()
+            # Metrics off: the bare stats dict, exactly as before the
+            # observability layer existed.
             return gateway.stats()
 
     async def _serve() -> None:
         async with AsyncGateway(config, plane_factory=plane_factory) as gateway:
+            instrumentation = _instrument(gateway)
             async with GatewayServer(
-                gateway, host=args.host, port=args.port
+                gateway,
+                host=args.host,
+                port=args.port,
+                instrumentation=instrumentation,
             ) as server:
                 pool_note = (
                     f", {args.pool_workers} worker process(es)"
                     if pool is not None
                     else f", engine {config.engine}"
                 )
+                metrics_note = ", metrics on" if instrumentation else ""
+                stop_note = (
+                    f"{args.duration:g}s run"
+                    if args.duration is not None
+                    else "Ctrl-C stops"
+                )
                 print(
                     f"serving N={args.n} on {args.host}:{server.port} "
                     f"({planes} plane(s), capacity {args.capacity}"
                     f"{', resilient' if args.resilient else ''}"
-                    f"{pool_note}) — Ctrl-C stops"
+                    f"{pool_note}{metrics_note}) — {stop_note}"
                 )
                 sys.stdout.flush()
-                await server.serve_forever()
+                if args.duration is None:
+                    await server.serve_forever()
+                else:
+                    try:
+                        await asyncio.wait_for(
+                            server.serve_forever(), timeout=args.duration
+                        )
+                    except asyncio.TimeoutError:
+                        pass
+                    _print_snapshot(
+                        instrumentation.snapshot()
+                        if instrumentation is not None
+                        else gateway.stats(),
+                        as_json=True,
+                    )
+
+    def _print_snapshot(snapshot: dict, as_json: bool) -> None:
+        from .obs.snapshot import dump_json
+
+        if as_json:
+            print(dump_json(snapshot))
+            return
+        # With --metrics the snapshot nests the plain stats under
+        # "gateway"; without, it *is* the plain stats.
+        stats = snapshot.get("gateway", snapshot)
+        queues = stats["queues"]
+        latency = stats["latency_cycles"]
+        print(f"gateway  : N={stats['n']} planes={len(stats['planes'])}")
+        print(
+            f"traffic  : {queues['offered']} offered, "
+            f"{queues['accepted']} accepted, "
+            f"{queues['rejected']} rejected"
+        )
+        print(
+            f"frames   : {stats['delivered_frames']} delivered, "
+            f"mean fill {stats['scheduler']['mean_fill']:.3f}"
+        )
+        print(
+            f"latency  : p50={latency['p50']} p99={latency['p99']} "
+            f"cycles (over {latency['samples']} words)"
+        )
+        if "traces" in snapshot:
+            traces = snapshot["traces"]
+            print(
+                f"traces   : {traces['completed_frames']} frames traced "
+                f"(1 in {traces['sample_every']}), "
+                f"{len(traces['records'])} retained"
+            )
 
     try:
         if args.demo is not None:
-            stats = asyncio.run(_demo(args.demo))
-            if args.json:
-                print(json.dumps(stats, indent=2))
-            else:
-                queues = stats["queues"]
-                latency = stats["latency_cycles"]
-                print(
-                    f"gateway  : N={stats['n']} planes={len(stats['planes'])}"
-                )
-                print(
-                    f"traffic  : {queues['offered']} offered, "
-                    f"{queues['accepted']} accepted, "
-                    f"{queues['rejected']} rejected"
-                )
-                print(
-                    f"frames   : {stats['delivered_frames']} delivered, "
-                    f"mean fill {stats['scheduler']['mean_fill']:.3f}"
-                )
-                print(
-                    f"latency  : p50={latency['p50']} p99={latency['p99']} "
-                    f"cycles (over {latency['samples']} words)"
-                )
+            snapshot = asyncio.run(_demo(args.demo))
+            _print_snapshot(snapshot, as_json=args.json)
             return 0
         try:
             asyncio.run(_serve())
@@ -436,6 +559,99 @@ def _command_serve(args: argparse.Namespace) -> int:
             pool.close()
 
 
+def _stats_connect(args: argparse.Namespace) -> int:
+    """Scrape a running ``repro serve --metrics`` gateway over TCP."""
+    import socket
+
+    from .exceptions import InputError
+    from .obs.snapshot import dump_json
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise InputError(
+            f"--connect takes HOST:PORT, got {args.connect!r}"
+        )
+    request = {"op": "metrics", "format": args.format}
+    try:
+        with socket.create_connection((host, int(port_text)), timeout=10) as sock:
+            sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
+            reader = sock.makefile("r", encoding="utf-8")
+            line = reader.readline()
+    except OSError as error:
+        raise InputError(
+            f"cannot scrape {args.connect}: {error}"
+        ) from error
+    if not line:
+        raise InputError(f"{args.connect} closed the connection mid-scrape")
+    response = json.loads(line)
+    if not response.get("ok"):
+        slug = response.get("error", "unknown")
+        detail = response.get("detail", "")
+        hint = (
+            " (start the server with 'repro serve N --metrics')"
+            if slug == "metrics-disabled"
+            else ""
+        )
+        print(f"error: {slug}: {detail}{hint}", file=sys.stderr)
+        return 2
+    if args.format == "prometheus":
+        sys.stdout.write(response["body"])
+    else:
+        print(dump_json(response["metrics"]))
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    """``repro stats``: scrape a live gateway, or run a one-shot snapshot."""
+    if args.connect is not None:
+        return _stats_connect(args)
+    from .exceptions import InputError
+
+    if args.n is None:
+        raise InputError(
+            "stats needs a network size for one-shot mode, "
+            "or --connect HOST:PORT to scrape a running gateway"
+        )
+    import asyncio
+    import random
+
+    require_power_of_two(args.n, "network size")
+    m = args.n.bit_length() - 1
+
+    from .obs import GatewayInstrumentation, Registry
+    from .obs.snapshot import dump_json
+    from .server import AsyncGateway, GatewayConfig
+
+    config = GatewayConfig(m=m, engine=args.engine)
+
+    async def _one_shot() -> dict:
+        rng = random.Random(args.seed)
+        async with AsyncGateway(config) as gateway:
+            instrumentation = GatewayInstrumentation(
+                gateway,
+                registry=Registry(),
+                trace_sample_every=args.trace_sample,
+            ).attach()
+            await asyncio.gather(
+                *(
+                    gateway.send_with_retry(
+                        rng.randrange(args.n), payload=index
+                    )
+                    for index in range(args.words)
+                )
+            )
+            if args.format == "prometheus":
+                return {"body": instrumentation.render_prometheus()}
+            return instrumentation.snapshot()
+
+    result = asyncio.run(_one_shot())
+    if args.format == "prometheus":
+        sys.stdout.write(result["body"])
+    else:
+        print(dump_json(result))
+    return 0
+
+
 _HANDLERS = {
     "route": _command_route,
     "verify": _command_verify,
@@ -444,6 +660,7 @@ _HANDLERS = {
     "report": _command_report,
     "faults": _command_faults,
     "serve": _command_serve,
+    "stats": _command_stats,
 }
 
 

@@ -318,6 +318,20 @@ class PipelinedBNBFabric:
         for _ in range(cycles):
             self.step()
 
+    def stage_timeline(self, entered_cycle: int) -> List[int]:
+        """The cycle at which a batch offered at *entered_cycle* crosses
+        each main stage.
+
+        The pipeline never stalls — a batch entering the fabric shifts
+        one stage per :meth:`step`, unconditionally — so the timeline is
+        deterministic: stage *k*'s routing logic runs during the step
+        that begins at ``entered_cycle + 1 + k``, and the batch drains
+        (delivery hooks fire) as stage ``m-1`` is crossed.  The tracing
+        layer (:mod:`repro.obs.tracing`) derives per-stage trace records
+        from this instead of timestamping the hot loop.
+        """
+        return [entered_cycle + 1 + stage for stage in range(self.m)]
+
     def route_batch(
         self, words: Sequence[Word], tag: Any = None
     ) -> List[Word]:

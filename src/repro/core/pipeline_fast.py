@@ -209,6 +209,15 @@ class VectorPipelinedFabric:
         for _ in range(cycles):
             self.step()
 
+    def stage_timeline(self, entered_cycle: int) -> List[int]:
+        """The cycle at which a batch offered at *entered_cycle* crosses
+        each main stage — same deterministic, stall-free timeline as
+        :meth:`repro.core.pipeline.PipelinedBNBFabric.stage_timeline`
+        (the engines share the clocking contract, so the tracing layer
+        needs no per-engine cases).
+        """
+        return [entered_cycle + 1 + stage for stage in range(self.m)]
+
     def route_batch(
         self, words: Sequence[Word], tag: Any = None
     ) -> List[Word]:

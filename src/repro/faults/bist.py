@@ -120,13 +120,18 @@ class BISTSchedule:
         return [pair for pair, hits in self.coverage().items() if not hits]
 
     def run(
-        self, route_fn: Callable[[List[Word]], Sequence[Word]]
+        self,
+        route_fn: Callable[[List[Word]], Sequence[Word]],
+        on_probe: Optional[Callable[["BISTProbe", "ProbeObservation"], None]] = None,
     ) -> List["ProbeObservation"]:
         """Push every probe through *route_fn* and collect observations.
 
         *route_fn* receives the probe's input words and returns the
         output words line by line — typically a closure over a live
-        (possibly faulty) fabric.
+        (possibly faulty) fabric.  When given, ``on_probe(probe,
+        observation)`` fires after each probe completes — the telemetry
+        layer counts probes per outcome through it without the schedule
+        knowing anything about metrics.
         """
         from .localization import ProbeObservation
 
@@ -138,12 +143,13 @@ class BISTSchedule:
                     f"probe {probe.index} returned {len(outputs)} outputs "
                     f"for an N={self.n} fabric"
                 )
-            observations.append(
-                ProbeObservation(
-                    addresses=probe.addresses,
-                    arrived=tuple(word.address for word in outputs),
-                )
+            observation = ProbeObservation(
+                addresses=probe.addresses,
+                arrived=tuple(word.address for word in outputs),
             )
+            observations.append(observation)
+            if on_probe is not None:
+                on_probe(probe, observation)
         return observations
 
     def detects(

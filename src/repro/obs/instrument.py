@@ -1,0 +1,351 @@
+"""Wire an :class:`~repro.server.gateway.AsyncGateway` into a registry.
+
+:class:`GatewayInstrumentation` is the one place that knows both sides:
+which hooks the dataplane offers and which metrics the catalog
+(``docs/observability.md``) promises.  It splits the work by cost:
+
+* **push** — it installs itself as the gateway's *observer* (the
+  ``on_*`` methods below, called from ``send``/``tick``/``_resolve``).
+  Every push touch is O(1) per *frame* or per *event*, never per word:
+  at m=8 a frame carries 256 words, and a per-word histogram observe
+  would cost more than the vector engine's whole routing step.
+* **pull** — everything the components already count (VOQ admission
+  totals, scheduler fill, plane health, pool worker liveness, the
+  resilient fabric's service counters) is copied in by a collector
+  that runs only when somebody scrapes.
+
+Construction never mutates the gateway; :meth:`attach` does, and is
+explicit so the metrics-off configuration stays byte-identical to the
+pre-observability dataplane.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .registry import (
+    CYCLE_BUCKETS,
+    RATIO_BUCKETS,
+    SECONDS_BUCKETS,
+    Registry,
+    get_registry,
+)
+from .tracing import FrameTracer
+
+__all__ = ["GatewayInstrumentation"]
+
+
+class GatewayInstrumentation:
+    """Metrics + tracing for one gateway; see module docstring."""
+
+    def __init__(
+        self,
+        gateway,
+        registry: Optional[Registry] = None,
+        trace_capacity: int = 256,
+        trace_sample_every: int = 16,
+    ) -> None:
+        self.gateway = gateway
+        self.registry = registry if registry is not None else get_registry()
+        self.tracer = FrameTracer(
+            gateway.config.m,
+            capacity=trace_capacity,
+            sample_every=trace_sample_every,
+        )
+        self._attached = False
+        r = self.registry
+
+        # -- push instruments (observer hooks fill these) ---------------
+        self._frames = r.counter(
+            "repro_gateway_frames_total",
+            "Frames delivered, by plane and delivery mode.",
+            labelnames=("plane", "mode"),
+        )
+        self._words = r.counter(
+            "repro_gateway_words_total",
+            "Client words delivered, by delivery mode.",
+            labelnames=("mode",),
+        )
+        self._fill = r.histogram(
+            "repro_gateway_frame_fill_ratio",
+            "Coalesced fill ratio of each delivered frame.",
+            buckets=RATIO_BUCKETS,
+        )
+        self._frame_latency = r.histogram(
+            "repro_gateway_frame_latency_cycles",
+            "Worst word latency per delivered frame, in gateway cycles.",
+            buckets=CYCLE_BUCKETS,
+        )
+        self._rejects = r.counter(
+            "repro_gateway_rejects_total",
+            "Words refused at admission (VOQ full or bad destination).",
+        )
+        self._retry_after = r.histogram(
+            "repro_gateway_retry_after_cycles",
+            "Retry-after hints handed to rejected senders.",
+            buckets=CYCLE_BUCKETS,
+        )
+        self._dispatches = r.counter(
+            "repro_gateway_dispatches_total",
+            "Frames offered to each plane.",
+            labelnames=("plane",),
+        )
+        self._requeued = r.counter(
+            "repro_gateway_requeued_words_total",
+            "Admitted words pushed back to their VOQ by a plane failure.",
+        )
+        self._kills = r.counter(
+            "repro_gateway_plane_kills_total",
+            "Planes taken out of service, by plane.",
+            labelnames=("plane",),
+        )
+        self._service_events = r.counter(
+            "repro_service_events_total",
+            "Resilient-fabric lifecycle events, by plane and event kind.",
+            labelnames=("plane", "kind"),
+        )
+        self._bist_probes = r.counter(
+            "repro_service_bist_probes_total",
+            "BIST probes routed through resilient planes, by outcome.",
+            labelnames=("plane", "clean"),
+        )
+
+        # -- pull instruments (the collector fills these) ---------------
+        self._cycle = r.gauge(
+            "repro_gateway_cycle", "Current gateway cycle."
+        )
+        self._accepting = r.gauge(
+            "repro_gateway_accepting",
+            "1 while the gateway admits new words, else 0.",
+        )
+        self._latency_q = r.gauge(
+            "repro_gateway_latency_cycles_quantile",
+            "Delivery latency quantiles over the recent sample window.",
+            labelnames=("q",),
+        )
+        self._voq_counters = {
+            field: r.counter(
+                f"repro_voq_{field}_total",
+                f"Cumulative words {field} at the admission boundary.",
+            )
+            for field in ("offered", "accepted", "rejected", "requeued")
+        }
+        self._voq_queued = r.gauge(
+            "repro_voq_queued_words", "Words currently queued across all VOQs."
+        )
+        self._voq_depth_max = r.gauge(
+            "repro_voq_depth_max",
+            "High-watermark depth of any single VOQ since start.",
+        )
+        self._sched_frames = r.counter(
+            "repro_scheduler_frames_total", "Frames coalesced by the scheduler."
+        )
+        self._sched_words = r.counter(
+            "repro_scheduler_words_total",
+            "Client words placed onto frames by the scheduler.",
+        )
+        self._sched_fill = r.gauge(
+            "repro_scheduler_fill_ratio_mean",
+            "Mean coalesced fill ratio over all scheduled frames.",
+        )
+        self._plane_healthy = r.gauge(
+            "repro_plane_healthy",
+            "1 while the plane serves traffic, 0 once killed.",
+            labelnames=("plane",),
+        )
+        self._plane_in_flight = r.gauge(
+            "repro_plane_in_flight",
+            "Frames currently inside the plane.",
+            labelnames=("plane",),
+        )
+        self._plane_frames = r.counter(
+            "repro_plane_frames_delivered_total",
+            "Frames the plane has delivered and verified.",
+            labelnames=("plane",),
+        )
+        self._plane_words = r.counter(
+            "repro_plane_words_delivered_total",
+            "Client words the plane has delivered.",
+            labelnames=("plane",),
+        )
+        self._worker_alive = r.gauge(
+            "repro_pool_worker_alive",
+            "1 while the plane's worker process is alive (process pool only).",
+            labelnames=("plane",),
+        )
+        self._slab_roundtrip = r.histogram(
+            "repro_pool_slab_roundtrip_seconds",
+            "Shared-memory slab round trip: offer() write to step() read.",
+            labelnames=("plane",),
+            buckets=SECONDS_BUCKETS,
+        )
+        self._service_quarantined = r.gauge(
+            "repro_service_quarantined",
+            "1 once the plane's primary fabric is quarantined.",
+            labelnames=("plane",),
+        )
+        self._service_retries = r.counter(
+            "repro_service_retries_total",
+            "Repair passes the plane's resilient fabric has run.",
+            labelnames=("plane",),
+        )
+        self._trace_frames = r.counter(
+            "repro_trace_frames_total", "Frames sampled into the tracer."
+        )
+        self._trace_retained = r.gauge(
+            "repro_trace_retained",
+            "Completed trace records currently in the ring buffer.",
+        )
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def attach(self) -> "GatewayInstrumentation":
+        """Install the observer hooks and the scrape-time collector."""
+        if self._attached:
+            return self
+        self._attached = True
+        self.gateway.observer = self
+        self.registry.register_collector(self._collect)
+        for plane in self.gateway.planes:
+            fabric = getattr(plane, "fabric", None)
+            registry = getattr(fabric, "registry", None)
+            if registry is not None and hasattr(registry, "add_listener"):
+                registry.add_listener(self._service_listener(plane.plane_id))
+            if fabric is not None and hasattr(fabric, "probe_hook"):
+                fabric.probe_hook = self._probe_hook(plane.plane_id)
+        return self
+
+    def _service_listener(self, plane_id: int):
+        counter = self._service_events
+
+        def listener(event) -> None:
+            counter.labels(str(plane_id), event.kind).inc()
+
+        return listener
+
+    def _probe_hook(self, plane_id: int):
+        counter = self._bist_probes
+
+        def hook(_probe, observation) -> None:
+            counter.labels(
+                str(plane_id), "yes" if observation.clean else "no"
+            ).inc()
+
+        return hook
+
+    # ------------------------------------------------------------------
+    # Observer hooks (the gateway calls these; keep them O(1) per frame)
+    # ------------------------------------------------------------------
+    def on_reject(self, entry, error) -> None:
+        self._rejects.inc()
+        self._retry_after.observe(error.retry_after_cycles)
+
+    def on_dispatch(self, frame, plane, cycle: int) -> None:
+        self._dispatches.labels(str(plane.plane_id)).inc()
+        tracer = self.tracer
+        if not tracer.wants(frame.tag):
+            return
+        entries = frame.entries.values()
+        tracer.record_dispatch(
+            frame.tag,
+            plane.plane_id,
+            cycle,
+            words=frame.active,
+            fill=frame.fill,
+            enqueued_cycle=(
+                min(entry.enqueued_cycle for entry in entries)
+                if frame.entries
+                else None
+            ),
+            coalesced_cycle=frame.scheduled_cycle,
+            requeues=max(
+                (entry.requeues for entry in entries), default=0
+            ),
+        )
+
+    def on_frame_delivered(
+        self, completion, cycle: int, max_latency: int
+    ) -> None:
+        frame = completion.frame
+        self._frames.labels(str(completion.plane_id), completion.mode).inc()
+        self._words.labels(completion.mode).inc(frame.active)
+        self._fill.observe(frame.fill)
+        self._frame_latency.observe(max_latency)
+        self.tracer.record_delivery(
+            frame.tag, cycle, mode=completion.mode, latency_cycles=max_latency
+        )
+
+    def on_requeue(self, plane, entries) -> None:
+        self._requeued.inc(len(entries))
+
+    def on_plane_killed(self, plane) -> None:
+        self._kills.labels(str(plane.plane_id)).inc()
+        self.tracer.abandon_plane(plane.plane_id)
+
+    # ------------------------------------------------------------------
+    # The collector (runs at scrape time only)
+    # ------------------------------------------------------------------
+    def _collect(self) -> None:
+        gateway = self.gateway
+        self._cycle.set(gateway.cycle)
+        self._accepting.set(1 if gateway._accepting else 0)
+        latencies = gateway._latencies
+        for q, value in (
+            ("p50", gateway._percentile(latencies, 0.50)),
+            ("p99", gateway._percentile(latencies, 0.99)),
+            ("max", max(latencies) if latencies else None),
+        ):
+            if value is not None:
+                self._latency_q.labels(q).set(value)
+        voqs = gateway.voqs.snapshot()
+        for field, counter in self._voq_counters.items():
+            counter.sync(voqs[field])
+        self._voq_queued.set(voqs["queued"])
+        self._voq_depth_max.set(voqs["max_depth"])
+        sched = gateway.scheduler.snapshot()
+        self._sched_frames.sync(sched["frames"])
+        self._sched_words.sync(sched["words"])
+        self._sched_fill.set(sched["mean_fill"])
+        for plane in gateway.planes:
+            label = str(plane.plane_id)
+            self._plane_healthy.labels(label).set(1 if plane.healthy else 0)
+            self._plane_in_flight.labels(label).set(plane.in_flight)
+            self._plane_frames.labels(label).sync(plane.frames_delivered)
+            self._plane_words.labels(label).sync(plane.words_delivered)
+            take = getattr(plane, "take_slab_roundtrips", None)
+            if take is not None:
+                self._worker_alive.labels(label).set(
+                    1 if plane.describe().get("worker_alive") else 0
+                )
+                series = self._slab_roundtrip.labels(label)
+                for seconds in take():
+                    series.observe(seconds)
+            fabric = getattr(plane, "fabric", None)
+            registry = getattr(fabric, "registry", None)
+            if registry is not None and hasattr(registry, "is_quarantined"):
+                self._service_quarantined.labels(label).set(
+                    1 if registry.is_quarantined else 0
+                )
+                self._service_retries.labels(label).sync(
+                    fabric.counters.retries
+                )
+        self._trace_frames.sync(self.tracer.traced_frames)
+        self._trace_retained.set(len(self.tracer))
+
+    # ------------------------------------------------------------------
+    # Exposition
+    # ------------------------------------------------------------------
+    def render_prometheus(self) -> str:
+        return self.registry.render_prometheus()
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        return self.registry.snapshot()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The combined JSON payload every CLI/wire surface exposes."""
+        return {
+            "gateway": self.gateway.stats(),
+            "metrics": self.metrics_snapshot(),
+            "traces": self.tracer.snapshot(),
+        }

@@ -1,0 +1,52 @@
+"""Shared snapshot serialization for every CLI/wire surface.
+
+``repro route --json``, ``repro serve --demo --json``, ``repro stats``
+and the TCP ``stats``/``metrics`` ops all funnel their payloads through
+:func:`dump_json`, so numeric formatting is identical everywhere:
+
+* numpy scalars / arrays become native ints, floats and lists;
+* ``NaN`` and ``±Inf`` become ``null`` (strict JSON — ``json.dumps``
+  would otherwise emit the non-standard ``NaN`` literal);
+* floats are emitted with ``repr`` round-trip precision, unmolested;
+* dict insertion order is preserved (snapshots are already built in
+  deterministic order), and keys are coerced to strings.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+__all__ = ["sanitize", "dump_json"]
+
+
+def sanitize(value: Any) -> Any:
+    """Recursively convert ``value`` into strict-JSON-safe primitives."""
+    # numpy scalars expose .item(); catch them before the float check so
+    # np.float64("nan") takes the NaN branch below.
+    if hasattr(value, "item") and not isinstance(
+        value, (str, bytes, bool, int, float)
+    ):
+        try:
+            value = value.item()
+        except (TypeError, ValueError):
+            pass
+    if value is None or isinstance(value, (str, bool, int)):
+        return value
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            return None
+        return value
+    if isinstance(value, dict):
+        return {str(key): sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize(item) for item in value]
+    if hasattr(value, "tolist"):  # numpy arrays
+        return sanitize(value.tolist())
+    return str(value)
+
+
+def dump_json(value: Any, indent: int | None = 2) -> str:
+    """Render ``value`` as a strict-JSON string (no trailing newline)."""
+    return json.dumps(sanitize(value), indent=indent, allow_nan=False)

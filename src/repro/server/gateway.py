@@ -124,6 +124,11 @@ class AsyncGateway:
         self.cycle = 0
         self.delivered_words = 0
         self.delivered_frames = 0
+        #: Optional telemetry sink (duck-typed; see
+        #: :class:`repro.obs.instrument.GatewayInstrumentation`).  Every
+        #: hook call is guarded by a ``None`` check so the uninstrumented
+        #: dataplane pays one attribute test per event, nothing more.
+        self.observer: Optional[Any] = None
         self._latencies: List[int] = []
         self._mode_counts: Dict[str, int] = {}
         self._accepting = False
@@ -199,7 +204,12 @@ class AsyncGateway:
             enqueued_cycle=self.cycle,
             future=asyncio.get_running_loop().create_future(),
         )
-        self.voqs.admit(entry)  # raises AdmissionRejectedError when full
+        try:
+            self.voqs.admit(entry)  # raises AdmissionRejectedError when full
+        except AdmissionRejectedError as error:
+            if self.observer is not None:
+                self.observer.on_reject(entry, error)
+            raise
         self._work.set()
         return await entry.future
 
@@ -238,8 +248,14 @@ class AsyncGateway:
     def kill_plane(self, plane_id: int, reason: str = "operator kill") -> int:
         """Fail one plane; its in-flight words requeue.  Returns how many."""
         plane = self.planes[plane_id]
+        was_healthy = plane.healthy
         stranded = plane.kill(reason=reason)
         self.voqs.requeue_front(stranded)
+        if self.observer is not None:
+            if stranded:
+                self.observer.on_requeue(plane, stranded)
+            if was_healthy:
+                self.observer.on_plane_killed(plane)
         self._work.set()
         return len(stranded)
 
@@ -306,6 +322,8 @@ class AsyncGateway:
             if frame is None:
                 break
             plane.offer(frame)
+            if self.observer is not None:
+                self.observer.on_dispatch(frame, plane, self.cycle)
         # Clock every healthy plane; collect deliveries and casualties.
         for plane in healthy:
             completed, requeue = plane.step()
@@ -313,6 +331,12 @@ class AsyncGateway:
                 self._resolve(completion)
             if requeue:
                 self.voqs.requeue_front(requeue)
+                if self.observer is not None:
+                    self.observer.on_requeue(plane, requeue)
+            # A plane that was healthy entering the tick and is not now
+            # was killed by its own step(); report it exactly once.
+            if not plane.healthy and self.observer is not None:
+                self.observer.on_plane_killed(plane)
         # Release cycle waiters that reached their target.
         if self._cycle_waiters:
             still_waiting = []
@@ -330,9 +354,12 @@ class AsyncGateway:
         self._mode_counts[completion.mode] = (
             self._mode_counts.get(completion.mode, 0) + 1
         )
+        worst_latency = 0
         for destination, entry in frame.entries.items():
             self.delivered_words += 1
             latency = self.cycle - entry.enqueued_cycle
+            if latency > worst_latency:
+                worst_latency = latency
             self._latencies.append(latency)
             if entry.future is not None and not entry.future.done():
                 entry.future.set_result(
@@ -347,6 +374,8 @@ class AsyncGateway:
                         requeues=entry.requeues,
                     )
                 )
+        if self.observer is not None:
+            self.observer.on_frame_delivered(completion, self.cycle, worst_latency)
         window = self.config.latency_window
         if len(self._latencies) > 2 * window:
             del self._latencies[:-window]

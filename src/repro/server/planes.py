@@ -183,6 +183,11 @@ class PipelinedPlane(_PlaneBase):
             )
         return completed, []
 
+    def describe(self) -> Dict[str, Any]:
+        info = super().describe()
+        info["engine"] = "object"
+        return info
+
 
 class VectorPlane(_PlaneBase):
     """A compiled-plan numpy plane with sampled boundary verification.
@@ -381,6 +386,7 @@ class ResilientPlane(_PlaneBase):
 
     def describe(self) -> Dict[str, Any]:
         info = super().describe()
+        info["engine"] = "object"
         info["service_state"] = self.fabric.state.value
         info["service_retries"] = self.fabric.counters.retries
         return info

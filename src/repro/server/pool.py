@@ -29,6 +29,7 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.connection
 import multiprocessing.shared_memory
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -82,6 +83,12 @@ class ProcessPlane(_PlaneBase):
         self._conn = conn
         self._slab = slab
         self._current: Optional[ScheduledFrame] = None
+        self._offered_at: Optional[float] = None
+        # Slab round-trip latency samples (offer write -> step read),
+        # drained by the telemetry collector; bounded so an unscraped
+        # plane never grows without limit.
+        self._slab_roundtrips: List[float] = []
+        self._slab_roundtrip_window = 1024
 
     @property
     def ready(self) -> bool:
@@ -98,6 +105,7 @@ class ProcessPlane(_PlaneBase):
             self._slab[line] = word.address
         self._current = frame
         self._in_flight[frame.tag] = frame
+        self._offered_at = time.perf_counter()
         try:
             self._conn.send(("frame", frame.tag))
         except (BrokenPipeError, OSError):
@@ -119,6 +127,13 @@ class ProcessPlane(_PlaneBase):
             return [], self.kill(reason="worker connection lost")
         frame = self._in_flight.pop(tag)
         self._current = None
+        if self._offered_at is not None:
+            self._slab_roundtrips.append(
+                time.perf_counter() - self._offered_at
+            )
+            self._offered_at = None
+            if len(self._slab_roundtrips) > self._slab_roundtrip_window:
+                del self._slab_roundtrips[: -self._slab_roundtrip_window]
         sources = self._slab[self.n :].tolist()
         outputs: List[Optional[Word]] = [
             frame.words[source] for source in sources
@@ -159,6 +174,16 @@ class ProcessPlane(_PlaneBase):
             if self._process.is_alive():
                 self._process.terminate()
                 self._process.join(timeout)
+
+    def take_slab_roundtrips(self) -> List[float]:
+        """Drain the pending slab round-trip samples (seconds).
+
+        The telemetry collector calls this at scrape time and feeds the
+        samples into ``repro_pool_slab_roundtrip_seconds``; draining
+        (rather than reading) keeps each sample observed exactly once.
+        """
+        samples, self._slab_roundtrips = self._slab_roundtrips, []
+        return samples
 
     def describe(self) -> Dict[str, Any]:
         info = super().describe()

@@ -1,12 +1,12 @@
 """JSON-lines TCP wire protocol in front of :class:`AsyncGateway`.
 
 One request per line, one response per line, both UTF-8 JSON objects.
-Requests carry an ``op`` (``send`` | ``stats`` | ``ping``) and an
-optional ``id`` echoed verbatim in the response, so clients may
-correlate.  Requests on one connection are handled concurrently — a
-slow ``send`` (waiting for a frame) does not block a ``stats`` probe on
-the same socket; responses are therefore *not* guaranteed to arrive in
-request order, which is what ``id`` is for.
+Requests carry an ``op`` (``send`` | ``stats`` | ``metrics`` |
+``ping``) and an optional ``id`` echoed verbatim in the response, so
+clients may correlate.  Requests on one connection are handled
+concurrently — a slow ``send`` (waiting for a frame) does not block a
+``stats`` probe on the same socket; responses are therefore *not*
+guaranteed to arrive in request order, which is what ``id`` is for.
 
 ::
 
@@ -18,11 +18,26 @@ request order, which is what ``id`` is for.
         "retry_after_cycles": 32, "id": 2}
     -> {"op": "stats"}
     <- {"ok": true, "op": "stats", "stats": {...}}
+    -> {"op": "metrics", "format": "prometheus"}   # needs --metrics
+    <- {"ok": true, "op": "metrics", "format": "prometheus",
+        "body": "# HELP repro_gateway_cycle ...\\n..."}
+
+When the server is built with a
+:class:`~repro.obs.instrument.GatewayInstrumentation`, two extra
+surfaces open up: the ``metrics`` op above (``format`` ``"json"`` —
+the default — or ``"prometheus"``), and a minimal HTTP shim — a
+connection whose first line is ``GET /metrics`` (as an HTTP/1.x
+request line) receives one ``text/plain`` HTTP response with the
+Prometheus text body and is closed, which is exactly enough for a
+scraper or ``curl`` pointed at the serving port.  Without
+instrumentation, ``metrics`` returns the ``metrics-disabled`` error
+slug and HTTP lines are malformed JSON like any other garbage.
 
 Error responses always have ``ok: false`` and a stable ``error`` slug:
 ``admission-rejected`` (transient; honour ``retry_after_cycles``),
 ``bad-request`` (malformed JSON / unknown op / bad destination),
-``gateway-closed``, ``plane-unavailable``, ``internal``.
+``gateway-closed``, ``plane-unavailable``, ``metrics-disabled``,
+``internal``.
 """
 
 from __future__ import annotations
@@ -53,10 +68,15 @@ class GatewayServer:
         gateway: AsyncGateway,
         host: str = "127.0.0.1",
         port: int = 0,
+        instrumentation: Optional[Any] = None,
     ) -> None:
         self.gateway = gateway
         self.host = host
         self.port = port
+        #: A :class:`~repro.obs.instrument.GatewayInstrumentation` (or
+        #: anything with ``render_prometheus``/``snapshot``); enables
+        #: the ``metrics`` op and the ``GET /metrics`` HTTP shim.
+        self.instrumentation = instrumentation
         self._server: Optional[asyncio.AbstractServer] = None
         self._request_tasks: Set[asyncio.Task] = set()
         self.connections_served = 0
@@ -118,6 +138,13 @@ class GatewayServer:
                 stripped = line.strip()
                 if not stripped:
                     continue
+                if (
+                    self.instrumentation is not None
+                    and stripped.startswith(b"GET ")
+                ):
+                    # The HTTP shim: answer one scrape and hang up.
+                    await self._serve_http(stripped, writer)
+                    break
                 task = asyncio.ensure_future(
                     self._serve_request(stripped, writer, write_lock)
                 )
@@ -129,6 +156,47 @@ class GatewayServer:
                 await writer.wait_closed()
             except (ConnectionResetError, OSError):
                 pass
+
+    async def _serve_http(
+        self, request_line: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer one ``GET``-style request line with an HTTP response.
+
+        Only ``/metrics`` (Prometheus text) and ``/metrics.json`` (the
+        combined JSON snapshot) exist; anything else is a 404.  The
+        response always closes the connection — the shim is for
+        scrapers, not browsers.
+        """
+        self.requests_served += 1
+        parts = request_line.decode("utf-8", "replace").split()
+        path = parts[1] if len(parts) > 1 else ""
+        path = path.split("?", 1)[0]
+        if path == "/metrics":
+            body = self.instrumentation.render_prometheus()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+            status = "200 OK"
+        elif path == "/metrics.json":
+            from ..obs.snapshot import dump_json
+
+            body = dump_json(self.instrumentation.snapshot()) + "\n"
+            content_type = "application/json; charset=utf-8"
+            status = "200 OK"
+        else:
+            body = "only /metrics and /metrics.json live here\n"
+            content_type = "text/plain; charset=utf-8"
+            status = "404 Not Found"
+        encoded = body.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(encoded)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("ascii")
+        try:
+            writer.write(head + encoded)
+            await writer.drain()
+        except (ConnectionResetError, OSError):
+            pass
 
     async def _serve_request(
         self,
@@ -164,6 +232,8 @@ class GatewayServer:
                 return _ok(
                     {"op": "stats", "stats": self.gateway.stats()}, request_id
                 )
+            if op == "metrics":
+                return self._op_metrics(request, request_id)
             if op == "send":
                 return await self._op_send(request, request_id)
             return _error(
@@ -186,6 +256,42 @@ class GatewayServer:
             raise
         except Exception as error:  # noqa: BLE001 — protocol boundary
             return _error("internal", request_id, detail=repr(error))
+
+    def _op_metrics(
+        self, request: Dict[str, Any], request_id: Any
+    ) -> Dict[str, Any]:
+        if self.instrumentation is None:
+            return _error(
+                "metrics-disabled",
+                request_id,
+                detail="the server was started without instrumentation",
+            )
+        fmt = request.get("format", "json")
+        if fmt == "prometheus":
+            return _ok(
+                {
+                    "op": "metrics",
+                    "format": "prometheus",
+                    "body": self.instrumentation.render_prometheus(),
+                },
+                request_id,
+            )
+        if fmt == "json":
+            from ..obs.snapshot import sanitize
+
+            return _ok(
+                {
+                    "op": "metrics",
+                    "format": "json",
+                    "metrics": sanitize(self.instrumentation.snapshot()),
+                },
+                request_id,
+            )
+        return _error(
+            "bad-request",
+            request_id,
+            detail=f"metrics format must be 'json' or 'prometheus', got {fmt!r}",
+        )
 
     async def _op_send(
         self, request: Dict[str, Any], request_id: Any

@@ -142,6 +142,9 @@ class ResilientFabric:
         self.backoff_base = backoff_base
         self.strict_localization = strict_localization
         self.registry = FaultRegistry()
+        #: Optional ``hook(probe, observation)`` forwarded to every BIST
+        #: run; the telemetry layer counts per-probe outcomes through it.
+        self.probe_hook: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -359,7 +362,8 @@ class ResilientFabric:
     def _run_bist(self, tag: Any):
         self.counters.bist_runs += 1
         observations = self.schedule.run(
-            lambda words: self.pipeline.route_batch(words, tag=(tag, "bist"))
+            lambda words: self.pipeline.route_batch(words, tag=(tag, "bist")),
+            on_probe=self.probe_hook,
         )
         dirty = sum(not observation.clean for observation in observations)
         self.registry.emit(

@@ -1,0 +1,192 @@
+"""Consistency checks for the documentation set.
+
+Three classes of drift this catches, each of which has actually
+happened to projects this size:
+
+1. **Dead cross-links** — every relative markdown link in the docs
+   (and the top-level README) must resolve to a file in the repo.
+2. **Phantom CLI flags** — every ``--flag`` written in a documented
+   ``repro`` invocation must exist on that subcommand's argparse
+   parser (the parser is the source of truth: `repro.cli.build_parser`).
+3. **Phantom subcommands** — every ``repro <sub>`` / ``python -m repro
+   <sub>`` in a fenced code block or inline code span must name a real
+   subparser.
+
+Invocations are recognised only where ``repro`` appears as a *command*
+(the word followed by whitespace) — module paths like ``repro.core``
+never match.  Inline code spans are extracted across line breaks with
+whitespace collapsed, because prose wraps (``repro serve N --engine
+vector`` split over two lines is one invocation).
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py [repo_root]
+
+Exit 0 when clean, 1 with a problem list otherwise.  CI runs this on
+every push; ``tests/test_docs_consistency.py`` runs the same functions
+under pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from typing import Dict, List, Set, Tuple
+
+#: The documentation set under check: all of docs/ plus these roots.
+TOP_LEVEL_DOCS = ("README.md", "CHANGELOG.md")
+
+_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+_SPAN_RE = re.compile(r"`([^`]+)`", re.DOTALL)
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_COMMAND_RE = re.compile(r"(?:python -m )?\brepro\s+(.*)$")
+
+
+def doc_paths(repo_root: pathlib.Path) -> List[pathlib.Path]:
+    paths = sorted((repo_root / "docs").glob("*.md"))
+    paths += [
+        repo_root / name
+        for name in TOP_LEVEL_DOCS
+        if (repo_root / name).is_file()
+    ]
+    return paths
+
+
+# ----------------------------------------------------------------------
+# 1. Cross-links
+# ----------------------------------------------------------------------
+def check_links(repo_root: pathlib.Path) -> List[str]:
+    errors: List[str] = []
+    for path in doc_paths(repo_root):
+        for target in _LINK_RE.findall(path.read_text()):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:  # pure in-page anchor
+                continue
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{path.relative_to(repo_root)}: dead link -> {target}"
+                )
+    return errors
+
+
+# ----------------------------------------------------------------------
+# 2 + 3. CLI invocations vs the argparse source of truth
+# ----------------------------------------------------------------------
+def cli_surface() -> Dict[str, Set[str]]:
+    """subcommand -> set of option strings, from the real parser."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    subactions = [
+        action
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    ]
+    surface: Dict[str, Set[str]] = {}
+    for subaction in subactions:
+        for name, subparser in subaction.choices.items():
+            flags: Set[str] = set()
+            for action in subparser._actions:
+                flags.update(action.option_strings)
+            surface[name] = flags
+    return surface
+
+
+def extract_invocations(text: str) -> List[Tuple[str, str]]:
+    """All ``repro ...`` command lines in *text* as (context, argv-tail).
+
+    Scans fenced code blocks line by line, then inline code spans
+    (with the fences removed first so nothing is counted twice);
+    spans are whitespace-collapsed so a wrapped invocation still
+    parses.
+    """
+    invocations: List[Tuple[str, str]] = []
+    fenced = _FENCE_RE.findall(text)
+    for block in fenced:
+        for line in block.splitlines():
+            line = line.strip().lstrip("$ ").strip()
+            # Anchored: `repro` must BE the command, so python module
+            # paths (`repro.core`) and imports (`from repro import`)
+            # in code blocks never parse as invocations.
+            match = _COMMAND_RE.match(line)
+            if match:
+                invocations.append(("fenced", match.group(1)))
+    remainder = _FENCE_RE.sub("", text)
+    for span in _SPAN_RE.findall(remainder):
+        collapsed = " ".join(span.split())
+        match = _COMMAND_RE.match(collapsed)
+        if match:
+            invocations.append(("inline", match.group(1)))
+    return invocations
+
+
+def _clean_tokens(tail: str) -> List[str]:
+    # An invocation ends at a pipe, comment, or chained command.
+    for stop in ("|", "#", "&&"):
+        tail = tail.split(stop, 1)[0]
+    tokens = []
+    for token in tail.split():
+        token = token.strip("[](),&`")
+        if token:
+            tokens.append(token)
+    return tokens
+
+
+def check_cli(repo_root: pathlib.Path) -> List[str]:
+    surface = cli_surface()
+    errors: List[str] = []
+    for path in doc_paths(repo_root):
+        rel = path.relative_to(repo_root)
+        for _context, tail in extract_invocations(path.read_text()):
+            tokens = _clean_tokens(tail)
+            if not tokens:
+                continue
+            head = tokens[0]
+            if head in ("-h", "--help"):
+                continue
+            if head.startswith("-"):
+                errors.append(f"{rel}: 'repro {head}' is not a subcommand")
+                continue
+            if head not in surface:
+                errors.append(
+                    f"{rel}: documented subcommand 'repro {head}' does not "
+                    f"exist (have: {', '.join(sorted(surface))})"
+                )
+                continue
+            known = surface[head] | {"-h", "--help"}
+            for token in tokens[1:]:
+                if not token.startswith("--"):
+                    continue  # positional / placeholder
+                flag = token.split("=", 1)[0]
+                if flag not in known:
+                    errors.append(
+                        f"{rel}: 'repro {head}' has no flag {flag}"
+                    )
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    repo_root = pathlib.Path(
+        argv[1] if len(argv) > 1 else pathlib.Path(__file__).parent.parent
+    ).resolve()
+    paths = doc_paths(repo_root)
+    if not paths:
+        print(f"error: no documentation found under {repo_root}")
+        return 1
+    errors = check_links(repo_root) + check_cli(repo_root)
+    if errors:
+        print(f"{len(errors)} documentation problem(s):")
+        for problem in errors:
+            print(f"  - {problem}")
+        return 1
+    print(f"{len(paths)} document(s) clean: links resolve, CLI surface matches")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
