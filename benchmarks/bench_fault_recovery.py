@@ -174,6 +174,110 @@ def test_resilient_service_sweep(benchmark, write_artifact):
     )
 
 
+def test_vector_resilient_throughput(benchmark, write_artifact):
+    """The compiled resilient service vs the object one, words/s.
+
+    Sweeps the healthy serving path and the post-quarantine failover
+    path with the same injected fault on both engines.  ``m = 6`` uses
+    a relaxed-coverage BIST schedule (strict coverage is unattainable
+    past ``m = 4`` — see :func:`repro.faults.build_bist_schedule`);
+    detection of the injected, activatable fault is unaffected.  The
+    artifact is CI-gated: recovered delivery must be total and the
+    vector healthy path must clear 5x object at the largest size.
+    """
+    import time
+
+    from repro.faults import fault_mask_for
+    from repro.service import ResilientVectorFabric
+
+    def timed_words_per_sec(fabric, perms, batches):
+        start = time.perf_counter()
+        delivered = 0
+        for index in range(batches):
+            result = fabric.submit(perms[index % len(perms)], tag=index)
+            delivered += result.delivered
+        elapsed = time.perf_counter() - start
+        return delivered / elapsed, delivered
+
+    def sweep():
+        rows = []
+        for m, batches in ((4, 300), (6, 200)):
+            n = 1 << m
+            schedule = (
+                build_bist_schedule(m)
+                if m <= 4
+                else build_bist_schedule(
+                    m,
+                    ensure_detection=False,
+                    require_full_coverage=False,
+                    max_candidates=400,
+                )
+            )
+            perms = [
+                random_permutation(n, rng=seed).to_list()
+                for seed in range(20)
+            ]
+            coordinate = SwitchCoordinate(m - 1, 0, 0, 0, 0)
+            row = {"m": m, "n": n, "batches": batches}
+            healthy = {
+                "object": ResilientFabric(m, schedule=schedule),
+                "vector": ResilientVectorFabric(m, schedule=schedule),
+            }
+            for engine, fabric in healthy.items():
+                rate, delivered = timed_words_per_sec(fabric, perms, batches)
+                row[f"healthy_{engine}_words_per_sec"] = rate
+                assert delivered == batches * n
+            faulted = {
+                "object": ResilientFabric(
+                    m,
+                    pipeline=_faulty_pipeline(m, coordinate, 1),
+                    schedule=schedule,
+                ),
+                "vector": ResilientVectorFabric(
+                    m,
+                    fault_mask=fault_mask_for(m, [(coordinate, 1)]),
+                    schedule=schedule,
+                    spare_verify_every=64,
+                ),
+            }
+            recovered = 0
+            for engine, fabric in faulted.items():
+                first = fabric.submit(perms[0], tag="first")
+                recovered += first.delivered
+                if not fabric.registry.is_quarantined:
+                    fabric.check(tag="scheduled")
+                assert fabric.registry.is_quarantined
+                rate, delivered = timed_words_per_sec(
+                    fabric, perms, batches
+                )
+                row[f"failover_{engine}_words_per_sec"] = rate
+                recovered += delivered
+            row["recovered_delivery"] = recovered / (
+                2 * (batches + 1) * n
+            )
+            row["healthy_speedup"] = (
+                row["healthy_vector_words_per_sec"]
+                / row["healthy_object_words_per_sec"]
+            )
+            row["failover_speedup"] = (
+                row["failover_vector_words_per_sec"]
+                / row["failover_object_words_per_sec"]
+            )
+            rows.append(row)
+        return {
+            "sweep": rows,
+            "headline_speedup": rows[-1]["healthy_speedup"],
+        }
+
+    stats = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert all(row["recovered_delivery"] == 1.0 for row in stats["sweep"])
+    assert stats["headline_speedup"] >= 5.0
+    write_artifact(
+        "fault_recovery_vector.json",
+        json.dumps(stats, indent=2, sort_keys=True),
+    )
+
+
 def test_bist_probe_counts(benchmark, write_artifact):
     """Probe counts grow with the switch count's logarithm, not N."""
 

@@ -162,12 +162,61 @@ def check_obs_overhead(data: Dict[str, Any], name: str, errors: List[str]) -> No
         )
 
 
+def check_fault_recovery_vector(
+    data: Dict[str, Any], name: str, errors: List[str]
+) -> None:
+    sweep = data.get("sweep")
+    _require(
+        isinstance(sweep, list) and bool(sweep),
+        name,
+        "'sweep' must be a non-empty list",
+        errors,
+    )
+    for row in sweep or []:
+        for key in (
+            "m",
+            "n",
+            "batches",
+            "healthy_object_words_per_sec",
+            "healthy_vector_words_per_sec",
+            "failover_object_words_per_sec",
+            "failover_vector_words_per_sec",
+            "healthy_speedup",
+            "failover_speedup",
+            "recovered_delivery",
+        ):
+            _require(key in row, name, f"sweep row missing {key!r}", errors)
+        if "recovered_delivery" in row:
+            _require(
+                row["recovered_delivery"] == 1.0,
+                name,
+                f"m={row.get('m')} recovered_delivery "
+                f"{row['recovered_delivery']} != 1.0 (words were lost)",
+                errors,
+            )
+    _require(
+        "headline_speedup" in data,
+        name,
+        "missing 'headline_speedup'",
+        errors,
+    )
+    if "headline_speedup" in data:
+        _require(
+            data["headline_speedup"] >= 5.0,
+            name,
+            f"headline_speedup {data['headline_speedup']} below the "
+            "5x acceptance bar",
+            errors,
+        )
+
+
 SCHEMAS: Dict[str, Callable[[Any, str, List[str]], None]] = {
     "gateway_load.json": check_gateway_load,
     "gateway_plane_kill.json": check_gateway_plane_kill,
     "bist_probe_counts.json": check_probe_counts,
     "vector_pipeline.json": check_vector_pipeline,
     "obs_overhead.json": check_obs_overhead,
+    "fault_recovery_vector.json": check_fault_recovery_vector,
 }
 
 

@@ -85,7 +85,13 @@ def build_parser() -> argparse.ArgumentParser:
         "faults",
         help="run the resilient fabric: BIST probes, localization, failover",
     )
-    faults.add_argument("n", type=int, help="network size (power of two)")
+    faults.add_argument(
+        "n",
+        type=int,
+        nargs="?",
+        default=None,
+        help="network size (power of two; omit when using --connect)",
+    )
     faults.add_argument(
         "--stuck",
         metavar="I,L,J,BOX,SW",
@@ -98,6 +104,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults.add_argument("--batches", type=int, default=3)
     faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument(
+        "--engine",
+        choices=("object", "vector"),
+        default="object",
+        help="run the resilient service on the reference object fabric "
+        "or the compiled vector fabric (ResilientVectorFabric)",
+    )
+    faults.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="smoke-test a running 'repro serve --resilient' gateway: "
+        "inject the fault over the wire, drive traffic, and verify the "
+        "plane quarantines while delivery continues",
+    )
+    faults.add_argument(
+        "--plane",
+        type=int,
+        default=0,
+        help="gateway plane to inject into (with --connect)",
+    )
+    faults.add_argument(
+        "--words",
+        type=int,
+        default=256,
+        help="traffic words to drive through the gateway (with --connect)",
+    )
     faults.add_argument(
         "--report",
         action="store_true",
@@ -122,7 +155,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--resilient",
         action="store_true",
-        help="wrap each plane in the fault-tolerant ResilientFabric",
+        help="wrap each plane in the fault-tolerant resilient service "
+        "(composes with --engine: object or vector fabrics)",
     )
     serve.add_argument(
         "--engine",
@@ -342,7 +376,141 @@ def _parse_coordinate(text: str):
     return SwitchCoordinate(*fields)
 
 
+def _faults_connect(args: argparse.Namespace) -> int:
+    """Live smoke against a running ``repro serve --resilient`` gateway.
+
+    Injects one stuck control bit over the wire, drives traffic at the
+    gateway, and succeeds (exit 0) only when the faulty plane walks the
+    whole lifecycle — at least one non-clean delivery (``degraded`` or
+    ``failover``) followed by ``service_state == "quarantined"`` — with
+    every driven word still delivered.
+    """
+    import socket
+
+    from .exceptions import InputError
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise InputError(f"--connect takes HOST:PORT, got {args.connect!r}")
+    try:
+        sock = socket.create_connection((host, int(port_text)), timeout=30)
+    except OSError as error:
+        raise InputError(f"cannot reach {args.connect}: {error}") from error
+    with sock:
+        reader = sock.makefile("r", encoding="utf-8")
+
+        def rpc(request: dict) -> dict:
+            sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
+            line = reader.readline()
+            if not line:
+                raise InputError(
+                    f"{args.connect} closed the connection mid-request"
+                )
+            return json.loads(line)
+
+        stats = rpc({"op": "stats"})
+        if not stats.get("ok"):
+            print(f"error: stats failed: {stats}", file=sys.stderr)
+            return 2
+        n = stats["stats"]["n"]
+        m = n.bit_length() - 1
+        planes = stats["stats"]["planes"]
+        if not (0 <= args.plane < len(planes)):
+            raise InputError(
+                f"--plane {args.plane} out of range; the gateway has "
+                f"{len(planes)} plane(s)"
+            )
+        if "service_state" not in planes[args.plane]:
+            print(
+                f"error: plane {args.plane} is not resilient "
+                "(start the server with 'repro serve N --resilient')",
+                file=sys.stderr,
+            )
+            return 2
+        if args.stuck is not None:
+            coordinate = _parse_coordinate(args.stuck)
+        else:
+            from .faults import SwitchCoordinate
+
+            coordinate = SwitchCoordinate(m, 0, 0, 0, 0)
+        injected = rpc(
+            {
+                "op": "inject",
+                "plane": args.plane,
+                "coordinate": [
+                    coordinate.main_stage,
+                    coordinate.nested,
+                    coordinate.nested_stage,
+                    coordinate.box,
+                    coordinate.switch,
+                ],
+                "value": args.stuck_value,
+            }
+        )
+        if not injected.get("ok"):
+            print(f"error: injection failed: {injected}", file=sys.stderr)
+            return 2
+        print(
+            f"injected : stuck-at-{args.stuck_value} at ({coordinate}) "
+            f"into plane {args.plane} of {args.connect} "
+            f"(engine {injected['plane']['engine']})"
+        )
+        modes: dict = {}
+        delivered = 0
+        for index in range(args.words):
+            receipt = rpc(
+                {
+                    "op": "send",
+                    "dest": index % n,
+                    "payload": index,
+                    "retry": True,
+                }
+            )
+            if not receipt.get("ok"):
+                print(f"error: send {index} failed: {receipt}", file=sys.stderr)
+                return 1
+            delivered += 1
+            modes[receipt["mode"]] = modes.get(receipt["mode"], 0) + 1
+        stats = rpc({"op": "stats"})
+        state = stats["stats"]["planes"][args.plane].get("service_state")
+        mode_note = ", ".join(
+            f"{mode}={count}" for mode, count in sorted(modes.items())
+        )
+        print(f"traffic  : {delivered}/{args.words} delivered ({mode_note})")
+        print(f"plane {args.plane}  : service_state={state}")
+        degraded = sum(
+            count for mode, count in modes.items() if mode != "clean"
+        )
+        if delivered < args.words:
+            return 1
+        if degraded == 0:
+            print(
+                "error: the injected fault never degraded a delivery; "
+                "drive more --words or pick a --stuck the traffic exercises",
+                file=sys.stderr,
+            )
+            return 1
+        if state != "quarantined":
+            print(
+                "error: the faulty plane never reached quarantine; "
+                f"it is still {state!r}",
+                file=sys.stderr,
+            )
+            return 1
+        print("verdict  : degraded, quarantined, and still delivering — ok")
+        return 0
+
+
 def _command_faults(args: argparse.Namespace) -> int:
+    if args.connect is not None:
+        return _faults_connect(args)
+    if args.n is None:
+        from .exceptions import InputError
+
+        raise InputError(
+            "faults needs a network size, or --connect HOST:PORT to "
+            "smoke-test a running gateway"
+        )
     require_power_of_two(args.n, "network size")
     m = args.n.bit_length() - 1
     if args.report:
@@ -352,33 +520,47 @@ def _command_faults(args: argparse.Namespace) -> int:
         return 0
 
     from .core.pipeline import PipelinedBNBFabric, stuck_control_override
-    from .faults import build_bist_schedule, enumerate_switch_coordinates
-    from .service import HealthMonitor, ResilientFabric
+    from .faults import (
+        enumerate_switch_coordinates,
+        fault_mask_for,
+        shared_bist_schedule,
+    )
+    from .service import HealthMonitor, ResilientFabric, ResilientVectorFabric
 
-    schedule = build_bist_schedule(m)
+    schedule = shared_bist_schedule(m)
     pipeline = None
+    fault_mask = None
+    coordinate = None
     if args.stuck is not None:
         coordinate = _parse_coordinate(args.stuck)
         if coordinate not in enumerate_switch_coordinates(m):
             raise FaultError(
                 f"{coordinate} is not a switch of the N={args.n} BNB network"
             )
-        pipeline = PipelinedBNBFabric(
-            m,
-            control_override=stuck_control_override(
-                coordinate.main_stage,
-                coordinate.nested,
-                coordinate.nested_stage,
-                coordinate.box,
-                coordinate.switch,
-                args.stuck_value,
-            ),
-        )
+        if args.engine == "vector":
+            fault_mask = fault_mask_for(m, [(coordinate, args.stuck_value)])
+        else:
+            pipeline = PipelinedBNBFabric(
+                m,
+                control_override=stuck_control_override(
+                    coordinate.main_stage,
+                    coordinate.nested,
+                    coordinate.nested_stage,
+                    coordinate.box,
+                    coordinate.switch,
+                    args.stuck_value,
+                ),
+            )
         print(
             f"injected : stuck-at-{args.stuck_value} at "
             f"({args.stuck}) in the primary plane"
         )
-    fabric = ResilientFabric(m, pipeline=pipeline, schedule=schedule)
+    if args.engine == "vector":
+        fabric = ResilientVectorFabric(
+            m, fault_mask=fault_mask, schedule=schedule
+        )
+    else:
+        fabric = ResilientFabric(m, pipeline=pipeline, schedule=schedule)
     monitor = HealthMonitor(fabric.registry)
     for index in range(args.batches):
         pi = random_permutation(args.n, rng=args.seed + index)
@@ -402,13 +584,6 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     require_power_of_two(args.n, "network size")
     m = args.n.bit_length() - 1
-    if args.resilient and args.engine == "vector":
-        from .exceptions import InputError
-
-        raise InputError(
-            "resilient planes run on the object engine; drop --resilient "
-            "or --engine vector"
-        )
 
     from .server import AsyncGateway, GatewayConfig, GatewayServer
 

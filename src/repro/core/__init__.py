@@ -41,7 +41,13 @@ from .pipeline import (
     PipelineStats,
     stuck_control_override,
 )
-from .plan import CompiledPlan, compiled_plan
+from .plan import (
+    DEAD_ADDRESS,
+    CompiledPlan,
+    FaultMask,
+    build_fault_mask,
+    compiled_plan,
+)
 from .pipeline_fast import VectorPipelinedFabric, route_frame_sources
 
 __all__ = [
@@ -80,6 +86,9 @@ __all__ = [
     "PipelineStats",
     "CompiledPlan",
     "compiled_plan",
+    "DEAD_ADDRESS",
+    "FaultMask",
+    "build_fault_mask",
     "VectorPipelinedFabric",
     "route_frame_sources",
 ]

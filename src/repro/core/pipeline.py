@@ -145,6 +145,33 @@ class PipelinedBNBFabric:
         self._latency_window = 4096
         self._delivery_hooks: List[Callable[[Any, List[Word]], None]] = []
 
+    def install_control_override(
+        self, override: ControlOverride, compose: bool = False
+    ) -> None:
+        """Install a control override at runtime (fault appears live).
+
+        With ``compose=True`` the new override wraps whatever is
+        already installed — the existing faults keep acting and the new
+        one applies on top, so injecting a second stuck switch into an
+        already-faulty fabric accumulates rather than replaces.
+        Batches in flight feel the change from their next stage onward.
+        """
+        if compose and self._control_override is not None:
+            previous = self._control_override
+            added = override
+
+            def override(  # type: ignore[no-redef]
+                i: int, l: int, j: int, b: int, controls: List[int]
+            ) -> List[int]:
+                return added(i, l, j, b, previous(i, l, j, b, controls))
+
+        self._control_override = override
+        if not self._free_splitters:
+            self._free_splitters = {
+                p: Splitter(p, check_balance=False)
+                for p in range(1, self.m + 1)
+            }
+
     # ------------------------------------------------------------------
     # Feeding
     # ------------------------------------------------------------------

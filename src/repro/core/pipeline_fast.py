@@ -14,11 +14,19 @@ The engine keeps the exact feeding/delivery surface of the object
 model (``offer`` / ``offer_words`` / ``try_offer_words`` /
 ``add_delivery_hook`` / ``step`` / ``drain`` / ``idle`` /
 ``route_batch`` / ``stats`` with ``retain_delivered``), so the serving
-layer can swap engines per plane.  What it deliberately does not carry
-is the ``control_override`` fault hook: physical-fault modelling stays
-on the object engine, whose per-switch decisions are addressable.  The
-differential fuzz suite drives both engines with identical frame
-sequences and asserts identical per-cycle deliveries.
+layer can swap engines per plane.  Physical faults ride along as data
+rather than as the object engine's ``control_override`` callback: pass
+a :class:`~repro.core.plan.FaultMask` (or install one mid-flight with
+:meth:`~VectorPipelinedFabric.set_fault_mask`) and every stuck switch
+becomes a masked ``where`` over the stage's control column, while dead
+links clobber their line's address to
+:data:`~repro.core.plan.DEAD_ADDRESS` at stage input so the sentinel
+propagates to the output-side check.  Because each stage re-decides
+its splitters from live addresses, the masked vector pass agrees with
+the adaptive object model (``route_with_stuck_switch`` /
+``PipelinedBNBFabric(control_override=...)``) bit for bit; the
+differential fuzz suite drives both engines with identical frame and
+fault sequences and asserts identical per-cycle deliveries.
 """
 
 from __future__ import annotations
@@ -30,7 +38,13 @@ import numpy as np
 
 from ..exceptions import NotAPermutationError
 from .pipeline import PipelineStats
-from .plan import CompiledPlan, compiled_plan, stage_take_indices
+from .plan import (
+    DEAD_ADDRESS,
+    CompiledPlan,
+    FaultMask,
+    compiled_plan,
+    stage_take_indices,
+)
 from .words import Word
 
 __all__ = ["VectorPipelinedFabric", "VectorBatch", "route_frame_sources"]
@@ -53,20 +67,30 @@ class VectorBatch:
     sources: np.ndarray
 
 
-def route_frame_sources(m: int, addresses: np.ndarray) -> np.ndarray:
+def route_frame_sources(
+    m: int, addresses: np.ndarray, mask: Optional[FaultMask] = None
+) -> np.ndarray:
     """Combinationally route one frame; return source line per output.
 
     The single-shot form of the vector engine (all ``m`` main stages in
     one call): ``result[line]`` is the input line whose word arrives on
-    output ``line``.  For a valid permutation, output ``line`` carries
-    the word addressed to it.  Used by the multi-process plane pool,
-    whose workers route whole frames rather than clocking a pipeline.
+    output ``line``.  For a valid permutation on a healthy fabric,
+    output ``line`` carries the word addressed to it; with a
+    :class:`~repro.core.plan.FaultMask` the result is the (possibly
+    misrouting) faulty fabric's arrival order.  Used by the
+    multi-process plane pool, whose workers route whole frames rather
+    than clocking a pipeline, and by the fault tests as the one-shot
+    faulty-routing oracle.
     """
     plan = compiled_plan(m)
     current = np.asarray(addresses, dtype=np.int64)
     sources = plan.identity
     for stage in plan.stages:
-        take = stage_take_indices(plan, stage, current)
+        if mask is not None:
+            dead = mask.dead_links.get(stage.stage)
+            if dead is not None:
+                current = np.where(dead, DEAD_ADDRESS, current)
+        take = stage_take_indices(plan, stage, current, mask=mask)
         current = current[take]
         sources = sources[take]
     return sources
@@ -76,17 +100,30 @@ class VectorPipelinedFabric:
     """An ``m``-deep vectorized pipeline of the BNB main stages.
 
     Drop-in engine-swap for
-    :class:`~repro.core.pipeline.PipelinedBNBFabric` (minus the fault
-    hook): :meth:`offer` a permutation (or nothing, for a bubble) and
-    :meth:`step` once per clock; completed batches come back as
-    ``(tag, outputs)`` pairs with payload identity preserved.
+    :class:`~repro.core.pipeline.PipelinedBNBFabric`: :meth:`offer` a
+    permutation (or nothing, for a bubble) and :meth:`step` once per
+    clock; completed batches come back as ``(tag, outputs)`` pairs with
+    payload identity preserved.  Physical faults are carried as a
+    :class:`~repro.core.plan.FaultMask` (constructor argument or
+    :meth:`set_fault_mask`) instead of the object engine's
+    ``control_override`` callback.
     """
 
-    def __init__(self, m: int, retain_delivered: bool = True) -> None:
+    def __init__(
+        self,
+        m: int,
+        retain_delivered: bool = True,
+        fault_mask: Optional[FaultMask] = None,
+    ) -> None:
         if m < 1:
             raise ValueError(f"the fabric needs m >= 1, got {m}")
+        if fault_mask is not None and fault_mask.m != m:
+            raise ValueError(
+                f"fault mask is for m={fault_mask.m}, fabric is m={m}"
+            )
         self.m = m
         self.n = 1 << m
+        self.fault_mask = fault_mask
         self.plan: CompiledPlan = compiled_plan(m)
         self._stages: List[Optional[VectorBatch]] = [None] * m
         self._pending: Optional[VectorBatch] = None
@@ -154,10 +191,30 @@ class VectorPipelinedFabric:
     # ------------------------------------------------------------------
     # Clocking
     # ------------------------------------------------------------------
+    def set_fault_mask(self, mask: Optional[FaultMask]) -> None:
+        """Install (or clear) the fault mask, effective immediately.
+
+        Batches already in flight feel the new mask from their next
+        stage onward — exactly how a physical fault appearing mid-frame
+        would behave.
+        """
+        if mask is not None and mask.m != self.m:
+            raise ValueError(
+                f"fault mask is for m={mask.m}, fabric is m={self.m}"
+            )
+        self.fault_mask = mask
+
     def _advance(self, batch: VectorBatch, stage_index: int) -> None:
         """Route *batch* through main stage *stage_index*, in place."""
         stage = self.plan.stages[stage_index]
-        take = stage_take_indices(self.plan, stage, batch.addresses)
+        mask = self.fault_mask
+        if mask is not None:
+            dead = mask.dead_links.get(stage_index)
+            if dead is not None:
+                # Clobber persists in the batch: the sentinel rides to
+                # the output-side address check (DEAD_ADDRESS propagation).
+                batch.addresses = np.where(dead, DEAD_ADDRESS, batch.addresses)
+        take = stage_take_indices(self.plan, stage, batch.addresses, mask=mask)
         batch.addresses = batch.addresses[take]
         batch.sources = batch.sources[take]
 

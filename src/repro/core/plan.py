@@ -26,26 +26,50 @@ at once) and :func:`vector_apply_controls`.  They are the single vector
 implementation behind both the combinational
 :meth:`~repro.core.bnb.BNBNetwork.route_fast` and the registered
 :class:`~repro.core.pipeline_fast.VectorPipelinedFabric`.
+
+Faults are data here, not control flow: a :class:`FaultMask` carries
+per-(main stage, inner stage) stuck-control override arrays plus
+per-stage dead-link flags, and :func:`stage_take_indices` applies them
+as one masked ``where`` over the freshly computed control column.
+Because the vector kernels re-decide every splitter from the addresses
+actually present on its inputs — exactly like the adaptive object model
+in :mod:`repro.faults.adaptive` — a masked vector pass reproduces
+:func:`~repro.faults.adaptive.route_with_stuck_switch` bit for bit
+(pinned exhaustively in the tests), so a faulty fabric is the same
+numpy gather pipeline plus a masked ``where``.  Dead links propagate as
+an int64 sentinel: :data:`DEAD_ADDRESS` is ``-1``, whose every address
+bit reads 1, so a word crossing a dead link keeps routing (as garbage)
+and keeps the sentinel through every later stage until the output-side
+address check flags it.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import functools
-from typing import Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
 from ..bits import cached_shuffle_permutation
+from ..exceptions import FaultError
 
 __all__ = [
     "CompiledPlan",
+    "DEAD_ADDRESS",
+    "FaultMask",
     "StagePlan",
+    "build_fault_mask",
     "compiled_plan",
     "stage_take_indices",
     "vector_splitter_controls",
     "vector_apply_controls",
 ]
+
+#: The dead-link sentinel.  As an int64, ``(-1 >> shift) & 1 == 1`` for
+#: every shift, so a clobbered word still routes deterministically (as
+#: an all-ones address) and the sentinel survives every later stage.
+DEAD_ADDRESS = np.int64(-1)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -87,6 +111,120 @@ class CompiledPlan:
     pair_odd: np.ndarray
     #: ``identity[j] == j`` — the scratch index base for swap composition.
     identity: np.ndarray
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultMask:
+    """Physical faults of one fabric instance, as dataplane arrays.
+
+    ``overrides[(i, j)]`` is a ``(forced, values)`` pair of arrays
+    shaped ``(2**(i + j), width // 2)`` — one row per splitter box of
+    inner stage ``j`` of main stage ``i`` (row ``l * 2**j + box``, the
+    order ``current.reshape(-1, width)`` produces), one column per
+    switch.  Where ``forced`` is True the switch control is stuck at
+    ``values`` regardless of what the arbiter decided; everywhere else
+    the healthy control passes through.  ``dead_links[i]`` flags input
+    lines of main stage ``i`` whose words are clobbered to
+    :data:`DEAD_ADDRESS` on entry.
+
+    The declarative ``stuck`` / ``dead`` tuples that built the mask are
+    retained so fault sets can be merged (live injection rebuilds the
+    mask from the union) and reported.
+    """
+
+    m: int
+    stuck: Tuple[Tuple[Tuple[int, int, int, int, int], int], ...]
+    dead: Tuple[Tuple[int, int], ...]
+    overrides: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]]
+    dead_links: Dict[int, np.ndarray]
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "m": self.m,
+            "stuck": [
+                {"coordinate": list(coordinate), "value": value}
+                for coordinate, value in self.stuck
+            ],
+            "dead_links": [
+                {"main_stage": stage, "line": line}
+                for stage, line in self.dead
+            ],
+        }
+
+
+def build_fault_mask(
+    m: int,
+    stuck: Iterable[Tuple[Tuple[int, int, int, int, int], int]] = (),
+    dead_links: Iterable[Tuple[int, int]] = (),
+) -> FaultMask:
+    """Compile a declarative fault set into per-stage override arrays.
+
+    *stuck* items are ``((main_stage, nested, nested_stage, box,
+    switch), value)`` — the same five-axis coordinates the object fault
+    model uses (:class:`repro.faults.injector.SwitchCoordinate` fields,
+    kept as plain tuples so the core layer stays import-free of the
+    faults layer).  *dead_links* items are ``(main_stage, line)``.
+    """
+    if m < 1:
+        raise ValueError(f"a fault mask needs m >= 1, got {m}")
+    n = 1 << m
+    stuck = tuple(
+        (tuple(int(c) for c in coordinate), int(value))
+        for coordinate, value in stuck
+    )
+    dead = tuple((int(stage), int(line)) for stage, line in dead_links)
+    overrides: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
+    for coordinate, value in stuck:
+        if len(coordinate) != 5:
+            raise FaultError(
+                f"stuck coordinate needs 5 axes (main_stage, nested, "
+                f"nested_stage, box, switch), got {coordinate}"
+            )
+        i, nested, j, box, switch = coordinate
+        if not 0 <= i < m:
+            raise FaultError(f"main stage {i} out of range for m={m}")
+        block_exp = m - i
+        if not 0 <= nested < (1 << i):
+            raise FaultError(f"nested index {nested} out of range at stage {i}")
+        if not 0 <= j < block_exp:
+            raise FaultError(f"nested stage {j} out of range at stage {i}")
+        width = 1 << (block_exp - j)
+        if not 0 <= box < (1 << j):
+            raise FaultError(f"box {box} out of range at stage ({i}, {j})")
+        if not 0 <= switch < width // 2:
+            raise FaultError(
+                f"switch {switch} out of range for width-{width} boxes"
+            )
+        if value not in (0, 1):
+            raise FaultError(f"stuck value must be 0 or 1, got {value}")
+        key = (i, j)
+        if key not in overrides:
+            rows = 1 << (i + j)
+            overrides[key] = (
+                np.zeros((rows, width // 2), dtype=bool),
+                np.zeros((rows, width // 2), dtype=np.int64),
+            )
+        forced, values = overrides[key]
+        row = (nested << j) + box
+        forced[row, switch] = True
+        values[row, switch] = value
+    dead_map: Dict[int, np.ndarray] = {}
+    for stage, line in dead:
+        if not 0 <= stage < m:
+            raise FaultError(f"main stage {stage} out of range for m={m}")
+        if not 0 <= line < n:
+            raise FaultError(f"line {line} out of range for n={n}")
+        if stage not in dead_map:
+            dead_map[stage] = np.zeros(n, dtype=bool)
+        dead_map[stage][line] = True
+    for forced, values in overrides.values():
+        forced.flags.writeable = False
+        values.flags.writeable = False
+    for flags in dead_map.values():
+        flags.flags.writeable = False
+    return FaultMask(
+        m=m, stuck=stuck, dead=dead, overrides=overrides, dead_links=dead_map
+    )
 
 
 def _block_gather(n: int, width_exp: int) -> np.ndarray:
@@ -206,7 +344,10 @@ def vector_apply_controls(
 
 
 def stage_take_indices(
-    plan: CompiledPlan, stage: StagePlan, addresses: np.ndarray
+    plan: CompiledPlan,
+    stage: StagePlan,
+    addresses: np.ndarray,
+    mask: Optional[FaultMask] = None,
 ) -> np.ndarray:
     """One main stage's full line permutation, as a gather index array.
 
@@ -217,14 +358,29 @@ def stage_take_indices(
     the precompiled unshuffle gathers.  The caller applies the returned
     ``take`` to every per-line array it carries:
     ``new_arr = arr[take]``.
+
+    With a :class:`FaultMask`, each inner stage's stuck switches hold
+    their forced value in place of the arbiter's decision — a single
+    masked ``where`` over the control column.  Downstream splitters
+    still re-decide from the addresses actually in front of them, so
+    the faulty vector pass matches the adaptive object model exactly.
+    (Dead-link clobbering happens at stage *input*, in the caller —
+    see :data:`DEAD_ADDRESS`.)
     """
     take = plan.identity
     current = addresses
     shift = stage.shift
-    for width, gather in zip(stage.inner_widths, stage.inner_gathers):
+    for j, (width, gather) in enumerate(
+        zip(stage.inner_widths, stage.inner_gathers)
+    ):
         blocks = current.reshape(-1, width)
         bits = (blocks >> shift) & 1
         controls = vector_splitter_controls(bits)
+        if mask is not None:
+            override = mask.overrides.get((stage.stage, j))
+            if override is not None:
+                forced, values = override
+                controls = np.where(forced, values, controls)
         # One full-width "swap with partner" index per line...
         exchange = np.repeat(controls.reshape(-1).astype(bool), 2)
         swap = np.where(exchange, plan.identity ^ 1, plan.identity)

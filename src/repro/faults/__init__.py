@@ -12,8 +12,11 @@ from .injector import (
     SwitchCoordinate,
     enumerate_switch_coordinates,
     extract_controls,
+    fault_mask_for,
     inject_stuck_control,
+    random_fault_set,
     replay_controls,
+    stuck_override_set,
 )
 from .detection import (
     FaultTrial,
@@ -32,12 +35,15 @@ from .bist import (
     BISTSchedule,
     build_bist_schedule,
     candidate_probe_stream,
+    shared_bist_schedule,
 )
 from .localization import (
     LocalizationResult,
     ProbeObservation,
     candidate_switches,
+    decode_syndromes,
     localize,
+    observations_from_arrays,
     trace_switch_paths,
 )
 
@@ -46,16 +52,22 @@ __all__ = [
     "BISTSchedule",
     "build_bist_schedule",
     "candidate_probe_stream",
+    "shared_bist_schedule",
     "LocalizationResult",
     "ProbeObservation",
     "candidate_switches",
+    "decode_syndromes",
     "localize",
+    "observations_from_arrays",
     "trace_switch_paths",
     "SwitchCoordinate",
     "enumerate_switch_coordinates",
     "extract_controls",
+    "fault_mask_for",
     "inject_stuck_control",
+    "random_fault_set",
     "replay_controls",
+    "stuck_override_set",
     "FaultTrial",
     "FaultCoverageReport",
     "misrouted_outputs",

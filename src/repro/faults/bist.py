@@ -33,8 +33,11 @@ through the recorded controls without re-routing.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import random
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from ..core.bnb import BNBNetwork
 from ..core.words import Word
@@ -54,6 +57,7 @@ __all__ = [
     "BISTSchedule",
     "build_bist_schedule",
     "candidate_probe_stream",
+    "shared_bist_schedule",
 ]
 
 #: (coordinate, stuck value) — one hypothetical single stuck-at fault.
@@ -89,10 +93,19 @@ class BISTProbe:
 
 @dataclasses.dataclass
 class BISTSchedule:
-    """A deterministic probe schedule with full stuck-at coverage."""
+    """A deterministic probe schedule with full stuck-at coverage.
+
+    ``inert`` lists the (coordinate, stuck value) pairs the candidate
+    stream could never activate — empty under the default strict build,
+    and populated only by ``require_full_coverage=False`` builds at
+    ``m >= 5``, where boundary switches of the innermost stages have
+    control values no legal permutation exercises (their stuck faults
+    cannot displace traffic and need no probe).
+    """
 
     m: int
     probes: List[BISTProbe]
+    inert: Tuple[FaultHypothesis, ...] = ()
 
     @property
     def n(self) -> int:
@@ -152,6 +165,53 @@ class BISTSchedule:
                 on_probe(probe, observation)
         return observations
 
+    def run_pipelined(
+        self,
+        fabric,
+        on_probe: Optional[Callable[["BISTProbe", "ProbeObservation"], None]] = None,
+    ) -> List["ProbeObservation"]:
+        """Push the whole schedule through a pipelined fabric, batched.
+
+        The vector counterpart of :meth:`run`: instead of routing each
+        probe to completion before offering the next (``P * (m + 1)``
+        cycles), all probes enter back to back — one per cycle, the
+        pipeline's design point — and the pass completes in
+        ``P + m`` cycles.  *fabric* is any pipelined engine with the
+        shared ``offer_words`` / ``step`` / ``drain`` / ``in_flight``
+        surface (in practice a possibly-faulty
+        :class:`~repro.core.pipeline_fast.VectorPipelinedFabric`); it
+        must be idle, and is idle again on return.  Arrived addresses
+        are decoded into observations in one vectorized pass
+        (:func:`~repro.faults.localization.observations_from_arrays`).
+        """
+        from .localization import observations_from_arrays
+
+        if getattr(fabric, "in_flight", 0) or not fabric.can_accept:
+            raise FaultError("a pipelined BIST pass needs an idle fabric")
+        completed = []
+        for probe in self.probes:
+            fabric.offer_words(probe.words(), tag=("bist", probe.index))
+            completed.extend(fabric.step())
+        completed.extend(fabric.drain())
+        outputs_by_tag = dict(completed)
+        arrived = np.empty((len(self.probes), self.n), dtype=np.int64)
+        for row, probe in enumerate(self.probes):
+            outputs = outputs_by_tag.get(("bist", probe.index))
+            if outputs is None or len(outputs) != self.n:
+                raise FaultError(
+                    f"probe {probe.index} did not complete cleanly on the "
+                    f"pipelined fabric"
+                )
+            arrived[row] = [word.address for word in outputs]
+        sent = np.array(
+            [probe.addresses for probe in self.probes], dtype=np.int64
+        )
+        observations = observations_from_arrays(sent, arrived)
+        if on_probe is not None:
+            for probe, observation in zip(self.probes, observations):
+                on_probe(probe, observation)
+        return observations
+
     def detects(
         self, coordinate: SwitchCoordinate, stuck_value: int
     ) -> Optional[int]:
@@ -197,6 +257,7 @@ def build_bist_schedule(
     m: int,
     ensure_detection: bool = True,
     max_candidates: int = 256,
+    require_full_coverage: bool = True,
 ) -> BISTSchedule:
     """Build the deterministic BIST schedule for a ``2**m``-input fabric.
 
@@ -210,9 +271,18 @@ def build_bist_schedule(
     targets, and skippable for structural studies at large ``m``.
 
     Raises :class:`~repro.exceptions.FaultError` if *max_candidates*
-    probes cannot close the coverage (never observed in practice; the
-    bound exists so a modelling regression fails loudly instead of
-    looping).
+    probes cannot close the coverage.  Through ``m = 4`` that never
+    happens; from ``m = 5`` on it always does, because the nested
+    networks grow control-invariant boundary switches (the first box of
+    a final inner stage always steers 0, the last always 1) whose
+    opposite stuck value no legal permutation can activate.  Pass
+    ``require_full_coverage=False`` to accept that: the leftover pairs
+    are recorded as :attr:`BISTSchedule.inert` instead of raising, and
+    phase 2 skips them (an inert fault cannot displace traffic, so
+    there is no syndrome to guarantee).  Large-``m`` builds normally
+    pair this with ``ensure_detection=False``: past ``m = 4`` some
+    activatable faults are also architecturally masked on every
+    candidate probe, so the phase-2 guarantee stops being closable too.
     """
     if m < 1:
         raise FaultError(f"a BIST schedule needs m >= 1, got {m}")
@@ -237,23 +307,24 @@ def build_bist_schedule(
         if gained:
             probes.append(candidate)
             uncovered -= gained
-    if uncovered:
+    if uncovered and require_full_coverage:
         raise FaultError(
             f"BIST coverage incomplete after {max_candidates} candidates: "
             f"{len(uncovered)} (coordinate, value) pairs unexercised"
         )
+    inert = tuple(sorted(uncovered))
 
-    schedule = BISTSchedule(m=m, probes=probes)
+    schedule = BISTSchedule(m=m, probes=probes, inert=inert)
     if not ensure_detection:
         return schedule
 
-    # Phase 2: every fault must yield a visible adaptive syndrome.
+    # Phase 2: every activatable fault must yield a visible syndrome.
     undetected: List[FaultHypothesis] = [
         pair
         for pair in sorted(
             (c, v) for c in enumerate_switch_coordinates(m) for v in (0, 1)
         )
-        if schedule.detects(*pair) is None
+        if pair not in uncovered and schedule.detects(*pair) is None
     ]
     attempts = 0
     while undetected:
@@ -274,6 +345,19 @@ def build_bist_schedule(
         ]
         if exposed:
             probes.append(candidate)
-            schedule = BISTSchedule(m=m, probes=probes)
+            schedule = BISTSchedule(m=m, probes=probes, inert=inert)
             undetected = [pair for pair in undetected if pair not in exposed]
-    return BISTSchedule(m=m, probes=probes)
+    return BISTSchedule(m=m, probes=probes, inert=inert)
+
+
+@functools.lru_cache(maxsize=None)
+def shared_bist_schedule(m: int) -> BISTSchedule:
+    """The default-parameter schedule, built once per process per ``m``.
+
+    Phase 2 of the build simulates every single stuck-at fault, which
+    is the expensive part; a multi-plane gateway would otherwise pay it
+    once per resilient plane.  The schedule is treated as immutable by
+    every consumer (the service layer only reads it), mirroring the
+    :func:`~repro.core.plan.compiled_plan` cache discipline.
+    """
+    return build_bist_schedule(m)

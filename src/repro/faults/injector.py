@@ -13,10 +13,13 @@ switch's setting.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..bits import unshuffle_index
 from ..core.bnb import BNBNetwork, BNBRoutingRecord
+from ..core.pipeline import ControlOverride, stuck_control_override
+from ..core.plan import FaultMask, build_fault_mask
 from ..core.switchbox import apply_pair_controls
 from ..core.words import Word
 from ..exceptions import FaultError
@@ -25,8 +28,11 @@ __all__ = [
     "SwitchCoordinate",
     "enumerate_switch_coordinates",
     "extract_controls",
+    "fault_mask_for",
     "inject_stuck_control",
+    "random_fault_set",
     "replay_controls",
+    "stuck_override_set",
 ]
 
 ControlTable = Dict[Tuple[int, int, int, int], List[int]]
@@ -75,6 +81,98 @@ def enumerate_switch_coordinates(m: int) -> List[SwitchCoordinate]:
                             )
                         )
     return coordinates
+
+
+#: One stuck-at fault as the faults layer names it.
+StuckFault = Tuple[SwitchCoordinate, int]
+
+
+def fault_mask_for(
+    m: int,
+    faults: Iterable[StuckFault],
+    dead_links: Iterable[Tuple[int, int]] = (),
+) -> FaultMask:
+    """Compile a set of stuck-at faults into a vector-engine fault mask.
+
+    The bridge between this layer's :class:`SwitchCoordinate` naming
+    and the core layer's plain-tuple :func:`~repro.core.plan.build_fault_mask`
+    (core stays import-free of the faults layer; this direction is fine).
+    """
+    return build_fault_mask(
+        m,
+        stuck=[
+            (
+                (
+                    coordinate.main_stage,
+                    coordinate.nested,
+                    coordinate.nested_stage,
+                    coordinate.box,
+                    coordinate.switch,
+                ),
+                value,
+            )
+            for coordinate, value in faults
+        ],
+        dead_links=dead_links,
+    )
+
+
+def stuck_override_set(faults: Iterable[StuckFault]) -> ControlOverride:
+    """One composed object-engine override for a whole stuck fault set.
+
+    Equivalent to chaining
+    :func:`~repro.core.pipeline.stuck_control_override` per fault —
+    each stuck switch holds its value regardless of what the arbiter
+    (or an earlier fault on the same splitter) decided.  The object
+    counterpart of :func:`fault_mask_for`, so differential tests can
+    drive both engines from the same declarative fault set.
+    """
+    overrides = [
+        stuck_control_override(
+            coordinate.main_stage,
+            coordinate.nested,
+            coordinate.nested_stage,
+            coordinate.box,
+            coordinate.switch,
+            value,
+        )
+        for coordinate, value in faults
+    ]
+
+    def override(
+        i: int, l: int, j: int, b: int, controls: List[int]
+    ) -> List[int]:
+        for apply in overrides:
+            controls = apply(i, l, j, b, controls)
+        return controls
+
+    return override
+
+
+def random_fault_set(
+    m: int,
+    count: int,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+) -> List[StuckFault]:
+    """Draw *count* distinct stuck-at faults, reproducibly.
+
+    Follows the experiment rng convention: all randomness comes from
+    one stream — pass *rng* to thread a shared stream across
+    experiments, or rely on *seed* for standalone reproducibility.
+    Distinct means distinct switch coordinates; the stuck value is an
+    independent coin flip per fault.
+    """
+    if rng is None:
+        rng = random.Random(seed)
+    coordinates = enumerate_switch_coordinates(m)
+    if not 0 <= count <= len(coordinates):
+        raise FaultError(
+            f"cannot draw {count} distinct faults from "
+            f"{len(coordinates)} switches at m={m}"
+        )
+    chosen = rng.sample(coordinates, count)
+    return [(coordinate, rng.randrange(2)) for coordinate in chosen]
 
 
 def extract_controls(record: BNBRoutingRecord) -> ControlTable:

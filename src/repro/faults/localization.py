@@ -47,6 +47,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from ..bits import unshuffle_index
 from ..core.bnb import BNBNetwork
 from ..core.words import Word
@@ -64,6 +66,8 @@ from .injector import (
 __all__ = [
     "ProbeObservation",
     "LocalizationResult",
+    "decode_syndromes",
+    "observations_from_arrays",
     "trace_switch_paths",
     "candidate_switches",
     "localize",
@@ -106,6 +110,55 @@ class ProbeObservation:
             for line, address in enumerate(self.arrived)
             if address != line
         )
+
+
+def decode_syndromes(arrived: np.ndarray) -> List[Tuple[int, ...]]:
+    """Per-probe syndromes from a ``(probes, n)`` arrived-address array.
+
+    One vectorized comparison against the identity flags every
+    misrouted output line of every probe at once — the batched
+    counterpart of :attr:`ProbeObservation.syndrome`, which the tests
+    pin it against.  Dead-link sentinels
+    (:data:`~repro.core.plan.DEAD_ADDRESS`) never equal their line, so
+    they always appear in the syndrome.
+    """
+    arrived = np.asarray(arrived, dtype=np.int64)
+    if arrived.ndim != 2:
+        raise FaultError(
+            f"expected a (probes, n) arrived array, got shape {arrived.shape}"
+        )
+    mismatch = arrived != np.arange(arrived.shape[1], dtype=np.int64)
+    syndromes: List[List[int]] = [[] for _ in range(arrived.shape[0])]
+    rows, lines = np.nonzero(mismatch)
+    for row, line in zip(rows.tolist(), lines.tolist()):
+        syndromes[row].append(line)
+    return [tuple(lines) for lines in syndromes]
+
+
+def observations_from_arrays(
+    sent: np.ndarray, arrived: np.ndarray
+) -> List[ProbeObservation]:
+    """Build probe observations from batched ``(probes, n)`` arrays.
+
+    The decode path for pipelined BIST passes
+    (:meth:`~repro.faults.bist.BISTSchedule.run_pipelined`): the whole
+    probe batch is validated and syndrome-flagged in vectorized passes,
+    and only then materialized as :class:`ProbeObservation` records for
+    the (per-observation) localization decoder.
+    """
+    sent = np.asarray(sent, dtype=np.int64)
+    arrived = np.asarray(arrived, dtype=np.int64)
+    if sent.ndim != 2 or sent.shape != arrived.shape:
+        raise FaultError(
+            f"sent {sent.shape} and arrived {arrived.shape} arrays must be "
+            f"matching (probes, n) matrices"
+        )
+    return [
+        ProbeObservation(
+            addresses=tuple(sent_row), arrived=tuple(arrived_row)
+        )
+        for sent_row, arrived_row in zip(sent.tolist(), arrived.tolist())
+    ]
 
 
 def trace_switch_paths(

@@ -26,6 +26,7 @@ from ..exceptions import (
     InputError,
     PlaneUnavailableError,
 )
+from ..service import ResilientVectorFabric
 from .planes import (
     CompletedFrame,
     PipelinedPlane,
@@ -49,10 +50,13 @@ class GatewayConfig:
     planes: int = 1
     queue_capacity: int = 32
     resilient: bool = False
-    #: Dataplane engine for the default (non-resilient) planes:
-    #: ``"object"`` clocks the reference ``PipelinedBNBFabric``,
-    #: ``"vector"`` the compiled-plan numpy ``VectorPipelinedFabric``
-    #: with sampled boundary verification.
+    #: Dataplane engine for the planes: ``"object"`` clocks the
+    #: reference ``PipelinedBNBFabric``, ``"vector"`` the compiled-plan
+    #: numpy ``VectorPipelinedFabric`` with sampled boundary
+    #: verification.  Orthogonal to ``resilient``: a resilient vector
+    #: plane wraps a ``ResilientVectorFabric`` (masked fault kernels,
+    #: pipelined BIST, compiled Benes failover), a resilient object
+    #: plane a ``ResilientFabric``.
     engine: str = "object"
     #: Bound on latency samples kept for the percentile estimate.
     latency_window: int = 8192
@@ -69,11 +73,6 @@ class GatewayConfig:
         if self.engine not in ("object", "vector"):
             raise ValueError(
                 f"engine must be 'object' or 'vector', got {self.engine!r}"
-            )
-        if self.resilient and self.engine != "object":
-            raise ValueError(
-                "resilient planes run on the object engine; drop "
-                "engine='vector' or resilient=True"
             )
 
     @property
@@ -112,7 +111,11 @@ class AsyncGateway:
         self.voqs = VirtualOutputQueues(self.n, config.queue_capacity)
         self.scheduler = FrameScheduler(self.n)
         if plane_factory is None:
-            if config.resilient:
+            if config.resilient and config.engine == "vector":
+                plane_factory = lambda i, m: ResilientPlane(
+                    i, m, fabric=ResilientVectorFabric(m)
+                )
+            elif config.resilient:
                 plane_factory = lambda i, m: ResilientPlane(i, m)
             elif config.engine == "vector":
                 plane_factory = lambda i, m: VectorPlane(i, m)
@@ -258,6 +261,37 @@ class AsyncGateway:
                 self.observer.on_plane_killed(plane)
         self._work.set()
         return len(stranded)
+
+    def inject_fault(
+        self, plane_id: int, coordinate: Any, value: int
+    ) -> Dict[str, Any]:
+        """Inject a stuck-control fault into one plane's live fabric.
+
+        The operator-facing fault drill (the ``inject`` protocol op):
+        *coordinate* is a 5-sequence ``(main_stage, nested,
+        nested_stage, box, switch)``.  Only planes whose fabric exposes
+        ``inject_stuck_control`` — the resilient kinds — can take one;
+        anything else raises :class:`InputError` rather than silently
+        ignoring the drill.
+        """
+        from ..faults.injector import SwitchCoordinate
+
+        if not 0 <= plane_id < len(self.planes):
+            raise InputError(
+                f"plane {plane_id} out of range "
+                f"({len(self.planes)} plane(s))"
+            )
+        plane = self.planes[plane_id]
+        fabric = getattr(plane, "fabric", None)
+        inject = getattr(fabric, "inject_stuck_control", None)
+        if inject is None:
+            raise InputError(
+                f"plane {plane_id} ({type(plane).__name__}) cannot take "
+                f"fault injection; serve with --resilient"
+            )
+        inject(SwitchCoordinate(*(int(axis) for axis in coordinate)), value)
+        self._work.set()
+        return plane.describe()
 
     # ------------------------------------------------------------------
     # The clock

@@ -15,11 +15,13 @@ to track which frames are inside it.  Three kinds:
   rotating spot check of a few destinations otherwise.  A detected
   misdelivery still kills the plane and requeues everything in flight.
 * :class:`ResilientPlane` — a
-  :class:`~repro.service.ResilientFabric` whose submit path already
-  verifies, retries, BIST-diagnoses and fails over to a Benes spare, so
-  a stuck switch degrades the plane instead of failing it.  One frame
-  per step (the resilient submit drains its pipeline), so use it for
-  fault tolerance, not peak throughput.
+  :class:`~repro.service.ResilientFabric` (object engine) or
+  :class:`~repro.service.ResilientVectorFabric` (vector engine) whose
+  submit path already verifies, retries, BIST-diagnoses and fails over
+  to a Benes spare, so a stuck switch degrades the plane instead of
+  failing it.  One frame per step (the resilient submit drains its
+  pipeline), so the resilient kinds trade peak throughput for fault
+  tolerance — the vector fabric narrows that trade substantially.
 
 All expose the same interface the gateway's clock loop drives:
 ``ready`` / ``offer`` / ``step`` / ``kill`` / ``load``.
@@ -318,13 +320,16 @@ class VectorPlane(_PlaneBase):
 
 
 class ResilientPlane(_PlaneBase):
-    """A :class:`ResilientFabric`-protected plane: slower, self-healing.
+    """A :class:`ResilientFabric`-protected plane: self-healing.
 
     ``step`` runs the full verified submit for one queued frame, so a
     frame occupies the plane for several internal fabric cycles; the
     gateway sees at most one completion per step.  Faults degrade the
     plane (retries, Benes failover) rather than killing it; only an
     exhausted fault service (:class:`FaultServiceError`) fails it.
+    Pass a :class:`~repro.service.ResilientVectorFabric` (the
+    ``--engine vector --resilient`` deployment) to run the same
+    lifecycle on the compiled engine.
     """
 
     def __init__(
@@ -386,7 +391,11 @@ class ResilientPlane(_PlaneBase):
 
     def describe(self) -> Dict[str, Any]:
         info = super().describe()
-        info["engine"] = "object"
+        info["engine"] = (
+            "vector"
+            if isinstance(self.fabric.pipeline, VectorPipelinedFabric)
+            else "object"
+        )
         info["service_state"] = self.fabric.state.value
         info["service_retries"] = self.fabric.counters.retries
         return info

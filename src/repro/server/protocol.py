@@ -2,7 +2,7 @@
 
 One request per line, one response per line, both UTF-8 JSON objects.
 Requests carry an ``op`` (``send`` | ``stats`` | ``metrics`` |
-``ping``) and an optional ``id`` echoed verbatim in the response, so
+``inject`` | ``ping``) and an optional ``id`` echoed verbatim in the response, so
 clients may correlate.  Requests on one connection are handled
 concurrently — a slow ``send`` (waiting for a frame) does not block a
 ``stats`` probe on the same socket; responses are therefore *not*
@@ -18,6 +18,9 @@ guaranteed to arrive in request order, which is what ``id`` is for.
         "retry_after_cycles": 32, "id": 2}
     -> {"op": "stats"}
     <- {"ok": true, "op": "stats", "stats": {...}}
+    -> {"op": "inject", "plane": 0, "coordinate": [2, 0, 0, 0, 0],
+        "value": 1}                                # needs --resilient
+    <- {"ok": true, "op": "inject", "plane": {...}}
     -> {"op": "metrics", "format": "prometheus"}   # needs --metrics
     <- {"ok": true, "op": "metrics", "format": "prometheus",
         "body": "# HELP repro_gateway_cycle ...\\n..."}
@@ -48,6 +51,7 @@ from typing import Any, Dict, Optional, Set
 
 from ..exceptions import (
     AdmissionRejectedError,
+    FaultError,
     GatewayClosedError,
     InputError,
     PlaneUnavailableError,
@@ -236,6 +240,8 @@ class GatewayServer:
                 return self._op_metrics(request, request_id)
             if op == "send":
                 return await self._op_send(request, request_id)
+            if op == "inject":
+                return self._op_inject(request, request_id)
             return _error(
                 "bad-request", request_id, detail=f"unknown op {op!r}"
             )
@@ -250,7 +256,7 @@ class GatewayServer:
             return _error("gateway-closed", request_id, detail=str(error))
         except PlaneUnavailableError as error:
             return _error("plane-unavailable", request_id, detail=str(error))
-        except InputError as error:
+        except (InputError, FaultError) as error:
             return _error("bad-request", request_id, detail=str(error))
         except asyncio.CancelledError:
             raise
@@ -292,6 +298,43 @@ class GatewayServer:
             request_id,
             detail=f"metrics format must be 'json' or 'prometheus', got {fmt!r}",
         )
+
+    def _op_inject(
+        self, request: Dict[str, Any], request_id: Any
+    ) -> Dict[str, Any]:
+        plane = request.get("plane", 0)
+        if not isinstance(plane, int) or isinstance(plane, bool):
+            return _error(
+                "bad-request",
+                request_id,
+                detail="'plane' must be an integer plane id",
+            )
+        coordinate = request.get("coordinate")
+        if (
+            not isinstance(coordinate, (list, tuple))
+            or len(coordinate) != 5
+            or not all(
+                isinstance(axis, int) and not isinstance(axis, bool)
+                for axis in coordinate
+            )
+        ):
+            return _error(
+                "bad-request",
+                request_id,
+                detail=(
+                    "'coordinate' must be 5 integers: [main_stage, "
+                    "nested, nested_stage, box, switch]"
+                ),
+            )
+        value = request.get("value", 1)
+        if value not in (0, 1) or isinstance(value, bool):
+            return _error(
+                "bad-request",
+                request_id,
+                detail="'value' must be the stuck control bit, 0 or 1",
+            )
+        described = self.gateway.inject_fault(plane, tuple(coordinate), value)
+        return _ok({"op": "inject", "plane": described}, request_id)
 
     async def _op_send(
         self, request: Dict[str, Any], request_id: Any

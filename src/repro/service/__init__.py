@@ -11,7 +11,12 @@ Entry point: :class:`ResilientFabric`.  Book-keeping types
 :class:`HealthMonitor`) live in :mod:`repro.service.registry`.
 """
 
-from .fabric import BatchResult, ResilientFabric
+from .fabric import (
+    BatchResult,
+    CompiledBenesFailover,
+    ResilientFabric,
+    ResilientVectorFabric,
+)
 from .registry import (
     FaultEvent,
     FaultRegistry,
@@ -22,6 +27,8 @@ from .registry import (
 
 __all__ = [
     "ResilientFabric",
+    "ResilientVectorFabric",
+    "CompiledBenesFailover",
     "BatchResult",
     "FaultEvent",
     "FaultRegistry",

@@ -54,7 +54,9 @@ class FaultEvent:
 
     ``kind`` is one of: ``detection``, ``retry``, ``bist``,
     ``localization``, ``cleared``, ``confirmation``, ``quarantine``,
-    ``failover``, ``delivery``.  ``data`` carries kind-specific fields
+    ``failover``, ``failover-plan`` (a vector fabric compiled its spare
+    routing plan), ``injection`` (an operator injected a fault into the
+    live primary), ``delivery``.  ``data`` carries kind-specific fields
     (syndrome sizes, candidate counts, backoff cycles, ...).
     """
 

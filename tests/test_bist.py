@@ -113,3 +113,58 @@ def test_manual_schedule_reports_uncovered():
     full = build_bist_schedule(2, ensure_detection=False)
     thin = BISTSchedule(m=2, probes=full.probes[:1])
     assert thin.uncovered()  # one probe cannot drive both values anywhere
+
+
+class TestRelaxedCoverage:
+    """``require_full_coverage=False``: inert pairs at m >= 5."""
+
+    def test_strict_build_still_raises_at_m5(self):
+        with pytest.raises(FaultError, match="coverage incomplete"):
+            build_bist_schedule(5, ensure_detection=False, max_candidates=64)
+
+    def test_small_m_builds_have_no_inert_pairs(self):
+        for m in (2, 3):
+            assert build_bist_schedule(m, ensure_detection=False).inert == ()
+
+    @pytest.mark.slow
+    def test_m5_inert_pairs_are_the_boundary_switches(self):
+        """The pairs the stream cannot activate are exactly the
+        control-invariant boundary switches: the first box of a final
+        inner stage always steers 0, the last always 1."""
+        schedule = build_bist_schedule(
+            5,
+            ensure_detection=False,
+            require_full_coverage=False,
+            max_candidates=400,
+        )
+        assert schedule.uncovered() == sorted(schedule.inert)
+        for coordinate, value in schedule.inert:
+            width_exp = 5 - coordinate.main_stage - coordinate.nested_stage
+            assert width_exp == 1  # always a width-2 (final) inner stage
+            last_box = (1 << coordinate.nested_stage) - 1
+            assert (coordinate.box, value) in ((0, 0), (last_box, 1))
+
+    @pytest.mark.slow
+    def test_inert_faults_never_displace_traffic(self):
+        """An inert stuck fault is benign: the fabric routes every
+        seeded permutation perfectly with the fault installed."""
+        from repro.permutations import random_permutation
+
+        schedule = build_bist_schedule(
+            5,
+            ensure_detection=False,
+            require_full_coverage=False,
+            max_candidates=400,
+        )
+        assert schedule.inert
+        from repro.core import Word
+        from repro.faults import route_with_stuck_switch
+
+        for coordinate, value in schedule.inert:
+            for seed in range(5):
+                pi = random_permutation(32, rng=seed)
+                words = [
+                    Word(address=pi(j), payload=j) for j in range(32)
+                ]
+                outputs = route_with_stuck_switch(5, words, coordinate, value)
+                assert [w.address for w in outputs] == list(range(32))

@@ -167,11 +167,17 @@ class TestServe:
         assert stats["planes"][0]["kind"] == "VectorPlane"
         assert stats["planes"][0]["engine"] == "vector"
 
-    def test_demo_resilient_vector_conflict_exits_2(self, capsys):
+    def test_demo_resilient_vector_composes(self, capsys):
         assert main(
-            ["serve", "8", "--demo", "8", "--resilient", "--engine", "vector"]
-        ) == 2
-        assert "resilient" in capsys.readouterr().err
+            [
+                "serve", "8", "--demo", "24",
+                "--resilient", "--engine", "vector", "--json",
+            ]
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["delivered_words"] == 24
+        assert stats["planes"][0]["kind"] == "ResilientPlane"
+        assert stats["planes"][0]["engine"] == "vector"
 
     def test_demo_pool_workers(self, capsys):
         assert main(

@@ -135,6 +135,132 @@ def test_vector_pipeline_matches_object_pipeline(case):
     assert obj.stats().latencies == vec.stats().latencies
 
 
+@st.composite
+def faulted_frame_schedules(draw):
+    """A fault set plus a driving schedule over the same fabric size.
+
+    Faults are 0-3 distinct stuck control bits; the schedule reuses the
+    partial/idle frame shape of :func:`frame_schedules` so faulty
+    fabrics are exercised under bubbles and half-empty frames too.
+    """
+    from repro.faults import enumerate_switch_coordinates
+
+    m = draw(st.integers(2, 3))
+    n = 1 << m
+    coordinates = list(enumerate_switch_coordinates(m))
+    count = draw(st.integers(0, 3))
+    picks = draw(
+        st.lists(
+            st.sampled_from(coordinates),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    faults = [(pick, draw(st.integers(0, 1))) for pick in picks]
+    cycles = draw(st.integers(1, 8))
+    schedule = []
+    for _ in range(cycles):
+        if draw(st.booleans()):
+            schedule.append(None)
+            continue
+        subset = draw(st.sets(st.integers(0, n - 1), max_size=n))
+        order = draw(st.permutations(sorted(subset)))
+        requests = [None] * n
+        lines = draw(st.permutations(list(range(n))))
+        for line, dest in zip(lines, order):
+            requests[line] = dest
+        schedule.append(requests)
+    return m, faults, schedule
+
+
+@settings(max_examples=40, deadline=None)
+@given(faulted_frame_schedules())
+def test_faulty_vector_pipeline_matches_faulty_object_pipeline(case):
+    """A fault set rendered as a vector FaultMask and as composed
+    object-model control overrides must corrupt identically: same
+    per-cycle deliveries under partial frames and idle bubbles."""
+    from repro.core.pipeline import PipelinedBNBFabric
+    from repro.core.pipeline_fast import VectorPipelinedFabric
+    from repro.core.traffic import complete_partial_permutation
+    from repro.faults import fault_mask_for, stuck_override_set
+
+    m, faults, schedule = case
+    obj = PipelinedBNBFabric(m, control_override=stuck_override_set(faults))
+    vec = VectorPipelinedFabric(m, fault_mask=fault_mask_for(m, faults))
+    for tag, requests in enumerate(schedule):
+        if requests is not None:
+            full, is_real = complete_partial_permutation(requests)
+            words = [
+                Word(
+                    address=address,
+                    payload=(tag, line) if is_real[line] else None,
+                )
+                for line, address in enumerate(full)
+            ]
+            obj.offer_words(list(words), tag=tag)
+            vec.offer_words(list(words), tag=tag)
+        done_obj = obj.step()
+        done_vec = vec.step()
+        assert [
+            (frame_tag, [(w.address, w.payload) for w in outputs])
+            for frame_tag, outputs in done_obj
+        ] == [
+            (frame_tag, [(w.address, w.payload) for w in outputs])
+            for frame_tag, outputs in done_vec
+        ]
+    assert [
+        (frame_tag, [(w.address, w.payload) for w in outputs])
+        for frame_tag, outputs in obj.drain()
+    ] == [
+        (frame_tag, [(w.address, w.payload) for w in outputs])
+        for frame_tag, outputs in vec.drain()
+    ]
+
+
+@settings(max_examples=15, deadline=None)
+@given(faulted_frame_schedules())
+def test_faulty_resilient_services_agree(case):
+    """The whole robustness control loop, differentially: the object
+    ResilientFabric and the vector ResilientVectorFabric seeded with
+    the same fault set must agree on BIST syndromes, per-batch
+    delivery modes, the quarantine decision and the confirmed
+    hypothesis class."""
+    from repro.core.pipeline import PipelinedBNBFabric
+    from repro.faults import fault_mask_for, stuck_override_set
+    from repro.service import ResilientFabric, ResilientVectorFabric
+
+    m, faults, _ = case
+    n = 1 << m
+    obj = ResilientFabric(
+        m,
+        pipeline=PipelinedBNBFabric(
+            m, control_override=stuck_override_set(faults)
+        ),
+    )
+    vec = ResilientVectorFabric(m, fault_mask=fault_mask_for(m, faults))
+    syndromes = {"obj": [], "vec": []}
+    obj.probe_hook = lambda probe, obs: syndromes["obj"].append(obs.syndrome)
+    vec.probe_hook = lambda probe, obs: syndromes["vec"].append(obs.syndrome)
+    permutation = Permutation(list(range(1, n)) + [0])
+    modes = {"obj": [], "vec": []}
+    for index in range(3):
+        for name, fabric in (("obj", obj), ("vec", vec)):
+            result = fabric.submit(permutation.to_list(), tag=index)
+            modes[name].append(result.mode)
+            assert [w.address for w in result.outputs] == list(range(n))
+    # Proactive BIST on whichever fabric has not yet self-diagnosed.
+    for name, fabric in (("obj", obj), ("vec", vec)):
+        if not fabric.registry.is_quarantined:
+            fabric.check(tag="fuzz-bist")
+    assert modes["obj"] == modes["vec"]
+    assert syndromes["obj"] == syndromes["vec"]
+    assert obj.state is vec.state
+    assert sorted(obj.registry.confirmed_faults) == sorted(
+        vec.registry.confirmed_faults
+    )
+
+
 @settings(max_examples=40, deadline=None)
 @given(sized_permutations())
 def test_record_and_replay_agree(case):

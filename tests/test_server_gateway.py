@@ -15,13 +15,14 @@ from repro.exceptions import (
     GatewayClosedError,
     InputError,
 )
+from repro.faults import SwitchCoordinate, fault_mask_for
 from repro.server import (
     AsyncGateway,
     GatewayConfig,
     PipelinedPlane,
     ResilientPlane,
 )
-from repro.service import ResilientFabric
+from repro.service import ResilientFabric, ResilientVectorFabric
 
 pytestmark = pytest.mark.asyncio_suite
 
@@ -68,20 +69,30 @@ class TestBasics:
             GatewayConfig(m=3, queue_capacity=0)
         with pytest.raises(ValueError):
             GatewayConfig(m=3, engine="simd")
-        # The resilient wrapper drives the object fabric; combining it
-        # with the vector engine must refuse, not silently pick one.
-        with pytest.raises(ValueError):
-            GatewayConfig(m=3, resilient=True, engine="vector")
+        # The resilient wrapper is engine-agnostic: combining it with
+        # the vector engine builds ResilientVectorFabric planes.
+        assert GatewayConfig(m=3, resilient=True, engine="vector").engine == (
+            "vector"
+        )
 
     def test_engine_selects_plane_kind(self, run_async):
-        async def scenario(engine):
-            config = GatewayConfig(m=3, engine=engine)
+        async def scenario(engine, resilient=False):
+            config = GatewayConfig(m=3, engine=engine, resilient=resilient)
             async with AsyncGateway(config) as gateway:
                 await gateway.send(2, payload="x")
-                return gateway.stats()["planes"][0]["kind"]
+                plane = gateway.stats()["planes"][0]
+                return plane["kind"], plane["engine"]
 
-        assert run_async(scenario("object")) == "PipelinedPlane"
-        assert run_async(scenario("vector")) == "VectorPlane"
+        assert run_async(scenario("object")) == ("PipelinedPlane", "object")
+        assert run_async(scenario("vector")) == ("VectorPlane", "vector")
+        assert run_async(scenario("object", resilient=True)) == (
+            "ResilientPlane",
+            "object",
+        )
+        assert run_async(scenario("vector", resilient=True)) == (
+            "ResilientPlane",
+            "vector",
+        )
 
 
 class TestConcurrentDelivery:
@@ -152,6 +163,62 @@ class TestConcurrentDelivery:
         # Bounded queues: depth never exceeded the admission bound.
         assert stats["queues"]["max_depth"] <= 64
         assert stats["latency_cycles"]["p99"] is not None
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("engine", ["object", "vector"])
+    def test_acceptance_1000_clients_resilient_faulted(
+        self, run_async, engine
+    ):
+        """ISSUE acceptance: 1000 clients at m=4 on resilient planes,
+        with one plane killed outright and a stuck-control fault
+        injected into another mid-flight — zero misdelivered words on
+        either engine."""
+
+        async def client(gateway, rng, cid, receipts):
+            for k in range(2):
+                receipt = await gateway.send_with_retry(
+                    rng.randrange(16), payload=(cid, k), attempts=64
+                )
+                receipts.append(((cid, k), receipt))
+
+        async def chaos(gateway):
+            # Let traffic build, then kill one plane and break another.
+            await gateway.wait_cycles(8)
+            gateway.kill_plane(2, reason="acceptance plane-kill")
+            gateway.inject_fault(0, (3, 0, 0, 0, 0), 1)
+
+        async def scenario():
+            config = GatewayConfig(
+                m=4, planes=3, queue_capacity=64, engine=engine,
+                resilient=True,
+            )
+            receipts = []
+            async with AsyncGateway(config) as gateway:
+                seeder = random.Random(42)
+                rngs = [
+                    random.Random(seeder.random()) for _ in range(1000)
+                ]
+                await asyncio.gather(
+                    chaos(gateway),
+                    *(
+                        client(gateway, rngs[cid], cid, receipts)
+                        for cid in range(1000)
+                    ),
+                )
+                stats = gateway.stats()
+            return receipts, stats
+
+        receipts, stats = run_async(scenario())
+        assert len(receipts) == 2000
+        # Zero misdelivery despite the plane kill and the live fault.
+        assert all(
+            receipt.payload == expected for expected, receipt in receipts
+        )
+        assert stats["delivered_words"] == 2000
+        assert stats["planes"][2]["healthy"] is False
+        assert stats["planes"][0]["service_state"] == "quarantined"
+        assert stats["planes"][0]["engine"] == engine
+        assert stats["queues"]["max_depth"] <= 64
 
     def test_wait_cycles_advances_even_when_idle(self, run_async):
         async def scenario():
@@ -318,6 +385,98 @@ class TestPlaneFailure:
         assert stats["planes"][0]["service_state"] == "quarantined"
         modes = stats["delivery_modes"]
         assert modes.get("failover", 0) + modes.get("degraded", 0) > 0
+
+    def test_resilient_vector_plane_absorbs_fault_without_dying(
+        self, run_async
+    ):
+        """The vector twin of the test above: a ResilientVectorFabric
+        plane seeded with a fault mask quarantines its compiled primary
+        and keeps delivering via the compiled Benes spare."""
+
+        def factory(plane_id, m):
+            if plane_id == 0:
+                mask = fault_mask_for(
+                    m, [(SwitchCoordinate(2, 0, 0, 0, 0), 1)]
+                )
+                return ResilientPlane(
+                    plane_id,
+                    m,
+                    fabric=ResilientVectorFabric(m, fault_mask=mask),
+                )
+            return ResilientPlane(plane_id, m, fabric=ResilientVectorFabric(m))
+
+        async def scenario():
+            config = GatewayConfig(
+                m=3, planes=2, queue_capacity=16, resilient=True,
+                engine="vector",
+            )
+            rng = random.Random(17)
+            async with AsyncGateway(config, plane_factory=factory) as gateway:
+                receipts = await asyncio.gather(
+                    *(
+                        gateway.send_with_retry(
+                            rng.randrange(8), payload=index, attempts=64
+                        )
+                        for index in range(120)
+                    )
+                )
+                stats = gateway.stats()
+            return receipts, stats
+
+        receipts, stats = run_async(scenario())
+        assert all(
+            receipt.payload == index for index, receipt in enumerate(receipts)
+        )
+        assert stats["planes"][0]["healthy"] is True
+        assert stats["planes"][0]["engine"] == "vector"
+        assert stats["planes"][1]["engine"] == "vector"
+        assert stats["planes"][0]["service_state"] == "quarantined"
+        modes = stats["delivery_modes"]
+        assert modes.get("failover", 0) + modes.get("degraded", 0) > 0
+
+    @pytest.mark.parametrize("engine", ["object", "vector"])
+    def test_inject_fault_quarantines_live_plane(self, run_async, engine):
+        """Operator fault injection through the gateway API: the target
+        plane walks detection -> quarantine -> failover while every
+        word keeps getting delivered."""
+
+        async def scenario():
+            config = GatewayConfig(
+                m=3, planes=2, queue_capacity=16, resilient=True,
+                engine=engine,
+            )
+            rng = random.Random(23)
+            async with AsyncGateway(config) as gateway:
+                described = gateway.inject_fault(0, (2, 0, 0, 0, 0), 1)
+                receipts = await asyncio.gather(
+                    *(
+                        gateway.send_with_retry(
+                            rng.randrange(8), payload=index, attempts=64
+                        )
+                        for index in range(120)
+                    )
+                )
+                stats = gateway.stats()
+            return described, receipts, stats
+
+        described, receipts, stats = run_async(scenario())
+        assert described["engine"] == engine
+        assert all(
+            receipt.payload == index for index, receipt in enumerate(receipts)
+        )
+        assert stats["planes"][0]["service_state"] == "quarantined"
+        assert stats["planes"][1]["service_state"] == "healthy"
+
+    def test_inject_fault_rejects_bad_targets(self, run_async):
+        async def scenario():
+            async with AsyncGateway(GatewayConfig(m=3, planes=1)) as gateway:
+                with pytest.raises(InputError):
+                    gateway.inject_fault(5, (2, 0, 0, 0, 0), 1)
+                # A plain (non-resilient) plane cannot take injections.
+                with pytest.raises(InputError):
+                    gateway.inject_fault(0, (2, 0, 0, 0, 0), 1)
+
+        run_async(scenario())
 
 
 class TestShutdown:
