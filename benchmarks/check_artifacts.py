@@ -210,6 +210,57 @@ def check_fault_recovery_vector(
         )
 
 
+def check_wire_protocol(
+    data: Dict[str, Any], name: str, errors: List[str]
+) -> None:
+    for key in (
+        "m",
+        "n",
+        "engine",
+        "batch_window",
+        "baseline_words_per_sec",
+        "binary",
+        "json",
+        "sustained_words_per_sec",
+        "speedup_vs_baseline",
+        "object_pipeline_parity_words",
+    ):
+        _require(key in data, name, f"missing {key!r}", errors)
+    _require(
+        data.get("m", 0) >= 6,
+        name,
+        f"m {data.get('m')!r} below the m>=6 acceptance size",
+        errors,
+    )
+    _require(
+        data.get("engine") == "batch",
+        name,
+        f"engine {data.get('engine')!r} is not the batch dataplane",
+        errors,
+    )
+    if "speedup_vs_baseline" in data:
+        _require(
+            data["speedup_vs_baseline"] >= 10.0,
+            name,
+            f"speedup {data['speedup_vs_baseline']} below the 10x "
+            "acceptance bar",
+            errors,
+        )
+    _require(
+        data.get("object_pipeline_parity_words", 0) > 0,
+        name,
+        "batch kernel was not cross-checked against the object pipeline",
+        errors,
+    )
+    for leg in ("binary", "json"):
+        block = data.get(leg)
+        if isinstance(block, dict):
+            for key in ("words", "elapsed_seconds", "words_per_sec"):
+                _require(
+                    key in block, name, f"{leg} leg missing {key!r}", errors
+                )
+
+
 SCHEMAS: Dict[str, Callable[[Any, str, List[str]], None]] = {
     "gateway_load.json": check_gateway_load,
     "gateway_plane_kill.json": check_gateway_plane_kill,
@@ -217,6 +268,7 @@ SCHEMAS: Dict[str, Callable[[Any, str, List[str]], None]] = {
     "vector_pipeline.json": check_vector_pipeline,
     "obs_overhead.json": check_obs_overhead,
     "fault_recovery_vector.json": check_fault_recovery_vector,
+    "wire_protocol.json": check_wire_protocol,
 }
 
 

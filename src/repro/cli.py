@@ -160,10 +160,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--engine",
-        choices=("object", "vector"),
+        choices=("object", "vector", "batch"),
         default="object",
-        help="plane dataplane engine: reference object model, or the "
-        "compiled vectorized numpy pipeline",
+        help="plane dataplane engine: reference object model, the "
+        "compiled vectorized numpy pipeline, or the frame-axis batch "
+        "plane (routes whole windows of frames per gather; pairs with "
+        "the binary wire framing's send_batch)",
     )
     serve.add_argument(
         "--pool-workers",
@@ -383,122 +385,129 @@ def _faults_connect(args: argparse.Namespace) -> int:
     gateway, and succeeds (exit 0) only when the faulty plane walks the
     whole lifecycle — at least one non-clean delivery (``degraded`` or
     ``failover``) followed by ``service_state == "quarantined"`` — with
-    every driven word still delivered.
+    every driven word still delivered.  Speaks the binary framing
+    through :class:`repro.client.GatewayClient`.
     """
-    import socket
+    import asyncio
 
-    from .exceptions import InputError
+    from .client import GatewayClient
+    from .exceptions import GatewayRequestError, InputError
 
     host, _, port_text = args.connect.rpartition(":")
     if not host or not port_text.isdigit():
         raise InputError(f"--connect takes HOST:PORT, got {args.connect!r}")
-    try:
-        sock = socket.create_connection((host, int(port_text)), timeout=30)
-    except OSError as error:
-        raise InputError(f"cannot reach {args.connect}: {error}") from error
-    with sock:
-        reader = sock.makefile("r", encoding="utf-8")
 
-        def rpc(request: dict) -> dict:
-            sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
-            line = reader.readline()
-            if not line:
-                raise InputError(
-                    f"{args.connect} closed the connection mid-request"
-                )
-            return json.loads(line)
-
-        stats = rpc({"op": "stats"})
-        if not stats.get("ok"):
-            print(f"error: stats failed: {stats}", file=sys.stderr)
-            return 2
-        n = stats["stats"]["n"]
-        m = n.bit_length() - 1
-        planes = stats["stats"]["planes"]
-        if not (0 <= args.plane < len(planes)):
+    async def drill() -> int:
+        try:
+            client = await GatewayClient(host, int(port_text)).connect()
+        except (OSError, ConnectionError) as error:
             raise InputError(
-                f"--plane {args.plane} out of range; the gateway has "
-                f"{len(planes)} plane(s)"
-            )
-        if "service_state" not in planes[args.plane]:
-            print(
-                f"error: plane {args.plane} is not resilient "
-                "(start the server with 'repro serve N --resilient')",
-                file=sys.stderr,
-            )
-            return 2
-        if args.stuck is not None:
-            coordinate = _parse_coordinate(args.stuck)
-        else:
-            from .faults import SwitchCoordinate
+                f"cannot reach {args.connect}: {error}"
+            ) from error
+        try:
+            try:
+                stats = await client.stats()
+            except GatewayRequestError as error:
+                print(
+                    f"error: stats failed: {error.response}", file=sys.stderr
+                )
+                return 2
+            n = stats["stats"]["n"]
+            m = n.bit_length() - 1
+            planes = stats["stats"]["planes"]
+            if not (0 <= args.plane < len(planes)):
+                raise InputError(
+                    f"--plane {args.plane} out of range; the gateway has "
+                    f"{len(planes)} plane(s)"
+                )
+            if "service_state" not in planes[args.plane]:
+                print(
+                    f"error: plane {args.plane} is not resilient "
+                    "(start the server with 'repro serve N --resilient')",
+                    file=sys.stderr,
+                )
+                return 2
+            if args.stuck is not None:
+                coordinate = _parse_coordinate(args.stuck)
+            else:
+                from .faults import SwitchCoordinate
 
-            coordinate = SwitchCoordinate(m, 0, 0, 0, 0)
-        injected = rpc(
-            {
-                "op": "inject",
-                "plane": args.plane,
-                "coordinate": [
-                    coordinate.main_stage,
-                    coordinate.nested,
-                    coordinate.nested_stage,
-                    coordinate.box,
-                    coordinate.switch,
-                ],
-                "value": args.stuck_value,
-            }
-        )
-        if not injected.get("ok"):
-            print(f"error: injection failed: {injected}", file=sys.stderr)
-            return 2
-        print(
-            f"injected : stuck-at-{args.stuck_value} at ({coordinate}) "
-            f"into plane {args.plane} of {args.connect} "
-            f"(engine {injected['plane']['engine']})"
-        )
-        modes: dict = {}
-        delivered = 0
-        for index in range(args.words):
-            receipt = rpc(
-                {
-                    "op": "send",
-                    "dest": index % n,
-                    "payload": index,
-                    "retry": True,
-                }
+                coordinate = SwitchCoordinate(m, 0, 0, 0, 0)
+            try:
+                injected = await client.inject(
+                    args.plane,
+                    [
+                        coordinate.main_stage,
+                        coordinate.nested,
+                        coordinate.nested_stage,
+                        coordinate.box,
+                        coordinate.switch,
+                    ],
+                    args.stuck_value,
+                )
+            except GatewayRequestError as error:
+                print(
+                    f"error: injection failed: {error.response}",
+                    file=sys.stderr,
+                )
+                return 2
+            print(
+                f"injected : stuck-at-{args.stuck_value} at ({coordinate}) "
+                f"into plane {args.plane} of {args.connect} "
+                f"(engine {injected['plane']['engine']})"
             )
-            if not receipt.get("ok"):
-                print(f"error: send {index} failed: {receipt}", file=sys.stderr)
+            modes: dict = {}
+            delivered = 0
+            for index in range(args.words):
+                try:
+                    receipt = await client.send(
+                        index % n, payload=index, server_retry=True
+                    )
+                except GatewayRequestError as error:
+                    print(
+                        f"error: send {index} failed: {error.response}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                delivered += 1
+                modes[receipt["mode"]] = modes.get(receipt["mode"], 0) + 1
+            stats = await client.stats()
+            state = stats["stats"]["planes"][args.plane].get("service_state")
+            mode_note = ", ".join(
+                f"{mode}={count}" for mode, count in sorted(modes.items())
+            )
+            print(
+                f"traffic  : {delivered}/{args.words} delivered ({mode_note})"
+            )
+            print(f"plane {args.plane}  : service_state={state}")
+            degraded = sum(
+                count for mode, count in modes.items() if mode != "clean"
+            )
+            if delivered < args.words:
                 return 1
-            delivered += 1
-            modes[receipt["mode"]] = modes.get(receipt["mode"], 0) + 1
-        stats = rpc({"op": "stats"})
-        state = stats["stats"]["planes"][args.plane].get("service_state")
-        mode_note = ", ".join(
-            f"{mode}={count}" for mode, count in sorted(modes.items())
-        )
-        print(f"traffic  : {delivered}/{args.words} delivered ({mode_note})")
-        print(f"plane {args.plane}  : service_state={state}")
-        degraded = sum(
-            count for mode, count in modes.items() if mode != "clean"
-        )
-        if delivered < args.words:
-            return 1
-        if degraded == 0:
+            if degraded == 0:
+                print(
+                    "error: the injected fault never degraded a delivery; "
+                    "drive more --words or pick a --stuck the traffic "
+                    "exercises",
+                    file=sys.stderr,
+                )
+                return 1
+            if state != "quarantined":
+                print(
+                    "error: the faulty plane never reached quarantine; "
+                    f"it is still {state!r}",
+                    file=sys.stderr,
+                )
+                return 1
             print(
-                "error: the injected fault never degraded a delivery; "
-                "drive more --words or pick a --stuck the traffic exercises",
-                file=sys.stderr,
+                "verdict  : degraded, quarantined, and still delivering — ok"
             )
-            return 1
-        if state != "quarantined":
-            print(
-                "error: the faulty plane never reached quarantine; "
-                f"it is still {state!r}",
-                file=sys.stderr,
-            )
-            return 1
-        print("verdict  : degraded, quarantined, and still delivering — ok")
-        return 0
+            return 0
+        finally:
+            await client.aclose()
+
+    return asyncio.run(drill())
 
 
 def _command_faults(args: argparse.Namespace) -> int:
@@ -735,10 +744,16 @@ def _command_serve(args: argparse.Namespace) -> int:
 
 
 def _stats_connect(args: argparse.Namespace) -> int:
-    """Scrape a running ``repro serve --metrics`` gateway over TCP."""
-    import socket
+    """Scrape a running ``repro serve --metrics`` gateway over TCP.
 
-    from .exceptions import InputError
+    One :class:`repro.client.GatewayClient` ``metrics`` request over
+    the binary framing; ``--format prometheus`` passes the exposition
+    text through verbatim.
+    """
+    import asyncio
+
+    from .client import GatewayClient
+    from .exceptions import GatewayRequestError, InputError
     from .obs.snapshot import dump_json
 
     host, _, port_text = args.connect.rpartition(":")
@@ -746,34 +761,34 @@ def _stats_connect(args: argparse.Namespace) -> int:
         raise InputError(
             f"--connect takes HOST:PORT, got {args.connect!r}"
         )
-    request = {"op": "metrics", "format": args.format}
-    try:
-        with socket.create_connection((host, int(port_text)), timeout=10) as sock:
-            sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
-            reader = sock.makefile("r", encoding="utf-8")
-            line = reader.readline()
-    except OSError as error:
-        raise InputError(
-            f"cannot scrape {args.connect}: {error}"
-        ) from error
-    if not line:
-        raise InputError(f"{args.connect} closed the connection mid-scrape")
-    response = json.loads(line)
-    if not response.get("ok"):
-        slug = response.get("error", "unknown")
-        detail = response.get("detail", "")
-        hint = (
-            " (start the server with 'repro serve N --metrics')"
-            if slug == "metrics-disabled"
-            else ""
-        )
-        print(f"error: {slug}: {detail}{hint}", file=sys.stderr)
-        return 2
-    if args.format == "prometheus":
-        sys.stdout.write(response["body"])
-    else:
-        print(dump_json(response["metrics"]))
-    return 0
+
+    async def scrape() -> int:
+        try:
+            client = await GatewayClient(host, int(port_text)).connect()
+        except (OSError, ConnectionError) as error:
+            raise InputError(
+                f"cannot scrape {args.connect}: {error}"
+            ) from error
+        try:
+            response = await client.metrics(format=args.format)
+        except GatewayRequestError as error:
+            detail = error.response.get("detail", "")
+            hint = (
+                " (start the server with 'repro serve N --metrics')"
+                if error.slug == "metrics-disabled"
+                else ""
+            )
+            print(f"error: {error.slug}: {detail}{hint}", file=sys.stderr)
+            return 2
+        finally:
+            await client.aclose()
+        if args.format == "prometheus":
+            sys.stdout.write(response["body"])
+        else:
+            print(dump_json(response["metrics"]))
+        return 0
+
+    return asyncio.run(scrape())
 
 
 def _command_stats(args: argparse.Namespace) -> int:

@@ -42,12 +42,18 @@ from .plan import (
     DEAD_ADDRESS,
     CompiledPlan,
     FaultMask,
+    batch_stage_take_indices,
     compiled_plan,
     stage_take_indices,
 )
 from .words import Word
 
-__all__ = ["VectorPipelinedFabric", "VectorBatch", "route_frame_sources"]
+__all__ = [
+    "VectorPipelinedFabric",
+    "VectorBatch",
+    "route_frame_batch",
+    "route_frame_sources",
+]
 
 
 @dataclasses.dataclass
@@ -93,6 +99,49 @@ def route_frame_sources(
         take = stage_take_indices(plan, stage, current, mask=mask)
         current = current[take]
         sources = sources[take]
+    return sources
+
+
+def route_frame_batch(
+    m: int, addresses: np.ndarray, mask: Optional[FaultMask] = None
+) -> np.ndarray:
+    """Combinationally route a whole **batch** of frames in one pass.
+
+    The frame-axis form of :func:`route_frame_sources`: *addresses* has
+    shape ``(batch, n)`` — each row an independent full permutation —
+    and the result has the same shape, ``result[b, line]`` being the
+    input line of frame ``b`` whose word arrives on output ``line``.
+    Every stage steps **all** frames with one set of numpy gathers
+    (:func:`~repro.core.plan.batch_stage_take_indices`), so the
+    per-frame Python overhead of the single-shot path amortizes across
+    the batch — this is the kernel behind the gateway's batched wire
+    protocol (``send_batch`` riding a
+    :class:`~repro.server.planes.BatchVectorPlane`).  Row-for-row
+    identical to :func:`route_frame_sources` on each frame alone, with
+    or without a :class:`~repro.core.plan.FaultMask` (the mask
+    broadcasts: the same physical fault afflicts every frame).
+    """
+    plan = compiled_plan(m)
+    current = np.array(addresses, dtype=np.int64, copy=True)
+    if current.ndim != 2 or current.shape[1] != plan.n:
+        raise ValueError(
+            f"a frame batch for m={m} needs shape (batch, {plan.n}), "
+            f"got {current.shape}"
+        )
+    batch = current.shape[0]
+    sources = np.broadcast_to(plan.identity, (batch, plan.n)).copy()
+    # Flat row-offset gathers instead of take_along_axis: one shared
+    # index array per stage, no per-call index-grid rebuild.
+    offsets = (np.arange(batch, dtype=np.int64) * plan.n)[:, None]
+    for stage in plan.stages:
+        if mask is not None:
+            dead = mask.dead_links.get(stage.stage)
+            if dead is not None:
+                current = np.where(dead[None, :], DEAD_ADDRESS, current)
+        take = batch_stage_take_indices(plan, stage, current, mask=mask)
+        flat = take + offsets
+        current = current.ravel().take(flat)
+        sources = sources.ravel().take(flat)
     return sources
 
 

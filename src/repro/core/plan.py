@@ -59,6 +59,7 @@ __all__ = [
     "DEAD_ADDRESS",
     "FaultMask",
     "StagePlan",
+    "batch_stage_take_indices",
     "build_fault_mask",
     "compiled_plan",
     "stage_take_indices",
@@ -317,14 +318,15 @@ def vector_splitter_controls(bits: np.ndarray) -> np.ndarray:
         current = current[:, 0::2] ^ current[:, 1::2]
         ups.append(current)
     # Downward pass; the root echoes its own up-value as its parent flag.
+    # All values are 0/1 ints, so the per-node selection "u == 0 picks
+    # (0, 1), u == 1 echoes the parent flag" is pure bit arithmetic:
+    # y1 = z & u, y2 = z | ~u — cheaper than the equivalent ``where``.
     z_down = ups[-1]  # shape (blocks, 1)
     for level in range(len(ups) - 1, -1, -1):
         u = ups[level]
-        y1 = np.where(u == 0, 0, z_down)
-        y2 = np.where(u == 0, 1, z_down)
         interleaved = np.empty((u.shape[0], u.shape[1] * 2), dtype=bits.dtype)
-        interleaved[:, 0::2] = y1
-        interleaved[:, 1::2] = y2
+        interleaved[:, 0::2] = z_down & u
+        interleaved[:, 1::2] = z_down | (u ^ 1)
         z_down = interleaved
     flags = z_down  # shape (blocks, width): one flag per input line
     return bits[:, 0::2] ^ flags[:, 0::2]
@@ -390,4 +392,63 @@ def stage_take_indices(
         current = current[step]
     if stage.stage_gather is not None:
         take = take[stage.stage_gather]
+    return take
+
+
+def batch_stage_take_indices(
+    plan: CompiledPlan,
+    stage: StagePlan,
+    addresses: np.ndarray,
+    mask: Optional[FaultMask] = None,
+) -> np.ndarray:
+    """One main stage over a whole **batch** of frames at once.
+
+    The frame-axis form of :func:`stage_take_indices`: *addresses* has
+    shape ``(batch, n)`` — one row per independent frame — and the
+    returned ``take`` has the same shape, row ``b`` being the gather
+    index array for frame ``b``.  Every splitter column of every frame
+    is decided in one arbiter pass (the frames stack onto the block
+    axis, so the log-depth XOR-up/flag-down recursion is identical),
+    and the per-frame exchange/unshuffle compositions become
+    ``take_along_axis`` gathers with the frame axis leading.  A
+    :class:`FaultMask` broadcasts over the batch: the same physical
+    switch is stuck in every frame, exactly as hardware would be.
+    """
+    batch = addresses.shape[0]
+    # Row offsets turn per-frame gathers into one flat ``take`` over the
+    # ravelled batch — much cheaper than ``take_along_axis``, which
+    # rebuilds a full index grid on every call.
+    offsets = (np.arange(batch, dtype=np.int64) * plan.n)[:, None]
+    take: Optional[np.ndarray] = None
+    current = addresses
+    shift = stage.shift
+    for j, (width, gather) in enumerate(
+        zip(stage.inner_widths, stage.inner_gathers)
+    ):
+        # (batch * blocks, width): frames stack onto the block axis.
+        blocks = current.reshape(-1, width)
+        bits = (blocks >> shift) & 1
+        controls = vector_splitter_controls(bits)
+        if mask is not None:
+            override = mask.overrides.get((stage.stage, j))
+            if override is not None:
+                forced, values = override
+                per_frame = controls.reshape(batch, *forced.shape)
+                controls = np.where(
+                    forced[None, :, :], values[None, :, :], per_frame
+                )
+        # identity ^ control sends a line to its pair partner exactly
+        # when its splitter says exchange (controls are 0/1 ints).
+        swap = plan.identity ^ np.repeat(
+            controls.reshape(batch, -1), 2, axis=1
+        )
+        # gather is frame-independent wiring, so fancy-indexing the
+        # column axis applies it to every frame at once.
+        step = swap if gather is None else swap[:, gather]
+        flat = step + offsets
+        current = current.ravel().take(flat)
+        # First step composes with identity — the step IS the take.
+        take = step if take is None else take.ravel().take(flat)
+    if stage.stage_gather is not None:
+        take = take[:, stage.stage_gather]
     return take

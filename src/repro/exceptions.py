@@ -189,6 +189,60 @@ class PlaneUnavailableError(ServerError):
         self.planes = planes
 
 
+class WireFormatError(ServerError):
+    """A binary wire frame violated the framing layer's invariants.
+
+    Raised by :mod:`repro.server.framing` for a bad magic, a body
+    length beyond the frame cap, a truncated payload, or a malformed
+    array manifest; the protocol layer answers with the stable
+    ``bad-request`` error slug, same as malformed JSON.
+    """
+
+
+class UnsupportedVersionError(ServerError):
+    """A client's ``hello`` asked for a protocol major the server lacks.
+
+    The compatibility rule: the server refuses a *newer major* (the
+    client must downgrade or upgrade the server) and ignores unknown
+    request fields, so same-major/newer-minor clients interoperate.
+    """
+
+    def __init__(self, requested: object, supported: object) -> None:
+        super().__init__(
+            f"protocol version {requested!r} is newer than the supported "
+            f"{supported!r}; the server refuses newer majors"
+        )
+        self.requested = requested
+        self.supported = supported
+
+
+class GatewayRequestError(ServerError):
+    """A gateway answered a :class:`repro.client.GatewayClient` request
+    with an error envelope.
+
+    ``slug`` is the stable protocol error slug (``admission-rejected``,
+    ``bad-request``, ``unsupported-version``, ...) and ``response`` the
+    full decoded response object, so callers can branch on the slug and
+    still reach every detail field (``retry_after_cycles``, ``dest``,
+    ``detail``) the server attached.
+    """
+
+    def __init__(self, slug: str, response: dict) -> None:
+        detail = response.get("detail")
+        message = f"gateway answered {slug!r}"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.slug = slug
+        self.response = response
+
+    @property
+    def retry_after_cycles(self) -> int:
+        """The backpressure hint, or 0 when the error carries none."""
+        hint = self.response.get("retry_after_cycles", 0)
+        return hint if isinstance(hint, int) else 0
+
+
 class MisdeliveryError(ServerError):
     """A frame emerged from a plane with a word on the wrong line.
 

@@ -22,16 +22,33 @@ keeps answering it forever, online, for concurrent clients:
   vector planes across CPU cores with shared-memory frame buffers;
 * :mod:`repro.server.gateway` — the **asyncio dataplane** tying them
   together: ``await gateway.send(dest, payload)`` returns a delivery
-  receipt; a clock task schedules frames onto the least-loaded plane;
-* :mod:`repro.server.protocol` — the **JSON-lines TCP** wire protocol
-  (``repro serve`` hosts it).
+  receipt, ``await gateway.send_batch(dests)`` a per-word
+  :class:`~repro.server.gateway.BatchResult`; a clock task schedules
+  frames onto the least-loaded plane;
+* :mod:`repro.server.ops` — the **declarative op registry** every wire
+  framing dispatches through (one :class:`~repro.server.ops.OpSpec`
+  per protocol operation, stable error-slug mapping);
+* :mod:`repro.server.framing` — the **binary wire framing**
+  (length-prefixed header + JSON meta + packed ``int64`` array
+  payload) and the protocol version;
+* :mod:`repro.server.protocol` — the **TCP server** hosting both the
+  JSON-lines and the binary framing on one auto-detecting port
+  (``repro serve`` hosts it; :class:`repro.client.GatewayClient`
+  speaks it).
 
-See ``docs/serving.md`` for the architecture and the backpressure
-contract.
+See ``docs/serving.md`` for the architecture, the backpressure
+contract and the full wire specification.
 """
 
-from .gateway import AsyncGateway, GatewayConfig, Receipt
-from .planes import PipelinedPlane, ResilientPlane, VectorPlane
+from .framing import MAGIC, PROTOCOL_VERSION
+from .gateway import AsyncGateway, BatchResult, GatewayConfig, Receipt
+from .ops import REGISTRY, OpSpec
+from .planes import (
+    BatchVectorPlane,
+    PipelinedPlane,
+    ResilientPlane,
+    VectorPlane,
+)
 from .pool import ProcessPlane, ProcessPlanePool
 from .protocol import GatewayServer
 from .scheduler import FrameScheduler, ScheduledFrame
@@ -39,13 +56,19 @@ from .voq import QueueEntry, VirtualOutputQueues
 
 __all__ = [
     "AsyncGateway",
+    "BatchResult",
+    "BatchVectorPlane",
     "GatewayConfig",
     "GatewayServer",
     "FrameScheduler",
+    "MAGIC",
+    "OpSpec",
+    "PROTOCOL_VERSION",
     "PipelinedPlane",
     "ProcessPlane",
     "ProcessPlanePool",
     "QueueEntry",
+    "REGISTRY",
     "Receipt",
     "ResilientPlane",
     "ScheduledFrame",

@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+
+import numpy as np
 
 from ..exceptions import (
     AdmissionRejectedError,
@@ -28,6 +30,7 @@ from ..exceptions import (
 )
 from ..service import ResilientVectorFabric
 from .planes import (
+    BatchVectorPlane,
     CompletedFrame,
     PipelinedPlane,
     ResilientPlane,
@@ -36,7 +39,7 @@ from .planes import (
 from .scheduler import FrameScheduler
 from .voq import QueueEntry, VirtualOutputQueues
 
-__all__ = ["AsyncGateway", "GatewayConfig", "Receipt"]
+__all__ = ["AsyncGateway", "BatchResult", "GatewayConfig", "Receipt"]
 
 #: Builds plane *i* for a gateway of address width *m*.
 PlaneFactory = Callable[[int, int], Any]
@@ -53,11 +56,16 @@ class GatewayConfig:
     #: Dataplane engine for the planes: ``"object"`` clocks the
     #: reference ``PipelinedBNBFabric``, ``"vector"`` the compiled-plan
     #: numpy ``VectorPipelinedFabric`` with sampled boundary
-    #: verification.  Orthogonal to ``resilient``: a resilient vector
-    #: plane wraps a ``ResilientVectorFabric`` (masked fault kernels,
-    #: pipelined BIST, compiled Benes failover), a resilient object
-    #: plane a ``ResilientFabric``.
+    #: verification, ``"batch"`` the frame-axis-batched
+    #: :class:`~repro.server.planes.BatchVectorPlane` (many frames per
+    #: numpy gather — the engine behind ``send_batch`` throughput).
+    #: Orthogonal to ``resilient``: a resilient vector plane wraps a
+    #: ``ResilientVectorFabric`` (masked fault kernels, pipelined BIST,
+    #: compiled Benes failover), a resilient object plane a
+    #: ``ResilientFabric``; the batch engine has no resilient variant.
     engine: str = "object"
+    #: Frames a batch plane buffers before one batched routing call.
+    batch_window: int = 32
     #: Bound on latency samples kept for the percentile estimate.
     latency_window: int = 8192
 
@@ -70,9 +78,19 @@ class GatewayConfig:
             raise ValueError(
                 f"queue capacity must be >= 1, got {self.queue_capacity}"
             )
-        if self.engine not in ("object", "vector"):
+        if self.engine not in ("object", "vector", "batch"):
             raise ValueError(
-                f"engine must be 'object' or 'vector', got {self.engine!r}"
+                f"engine must be 'object', 'vector' or 'batch', "
+                f"got {self.engine!r}"
+            )
+        if self.engine == "batch" and self.resilient:
+            raise ValueError(
+                "the batch engine has no resilient variant; use "
+                "engine='vector' with resilient=True"
+            )
+        if self.batch_window < 1:
+            raise ValueError(
+                f"batch_window must be >= 1, got {self.batch_window}"
             )
 
     @property
@@ -98,6 +116,82 @@ class Receipt:
         return self.delivered_cycle - self.enqueued_cycle
 
 
+class BatchResult:
+    """Outcome of one :meth:`AsyncGateway.send_batch`, array-shaped.
+
+    One entry per submitted word, in submission order.  ``statuses[k]``
+    is 1 for delivered, 0 for rejected; delivered words carry their
+    plane / frame tag / latency in the matching arrays (−1 where
+    rejected), rejected words their ``retry_after[k]`` backpressure
+    hint (0 where delivered).  ``modes[k]`` indexes ``mode_table`` —
+    the delivery-mode strings seen by this batch — so a million-word
+    result stores a million int8s, not a million strings.  The arrays
+    are preallocated at submission and filled in place as frames land,
+    which is what keeps the per-word resolve cost to a few array
+    stores instead of a ``Receipt`` object.
+    """
+
+    __slots__ = (
+        "count",
+        "statuses",
+        "planes",
+        "frames",
+        "latencies",
+        "retry_after",
+        "modes",
+        "mode_table",
+    )
+
+    def __init__(self, count: int) -> None:
+        self.count = count
+        self.statuses = np.zeros(count, dtype=np.int64)
+        self.planes = np.full(count, -1, dtype=np.int64)
+        self.frames = np.full(count, -1, dtype=np.int64)
+        self.latencies = np.full(count, -1, dtype=np.int64)
+        self.retry_after = np.zeros(count, dtype=np.int64)
+        self.modes = np.full(count, -1, dtype=np.int64)
+        self.mode_table: List[str] = []
+
+    @property
+    def delivered(self) -> int:
+        return int(self.statuses.sum())
+
+    @property
+    def rejected(self) -> int:
+        return self.count - self.delivered
+
+    def mode_index(self, mode: str) -> int:
+        try:
+            return self.mode_table.index(mode)
+        except ValueError:
+            self.mode_table.append(mode)
+            return len(self.mode_table) - 1
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchResult(count={self.count}, delivered={self.delivered}, "
+            f"rejected={self.rejected})"
+        )
+
+
+class _BatchTracker:
+    """Gateway-internal progress of one in-flight batch.
+
+    ``open`` stays true while :meth:`AsyncGateway.send_batch` is still
+    admitting (including its retry rounds), so a batch whose early
+    words all land before the last words are admitted does not fire its
+    future prematurely.
+    """
+
+    __slots__ = ("result", "future", "pending", "open")
+
+    def __init__(self, result: BatchResult, future: "asyncio.Future") -> None:
+        self.result = result
+        self.future = future
+        self.pending = 0
+        self.open = True
+
+
 class AsyncGateway:
     """Online serving of word-send requests over a pool of BNB planes."""
 
@@ -117,6 +211,10 @@ class AsyncGateway:
                 )
             elif config.resilient:
                 plane_factory = lambda i, m: ResilientPlane(i, m)
+            elif config.engine == "batch":
+                plane_factory = lambda i, m: BatchVectorPlane(
+                    i, m, batch_window=config.batch_window
+                )
             elif config.engine == "vector":
                 plane_factory = lambda i, m: VectorPlane(i, m)
             else:
@@ -134,6 +232,7 @@ class AsyncGateway:
         self.observer: Optional[Any] = None
         self._latencies: List[int] = []
         self._mode_counts: Dict[str, int] = {}
+        self._batch_trackers: Set[_BatchTracker] = set()
         self._accepting = False
         self._clock_task: Optional[asyncio.Task] = None
         self._work = asyncio.Event()
@@ -167,11 +266,10 @@ class AsyncGateway:
                 await task
             except asyncio.CancelledError:
                 pass
-        for entry in self.voqs.drain_all():
-            if entry.future is not None and not entry.future.done():
-                entry.future.set_exception(
-                    GatewayClosedError("shut down with words still queued")
-                )
+        self._fail_stranded(
+            self.voqs.drain_all(),
+            GatewayClosedError("shut down with words still queued"),
+        )
         for target, future in self._cycle_waiters:
             if not future.done():
                 future.set_result(self.cycle)
@@ -237,6 +335,138 @@ class AsyncGateway:
                 await self.wait_cycles(max(1, error.retry_after_cycles))
         raise AssertionError("unreachable")  # pragma: no cover
 
+    async def send_batch(
+        self,
+        destinations: Any,
+        payloads: Optional[Sequence[Any]] = None,
+        retry_attempts: int = 0,
+    ) -> BatchResult:
+        """Admit a whole batch of words and await every delivery.
+
+        The per-request counterpart of the fabric's frame-axis
+        batching: one call admits ``len(destinations)`` words (an int64
+        array or any sequence of ints), the clock coalesces and routes
+        them across however many frames they need, and one
+        :class:`BatchResult` comes back with per-word status arrays —
+        no per-word futures, no per-word Receipt objects.
+
+        Admission is per word and non-raising: words that hit a full
+        VOQ are marked rejected in the result (with their
+        ``retry_after`` hint) instead of failing the batch.  With
+        ``retry_attempts > 0`` the gateway itself waits out the
+        advertised backpressure and re-offers the rejected remainder up
+        to that many more times before reporting them rejected.
+
+        Raises :class:`InputError` for any out-of-range destination
+        (the batch shape is the caller's bug, not backpressure),
+        :class:`GatewayClosedError` / :class:`PlaneUnavailableError`
+        exactly like :meth:`send`.
+        """
+        if not self._accepting:
+            raise GatewayClosedError()
+        dests = np.ascontiguousarray(destinations, dtype=np.int64)
+        if dests.ndim != 1:
+            raise InputError(
+                f"destinations must be one-dimensional, got shape "
+                f"{dests.shape}"
+            )
+        if retry_attempts < 0:
+            raise InputError(
+                f"retry_attempts must be >= 0, got {retry_attempts}"
+            )
+        count = int(dests.shape[0])
+        result = BatchResult(count)
+        if count == 0:
+            return result
+        bad = (dests < 0) | (dests >= self.n)
+        if bad.any():
+            raise InputError(
+                f"destinations {dests[bad][:8].tolist()} out of range "
+                f"for N={self.n}"
+            )
+        if not any(plane.healthy for plane in self.planes):
+            raise PlaneUnavailableError(len(self.planes))
+        if payloads is not None and len(payloads) != count:
+            raise InputError(
+                f"got {len(payloads)} payloads for {count} destinations"
+            )
+        tracker = _BatchTracker(
+            result, asyncio.get_running_loop().create_future()
+        )
+        self._batch_trackers.add(tracker)
+        dest_list = dests.tolist()  # one C pass beats a per-word int() each
+        payload_list = None if payloads is None else list(payloads)
+        try:
+            rejected = self._admit_batch_round(
+                tracker, dest_list, payload_list, range(count)
+            )
+            for _attempt in range(retry_attempts):
+                if not rejected:
+                    break
+                wait = max(
+                    1, int(result.retry_after[rejected].max(initial=0))
+                )
+                await self.wait_cycles(wait)
+                if not self._accepting:
+                    break
+                # Clear the stale hints before re-offering: the VOQ
+                # accept path never writes zeros (see admit_batch), so
+                # a word accepted on retry keeps hint 0 from here.
+                result.retry_after[rejected] = 0
+                rejected = self._admit_batch_round(
+                    tracker, dest_list, payload_list, rejected
+                )
+            tracker.open = False
+            if tracker.pending == 0 and not tracker.future.done():
+                tracker.future.set_result(result)
+            self._work.set()
+            return await tracker.future
+        finally:
+            self._batch_trackers.discard(tracker)
+
+    def _admit_batch_round(
+        self,
+        tracker: _BatchTracker,
+        dests: List[int],
+        payloads: Optional[Sequence[Any]],
+        indices: Any,
+    ) -> List[int]:
+        """Offer the words at *indices* to the VOQs; return the rejects.
+
+        Synchronous on purpose: no await happens between the first and
+        last admission of a round, so deliveries cannot interleave with
+        the bookkeeping.
+        """
+        result = tracker.result
+        admitted, rejected = self.voqs.admit_batch(
+            dests,
+            payloads,
+            self.cycle,
+            tracker,
+            result.retry_after,
+            indices,
+        )
+        tracker.pending += admitted
+        if rejected and self.observer is not None:
+            retry_after = result.retry_after
+            for index in rejected:
+                destination = dests[index]
+                hint = int(retry_after[index])
+                self.observer.on_reject(
+                    QueueEntry(
+                        destination,
+                        None if payloads is None else payloads[index],
+                        self.cycle,
+                        None,
+                        0,
+                        tracker,
+                        index,
+                    ),
+                    AdmissionRejectedError(destination, hint, hint),
+                )
+        self._work.set()
+        return rejected
+
     async def wait_cycles(self, cycles: int) -> int:
         """Await *cycles* gateway cycles; returns the cycle reached.
 
@@ -293,6 +523,20 @@ class AsyncGateway:
         self._work.set()
         return plane.describe()
 
+    def _fail_stranded(self, entries: List[QueueEntry], failure: Exception) -> None:
+        """Fail every stranded waiter: per-word futures and whole batches.
+
+        A batch tracker fails as a unit — one exception wakes its
+        ``send_batch`` — because its preallocated result is meaningless
+        once any of its words can no longer be delivered.
+        """
+        for entry in entries:
+            if entry.future is not None and not entry.future.done():
+                entry.future.set_exception(failure)
+        for tracker in list(self._batch_trackers):
+            if not tracker.future.done():
+                tracker.future.set_exception(failure)
+
     # ------------------------------------------------------------------
     # The clock
     # ------------------------------------------------------------------
@@ -323,16 +567,10 @@ class AsyncGateway:
             # loudly instead and refuse further traffic.
             self._accepting = False
             failure = GatewayClosedError(f"clock task crashed: {error!r}")
-            for entry in self.voqs.drain_all():
-                if entry.future is not None and not entry.future.done():
-                    entry.future.set_exception(failure)
+            stranded = self.voqs.drain_all()
             for plane in self.planes:
-                for stranded in plane.kill(reason="clock crash"):
-                    if (
-                        stranded.future is not None
-                        and not stranded.future.done()
-                    ):
-                        stranded.future.set_exception(failure)
+                stranded.extend(plane.kill(reason="clock crash"))
+            self._fail_stranded(stranded, failure)
             for _target, future in self._cycle_waiters:
                 if not future.done():
                     future.set_exception(failure)
@@ -352,12 +590,16 @@ class AsyncGateway:
         for plane in ready:
             if not self.voqs.total:
                 break
-            frame = self.scheduler.next_frame(self.voqs, self.cycle)
-            if frame is None:
-                break
-            plane.offer(frame)
-            if self.observer is not None:
-                self.observer.on_dispatch(frame, plane, self.cycle)
+            # A plane that stays ready after a frame (the batch engine
+            # buffering toward its window) keeps taking frames, so one
+            # tick can hand it a whole batch.
+            while plane.ready and self.voqs.total:
+                frame = self.scheduler.next_frame(self.voqs, self.cycle)
+                if frame is None:
+                    break
+                plane.offer(frame)
+                if self.observer is not None:
+                    self.observer.on_dispatch(frame, plane, self.cycle)
         # Clock every healthy plane; collect deliveries and casualties.
         for plane in healthy:
             completed, requeue = plane.step()
@@ -389,25 +631,56 @@ class AsyncGateway:
             self._mode_counts.get(completion.mode, 0) + 1
         )
         worst_latency = 0
-        for destination, entry in frame.entries.items():
-            self.delivered_words += 1
-            latency = self.cycle - entry.enqueued_cycle
+        plane_id = completion.plane_id
+        mode = completion.mode
+        cycle = self.cycle
+        tag = frame.tag
+        entries = frame.entries
+        self.delivered_words += len(entries)
+        latency_samples = self._latencies
+        # Batch words resolve per *frame*, not per word: indices and
+        # latencies group by tracker, then land in the preallocated
+        # result arrays as a handful of fancy-indexed stores.
+        groups: Dict[Any, Any] = {}
+        for destination, entry in entries.items():
+            latency = cycle - entry.enqueued_cycle
             if latency > worst_latency:
                 worst_latency = latency
-            self._latencies.append(latency)
-            if entry.future is not None and not entry.future.done():
+            latency_samples.append(latency)
+            tracker = entry.batch
+            if tracker is not None:
+                group = groups.get(tracker)
+                if group is None:
+                    groups[tracker] = group = ([], [])
+                group[0].append(entry.batch_index)
+                group[1].append(latency)
+            elif entry.future is not None and not entry.future.done():
                 entry.future.set_result(
                     Receipt(
                         destination=destination,
                         payload=entry.payload,
-                        plane_id=completion.plane_id,
-                        frame_tag=frame.tag,
+                        plane_id=plane_id,
+                        frame_tag=tag,
                         enqueued_cycle=entry.enqueued_cycle,
-                        delivered_cycle=self.cycle,
-                        mode=completion.mode,
+                        delivered_cycle=cycle,
+                        mode=mode,
                         requeues=entry.requeues,
                     )
                 )
+        for tracker, (indices, latencies) in groups.items():
+            result = tracker.result
+            result.statuses[indices] = 1
+            result.planes[indices] = plane_id
+            result.frames[indices] = tag
+            result.latencies[indices] = latencies
+            result.modes[indices] = result.mode_index(mode)
+            tracker.pending -= len(indices)
+            if (
+                tracker.pending == 0
+                and not tracker.open
+                and not tracker.future.done()
+            ):
+                tracker.future.set_result(result)
         if self.observer is not None:
             self.observer.on_frame_delivered(completion, self.cycle, worst_latency)
         window = self.config.latency_window

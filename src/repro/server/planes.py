@@ -32,8 +32,10 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..core.pipeline import ControlOverride, PipelinedBNBFabric
-from ..core.pipeline_fast import VectorPipelinedFabric
+from ..core.pipeline_fast import VectorPipelinedFabric, route_frame_batch
 from ..core.words import Word
 from ..exceptions import FaultServiceError, MisdeliveryError
 from ..service.fabric import ResilientFabric
@@ -41,6 +43,7 @@ from .scheduler import ScheduledFrame
 from .voq import QueueEntry
 
 __all__ = [
+    "BatchVectorPlane",
     "CompletedFrame",
     "PipelinedPlane",
     "ResilientPlane",
@@ -50,10 +53,17 @@ __all__ = [
 
 @dataclasses.dataclass
 class CompletedFrame:
-    """A frame that left a plane with every word on its addressed line."""
+    """A frame that left a plane with every word on its addressed line.
+
+    ``outputs`` is the per-line Word list for the object-engine planes;
+    :class:`BatchVectorPlane` verifies arithmetically on source-index
+    arrays and leaves it ``None`` — nothing downstream of a plane reads
+    ``outputs`` (the gateway resolves receipts from ``frame.entries``),
+    so batch completions never materialize per-word objects.
+    """
 
     frame: ScheduledFrame
-    outputs: List[Optional[Word]]
+    outputs: Optional[List[Optional[Word]]]
     plane_id: int
     mode: str  # "clean" | "degraded" | "failover"
 
@@ -316,6 +326,107 @@ class VectorPlane(_PlaneBase):
         info["verify_every"] = self.verify_every
         info["full_verifies"] = self.full_verifies
         info["spot_verifies"] = self.spot_verifies
+        return info
+
+
+class BatchVectorPlane(_PlaneBase):
+    """A frame-axis batched numpy plane: many frames per gather.
+
+    Where :class:`VectorPlane` steps one frame per fabric cycle, this
+    plane buffers up to ``batch_window`` frames and routes them all in
+    **one** :func:`~repro.core.pipeline_fast.route_frame_batch` call —
+    every stage of the BNB fabric becomes a single numpy gather over a
+    ``(batch, n)`` matrix, so the interpreter cost of a stage is paid
+    once per *batch of frames* instead of once per frame.  This is the
+    dataplane behind the gateway's ``send_batch`` path and the
+    ``--engine batch`` deployment.
+
+    Verification is total, not sampled, and word-free: the routed
+    ``sources`` row of a frame must satisfy ``sources[dest] ==
+    line_of[dest]`` for every genuine destination, which one vectorized
+    comparison over the frame's ``real_dests``/``real_lines`` arrays
+    checks without constructing a single :class:`Word`.  A failed check
+    kills the plane and requeues everything still inside, the same
+    containment contract as every other plane kind.
+    """
+
+    def __init__(self, plane_id: int, m: int, batch_window: int = 32) -> None:
+        super().__init__(plane_id)
+        if batch_window < 1:
+            raise ValueError(
+                f"batch_window must be >= 1, got {batch_window}"
+            )
+        self.m = m
+        self.n = 1 << m
+        self.batch_window = batch_window
+        self.batches_routed = 0
+        self._pending: List[ScheduledFrame] = []
+
+    @property
+    def ready(self) -> bool:
+        return self.healthy and len(self._pending) < self.batch_window
+
+    @property
+    def load(self) -> int:
+        return self.in_flight
+
+    def offer(self, frame: ScheduledFrame) -> None:
+        if not self.ready:
+            raise ValueError(f"plane {self.plane_id} cannot accept a frame now")
+        self._pending.append(frame)
+        self._in_flight[frame.tag] = frame
+
+    def kill(self, reason: str = "killed") -> List[QueueEntry]:
+        stranded = super().kill(reason=reason)
+        self._pending.clear()
+        return stranded
+
+    def step(self) -> Tuple[List[CompletedFrame], List[QueueEntry]]:
+        """Route every buffered frame in one batched kernel call."""
+        if not self.healthy or not self._pending:
+            return [], []
+        frames, self._pending = self._pending, []
+        addresses = np.stack([frame.address_array for frame in frames])
+        sources = route_frame_batch(self.m, addresses)
+        self.batches_routed += 1
+        completed: List[CompletedFrame] = []
+        for row, frame in zip(sources, frames):
+            self._in_flight.pop(frame.tag, None)
+            dests = frame.real_dests
+            if dests.size and not np.array_equal(
+                row[dests], frame.real_lines
+            ):
+                bad = dests[row[dests] != frame.real_lines]
+                requeue = list(frame.entries.values())
+                requeue.extend(
+                    self.kill(
+                        reason=str(
+                            MisdeliveryError(
+                                self.plane_id,
+                                f"frame {frame.tag}: outputs {bad.tolist()} "
+                                f"carry the wrong source lines",
+                            )
+                        )
+                    )
+                )
+                return completed, requeue
+            self.frames_delivered += 1
+            self.words_delivered += frame.active
+            completed.append(
+                CompletedFrame(
+                    frame=frame,
+                    outputs=None,
+                    plane_id=self.plane_id,
+                    mode="clean",
+                )
+            )
+        return completed, []
+
+    def describe(self) -> Dict[str, Any]:
+        info = super().describe()
+        info["engine"] = "batch"
+        info["batch_window"] = self.batch_window
+        info["batches_routed"] = self.batches_routed
         return info
 
 

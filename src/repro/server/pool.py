@@ -101,8 +101,7 @@ class ProcessPlane(_PlaneBase):
     def offer(self, frame: ScheduledFrame) -> None:
         if not self.ready:
             raise ValueError(f"plane {self.plane_id} cannot accept a frame now")
-        for line, word in enumerate(frame.words):
-            self._slab[line] = word.address
+        self._slab[: self.n] = frame.address_array
         self._current = frame
         self._in_flight[frame.tag] = frame
         self._offered_at = time.perf_counter()

@@ -1,46 +1,41 @@
-"""JSON-lines TCP wire protocol in front of :class:`AsyncGateway`.
+"""Dual-framing TCP wire protocol in front of :class:`AsyncGateway`.
 
-One request per line, one response per line, both UTF-8 JSON objects.
-Requests carry an ``op`` (``send`` | ``stats`` | ``metrics`` |
-``inject`` | ``ping``) and an optional ``id`` echoed verbatim in the response, so
-clients may correlate.  Requests on one connection are handled
-concurrently — a slow ``send`` (waiting for a frame) does not block a
-``stats`` probe on the same socket; responses are therefore *not*
-guaranteed to arrive in request order, which is what ``id`` is for.
+One serving port speaks two framings over the same op registry
+(:mod:`repro.server.ops`), auto-detected from the first bytes of each
+connection:
 
-::
+* **JSON lines** — one UTF-8 JSON object per line, one response per
+  line.  A request opens with ``{``; nothing that is not valid JSON
+  can collide with the binary magic, so a JSON client never needs to
+  announce itself.
+* **Binary frames** — length-prefixed frames
+  (:mod:`repro.server.framing`) opening with the 4-byte magic
+  ``BNB1``: a fixed header, a JSON meta section, and a packed ``int64``
+  array payload, so a ``send_batch`` of thousands of words crosses the
+  wire as one header plus one contiguous array instead of thousands of
+  JSON numbers.
+* **HTTP shim** — when the server is instrumented, a line starting
+  ``GET `` receives one ``/metrics`` (Prometheus text) or
+  ``/metrics.json`` response and the connection closes; enough for a
+  scraper or ``curl``.
 
-    -> {"op": "send", "dest": 3, "payload": "hello", "id": 1}
-    <- {"ok": true, "op": "send", "dest": 3, "latency_cycles": 5,
-        "plane": 0, "mode": "clean", "id": 1}
-    -> {"op": "send", "dest": 3, "id": 2}          # queue full
-    <- {"ok": false, "error": "admission-rejected",
-        "retry_after_cycles": 32, "id": 2}
-    -> {"op": "stats"}
-    <- {"ok": true, "op": "stats", "stats": {...}}
-    -> {"op": "inject", "plane": 0, "coordinate": [2, 0, 0, 0, 0],
-        "value": 1}                                # needs --resilient
-    <- {"ok": true, "op": "inject", "plane": {...}}
-    -> {"op": "metrics", "format": "prometheus"}   # needs --metrics
-    <- {"ok": true, "op": "metrics", "format": "prometheus",
-        "body": "# HELP repro_gateway_cycle ...\\n..."}
-
-When the server is built with a
-:class:`~repro.obs.instrument.GatewayInstrumentation`, two extra
-surfaces open up: the ``metrics`` op above (``format`` ``"json"`` —
-the default — or ``"prometheus"``), and a minimal HTTP shim — a
-connection whose first line is ``GET /metrics`` (as an HTTP/1.x
-request line) receives one ``text/plain`` HTTP response with the
-Prometheus text body and is closed, which is exactly enough for a
-scraper or ``curl`` pointed at the serving port.  Without
-instrumentation, ``metrics`` returns the ``metrics-disabled`` error
-slug and HTTP lines are malformed JSON like any other garbage.
+Both framings carry the same requests to :func:`repro.server.ops.dispatch`
+and the same responses back; ``op``s, error slugs, field names and
+semantics are identical, which the differential tests pin.  Requests on
+one connection are handled concurrently — a slow ``send`` does not
+block a ``stats`` probe on the same socket; responses are *not*
+guaranteed to arrive in request order, which is what the ``id`` field
+(JSON) / header request id (binary) are for.
 
 Error responses always have ``ok: false`` and a stable ``error`` slug:
 ``admission-rejected`` (transient; honour ``retry_after_cycles``),
-``bad-request`` (malformed JSON / unknown op / bad destination),
-``gateway-closed``, ``plane-unavailable``, ``metrics-disabled``,
-``internal``.
+``bad-request`` (malformed JSON or binary frame / unknown op / bad
+destination), ``unsupported-version``, ``gateway-closed``,
+``plane-unavailable``, ``metrics-disabled``, ``internal``.  Garbage
+that starts with neither the magic nor parseable JSON lands on the
+JSON path and earns a clean ``bad-request``, never a hung socket.
+
+The full wire specification lives in ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -49,12 +44,16 @@ import asyncio
 import json
 from typing import Any, Dict, Optional, Set
 
-from ..exceptions import (
-    AdmissionRejectedError,
-    FaultError,
-    GatewayClosedError,
-    InputError,
-    PlaneUnavailableError,
+from ..exceptions import GatewayClosedError, WireFormatError
+from . import ops
+from .framing import (
+    HEADER,
+    MAGIC,
+    PROTOCOL_VERSION,
+    decode_body,
+    encode_frame,
+    jsonable,
+    unpack_header,
 )
 from .gateway import AsyncGateway
 
@@ -65,7 +64,7 @@ MAX_LINE_BYTES = 1 << 16
 
 
 class GatewayServer:
-    """Host an :class:`AsyncGateway` on a TCP socket, JSON-lines framed."""
+    """Host an :class:`AsyncGateway` on a TCP socket, both framings."""
 
     def __init__(
         self,
@@ -85,6 +84,7 @@ class GatewayServer:
         self._request_tasks: Set[asyncio.Task] = set()
         self.connections_served = 0
         self.requests_served = 0
+        self.binary_connections = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -126,40 +126,203 @@ class GatewayServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """Sniff the framing from the first bytes, then serve the loop.
+
+        The binary magic's first byte cannot open a JSON value, so one
+        byte usually decides; when it matches, the remaining magic
+        bytes confirm.  A mismatch falls through to the JSON-lines loop
+        with the sniffed bytes prepended, so even garbage gets the JSON
+        path's clean ``bad-request`` answer.
+        """
         self.connections_served += 1
-        write_lock = asyncio.Lock()
         try:
-            while True:
+            try:
+                first = await reader.read(1)
+            except (ConnectionResetError, OSError):
+                return
+            if not first:
+                return
+            prefix = first
+            if first == MAGIC[:1]:
                 try:
-                    line = await reader.readline()
+                    rest = await reader.readexactly(len(MAGIC) - 1)
                 except (
+                    asyncio.IncompleteReadError,
                     ConnectionResetError,
-                    asyncio.LimitOverrunError,
+                    OSError,
                 ):
-                    break
-                if not line:
-                    break
-                stripped = line.strip()
-                if not stripped:
-                    continue
-                if (
-                    self.instrumentation is not None
-                    and stripped.startswith(b"GET ")
-                ):
-                    # The HTTP shim: answer one scrape and hang up.
-                    await self._serve_http(stripped, writer)
-                    break
-                task = asyncio.ensure_future(
-                    self._serve_request(stripped, writer, write_lock)
-                )
-                self._request_tasks.add(task)
-                task.add_done_callback(self._request_tasks.discard)
+                    return
+                prefix = first + rest
+                if prefix == MAGIC:
+                    self.binary_connections += 1
+                    await self._serve_binary(prefix, reader, writer)
+                    return
+            await self._serve_json(prefix, reader, writer)
         finally:
             try:
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionResetError, OSError):
                 pass
+
+    # ------------------------------------------------------------------
+    # Binary framing loop
+    # ------------------------------------------------------------------
+    async def _serve_binary(
+        self,
+        magic: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Serve length-prefixed binary frames until EOF or desync.
+
+        A frame that violates the framing invariants (oversize body,
+        ragged payload) earns one error frame and closes the
+        connection — after a desync there is no trustworthy frame
+        boundary left to resynchronize on.
+        """
+        write_lock = asyncio.Lock()
+        raw_header = magic + await self._read_exactly(
+            reader, HEADER.size - len(magic)
+        )
+        while len(raw_header) == HEADER.size:
+            try:
+                header = unpack_header(raw_header)
+            except WireFormatError as error:
+                await self._write_binary(
+                    writer,
+                    write_lock,
+                    0,
+                    ops.error_response("bad-request", detail=str(error)),
+                )
+                return
+            body = await self._read_exactly(reader, header.body_len)
+            if len(body) != header.body_len:
+                return  # connection died mid-frame
+            task = asyncio.ensure_future(
+                self._serve_binary_request(header, body, writer, write_lock)
+            )
+            self._request_tasks.add(task)
+            task.add_done_callback(self._request_tasks.discard)
+            raw_header = await self._read_exactly(reader, HEADER.size)
+
+    @staticmethod
+    async def _read_exactly(reader: asyncio.StreamReader, count: int) -> bytes:
+        """``readexactly`` that returns what it got instead of raising."""
+        if count == 0:
+            return b""
+        try:
+            return await reader.readexactly(count)
+        except asyncio.IncompleteReadError as error:
+            return error.partial
+        except (ConnectionResetError, OSError):
+            return b""
+
+    async def _serve_binary_request(
+        self,
+        header,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        self.requests_served += 1
+        if header.major > PROTOCOL_VERSION[0]:
+            response = ops.error_response(
+                "unsupported-version",
+                header.request_id,
+                detail=(
+                    f"frame version {header.major}.{header.minor} is newer "
+                    f"than the supported "
+                    f"{PROTOCOL_VERSION[0]}.{PROTOCOL_VERSION[1]}"
+                ),
+                protocol_version=list(PROTOCOL_VERSION),
+            )
+            await self._write_binary(writer, write_lock, 0, response)
+            return
+        spec = ops.BY_CODE.get(header.opcode)
+        if spec is None:
+            response = ops.error_response(
+                "bad-request",
+                header.request_id,
+                detail=f"unknown opcode {header.opcode}",
+            )
+            await self._write_binary(writer, write_lock, 0, response)
+            return
+        try:
+            request = decode_body(header, body)
+        except WireFormatError as error:
+            response = ops.error_response(
+                "bad-request", header.request_id, detail=str(error)
+            )
+            await self._write_binary(writer, write_lock, 0, response)
+            return
+        request["op"] = spec.name
+        request.setdefault("id", header.request_id)
+        response = await ops.dispatch(self, request)
+        opcode = spec.code if response.get("ok") else 0
+        await self._write_binary(writer, write_lock, opcode, response)
+
+    async def _write_binary(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        opcode: int,
+        response: Dict[str, Any],
+    ) -> None:
+        request_id = response.get("id", 0)
+        if not isinstance(request_id, int) or isinstance(request_id, bool):
+            request_id = 0
+        try:
+            payload = encode_frame(opcode, response, request_id=request_id)
+        except WireFormatError as error:
+            payload = encode_frame(
+                0,
+                ops.error_response(
+                    "internal", request_id, detail=str(error)
+                ),
+                request_id=request_id,
+            )
+        try:
+            async with write_lock:
+                writer.write(payload)
+                await writer.drain()
+        except (ConnectionResetError, OSError):
+            pass  # client went away; the words (if any) were still delivered
+
+    # ------------------------------------------------------------------
+    # JSON-lines loop (plus the HTTP shim)
+    # ------------------------------------------------------------------
+    async def _serve_json(
+        self,
+        prefix: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        write_lock = asyncio.Lock()
+        while True:
+            try:
+                line = await reader.readline()
+            except (ConnectionResetError, asyncio.LimitOverrunError, OSError):
+                break
+            if prefix:
+                line, prefix = prefix + line, b""
+            if not line:
+                break
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if (
+                self.instrumentation is not None
+                and stripped.startswith(b"GET ")
+            ):
+                # The HTTP shim: answer one scrape and hang up.
+                await self._serve_http(stripped, writer)
+                break
+            task = asyncio.ensure_future(
+                self._serve_request(stripped, writer, write_lock)
+            )
+            self._request_tasks.add(task)
+            task.add_done_callback(self._request_tasks.discard)
 
     async def _serve_http(
         self, request_line: bytes, writer: asyncio.StreamWriter
@@ -219,160 +382,21 @@ class GatewayServer:
             pass  # client went away; the word (if any) was still delivered
 
     async def _dispatch(self, raw: bytes) -> Dict[str, Any]:
+        """Decode one JSON request line and run it through the registry.
+
+        Always returns a JSON-safe response object (op results may
+        contain numpy arrays — ``send_batch`` statuses — which are
+        flattened to lists here; the binary framing ships them packed
+        instead).
+        """
         if len(raw) > MAX_LINE_BYTES:
-            return _error("bad-request", detail="request line too long")
+            return ops.error_response(
+                "bad-request", detail="request line too long"
+            )
         try:
             request = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            return _error("bad-request", detail=f"malformed JSON: {error}")
-        if not isinstance(request, dict):
-            return _error("bad-request", detail="request must be an object")
-        request_id = request.get("id")
-        op = request.get("op")
-        try:
-            if op == "ping":
-                return _ok({"op": "ping"}, request_id)
-            if op == "stats":
-                return _ok(
-                    {"op": "stats", "stats": self.gateway.stats()}, request_id
-                )
-            if op == "metrics":
-                return self._op_metrics(request, request_id)
-            if op == "send":
-                return await self._op_send(request, request_id)
-            if op == "inject":
-                return self._op_inject(request, request_id)
-            return _error(
-                "bad-request", request_id, detail=f"unknown op {op!r}"
+            return ops.error_response(
+                "bad-request", detail=f"malformed JSON: {error}"
             )
-        except AdmissionRejectedError as error:
-            return _error(
-                "admission-rejected",
-                request_id,
-                dest=error.destination,
-                retry_after_cycles=error.retry_after_cycles,
-            )
-        except GatewayClosedError as error:
-            return _error("gateway-closed", request_id, detail=str(error))
-        except PlaneUnavailableError as error:
-            return _error("plane-unavailable", request_id, detail=str(error))
-        except (InputError, FaultError) as error:
-            return _error("bad-request", request_id, detail=str(error))
-        except asyncio.CancelledError:
-            raise
-        except Exception as error:  # noqa: BLE001 — protocol boundary
-            return _error("internal", request_id, detail=repr(error))
-
-    def _op_metrics(
-        self, request: Dict[str, Any], request_id: Any
-    ) -> Dict[str, Any]:
-        if self.instrumentation is None:
-            return _error(
-                "metrics-disabled",
-                request_id,
-                detail="the server was started without instrumentation",
-            )
-        fmt = request.get("format", "json")
-        if fmt == "prometheus":
-            return _ok(
-                {
-                    "op": "metrics",
-                    "format": "prometheus",
-                    "body": self.instrumentation.render_prometheus(),
-                },
-                request_id,
-            )
-        if fmt == "json":
-            from ..obs.snapshot import sanitize
-
-            return _ok(
-                {
-                    "op": "metrics",
-                    "format": "json",
-                    "metrics": sanitize(self.instrumentation.snapshot()),
-                },
-                request_id,
-            )
-        return _error(
-            "bad-request",
-            request_id,
-            detail=f"metrics format must be 'json' or 'prometheus', got {fmt!r}",
-        )
-
-    def _op_inject(
-        self, request: Dict[str, Any], request_id: Any
-    ) -> Dict[str, Any]:
-        plane = request.get("plane", 0)
-        if not isinstance(plane, int) or isinstance(plane, bool):
-            return _error(
-                "bad-request",
-                request_id,
-                detail="'plane' must be an integer plane id",
-            )
-        coordinate = request.get("coordinate")
-        if (
-            not isinstance(coordinate, (list, tuple))
-            or len(coordinate) != 5
-            or not all(
-                isinstance(axis, int) and not isinstance(axis, bool)
-                for axis in coordinate
-            )
-        ):
-            return _error(
-                "bad-request",
-                request_id,
-                detail=(
-                    "'coordinate' must be 5 integers: [main_stage, "
-                    "nested, nested_stage, box, switch]"
-                ),
-            )
-        value = request.get("value", 1)
-        if value not in (0, 1) or isinstance(value, bool):
-            return _error(
-                "bad-request",
-                request_id,
-                detail="'value' must be the stuck control bit, 0 or 1",
-            )
-        described = self.gateway.inject_fault(plane, tuple(coordinate), value)
-        return _ok({"op": "inject", "plane": described}, request_id)
-
-    async def _op_send(
-        self, request: Dict[str, Any], request_id: Any
-    ) -> Dict[str, Any]:
-        destination = request.get("dest")
-        if not isinstance(destination, int) or isinstance(destination, bool):
-            return _error(
-                "bad-request",
-                request_id,
-                detail="'dest' must be an integer output line",
-            )
-        retry = bool(request.get("retry", False))
-        send = (
-            self.gateway.send_with_retry if retry else self.gateway.send
-        )
-        receipt = await send(destination, request.get("payload"))
-        return _ok(
-            {
-                "op": "send",
-                "dest": receipt.destination,
-                "plane": receipt.plane_id,
-                "frame": receipt.frame_tag,
-                "latency_cycles": receipt.latency_cycles,
-                "mode": receipt.mode,
-            },
-            request_id,
-        )
-
-
-def _ok(body: Dict[str, Any], request_id: Any = None) -> Dict[str, Any]:
-    response = {"ok": True, **body}
-    if request_id is not None:
-        response["id"] = request_id
-    return response
-
-
-def _error(slug: str, request_id: Any = None, **fields: Any) -> Dict[str, Any]:
-    response: Dict[str, Any] = {"ok": False, "error": slug, **fields}
-    if request_id is not None:
-        response["id"] = request_id
-    return response
+        return jsonable(await ops.dispatch(self, request))

@@ -13,8 +13,9 @@ how delivery is matched back to the awaiting client.
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Dict, List, Optional
+
+import numpy as np
 
 from ..core.traffic import FramePlan, coalesce_frame
 from ..core.words import Word
@@ -23,20 +24,86 @@ from .voq import QueueEntry, VirtualOutputQueues
 __all__ = ["FrameScheduler", "ScheduledFrame"]
 
 
-@dataclasses.dataclass
 class ScheduledFrame:
-    """One coalesced frame: a full permutation of words plus its book-keeping.
+    """One coalesced frame: a full permutation plus its book-keeping.
 
     ``entries[dest]`` is the queue entry whose word rides the frame to
-    output *dest*; ``words[line].payload`` is that entry for real lines
-    and ``None`` for idle filler.
+    output *dest*.  The frame carries its traffic in two interchangeable
+    shapes: ``words`` — the per-line :class:`~repro.core.words.Word`
+    list the object planes clock through the fabric — and the array
+    triple (``address_array``, ``real_dests``, ``real_lines``) the
+    vectorized planes route and verify without touching a single Word.
+    Both are built lazily from the coalesced plan, so a frame only ever
+    pays for the representation its plane actually uses.
     """
 
-    tag: int
-    words: List[Word]
-    entries: Dict[int, QueueEntry]
-    plan: FramePlan
-    scheduled_cycle: int
+    __slots__ = (
+        "tag",
+        "entries",
+        "plan",
+        "scheduled_cycle",
+        "_words",
+        "_address_array",
+        "_real_dests",
+        "_real_lines",
+    )
+
+    def __init__(
+        self,
+        tag: int,
+        entries: Dict[int, QueueEntry],
+        plan: FramePlan,
+        scheduled_cycle: int,
+    ) -> None:
+        self.tag = tag
+        self.entries = entries
+        self.plan = plan
+        self.scheduled_cycle = scheduled_cycle
+        self._words: Optional[List[Word]] = None
+        self._address_array: Optional[np.ndarray] = None
+        self._real_dests: Optional[np.ndarray] = None
+        self._real_lines: Optional[np.ndarray] = None
+
+    @property
+    def words(self) -> List[Word]:
+        """The per-line Word list; ``words[line].payload`` is the queue
+        entry for real lines and ``None`` for idle filler."""
+        if self._words is None:
+            entries = self.entries
+            self._words = [
+                Word(address=address, payload=entries.get(address))
+                for address in self.plan.addresses
+            ]
+        return self._words
+
+    @property
+    def address_array(self) -> np.ndarray:
+        """The frame's full destination permutation as an int64 vector."""
+        if self._address_array is None:
+            self._address_array = np.asarray(
+                self.plan.addresses, dtype=np.int64
+            )
+        return self._address_array
+
+    @property
+    def real_dests(self) -> np.ndarray:
+        """Destinations carrying genuine traffic, as an int64 vector."""
+        if self._real_dests is None:
+            line_of = self.plan.line_of
+            self._real_dests = np.fromiter(
+                line_of.keys(), dtype=np.int64, count=len(line_of)
+            )
+        return self._real_dests
+
+    @property
+    def real_lines(self) -> np.ndarray:
+        """``real_lines[k]`` is the input line feeding ``real_dests[k]``."""
+        if self._real_lines is None:
+            line_of = self.plan.line_of
+            self._real_lines = np.fromiter(
+                line_of.values(), dtype=np.int64, count=len(line_of)
+            )
+        return self._real_lines
 
     @property
     def active(self) -> int:
@@ -45,6 +112,12 @@ class ScheduledFrame:
     @property
     def fill(self) -> float:
         return self.plan.fill
+
+    def __repr__(self) -> str:
+        return (
+            f"ScheduledFrame(tag={self.tag}, active={self.active}, "
+            f"n={len(self.plan.addresses)}, cycle={self.scheduled_cycle})"
+        )
 
 
 class FrameScheduler:
@@ -64,17 +137,18 @@ class FrameScheduler:
         entries = voqs.pop_heads(self.n)
         if not entries:
             return None
-        plan = coalesce_frame([entry.destination for entry in entries], self.n)
-        by_destination = {entry.destination: entry for entry in entries}
-        words = [
-            Word(
-                address=address,
-                payload=by_destination[address]
-                if address in plan.line_of
-                else None,
+        destinations = [entry.destination for entry in entries]
+        if len(entries) == self.n:
+            # Full fill (the saturated batch path): the heads are
+            # already a permutation on consecutive lines — no idle
+            # completion to compute.
+            plan = FramePlan(
+                addresses=destinations,
+                line_of={dest: line for line, dest in enumerate(destinations)},
             )
-            for address in plan.addresses
-        ]
+        else:
+            plan = coalesce_frame(destinations, self.n)
+        by_destination = {entry.destination: entry for entry in entries}
         tag = self._next_tag
         self._next_tag += 1
         self.frames_scheduled += 1
@@ -82,7 +156,6 @@ class FrameScheduler:
         self._fill_sum += plan.fill
         return ScheduledFrame(
             tag=tag,
-            words=words,
             entries=by_destination,
             plan=plan,
             scheduled_cycle=cycle,

@@ -12,20 +12,26 @@ from __future__ import annotations
 
 import dataclasses
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from ..exceptions import AdmissionRejectedError
 
 __all__ = ["QueueEntry", "VirtualOutputQueues"]
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class QueueEntry:
     """One admitted word waiting for (or riding) a frame.
 
     ``future`` is set by the asyncio gateway so the submitting client
     can await the delivery receipt; the synchronous benchmark harness
-    leaves it ``None``.
+    leaves it ``None``.  Words admitted through the batch path carry
+    their batch tracker in ``batch`` and their position in the batch in
+    ``batch_index`` instead of a per-word future — delivery fills the
+    tracker's preallocated result arrays at ``batch_index`` and the
+    tracker's single future fires when the whole batch has landed.
+    (Two plain fields, not a tuple: the admission loop builds one entry
+    per word, so even a tuple allocation shows up at full load.)
     """
 
     destination: int
@@ -33,6 +39,8 @@ class QueueEntry:
     enqueued_cycle: int
     future: Any = None
     requeues: int = 0
+    batch: Any = None
+    batch_index: int = 0
 
 
 class VirtualOutputQueues:
@@ -53,6 +61,7 @@ class VirtualOutputQueues:
         self.capacity = capacity
         self._queues: List[Deque[QueueEntry]] = [deque() for _ in range(n)]
         self._rr_start = 0
+        self._queued = 0  # maintained so ``total`` is O(1) on the hot path
         # Admission counters (offered = accepted + rejected).
         self.offered = 0
         self.accepted = 0
@@ -70,23 +79,103 @@ class VirtualOutputQueues:
         drains at most one word per destination per frame, so a full
         queue needs at least ``depth`` cycles before a slot frees.
         """
+        rejection = self.try_admit(entry)
+        if rejection is not None:
+            raise rejection
+
+    def try_admit(self, entry: QueueEntry) -> Optional[AdmissionRejectedError]:
+        """Enqueue *entry*; return the rejection instead of raising.
+
+        The batch admission loop calls this once per word — building
+        and unwinding an exception per rejected word would dominate an
+        overloaded batch's cost, so rejections come back as values.
+        """
         self.offered += 1
         if not 0 <= entry.destination < self.n:
             self.rejected += 1
-            raise AdmissionRejectedError(
-                entry.destination, 0, 0
-            ) from ValueError(
-                f"destination {entry.destination} out of range for N={self.n}"
-            )
+            return AdmissionRejectedError(entry.destination, 0, 0)
         queue = self._queues[entry.destination]
-        if len(queue) >= self.capacity:
+        depth = len(queue)
+        if depth >= self.capacity:
             self.rejected += 1
-            raise AdmissionRejectedError(
-                entry.destination, len(queue), len(queue)
-            )
+            return AdmissionRejectedError(entry.destination, depth, depth)
         queue.append(entry)
         self.accepted += 1
-        self.max_depth = max(self.max_depth, len(queue))
+        self._queued += 1
+        if depth + 1 > self.max_depth:
+            self.max_depth = depth + 1
+        return None
+
+    def admit_batch(
+        self,
+        dests: List[int],
+        payloads: Optional[List[Any]],
+        cycle: int,
+        tracker: Any,
+        retry_after: Any,
+        indices: Any,
+    ) -> Tuple[int, List[int]]:
+        """Admit the batch words at *indices*; return ``(admitted, rejected)``.
+
+        The whole admission loop lives here so the per-word cost is a
+        capacity check and a deque append with every lookup hoisted —
+        no per-word method call, no per-word exception.  Rejected
+        indices get their depth written into the *retry_after* array
+        (the same hint :meth:`admit` raises); accepted indices are
+        **not** cleared — the caller zeroes the hints of any indices it
+        re-offers (a fresh batch's array starts zeroed), keeping the
+        accept path free of per-word numpy stores.  The caller owns
+        observer notification and any retry rounds.  Destinations must
+        already be range-checked (the gateway validates the whole array
+        in one vectorized pass).
+        """
+        queues = self._queues
+        capacity = self.capacity
+        max_depth = self.max_depth
+        entry_cls = QueueEntry
+        admitted = 0
+        rejected: List[int] = []
+        rejected_append = rejected.append
+        if payloads is None:
+            for index in indices:
+                dest = dests[index]
+                queue = queues[dest]
+                depth = len(queue)
+                if depth < capacity:
+                    queue.append(
+                        entry_cls(dest, None, cycle, None, 0, tracker, index)
+                    )
+                    admitted += 1
+                    if depth >= max_depth:
+                        max_depth = depth + 1
+                else:
+                    retry_after[index] = depth
+                    rejected_append(index)
+        else:
+            for index in indices:
+                dest = dests[index]
+                queue = queues[dest]
+                depth = len(queue)
+                if depth < capacity:
+                    queue.append(
+                        entry_cls(
+                            dest, payloads[index], cycle, None, 0,
+                            tracker, index,
+                        )
+                    )
+                    admitted += 1
+                    if depth >= max_depth:
+                        max_depth = depth + 1
+                else:
+                    retry_after[index] = depth
+                    rejected_append(index)
+        self.max_depth = max_depth
+        offered = admitted + len(rejected)
+        self.offered += offered
+        self.accepted += admitted
+        self.rejected += len(rejected)
+        self._queued += admitted
+        return admitted, rejected
 
     def requeue_front(self, entries: List[QueueEntry]) -> None:
         """Put already-admitted entries back at the head of their queues.
@@ -100,6 +189,7 @@ class VirtualOutputQueues:
             entry.requeues += 1
             self._queues[entry.destination].appendleft(entry)
             self.requeued += 1
+            self._queued += 1
             self.max_depth = max(
                 self.max_depth, len(self._queues[entry.destination])
             )
@@ -116,14 +206,24 @@ class VirtualOutputQueues:
         if limit is None:
             limit = self.n
         picked: List[QueueEntry] = []
-        for offset in range(self.n):
-            if len(picked) >= limit:
-                break
-            destination = (self._rr_start + offset) % self.n
-            queue = self._queues[destination]
-            if queue:
-                picked.append(queue.popleft())
+        if limit > 0:
+            append = picked.append
+            queues = self._queues
+            start = self._rr_start
+            # Two straight slices instead of a modulo per destination.
+            for queue in queues[start:]:
+                if queue:
+                    append(queue.popleft())
+                    if len(picked) >= limit:
+                        break
+            else:
+                for queue in queues[:start]:
+                    if queue:
+                        append(queue.popleft())
+                        if len(picked) >= limit:
+                            break
         self._rr_start = (self._rr_start + 1) % self.n
+        self._queued -= len(picked)
         return picked
 
     # ------------------------------------------------------------------
@@ -134,7 +234,7 @@ class VirtualOutputQueues:
 
     @property
     def total(self) -> int:
-        return sum(len(queue) for queue in self._queues)
+        return self._queued
 
     def depths(self) -> List[int]:
         return [len(queue) for queue in self._queues]
@@ -145,6 +245,7 @@ class VirtualOutputQueues:
         for queue in self._queues:
             stranded.extend(queue)
             queue.clear()
+        self._queued = 0
         return stranded
 
     def snapshot(self) -> Dict[str, Any]:

@@ -1,10 +1,17 @@
-"""The JSON-lines TCP protocol: framing, ops, error mapping."""
+"""The dual-framing TCP protocol: ops, error mapping, auto-detection.
+
+Round-trip traffic speaks through the public
+:class:`repro.client.GatewayClient` (both framings); only the
+malformed-input tests keep raw sockets, because the client cannot be
+made to emit broken requests.
+"""
 
 import asyncio
 import json
 
 import pytest
 
+from repro.client import GatewayClient
 from repro.server import AsyncGateway, GatewayConfig, GatewayServer
 
 pytestmark = pytest.mark.asyncio_suite
@@ -32,61 +39,45 @@ async def request_lines(port, lines, expect):
 
 
 class TestOps:
-    def test_ping_send_stats_round_trip(self, run_async):
+    @pytest.mark.parametrize("binary", [False, True])
+    def test_ping_send_stats_round_trip(self, run_async, binary):
         async def scenario():
             gateway, server = await start_stack()
             try:
-                responses = await request_lines(
-                    server.port,
-                    [
-                        b'{"op": "ping", "id": 1}\n',
-                        b'{"op": "send", "dest": 5, "payload": "w", '
-                        b'"retry": true, "id": 2}\n',
-                        b'{"op": "stats", "id": 3}\n',
-                    ],
-                    expect=3,
-                )
+                async with GatewayClient(
+                    "127.0.0.1", server.port, binary=binary
+                ) as client:
+                    pong = await client.ping()
+                    receipt = await client.send(
+                        5, payload="w", server_retry=True
+                    )
+                    stats = await client.stats()
             finally:
                 await server.stop()
                 await gateway.stop()
-            return {response["id"]: response for response in responses}
+            return pong, receipt, stats
 
-        by_id = run_async(scenario())
-        assert by_id[1] == {"ok": True, "op": "ping", "id": 1}
-        assert by_id[2]["ok"] is True
-        assert by_id[2]["dest"] == 5
-        assert by_id[2]["latency_cycles"] >= 1
-        assert by_id[2]["mode"] == "clean"
-        # Requests on one connection run concurrently, so the stats
-        # snapshot may precede the send's delivery — assert shape only.
-        assert by_id[3]["stats"]["n"] == 8
-        assert "queues" in by_id[3]["stats"]
+        pong, receipt, stats = run_async(scenario())
+        assert pong["ok"] is True and pong["op"] == "ping"
+        assert receipt["dest"] == 5
+        assert receipt["latency_cycles"] >= 1
+        assert receipt["mode"] == "clean"
+        assert stats["stats"]["n"] == 8
+        assert "queues" in stats["stats"]
+        assert stats["protocol_version"] == [2, 0]
 
     def test_many_connections_zero_misdelivery(self, run_async):
         async def one_client(port, cid):
-            reader, writer = await asyncio.open_connection("127.0.0.1", port)
-            deliveries = []
-            for k in range(3):
-                dest = (cid + k) % 8
-                writer.write(
-                    (
-                        json.dumps(
-                            {
-                                "op": "send",
-                                "dest": dest,
-                                "retry": True,
-                                "id": k,
-                            }
-                        )
-                        + "\n"
-                    ).encode()
-                )
-                await writer.drain()
-                response = json.loads(await reader.readline())
-                deliveries.append((dest, response))
-            writer.close()
-            await writer.wait_closed()
-            return deliveries
+            # Alternate framings across the client fleet.
+            async with GatewayClient(
+                "127.0.0.1", port, binary=bool(cid % 2)
+            ) as client:
+                deliveries = []
+                for k in range(3):
+                    dest = (cid + k) % 8
+                    response = await client.send(dest, server_retry=True)
+                    deliveries.append((dest, response))
+                return deliveries
 
         async def scenario():
             gateway, server = await start_stack(planes=2, capacity=16)
@@ -105,32 +96,30 @@ class TestOps:
                 assert response["ok"] is True
                 assert response["dest"] == dest
 
-    def test_concurrent_requests_one_connection_by_id(self, run_async):
+    @pytest.mark.parametrize("binary", [False, True])
+    def test_concurrent_requests_one_connection_by_id(
+        self, run_async, binary
+    ):
         async def scenario():
             gateway, server = await start_stack()
             try:
-                responses = await request_lines(
-                    server.port,
-                    [
-                        json.dumps(
-                            {"op": "send", "dest": d, "retry": True, "id": d}
-                        ).encode()
-                        + b"\n"
-                        for d in range(8)
-                    ],
-                    expect=8,
-                )
+                async with GatewayClient(
+                    "127.0.0.1", server.port, binary=binary
+                ) as client:
+                    responses = await asyncio.gather(
+                        *(
+                            client.send(d, server_retry=True)
+                            for d in range(8)
+                        )
+                    )
             finally:
                 await server.stop()
                 await gateway.stop()
             return responses
 
         responses = run_async(scenario())
-        assert sorted(response["id"] for response in responses) == list(
+        assert sorted(response["dest"] for response in responses) == list(
             range(8)
-        )
-        assert all(
-            response["dest"] == response["id"] for response in responses
         )
 
 
