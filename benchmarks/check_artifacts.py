@@ -261,6 +261,72 @@ def check_wire_protocol(
                 )
 
 
+def check_cluster_soak(
+    data: Dict[str, Any], name: str, errors: List[str]
+) -> None:
+    for key in (
+        "nodes",
+        "node_n",
+        "n_global",
+        "requested_words",
+        "delivered_words",
+        "delivery_rate",
+        "misdeliveries",
+        "killed_node",
+        "map_version",
+        "words_per_second",
+        "client_counters",
+        "node_states",
+    ):
+        _require(key in data, name, f"missing {key!r}", errors)
+    _require(
+        data.get("nodes", 0) >= 4,
+        name,
+        f"nodes {data.get('nodes')!r} below the >=4 acceptance size",
+        errors,
+    )
+    _require(
+        data.get("requested_words", 0) >= 1_000_000,
+        name,
+        f"requested_words {data.get('requested_words')!r} below the "
+        ">=1M acceptance soak",
+        errors,
+    )
+    if {"requested_words", "delivered_words"} <= data.keys():
+        _require(
+            data["delivered_words"] >= data["requested_words"],
+            name,
+            "delivered < requested (words were lost across failover)",
+            errors,
+        )
+    _require(
+        data.get("delivery_rate", 0) >= 1.0,
+        name,
+        f"delivery_rate {data.get('delivery_rate')!r} != 1.0",
+        errors,
+    )
+    _require(
+        data.get("misdeliveries", 1) == 0,
+        name,
+        f"misdeliveries {data.get('misdeliveries')!r} != 0",
+        errors,
+    )
+    _require(
+        bool(data.get("killed_node")),
+        name,
+        "no node was killed mid-run; the soak proved nothing about "
+        "failover",
+        errors,
+    )
+    _require(
+        data.get("map_version", 0) >= 2,
+        name,
+        f"map_version {data.get('map_version')!r} never advanced — the "
+        "death did not reshard",
+        errors,
+    )
+
+
 SCHEMAS: Dict[str, Callable[[Any, str, List[str]], None]] = {
     "gateway_load.json": check_gateway_load,
     "gateway_plane_kill.json": check_gateway_plane_kill,
@@ -269,6 +335,7 @@ SCHEMAS: Dict[str, Callable[[Any, str, List[str]], None]] = {
     "obs_overhead.json": check_obs_overhead,
     "fault_recovery_vector.json": check_fault_recovery_vector,
     "wire_protocol.json": check_wire_protocol,
+    "cluster_soak.json": check_cluster_soak,
 }
 
 

@@ -9,6 +9,7 @@ Commands
 ``report``   print the full paper-vs-measured experiments report
 ``faults``   BIST schedule, fault localization and the resilient service
 ``serve``    host the async traffic gateway (TCP JSON-lines, or --demo)
+``cluster``  run a sharded multi-node gateway cluster with failover
 ``stats``    scrape a running gateway, or one-shot an in-process snapshot
 
 Every command writes plain text to stdout and exits non-zero on
@@ -207,6 +208,75 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="serve for SECONDS, then print a final snapshot and exit "
         "instead of running until Ctrl-C",
+    )
+    serve.add_argument(
+        "--node-id",
+        default=None,
+        metavar="ID",
+        help="stable identity reported in stats and on exported metrics "
+        "(defaults to gw-<pid>; the cluster supervisor sets node-K names)",
+    )
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="run a sharded multi-node gateway cluster with failover",
+    )
+    cluster.add_argument(
+        "n",
+        type=int,
+        help="per-node network size (power of two); the cluster serves "
+        "a global destination space of nodes*n lines",
+    )
+    cluster.add_argument(
+        "--nodes", type=int, default=3, metavar="K",
+        help="gateway nodes in the cluster",
+    )
+    cluster.add_argument(
+        "--engine",
+        choices=("object", "vector", "batch"),
+        default="batch",
+        help="plane engine for every node",
+    )
+    cluster.add_argument(
+        "--capacity", type=int, default=256,
+        help="per-destination queue bound on every node",
+    )
+    cluster.add_argument(
+        "--smoke",
+        type=int,
+        metavar="WORDS",
+        default=None,
+        help="skip serving: soak WORDS through an in-process cluster, "
+        "verify full delivery, print the accounting and exit",
+    )
+    cluster.add_argument(
+        "--kill",
+        type=int,
+        choices=(0, 1),
+        default=0,
+        help="with --smoke: kill one node mid-run and require the "
+        "cluster to reshard and still deliver every word",
+    )
+    cluster.add_argument(
+        "--burst", type=int, default=4096,
+        help="words per send_batch burst (with --smoke)",
+    )
+    cluster.add_argument(
+        "--in-flight", type=int, default=4, metavar="W",
+        help="concurrent burst senders (with --smoke)",
+    )
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serving mode: run the cluster for SECONDS then exit "
+        "instead of running until Ctrl-C",
+    )
+    cluster.add_argument(
+        "--json", action="store_true",
+        help="emit the smoke accounting (or cluster state) as JSON",
     )
 
     stats = sub.add_parser(
@@ -615,6 +685,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         queue_capacity=args.capacity,
         resilient=args.resilient,
         engine=engine,
+        node_id=args.node_id,
     )
 
     def _instrument(gateway):
@@ -743,6 +814,107 @@ def _command_serve(args: argparse.Namespace) -> int:
             pool.close()
 
 
+def _command_cluster(args: argparse.Namespace) -> int:
+    """``repro cluster``: a sharded multi-node gateway deployment.
+
+    Two modes: ``--smoke WORDS`` runs the in-process soak harness
+    (optionally killing one node mid-run with ``--kill 1``) and exits
+    non-zero unless every word was delivered with zero misdeliveries;
+    without it, the command spawns ``--nodes`` real ``repro serve``
+    processes, pushes the shard map, and runs the health loop until
+    Ctrl-C or ``--duration``.
+    """
+    import asyncio
+
+    from .exceptions import InputError
+
+    require_power_of_two(args.n, "per-node network size")
+    m = args.n.bit_length() - 1
+    if args.nodes < 2:
+        raise InputError(
+            f"a cluster needs at least 2 nodes, got {args.nodes}"
+        )
+
+    if args.smoke is not None:
+        from .cluster import run_soak
+        from .cluster.soak import render_report
+
+        report = asyncio.run(
+            run_soak(
+                nodes=args.nodes,
+                m=m,
+                words=args.smoke,
+                kill=bool(args.kill),
+                burst=args.burst,
+                in_flight=args.in_flight,
+                engine=args.engine,
+                queue_capacity=args.capacity,
+                seed=args.seed,
+            )
+        )
+        if args.json:
+            from .obs.snapshot import dump_json
+
+            print(dump_json(report))
+        else:
+            print("\n".join(render_report(report)))
+        return 0
+
+    from .cluster import (
+        ClusterRouter,
+        NodeSpec,
+        NodeSupervisor,
+        SubprocessNode,
+    )
+    from .obs.snapshot import dump_json
+
+    specs = [
+        NodeSpec(
+            node_id=f"node-{index}",
+            m=m,
+            engine=args.engine,
+            queue_capacity=args.capacity,
+        )
+        for index in range(args.nodes)
+    ]
+    supervisor = NodeSupervisor(
+        [SubprocessNode(spec) for spec in specs]
+    )
+    router = ClusterRouter(supervisor)
+
+    async def _run() -> None:
+        async with router:
+            assert router.map is not None
+            for node_id, (host, port) in sorted(
+                supervisor.addresses.items()
+            ):
+                print(f"node {node_id}: {host}:{port}")
+            stop_note = (
+                f"{args.duration:g}s run"
+                if args.duration is not None
+                else "Ctrl-C stops"
+            )
+            print(
+                f"cluster serving global N={router.map.n_global} "
+                f"({args.nodes} node(s) x N={args.n}, engine "
+                f"{args.engine}, map v{router.map.version}) — {stop_note}"
+            )
+            sys.stdout.flush()
+            if args.duration is None:
+                while True:
+                    await asyncio.sleep(3600)
+            await asyncio.sleep(args.duration)
+            if args.json:
+                print(dump_json(router.describe()))
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\ninterrupted — cluster stopped", file=sys.stderr)
+        return 130
+    return 0
+
+
 def _stats_connect(args: argparse.Namespace) -> int:
     """Scrape a running ``repro serve --metrics`` gateway over TCP.
 
@@ -850,6 +1022,7 @@ _HANDLERS = {
     "report": _command_report,
     "faults": _command_faults,
     "serve": _command_serve,
+    "cluster": _command_cluster,
     "stats": _command_stats,
 }
 

@@ -25,7 +25,11 @@ one client; responses may arrive out of order (a slow ``send`` never
 blocks a ``stats`` probe).  Error envelopes surface as
 :class:`~repro.exceptions.GatewayRequestError` carrying the stable
 slug; :meth:`send` can retry ``admission-rejected`` itself, honouring
-the server's ``retry_after_cycles`` hint.
+the server's ``retry_after_cycles`` hint.  A socket that drops with
+requests pending fails them all with
+:class:`~repro.exceptions.GatewayDisconnectedError` — the stable
+``gateway-disconnected`` slug (still a :class:`ConnectionError`), so
+failover logic can branch on it without parsing messages.
 """
 
 from __future__ import annotations
@@ -36,7 +40,11 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .exceptions import GatewayRequestError, InputError
+from .exceptions import (
+    GatewayDisconnectedError,
+    GatewayRequestError,
+    InputError,
+)
 from .server.framing import (
     HEADER,
     MAX_FRAME_BYTES,
@@ -150,7 +158,7 @@ class GatewayClient:
                 await task
             except (asyncio.CancelledError, Exception):
                 pass
-        self._fail_pending(ConnectionError("client closed"))
+        self._fail_pending(GatewayDisconnectedError("client closed"))
 
     async def __aenter__(self) -> "GatewayClient":
         return await self.connect()
@@ -177,7 +185,9 @@ class GatewayClient:
             raise InputError("client is not connected")
         if self._dead is not None:
             # The read loop already died; a new future would never fire.
-            raise ConnectionError(str(self._dead)) from self._dead
+            if isinstance(self._dead, GatewayDisconnectedError):
+                raise self._dead
+            raise GatewayDisconnectedError(str(self._dead)) from self._dead
         request_id = self._next_id
         self._next_id = (self._next_id + 1) & 0xFFFFFFFF or 1
         future: asyncio.Future = asyncio.get_running_loop().create_future()
@@ -193,12 +203,22 @@ class GatewayClient:
             else:
                 body = {"op": op, "id": request_id, **jsonable(fields)}
                 frame = (json.dumps(body) + "\n").encode("utf-8")
-            async with self._write_lock:
-                writer.write(frame)
-                await writer.drain()
+            try:
+                async with self._write_lock:
+                    writer.write(frame)
+                    await writer.drain()
+            except (ConnectionResetError, OSError) as error:
+                raise GatewayDisconnectedError(
+                    str(error) or repr(error)
+                ) from error
             response = await future
         finally:
             self._pending.pop(request_id, None)
+            # A write failure can race the read loop failing this same
+            # future; mark its exception retrieved so the loop's copy
+            # never surfaces as an unretrieved-exception warning.
+            if future.done() and not future.cancelled():
+                future.exception()
         if not response.get("ok"):
             raise GatewayRequestError(
                 response.get("error", "unknown"), response
@@ -208,7 +228,9 @@ class GatewayClient:
     async def _read_loop(self) -> None:
         reader = self._reader
         assert reader is not None
-        failure: Exception = ConnectionError("connection closed by server")
+        failure: Exception = GatewayDisconnectedError(
+            "connection closed by server"
+        )
         try:
             if self.binary:
                 while True:
@@ -227,10 +249,10 @@ class GatewayClient:
                         continue
                     self._deliver(json.loads(line))
         except asyncio.CancelledError:
-            failure = ConnectionError("client closed")
+            failure = GatewayDisconnectedError("client closed")
             raise
-        except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
-            pass
+        except (asyncio.IncompleteReadError, ConnectionResetError, OSError) as error:
+            failure = GatewayDisconnectedError(str(error) or repr(error))
         except Exception as error:  # desync / malformed response
             failure = error
         finally:
@@ -246,7 +268,7 @@ class GatewayClient:
 
     def _fail_pending(self, failure: Exception) -> None:
         if self._closing:
-            failure = ConnectionError("client closed")
+            failure = GatewayDisconnectedError("client closed")
         for future in list(self._pending.values()):
             if not future.done():
                 future.set_exception(failure)
@@ -271,6 +293,27 @@ class GatewayClient:
 
     async def metrics(self, format: str = "json") -> Dict[str, Any]:
         return await self.request("metrics", format=format)
+
+    async def drain(self) -> Dict[str, Any]:
+        """Ask the node to stop admitting while it serves its backlog."""
+        return await self.request("drain")
+
+    async def rejoin(self) -> Dict[str, Any]:
+        """Reverse a :meth:`drain`: the node admits again."""
+        return await self.request("rejoin")
+
+    async def shard_map(
+        self, doc: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Fetch the node's cluster shard map, or install *doc*.
+
+        Without *doc* this is the cluster client's bootstrap/refresh
+        path (``response["map"]`` is ``None`` on a standalone node);
+        with *doc* it is the router's push path — the node keeps
+        whichever document carries the newest ``version``.
+        """
+        fields = {} if doc is None else {"map": doc}
+        return await self.request("shard_map", **fields)
 
     async def inject(
         self, plane: int, coordinate: Sequence[int], value: int = 1

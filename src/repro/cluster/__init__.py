@@ -1,0 +1,46 @@
+"""The cluster tier: sharded multi-node routing with failover.
+
+A single gateway node serves one BNB fabric of ``N = 2^m`` lines.
+This package scales the *destination space* horizontally instead of
+the fabric: ``K`` nodes serve a global space of ``K * N`` lines, each
+node owning one contiguous shard, with
+
+* :class:`ShardMap` — the versioned placement document
+  (:mod:`repro.cluster.shardmap`),
+* :class:`NodeSupervisor` — node lifecycle plus the wire-level health
+  loop (:mod:`repro.cluster.supervisor`),
+* :class:`ClusterRouter` — reshard-on-death, drain/rejoin rolling
+  restarts, map push (:mod:`repro.cluster.router`),
+* :class:`ClusterClient` — the shard-routing, failover-riding client
+  (:mod:`repro.cluster.client`),
+* :func:`run_soak` — the kill-one-node accounting harness behind
+  ``repro cluster`` and the soak benchmark (:mod:`repro.cluster.soak`).
+
+``docs/clustering.md`` specifies the delivery contract (at-least-once
+across failover, exactly-once per healthy node) and the wire ops
+(``drain`` / ``rejoin`` / ``shard_map``) this package drives.
+"""
+
+from .client import ClusterClient
+from .health import DOWN, DRAINING, HEALTHY, STARTING, NodeHealth
+from .router import ClusterRouter
+from .shardmap import Shard, ShardMap
+from .soak import run_soak
+from .supervisor import LocalNode, NodeSpec, NodeSupervisor, SubprocessNode
+
+__all__ = [
+    "ClusterClient",
+    "ClusterRouter",
+    "DOWN",
+    "DRAINING",
+    "HEALTHY",
+    "STARTING",
+    "LocalNode",
+    "NodeHealth",
+    "NodeSpec",
+    "NodeSupervisor",
+    "Shard",
+    "ShardMap",
+    "SubprocessNode",
+    "run_soak",
+]

@@ -1,0 +1,114 @@
+"""Per-node health state, driven by ``stats`` polls.
+
+The supervisor's health loop calls :meth:`NodeHealth.mark_ok` /
+:meth:`NodeHealth.mark_failure` after every poll; the state machine
+here turns those edges into the events the router acts on:
+
+``STARTING -> HEALTHY`` on the first successful poll;
+``HEALTHY -> DOWN`` after ``failure_threshold`` *consecutive* failures
+(one dropped probe is noise, a streak is a dead node);
+``HEALTHY <-> DRAINING`` is commanded by the operator, not observed —
+a draining node still answers polls, it just refuses admission.
+
+A node marked DOWN stays DOWN until the supervisor restarts it or an
+operator rejoins it; health never flaps a node back up on its own,
+because the router already moved its shards and a silent un-reshard
+would misroute in-flight traffic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "DOWN",
+    "DRAINING",
+    "HEALTHY",
+    "STARTING",
+    "NodeHealth",
+]
+
+STARTING = "starting"
+HEALTHY = "healthy"
+DRAINING = "draining"
+DOWN = "down"
+
+
+@dataclasses.dataclass
+class NodeHealth:
+    """Observed health of one node, as the poll loop sees it."""
+
+    node_id: str
+    #: Consecutive failed polls that flip a live node to DOWN.
+    failure_threshold: int = 3
+    state: str = STARTING
+    consecutive_failures: int = 0
+    polls: int = 0
+    failures: int = 0
+    #: The last ``stats`` body the node answered with (diagnostics).
+    last_stats: Optional[Dict[str, Any]] = None
+    last_error: str = ""
+
+    def mark_ok(self, stats: Optional[Dict[str, Any]] = None) -> bool:
+        """Record a successful poll; True when the node *became* live."""
+        self.polls += 1
+        self.consecutive_failures = 0
+        self.last_error = ""
+        if stats is not None:
+            self.last_stats = stats
+        became_live = self.state == STARTING
+        if self.state in (STARTING,):
+            self.state = HEALTHY
+        if self.state == DRAINING and stats is not None:
+            # An operator may have rejoined the node behind our back
+            # (e.g. over the wire); trust the node's own word.
+            if not stats.get("draining", False):
+                self.state = HEALTHY
+        return became_live
+
+    def mark_failure(self, error: str = "") -> bool:
+        """Record a failed poll; True when this one flips the node DOWN."""
+        self.polls += 1
+        self.failures += 1
+        self.consecutive_failures += 1
+        self.last_error = error
+        if self.state == DOWN:
+            return False
+        if self.consecutive_failures >= self.failure_threshold:
+            self.state = DOWN
+            return True
+        return False
+
+    def mark_draining(self) -> None:
+        if self.state != DOWN:
+            self.state = DRAINING
+
+    def mark_rejoined(self) -> None:
+        self.state = HEALTHY
+        self.consecutive_failures = 0
+
+    def mark_down(self, error: str = "") -> bool:
+        """Force DOWN (e.g. the supervisor watched the process die)."""
+        flipped = self.state != DOWN
+        self.state = DOWN
+        if error:
+            self.last_error = error
+        return flipped
+
+    @property
+    def alive(self) -> bool:
+        return self.state in (HEALTHY, DRAINING)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "node_id": self.node_id,
+            "state": self.state,
+            "polls": self.polls,
+            "failures": self.failures,
+            "consecutive_failures": self.consecutive_failures,
+            "last_error": self.last_error,
+            "uptime_seconds": (
+                (self.last_stats or {}).get("uptime_seconds")
+            ),
+        }

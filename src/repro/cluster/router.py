@@ -1,0 +1,187 @@
+"""The cluster front tier: shard placement plus failure response.
+
+:class:`ClusterRouter` ties the pieces together: it owns the
+authoritative :class:`~repro.cluster.shardmap.ShardMap`, a
+:class:`~repro.cluster.supervisor.NodeSupervisor` with the router's
+:meth:`_node_down` wired as the down-callback, and the push path that
+installs every new map version on every reachable node via the
+``shard_map`` op — so any surviving node can hand the newest map to a
+:class:`~repro.cluster.client.ClusterClient` that lost its footing.
+
+The three reconfiguration verbs:
+
+* **node death** (health streak or :meth:`kill`): reassign the dead
+  node's shards round-robin over the survivors, push the bumped map.
+  In-flight words to the dead node fail with ``gateway-disconnected``;
+  the cluster client refreshes the map and re-sends — at-least-once
+  delivery, never silent loss.
+* :meth:`drain_node` (rolling restart, step 1): move the node's shards
+  to the survivors *first*, push, then issue the ``drain`` op — new
+  traffic is already routed elsewhere by the time the node starts
+  refusing admission, and its backlog serves out normally.
+* :meth:`rejoin_node` (rolling restart, step 2): ``rejoin`` op, then
+  restore the node's home shards and push.  Because every shard
+  remembers its home, any drain/rejoin sequence converges back to the
+  initial layout.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional
+
+from ..exceptions import ClusterError, InputError
+from .shardmap import ShardMap
+from .supervisor import NodeSupervisor
+
+__all__ = ["ClusterRouter"]
+
+
+class ClusterRouter:
+    """Owns the shard map; reacts to node death, drain and rejoin."""
+
+    def __init__(
+        self,
+        supervisor: NodeSupervisor,
+        *,
+        health_loop: bool = True,
+    ) -> None:
+        self.supervisor = supervisor
+        if supervisor.on_node_down is not None:
+            raise InputError(
+                "the supervisor already has an on_node_down callback"
+            )
+        supervisor.on_node_down = self._node_down
+        self.map: Optional[ShardMap] = None
+        self._health_loop = health_loop
+        #: Reconfiguration history, oldest first; each entry records the
+        #: verb, the node, and the map version it produced.
+        self.events: List[Dict[str, Any]] = []
+        self._reconfigure_lock = asyncio.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "ClusterRouter":
+        addresses = await self.supervisor.start_all()
+        node_ns = {
+            node.spec.n for node in self.supervisor.nodes.values()
+        }
+        if len(node_ns) != 1:
+            raise InputError(
+                f"every node must serve the same local N, got {sorted(node_ns)}"
+            )
+        self.map = ShardMap.initial(addresses, node_ns.pop())
+        await self.push_map()
+        self._record("start", None)
+        if self._health_loop:
+            self.supervisor.start_health_loop()
+        return self
+
+    async def stop(self) -> None:
+        await self.supervisor.stop_all()
+
+    async def __aenter__(self) -> "ClusterRouter":
+        return await self.start()
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Map distribution
+    # ------------------------------------------------------------------
+    async def push_map(self) -> int:
+        """Install the current map on every reachable node.
+
+        Returns how many nodes installed it.  A node that cannot be
+        reached is skipped, not an error — if it is dead the health
+        loop will notice, and if it comes back it bootstraps from a
+        peer's copy anyway.
+        """
+        assert self.map is not None
+        doc = self.map.to_doc()
+        installed = 0
+        for node_id in list(self.supervisor.addresses):
+            if not self.supervisor.health[node_id].alive and (
+                node_id not in self.map.serving_nodes()
+            ):
+                continue
+            try:
+                await self.supervisor.wire(node_id, "shard_map", map=doc)
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                continue
+            installed += 1
+        return installed
+
+    # ------------------------------------------------------------------
+    # Reconfiguration verbs
+    # ------------------------------------------------------------------
+    async def _node_down(self, node_id: str) -> None:
+        """Supervisor callback: a node died; move its shards and push."""
+        async with self._reconfigure_lock:
+            assert self.map is not None
+            if not self.map.shards_of(node_id):
+                return  # already resharded (e.g. killed while draining)
+            self.map = self.map.reassign(node_id)
+            self._record("node-down", node_id)
+        await self.push_map()
+
+    async def drain_node(self, node_id: str) -> Dict[str, Any]:
+        """Rolling-restart step 1: route around the node, then drain it."""
+        async with self._reconfigure_lock:
+            assert self.map is not None
+            if node_id not in self.map.nodes:
+                raise InputError(f"unknown node {node_id!r}")
+            if self.map.shards_of(node_id):
+                self.map = self.map.reassign(node_id)
+            self._record("drain", node_id)
+        await self.push_map()
+        response = await self.supervisor.drain(node_id)
+        return response
+
+    async def rejoin_node(self, node_id: str) -> Dict[str, Any]:
+        """Rolling-restart step 2: re-admit, restore home shards, push."""
+        response = await self.supervisor.rejoin(node_id)
+        async with self._reconfigure_lock:
+            assert self.map is not None
+            self.map = self.map.restore(node_id)
+            self._record("rejoin", node_id)
+        await self.push_map()
+        return response
+
+    async def kill_node(self, node_id: str) -> None:
+        """Crash a node (fault drill); resharding runs via the callback."""
+        await self.supervisor.kill(node_id)
+
+    async def restart_node(self, node_id: str) -> None:
+        """Bring a killed node back and fold it into the map again."""
+        await self.supervisor.restart(node_id)
+        self.supervisor.health[node_id].mark_rejoined()
+        async with self._reconfigure_lock:
+            assert self.map is not None
+            self.map = self.map.restore(node_id)
+            self._record("restart", node_id)
+        await self.push_map()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _record(self, event: str, node_id: Optional[str]) -> None:
+        assert self.map is not None
+        self.events.append(
+            {
+                "event": event,
+                "node": node_id,
+                "map_version": self.map.version,
+            }
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        """One JSON-safe snapshot of the whole cluster's state."""
+        if self.map is None:
+            raise ClusterError("the router has not started")
+        return {
+            "map": self.map.to_doc(),
+            "nodes": self.supervisor.snapshot(),
+            "events": list(self.events),
+        }

@@ -1,0 +1,264 @@
+"""Destination-range sharding: which node serves which outputs.
+
+The cluster routes a *global* destination space of ``nodes * n`` lines
+by coarse placement only, the way the POPS paper partitions permutation
+routing across star groups: global destination ``d`` belongs to shard
+``d // n``, the shard maps to a node, and the node's own BNB fabric
+self-routes the *local* line ``d % n``.  Nothing about the fine-grained
+route crosses the node boundary — the front tier never computes switch
+settings, which is why it stays thin.
+
+A :class:`ShardMap` is an immutable value object with a monotonically
+increasing ``version``.  Failover and rolling restarts are pure
+functions on it:
+
+* :meth:`reassign` moves a node's shards onto the survivors
+  (round-robin, so a dead node's range spreads instead of doubling one
+  neighbour's load) and bumps the version;
+* :meth:`restore` hands a node its *home* shards back on rejoin.
+
+Each shard remembers its ``home`` node forever, so any sequence of
+drains, deaths and rejoins converges back to the initial layout.  The
+document form (:meth:`to_doc` / :meth:`from_doc`) is plain JSON — it
+crosses the wire in the ``shard_map`` op, every node caches the newest
+version it has seen, and clients adopt whichever version is highest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ClusterError, InputError
+
+__all__ = ["Shard", "ShardMap"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Shard:
+    """One contiguous destination range and the node serving it."""
+
+    index: int
+    base: int
+    count: int
+    #: The node this range belongs to in a fully healthy cluster.
+    home: str
+    #: The node currently serving it (== ``home`` unless failed over).
+    node: str
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "base": self.base,
+            "count": self.count,
+            "home": self.home,
+            "node": self.node,
+        }
+
+
+class ShardMap:
+    """Immutable global-destination -> node assignment, versioned."""
+
+    def __init__(
+        self,
+        shards: Sequence[Shard],
+        nodes: Mapping[str, Tuple[str, int]],
+        node_n: int,
+        version: int = 1,
+    ) -> None:
+        if not shards:
+            raise InputError("a shard map needs at least one shard")
+        self.shards: Tuple[Shard, ...] = tuple(shards)
+        #: node_id -> (host, port) for every node the map has ever
+        #: known; a client connects only to nodes that serve shards,
+        #: but keeps the addresses so a rejoined node is reachable.
+        self.nodes: Dict[str, Tuple[str, int]] = {
+            node_id: (host, int(port))
+            for node_id, (host, port) in nodes.items()
+        }
+        self.node_n = node_n
+        self.version = version
+        for shard in self.shards:
+            if shard.node not in self.nodes:
+                raise InputError(
+                    f"shard {shard.index} assigned to unknown node "
+                    f"{shard.node!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def initial(
+        cls, nodes: Mapping[str, Tuple[str, int]], node_n: int
+    ) -> "ShardMap":
+        """One home shard per node, in the mapping's order."""
+        if node_n < 1:
+            raise InputError(f"node_n must be >= 1, got {node_n}")
+        shards = [
+            Shard(
+                index=index,
+                base=index * node_n,
+                count=node_n,
+                home=node_id,
+                node=node_id,
+            )
+            for index, node_id in enumerate(nodes)
+        ]
+        return cls(shards, nodes, node_n, version=1)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def n_global(self) -> int:
+        return self.node_n * len(self.shards)
+
+    def serving_nodes(self) -> List[str]:
+        """Node ids currently serving at least one shard, sorted."""
+        return sorted({shard.node for shard in self.shards})
+
+    def shards_of(self, node_id: str) -> List[Shard]:
+        return [shard for shard in self.shards if shard.node == node_id]
+
+    def locate(self, dest: int) -> Tuple[str, int]:
+        """Global destination -> ``(node_id, local_destination)``."""
+        if not 0 <= dest < self.n_global:
+            raise InputError(
+                f"destination {dest} out of range for the cluster's "
+                f"global N={self.n_global}"
+            )
+        shard = self.shards[dest // self.node_n]
+        return shard.node, dest - shard.base
+
+    def locate_batch(
+        self, dests: Any
+    ) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+        """Group a whole destination array by serving node.
+
+        Returns ``{node_id: (positions, local_dests)}`` where
+        *positions* index into the input array — one vectorized pass,
+        so routing a million-word batch costs a handful of numpy calls,
+        not a million ``locate`` lookups.
+        """
+        array = np.ascontiguousarray(dests, dtype=np.int64)
+        if array.ndim != 1:
+            raise InputError(
+                f"destinations must be one-dimensional, got shape "
+                f"{array.shape}"
+            )
+        if array.size and (
+            int(array.min()) < 0 or int(array.max()) >= self.n_global
+        ):
+            raise InputError(
+                f"destinations out of range for the cluster's global "
+                f"N={self.n_global}"
+            )
+        shard_index = array // self.node_n
+        owners = np.array(
+            [self.shards[index].node for index in range(len(self.shards))]
+        )
+        locals_ = array - shard_index * self.node_n
+        groups: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        for node_id in np.unique(owners[shard_index]) if array.size else ():
+            positions = np.flatnonzero(owners[shard_index] == node_id)
+            groups[str(node_id)] = (positions, locals_[positions])
+        return groups
+
+    # ------------------------------------------------------------------
+    # Failover and rejoin (pure functions, version bumps)
+    # ------------------------------------------------------------------
+    def reassign(self, node_id: str) -> "ShardMap":
+        """Move every shard off *node_id*, round-robin over survivors."""
+        survivors = [
+            candidate
+            for candidate in self.serving_nodes()
+            if candidate != node_id
+        ]
+        if not survivors:
+            raise ClusterError(
+                f"cannot reassign {node_id!r}: no surviving node serves "
+                f"any shard"
+            )
+        moved = 0
+        shards = []
+        for shard in self.shards:
+            if shard.node == node_id:
+                shards.append(
+                    dataclasses.replace(
+                        shard, node=survivors[moved % len(survivors)]
+                    )
+                )
+                moved += 1
+            else:
+                shards.append(shard)
+        if not moved:
+            return self
+        return ShardMap(
+            shards, self.nodes, self.node_n, version=self.version + 1
+        )
+
+    def restore(self, node_id: str) -> "ShardMap":
+        """Hand *node_id* its home shards back (rejoin)."""
+        if node_id not in self.nodes:
+            raise InputError(f"unknown node {node_id!r}")
+        shards = [
+            dataclasses.replace(shard, node=node_id)
+            if shard.home == node_id
+            else shard
+            for shard in self.shards
+        ]
+        if all(a == b for a, b in zip(shards, self.shards)):
+            return self
+        return ShardMap(
+            shards, self.nodes, self.node_n, version=self.version + 1
+        )
+
+    # ------------------------------------------------------------------
+    # The wire document
+    # ------------------------------------------------------------------
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "node_n": self.node_n,
+            "n_global": self.n_global,
+            "nodes": {
+                node_id: {"host": host, "port": port}
+                for node_id, (host, port) in sorted(self.nodes.items())
+            },
+            "shards": [shard.to_doc() for shard in self.shards],
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Mapping[str, Any]) -> "ShardMap":
+        try:
+            nodes = {
+                node_id: (entry["host"], int(entry["port"]))
+                for node_id, entry in doc["nodes"].items()
+            }
+            shards = [
+                Shard(
+                    index=int(entry["index"]),
+                    base=int(entry["base"]),
+                    count=int(entry["count"]),
+                    home=entry["home"],
+                    node=entry["node"],
+                )
+                for entry in doc["shards"]
+            ]
+            return cls(
+                sorted(shards, key=lambda shard: shard.index),
+                nodes,
+                int(doc["node_n"]),
+                version=int(doc["version"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise InputError(f"malformed shard-map document: {error!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardMap(v{self.version}, {len(self.shards)} shard(s) x "
+            f"{self.node_n} dests over {len(self.serving_nodes())} node(s))"
+        )

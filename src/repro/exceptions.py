@@ -243,6 +243,39 @@ class GatewayRequestError(ServerError):
         return hint if isinstance(hint, int) else 0
 
 
+class GatewayDisconnectedError(ServerError, ConnectionError):
+    """The TCP connection to a gateway dropped with requests pending.
+
+    Raised by :class:`repro.client.GatewayClient` to fail every
+    in-flight request when the socket dies mid-conversation, carrying
+    the stable ``gateway-disconnected`` slug instead of leaking a raw
+    :class:`ConnectionError` (it still *is* one, so existing
+    ``except ConnectionError`` callers keep working).  The cluster
+    client treats it as "this node is gone: refresh the shard map and
+    fail over", distinct from a server-sent error envelope
+    (:class:`GatewayRequestError`).
+    """
+
+    slug = "gateway-disconnected"
+
+    def __init__(self, detail: str = "") -> None:
+        message = "the gateway connection dropped"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.detail = detail
+
+
+class ClusterError(ReproError):
+    """The cluster tier could not uphold its routing contract.
+
+    Raised by :mod:`repro.cluster` when a shard map operation is
+    impossible (no surviving node to reassign a dead node's range to)
+    or when the cluster client exhausts its failover budget with words
+    still undelivered.
+    """
+
+
 class MisdeliveryError(ServerError):
     """A frame emerged from a plane with a word on the wrong line.
 

@@ -111,6 +111,20 @@ class GatewayInstrumentation:
         )
 
         # -- pull instruments (the collector fills these) ---------------
+        # Node identity rides as a label on the info/uptime pair (the
+        # Prometheus join idiom), so a cluster scrape can tell the
+        # nodes' series apart without stamping every metric.
+        self._node_info = r.gauge(
+            "repro_node_info",
+            "Static node identity (the value is always 1); join on "
+            "'node_id' to attribute a scrape to its cluster node.",
+            labelnames=("node_id",),
+        )
+        self._node_uptime = r.gauge(
+            "repro_node_uptime_seconds",
+            "Seconds since this node's gateway first started.",
+            labelnames=("node_id",),
+        )
         self._cycle = r.gauge(
             "repro_gateway_cycle", "Current gateway cycle."
         )
@@ -288,6 +302,9 @@ class GatewayInstrumentation:
     # ------------------------------------------------------------------
     def _collect(self) -> None:
         gateway = self.gateway
+        node = str(gateway.node_id)
+        self._node_info.labels(node).set(1)
+        self._node_uptime.labels(node).set(gateway.uptime_seconds)
         self._cycle.set(gateway.cycle)
         self._accepting.set(1 if gateway._accepting else 0)
         latencies = gateway._latencies

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import os
+import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
 import numpy as np
@@ -68,6 +70,12 @@ class GatewayConfig:
     batch_window: int = 32
     #: Bound on latency samples kept for the percentile estimate.
     latency_window: int = 8192
+    #: Stable identity this gateway reports in ``stats`` and as the
+    #: ``node_id`` label on exported metrics, so cluster health polling
+    #: can tell nodes apart.  ``None`` derives ``gw-<pid>``, unique per
+    #: process — good enough for a one-node deployment, overridden with
+    #: ``node-K`` names by the cluster supervisor.
+    node_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.m < 1:
@@ -222,6 +230,7 @@ class AsyncGateway:
         self.planes = [
             plane_factory(i, config.m) for i in range(config.planes)
         ]
+        self.node_id = config.node_id or f"gw-{os.getpid()}"
         self.cycle = 0
         self.delivered_words = 0
         self.delivered_frames = 0
@@ -234,6 +243,8 @@ class AsyncGateway:
         self._mode_counts: Dict[str, int] = {}
         self._batch_trackers: Set[_BatchTracker] = set()
         self._accepting = False
+        self._draining = False
+        self._started_monotonic: Optional[float] = None
         self._clock_task: Optional[asyncio.Task] = None
         self._work = asyncio.Event()
         self._cycle_waiters: List[Any] = []  # (target_cycle, future) pairs
@@ -245,6 +256,8 @@ class AsyncGateway:
         if self._clock_task is not None:
             raise GatewayClosedError("gateway already started")
         self._accepting = True
+        if self._started_monotonic is None:
+            self._started_monotonic = time.monotonic()
         self._clock_task = asyncio.get_running_loop().create_task(
             self._run_clock()
         )
@@ -281,6 +294,44 @@ class AsyncGateway:
     async def __aexit__(self, *_exc) -> None:
         await self.stop()
 
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since the first :meth:`start`; 0.0 before it."""
+        if self._started_monotonic is None:
+            return 0.0
+        return time.monotonic() - self._started_monotonic
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self) -> Dict[str, Any]:
+        """Stop admitting new words; keep serving the backlog.
+
+        The cluster tier's rolling-restart primitive (the ``drain``
+        wire op): a draining gateway rejects every new ``send`` /
+        ``send_batch`` word with an :class:`AdmissionRejectedError`
+        carrying a retry-after hint, while queued words and in-flight
+        frames complete normally — so an operator can wait for the
+        backlog to reach zero and restart the node without a delivery
+        gap.  Idempotent; :meth:`rejoin` reverses it.
+        """
+        self._draining = True
+        return {
+            "queued": self.voqs.total,
+            "in_flight": self._frames_in_flight(),
+        }
+
+    def rejoin(self) -> None:
+        """Resume admission after a :meth:`drain` (idempotent)."""
+        self._draining = False
+        self._work.set()
+
+    def _drain_hint_cycles(self) -> int:
+        """Retry-after for words bounced by a drain: the backlog the
+        node must serve out before it can plausibly rejoin."""
+        return max(1, self.voqs.total + self._frames_in_flight())
+
     # ------------------------------------------------------------------
     # Client API
     # ------------------------------------------------------------------
@@ -296,6 +347,11 @@ class AsyncGateway:
         if not 0 <= destination < self.n:
             raise InputError(
                 f"destination {destination} out of range for N={self.n}"
+            )
+        if self._draining:
+            hint = self._drain_hint_cycles()
+            raise AdmissionRejectedError(
+                destination, self.voqs.depth(destination), hint
             )
         if not any(plane.healthy for plane in self.planes):
             raise PlaneUnavailableError(len(self.planes))
@@ -390,6 +446,11 @@ class AsyncGateway:
             raise InputError(
                 f"got {len(payloads)} payloads for {count} destinations"
             )
+        if self._draining:
+            # A draining gateway bounces the whole batch with hints but
+            # still returns a well-formed result: statuses stay 0.
+            result.retry_after[:] = self._drain_hint_cycles()
+            return result
         tracker = _BatchTracker(
             result, asyncio.get_running_loop().create_future()
         )
@@ -408,6 +469,12 @@ class AsyncGateway:
                 )
                 await self.wait_cycles(wait)
                 if not self._accepting:
+                    break
+                if self._draining:
+                    # A drain that started mid-retry bounces the
+                    # remainder: admitting more would extend the very
+                    # backlog the drain is waiting out.
+                    result.retry_after[rejected] = self._drain_hint_cycles()
                     break
                 # Clear the stale hints before re-offering: the VOQ
                 # accept path never writes zeros (see admit_batch), so
@@ -704,7 +771,10 @@ class AsyncGateway:
         return {
             "cycle": self.cycle,
             "n": self.n,
+            "node_id": self.node_id,
+            "uptime_seconds": round(self.uptime_seconds, 3),
             "accepting": self._accepting,
+            "draining": self._draining,
             "delivered_words": self.delivered_words,
             "delivered_frames": self.delivered_frames,
             "delivery_modes": dict(self._mode_counts),

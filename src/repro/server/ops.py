@@ -82,7 +82,10 @@ def _op(name: str, code: int, summary: str):
 
 def features(server: Any) -> List[str]:
     """The capability flags a ``hello`` advertises for *server*."""
-    flags = ["batch", "binary", "json"]
+    # "cluster": the drain/rejoin/shard_map op family — a cluster
+    # router can manage this node and a cluster client can bootstrap
+    # its shard map from it.
+    flags = ["batch", "binary", "cluster", "json"]
     if server.instrumentation is not None:
         flags.append("metrics")
     gateway = server.gateway
@@ -306,6 +309,55 @@ async def _op_send_batch(server: Any, request: Dict[str, Any]) -> Dict[str, Any]
         "frames": result.frames,
         "retry_after": result.retry_after,
         "modes": result.modes,
+    }
+
+
+@_op("drain", 8, "stop admitting new words; keep serving the backlog")
+async def _op_drain(server: Any, request: Dict[str, Any]) -> Dict[str, Any]:
+    backlog = server.gateway.drain()
+    return {
+        "op": "drain",
+        "draining": True,
+        "node_id": server.gateway.node_id,
+        **backlog,
+    }
+
+
+@_op("rejoin", 9, "resume admission after a drain")
+async def _op_rejoin(server: Any, request: Dict[str, Any]) -> Dict[str, Any]:
+    server.gateway.rejoin()
+    return {
+        "op": "rejoin",
+        "draining": False,
+        "node_id": server.gateway.node_id,
+    }
+
+
+@_op("shard_map", 10, "get, or install, the cluster shard map")
+async def _op_shard_map(server: Any, request: Dict[str, Any]) -> Dict[str, Any]:
+    """One op, two uses: the router *installs* the map (a ``map``
+    field with a newer version wins), clients *fetch* it (no ``map``
+    field).  Every node carries the latest map it has seen, so a
+    cluster client can bootstrap or refresh from whichever node it can
+    still reach — no separate coordination service.
+    """
+    doc = request.get("map")
+    installed = False
+    if doc is not None:
+        if not isinstance(doc, dict):
+            raise InputError("'map' must be a shard-map object")
+        version = doc.get("version")
+        if not isinstance(version, int) or isinstance(version, bool):
+            raise InputError("'map' must carry an integer 'version'")
+        current = server.cluster_map
+        if current is None or version >= current.get("version", 0):
+            server.cluster_map = doc
+            installed = True
+    return {
+        "op": "shard_map",
+        "installed": installed,
+        "node_id": server.gateway.node_id,
+        "map": server.cluster_map,
     }
 
 

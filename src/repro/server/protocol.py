@@ -35,7 +35,9 @@ destination), ``unsupported-version``, ``gateway-closed``,
 that starts with neither the magic nor parseable JSON lands on the
 JSON path and earns a clean ``bad-request``, never a hung socket.
 
-The full wire specification lives in ``docs/serving.md``.
+The full wire specification lives in ``docs/serving.md``; the cluster
+op family (``drain`` / ``rejoin`` / ``shard_map``, advertised by the
+``cluster`` hello feature flag) is specified in ``docs/clustering.md``.
 """
 
 from __future__ import annotations
@@ -80,8 +82,16 @@ class GatewayServer:
         #: anything with ``render_prometheus``/``snapshot``); enables
         #: the ``metrics`` op and the ``GET /metrics`` HTTP shim.
         self.instrumentation = instrumentation
+        #: The latest cluster shard-map document installed by a
+        #: :class:`repro.cluster.ClusterRouter` via the ``shard_map``
+        #: op (``None`` on a standalone node).  Served back to any
+        #: client asking, so every node doubles as a map bootstrap
+        #: point; see ``docs/clustering.md``.
+        self.cluster_map: Optional[Dict[str, Any]] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._request_tasks: Set[asyncio.Task] = set()
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self._connection_tasks: Set[asyncio.Task] = set()
         self.connections_served = 0
         self.requests_served = 0
         self.binary_connections = 0
@@ -103,6 +113,18 @@ class GatewayServer:
         if server is not None:
             server.close()
             await server.wait_closed()
+        # Close established connections too (a killed cluster node must
+        # drop its clients, not just stop listening); the handlers see
+        # EOF and return on their own — no cancellation, no loose tasks.
+        for writer in list(self._connections):
+            try:
+                writer.close()
+            except (ConnectionResetError, OSError):
+                pass
+        if self._connection_tasks:
+            await asyncio.gather(
+                *self._connection_tasks, return_exceptions=True
+            )
         for task in list(self._request_tasks):
             task.cancel()
         if self._request_tasks:
@@ -135,6 +157,10 @@ class GatewayServer:
         path's clean ``bad-request`` answer.
         """
         self.connections_served += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._connection_tasks.add(task)
+        self._connections.add(writer)
         try:
             try:
                 first = await reader.read(1)
@@ -159,6 +185,9 @@ class GatewayServer:
                     return
             await self._serve_json(prefix, reader, writer)
         finally:
+            self._connections.discard(writer)
+            if task is not None:
+                self._connection_tasks.discard(task)
             try:
                 writer.close()
                 await writer.wait_closed()
