@@ -327,6 +327,65 @@ def check_cluster_soak(
     )
 
 
+def check_backend_arena(
+    data: Dict[str, Any], name: str, errors: List[str]
+) -> None:
+    for key in ("backends", "cells", "verified_frames", "spread_bar"):
+        _require(key in data, name, f"missing {key!r}", errors)
+    cells = data.get("cells", [])
+    _require(
+        isinstance(cells, list) and bool(cells),
+        name,
+        "'cells' must be a non-empty list",
+        errors,
+    )
+    spread_bar = data.get("spread_bar", 1.2)
+    decisive = 0
+    for cell in cells:
+        for key in ("m", "workload", "winner", "spread", "seconds_per_frame"):
+            _require(key in cell, name, f"cell missing {key!r}", errors)
+        table = cell.get("seconds_per_frame", {})
+        _require(
+            isinstance(table, dict) and bool(table),
+            name,
+            "cell 'seconds_per_frame' must be a non-empty table",
+            errors,
+        )
+        for backend, cost in table.items():
+            _require(
+                isinstance(cost, (int, float)) and cost > 0.0,
+                name,
+                f"cost for {backend!r} not a positive number",
+                errors,
+            )
+        if table and "winner" in cell:
+            _require(
+                cell["winner"] == min(table, key=table.__getitem__),
+                name,
+                f"winner {cell['winner']!r} is not the cheapest cell entry",
+                errors,
+            )
+        if cell.get("spread", 0.0) >= spread_bar:
+            decisive += 1
+    required = data.get("spread_cells_required", 2)
+    _require(
+        decisive >= required,
+        name,
+        f"only {decisive} cell(s) with spread >= {spread_bar} "
+        f"(need {required}); the measured choice never mattered",
+        errors,
+    )
+    verified = data.get("verified_frames", {})
+    for backend in data.get("backends", []):
+        checks = verified.get(backend, {})
+        _require(
+            bool(checks) and all(count > 0 for count in checks.values()),
+            name,
+            f"backend {backend!r} has no recorded oracle verification",
+            errors,
+        )
+
+
 SCHEMAS: Dict[str, Callable[[Any, str, List[str]], None]] = {
     "gateway_load.json": check_gateway_load,
     "gateway_plane_kill.json": check_gateway_plane_kill,
@@ -336,6 +395,7 @@ SCHEMAS: Dict[str, Callable[[Any, str, List[str]], None]] = {
     "fault_recovery_vector.json": check_fault_recovery_vector,
     "wire_protocol.json": check_wire_protocol,
     "cluster_soak.json": check_cluster_soak,
+    "backend_arena.json": check_backend_arena,
 }
 
 

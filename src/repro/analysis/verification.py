@@ -95,6 +95,18 @@ def _crossbar_factory(m: int) -> Router:
     return network.route
 
 
+def _bitonic_factory(m: int) -> Router:
+    from ..baselines.bitonic import BitonicNetwork
+
+    network = BitonicNetwork(m)
+
+    def route(addresses: List[int]) -> List[Word]:
+        outputs, _records = network.route(addresses)
+        return outputs
+
+    return route
+
+
 def _clos_factory(m: int) -> Router:
     from ..baselines.clos import ClosNetwork
 
@@ -109,6 +121,7 @@ ROUTERS: Dict[str, RouterFactory] = {
     "batcher": _batcher_factory,
     "benes": _benes_factory,
     "koppelman": _koppelman_factory,
+    "bitonic": _bitonic_factory,
     "crossbar": _crossbar_factory,
     "clos": _clos_factory,
 }

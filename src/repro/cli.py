@@ -39,6 +39,15 @@ from .permutations.generators import random_permutation
 __all__ = ["main", "build_parser"]
 
 
+def _backend_choices() -> List[str]:
+    """Registered backend names plus ``auto`` — the single source the
+    ``route --backend`` / ``serve --engine`` choices derive from, so the
+    argparse surface can never drift from the backend registry."""
+    from .backends import backend_names
+
+    return backend_names() + ["auto"]
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -56,6 +65,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast",
         action="store_true",
         help="route on the compiled vectorized numpy path (BNB only)",
+    )
+    route.add_argument(
+        "--backend",
+        choices=_backend_choices(),
+        default=None,
+        help="route through a registered compiled backend instead of "
+        "--network ('auto' runs the arena calibration and picks the "
+        "measured-fastest; see docs/backends.md)",
     )
     route.add_argument(
         "--json", action="store_true", help="emit a JSON object, not prose"
@@ -161,12 +178,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--engine",
-        choices=("object", "vector", "batch"),
+        choices=("object", "vector", "batch") + tuple(_backend_choices()),
         default="object",
         help="plane dataplane engine: reference object model, the "
-        "compiled vectorized numpy pipeline, or the frame-axis batch "
+        "compiled vectorized numpy pipeline, the frame-axis batch "
         "plane (routes whole windows of frames per gather; pairs with "
-        "the binary wire framing's send_batch)",
+        "the binary wire framing's send_batch), 'auto' to calibrate "
+        "the backend arena at boot and serve the measured-fastest "
+        "registered backend, or a backend name to pin one",
     )
     serve.add_argument(
         "--pool-workers",
@@ -305,9 +324,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument(
         "--engine",
-        choices=("object", "vector"),
+        choices=("object", "vector", "batch") + tuple(_backend_choices()),
         default="object",
-        help="plane engine for one-shot mode",
+        help="plane engine for one-shot mode ('auto' or a registered "
+        "backend name serves the arena path; see docs/backends.md)",
     )
     stats.add_argument(
         "--trace-sample", type=int, default=16, metavar="K",
@@ -327,7 +347,29 @@ def _command_route(args: argparse.Namespace) -> int:
     require_power_of_two(args.n, "network size")
     pi = random_permutation(args.n, rng=args.seed)
     m = args.n.bit_length() - 1
-    if args.fast:
+    backend_used = None
+    if args.backend is not None:
+        # The registered-backend path: --backend overrides --network,
+        # and 'auto' asks the arena for the measured-fastest engine.
+        if args.fast:
+            from .exceptions import InputError
+
+            raise InputError(
+                "--fast is shorthand for the compiled BNB path; it does "
+                "not compose with --backend (use --backend bnb)"
+            )
+        import numpy as np
+
+        from .backends import compiled_backend, select_backend
+
+        backend_used = args.backend
+        if backend_used == "auto":
+            backend_used = select_backend(m, workload="single").backend
+        engine = compiled_backend(backend_used, m)
+        request = np.array(pi.to_list(), dtype=np.int64)
+        sources = engine.route_frame(request)
+        arrived = request[sources].tolist()
+    elif args.fast:
         # The compiled vectorized path; same verification (route_fast
         # raises on bad inputs and misdelivery exactly like route) and
         # the same exit codes as the object path.
@@ -356,7 +398,12 @@ def _command_route(args: argparse.Namespace) -> int:
             dump_json(
                 {
                     "network": args.network,
-                    "engine": "fast" if args.fast else "object",
+                    "engine": (
+                        "backend"
+                        if backend_used is not None
+                        else ("fast" if args.fast else "object")
+                    ),
+                    "backend": backend_used,
                     "n": args.n,
                     "seed": args.seed,
                     "request": pi.to_list(),
@@ -367,8 +414,13 @@ def _command_route(args: argparse.Namespace) -> int:
             )
         )
     else:
-        engine = " [fast]" if args.fast else ""
-        print(f"network : {args.network}{engine} (N={args.n})")
+        if backend_used is not None:
+            label = f"backend {backend_used}"
+            if args.backend == "auto":
+                label += " (arena winner)"
+        else:
+            label = f"{args.network}{' [fast]' if args.fast else ''}"
+        print(f"network : {label} (N={args.n})")
         print(f"request : {pi.to_list()}")
         print(f"arrived : {arrived}")
         print(f"delivered: {delivered}")

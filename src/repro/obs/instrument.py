@@ -125,6 +125,13 @@ class GatewayInstrumentation:
             "Seconds since this node's gateway first started.",
             labelnames=("node_id",),
         )
+        self._backend_info = r.gauge(
+            "repro_backend_info",
+            "Routing backend serving this gateway's planes (the value "
+            "is always 1): the arena winner under engine=auto, the "
+            "pinned backend otherwise.",
+            labelnames=("backend", "m"),
+        )
         self._cycle = r.gauge(
             "repro_gateway_cycle", "Current gateway cycle."
         )
@@ -305,6 +312,10 @@ class GatewayInstrumentation:
         node = str(gateway.node_id)
         self._node_info.labels(node).set(1)
         self._node_uptime.labels(node).set(gateway.uptime_seconds)
+        self._backend_info.labels(
+            str(getattr(gateway, "backend_name", "bnb")),
+            str(gateway.config.m),
+        ).set(1)
         self._cycle.set(gateway.cycle)
         self._accepting.set(1 if gateway._accepting else 0)
         latencies = gateway._latencies

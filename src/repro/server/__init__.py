@@ -44,6 +44,7 @@ from .framing import MAGIC, PROTOCOL_VERSION
 from .gateway import AsyncGateway, BatchResult, GatewayConfig, Receipt
 from .ops import REGISTRY, OpSpec
 from .planes import (
+    BackendPlane,
     BatchVectorPlane,
     PipelinedPlane,
     ResilientPlane,
@@ -57,6 +58,7 @@ from .voq import QueueEntry, VirtualOutputQueues
 __all__ = [
     "AsyncGateway",
     "BatchResult",
+    "BackendPlane",
     "BatchVectorPlane",
     "GatewayConfig",
     "GatewayServer",

@@ -30,8 +30,10 @@ from ..exceptions import (
     InputError,
     PlaneUnavailableError,
 )
+from ..backends import backend_names, compiled_backend, prewarm, select_backend
 from ..service import ResilientVectorFabric
 from .planes import (
+    BackendPlane,
     BatchVectorPlane,
     CompletedFrame,
     PipelinedPlane,
@@ -61,10 +63,16 @@ class GatewayConfig:
     #: verification, ``"batch"`` the frame-axis-batched
     #: :class:`~repro.server.planes.BatchVectorPlane` (many frames per
     #: numpy gather — the engine behind ``send_batch`` throughput).
+    #: ``"auto"`` runs the backend arena calibration at construction
+    #: and serves :class:`~repro.server.planes.BackendPlane`\ s on the
+    #: measured-fastest registered backend for this ``m``; any
+    #: registered backend name (``"krbenes"``, ``"msorter"``, ...)
+    #: pins that backend without calibrating (see ``docs/backends.md``).
     #: Orthogonal to ``resilient``: a resilient vector plane wraps a
     #: ``ResilientVectorFabric`` (masked fault kernels, pipelined BIST,
     #: compiled Benes failover), a resilient object plane a
-    #: ``ResilientFabric``; the batch engine has no resilient variant.
+    #: ``ResilientFabric``; the batch/backend engines have no resilient
+    #: variant.
     engine: str = "object"
     #: Frames a batch plane buffers before one batched routing call.
     batch_window: int = 32
@@ -86,15 +94,16 @@ class GatewayConfig:
             raise ValueError(
                 f"queue capacity must be >= 1, got {self.queue_capacity}"
             )
-        if self.engine not in ("object", "vector", "batch"):
+        builtin = ("object", "vector", "batch", "auto")
+        if self.engine not in builtin and self.engine not in backend_names():
             raise ValueError(
-                f"engine must be 'object', 'vector' or 'batch', "
-                f"got {self.engine!r}"
+                f"engine must be one of {builtin} or a registered "
+                f"backend name {backend_names()}, got {self.engine!r}"
             )
-        if self.engine == "batch" and self.resilient:
+        if self.engine not in ("object", "vector") and self.resilient:
             raise ValueError(
-                "the batch engine has no resilient variant; use "
-                "engine='vector' with resilient=True"
+                f"the {self.engine!r} engine has no resilient variant; "
+                f"use engine='vector' with resilient=True"
             )
         if self.batch_window < 1:
             raise ValueError(
@@ -212,6 +221,16 @@ class AsyncGateway:
         self.n = config.n
         self.voqs = VirtualOutputQueues(self.n, config.queue_capacity)
         self.scheduler = FrameScheduler(self.n)
+        #: Routing backend serving the planes, for stats and metrics:
+        #: the arena winner under ``engine="auto"``, the pinned backend
+        #: name for backend engines, the BNB engine the built-in kinds
+        #: wrap otherwise.
+        self.backend_name: str = (
+            "bnb-object" if config.engine == "object" else "bnb"
+        )
+        #: The arena decision behind an ``engine="auto"`` choice
+        #: (``None`` for every explicit engine).
+        self.arena_decision = None
         if plane_factory is None:
             if config.resilient and config.engine == "vector":
                 plane_factory = lambda i, m: ResilientPlane(
@@ -225,11 +244,35 @@ class AsyncGateway:
                 )
             elif config.engine == "vector":
                 plane_factory = lambda i, m: VectorPlane(i, m)
-            else:
+            elif config.engine == "object":
                 plane_factory = lambda i, m: PipelinedPlane(i, m)
+            else:
+                # Backend engines: "auto" calibrates the arena (batch
+                # workload — these planes route whole windows) and
+                # serves the measured winner; a registered backend name
+                # pins it.  Either way the engine compiles here, at
+                # construction, so no served frame pays compile latency.
+                if config.engine == "auto":
+                    self.arena_decision = select_backend(
+                        config.m, workload="batch"
+                    )
+                    self.backend_name = self.arena_decision.backend
+                else:
+                    self.backend_name = config.engine
+                engine = compiled_backend(self.backend_name, config.m)
+                plane_factory = lambda i, m: BackendPlane(
+                    i,
+                    m,
+                    backend=engine,
+                    batch_window=config.batch_window,
+                )
         self.planes = [
             plane_factory(i, config.m) for i in range(config.planes)
         ]
+        # Pre-warm the compiled caches for whatever engine the planes
+        # run, so the first frame after boot routes on hot tables.
+        if not config.resilient and config.engine != "object":
+            prewarm(config.m, [self.backend_name])
         self.node_id = config.node_id or f"gw-{os.getpid()}"
         self.cycle = 0
         self.delivered_words = 0
@@ -772,6 +815,13 @@ class AsyncGateway:
             "cycle": self.cycle,
             "n": self.n,
             "node_id": self.node_id,
+            "engine": self.config.engine,
+            "backend": self.backend_name,
+            "arena": (
+                self.arena_decision.describe()
+                if self.arena_decision is not None
+                else None
+            ),
             "uptime_seconds": round(self.uptime_seconds, 3),
             "accepting": self._accepting,
             "draining": self._draining,

@@ -1,7 +1,7 @@
 """Fabric planes: the switching capacity behind the gateway.
 
 A *plane* is one independent copy of the fabric plus the book-keeping
-to track which frames are inside it.  Three kinds:
+to track which frames are inside it.  The kinds:
 
 * :class:`PipelinedPlane` — a raw
   :class:`~repro.core.pipeline.PipelinedBNBFabric` clocked frame-per-
@@ -14,6 +14,10 @@ to track which frames are inside it.  Three kinds:
   speed advantage: a full check every ``verify_every``-th frame, a
   rotating spot check of a few destinations otherwise.  A detected
   misdelivery still kills the plane and requeues everything in flight.
+* :class:`BackendPlane` — the batch plane's buffering and verification
+  over any registered :class:`~repro.backends.RoutingBackend` (KR-Benes,
+  the multiway sorter, or the arena's measured winner under
+  ``engine="auto"``; see ``docs/backends.md``).
 * :class:`ResilientPlane` — a
   :class:`~repro.service.ResilientFabric` (object engine) or
   :class:`~repro.service.ResilientVectorFabric` (vector engine) whose
@@ -34,6 +38,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..backends import RoutingBackend, compiled_backend
 from ..core.pipeline import ControlOverride, PipelinedBNBFabric
 from ..core.pipeline_fast import VectorPipelinedFabric, route_frame_batch
 from ..core.words import Word
@@ -43,6 +48,7 @@ from .scheduler import ScheduledFrame
 from .voq import QueueEntry
 
 __all__ = [
+    "BackendPlane",
     "BatchVectorPlane",
     "CompletedFrame",
     "PipelinedPlane",
@@ -361,6 +367,11 @@ class BatchVectorPlane(_PlaneBase):
         self.batch_window = batch_window
         self.batches_routed = 0
         self._pending: List[ScheduledFrame] = []
+        # Prewarm: compile the per-m gather plan now so the first
+        # served batch pays no compile latency (see docs/backends.md).
+        from ..core.plan import compiled_plan
+
+        compiled_plan(m)
 
     @property
     def ready(self) -> bool:
@@ -425,6 +436,124 @@ class BatchVectorPlane(_PlaneBase):
     def describe(self) -> Dict[str, Any]:
         info = super().describe()
         info["engine"] = "batch"
+        info["batch_window"] = self.batch_window
+        info["batches_routed"] = self.batches_routed
+        return info
+
+
+class BackendPlane(_PlaneBase):
+    """A batch plane routing through a registered compiled backend.
+
+    The serving end of the backend arena (see ``docs/backends.md``):
+    identical buffering, batching and containment contract to
+    :class:`BatchVectorPlane`, but the routing kernel is whatever
+    :class:`~repro.backends.RoutingBackend` the gateway picked —
+    hard-wired by name (``engine="krbenes"``) or the measured winner
+    of the arena calibration (``engine="auto"``).  Verification stays
+    total and backend-agnostic: the routed ``sources`` rows must put
+    every genuine destination's word on its addressed line, checked
+    arithmetically against ``real_dests``/``real_lines`` exactly as the
+    batch plane does, so a buggy (or merely disagreeing) backend kills
+    the plane and requeues its words instead of misdelivering.
+    """
+
+    def __init__(
+        self,
+        plane_id: int,
+        m: int,
+        backend: "RoutingBackend | str" = "bnb",
+        batch_window: int = 32,
+    ) -> None:
+        super().__init__(plane_id)
+        if batch_window < 1:
+            raise ValueError(
+                f"batch_window must be >= 1, got {batch_window}"
+            )
+        self.m = m
+        self.n = 1 << m
+        # Accept a name (compiled through the shared per-process cache)
+        # or an already-compiled engine (the auto gateway passes one so
+        # every plane shares the calibrated winner).
+        self.backend = (
+            compiled_backend(backend, m)
+            if isinstance(backend, str)
+            else backend
+        )
+        self.batch_window = batch_window
+        self.batches_routed = 0
+        self._pending: List[ScheduledFrame] = []
+
+    @property
+    def ready(self) -> bool:
+        return self.healthy and len(self._pending) < self.batch_window
+
+    @property
+    def load(self) -> int:
+        return self.in_flight
+
+    def offer(self, frame: ScheduledFrame) -> None:
+        if not self.ready:
+            raise ValueError(f"plane {self.plane_id} cannot accept a frame now")
+        self._pending.append(frame)
+        self._in_flight[frame.tag] = frame
+
+    def kill(self, reason: str = "killed") -> List[QueueEntry]:
+        stranded = super().kill(reason=reason)
+        self._pending.clear()
+        return stranded
+
+    def step(self) -> Tuple[List[CompletedFrame], List[QueueEntry]]:
+        """Route every buffered frame through the backend in one call."""
+        if not self.healthy or not self._pending:
+            return [], []
+        frames, self._pending = self._pending, []
+        if len(frames) == 1:
+            sources = self.backend.route_frame(frames[0].address_array)[
+                None, :
+            ]
+        else:
+            sources = self.backend.route_frame_batch(
+                np.stack([frame.address_array for frame in frames])
+            )
+        self.batches_routed += 1
+        completed: List[CompletedFrame] = []
+        for row, frame in zip(sources, frames):
+            self._in_flight.pop(frame.tag, None)
+            dests = frame.real_dests
+            if dests.size and not np.array_equal(
+                row[dests], frame.real_lines
+            ):
+                bad = dests[row[dests] != frame.real_lines]
+                requeue = list(frame.entries.values())
+                requeue.extend(
+                    self.kill(
+                        reason=str(
+                            MisdeliveryError(
+                                self.plane_id,
+                                f"frame {frame.tag}: backend "
+                                f"{self.backend.name!r} put the wrong "
+                                f"source lines on outputs {bad.tolist()}",
+                            )
+                        )
+                    )
+                )
+                return completed, requeue
+            self.frames_delivered += 1
+            self.words_delivered += frame.active
+            completed.append(
+                CompletedFrame(
+                    frame=frame,
+                    outputs=None,
+                    plane_id=self.plane_id,
+                    mode="clean",
+                )
+            )
+        return completed, []
+
+    def describe(self) -> Dict[str, Any]:
+        info = super().describe()
+        info["engine"] = "backend"
+        info["backend"] = self.backend.name
         info["batch_window"] = self.batch_window
         info["batches_routed"] = self.batches_routed
         return info

@@ -1,0 +1,154 @@
+"""The arena: calibration, caching, winner selection, oracle gating.
+
+The property that matters most: **a fast wrong answer must never
+win** — a backend that disagrees with the crossbar oracle raises
+``BackendDisagreementError`` before any timer starts, so the cost
+table only ever contains verified engines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    BackendDisagreementError,
+    BackendSpec,
+    WORKLOADS,
+    backend_names,
+    calibrate,
+    clear_arena_cache,
+    compiled_backend,
+    select_backend,
+    verify_backend,
+)
+from repro.backends import arena as arena_module
+from repro.backends.base import _REGISTRY
+from repro.exceptions import ReproError
+
+#: Small, fast calibration settings for the tests.
+QUICK = dict(frames=4, batch_window=4, repeats=1, verify_samples=2)
+
+
+@pytest.fixture(autouse=True)
+def fresh_arena():
+    clear_arena_cache()
+    yield
+    clear_arena_cache()
+
+
+class TestCalibrate:
+    def test_table_covers_every_backend_and_workload(self):
+        table = calibrate(3, **QUICK)
+        assert set(table) == set(WORKLOADS)
+        for workload in WORKLOADS:
+            assert sorted(table[workload]) == backend_names()
+            for cost in table[workload].values():
+                assert cost > 0.0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            calibrate(3, workloads=("latency",), **QUICK)
+
+    def test_results_cached_no_retiming(self, monkeypatch):
+        first = calibrate(3, **QUICK)
+
+        def _boom(*_args, **_kwargs):
+            raise AssertionError("re-timed a cached cell")
+
+        monkeypatch.setattr(arena_module, "_time_single", _boom)
+        monkeypatch.setattr(arena_module, "_time_batch", _boom)
+        again = calibrate(3, **QUICK)
+        assert again == first
+
+    def test_use_cache_false_retimes(self):
+        first = calibrate(3, workloads=("single",), **QUICK)
+        again = calibrate(
+            3, workloads=("single",), use_cache=False, **QUICK
+        )
+        # Fresh timings land in the cache (values may legitimately
+        # differ run to run; the shape must not).
+        assert set(again["single"]) == set(first["single"])
+
+    def test_backend_subset(self):
+        table = calibrate(3, backends=["bnb", "msorter"], **QUICK)
+        assert sorted(table["single"]) == ["bnb", "msorter"]
+
+
+class TestSelectBackend:
+    def test_winner_is_the_cheapest_cell(self):
+        decision = select_backend(3, workload="batch", **QUICK)
+        assert decision.m == 3
+        assert decision.workload == "batch"
+        assert decision.backend == min(
+            decision.table, key=decision.table.__getitem__
+        )
+        assert decision.spread >= 1.0
+
+    def test_describe_is_json_shaped(self):
+        decision = select_backend(3, workload="single", **QUICK)
+        info = decision.describe()
+        assert set(info) == {
+            "m", "workload", "backend", "seconds_per_frame", "spread",
+        }
+        assert info["backend"] in info["seconds_per_frame"]
+        assert list(info["seconds_per_frame"]) == sorted(
+            info["seconds_per_frame"]
+        )
+
+    def test_vector_beats_object_on_batch(self):
+        # Not a full ranking pin (machine-dependent), but the compiled
+        # batch kernel beating the per-word object loop is structural.
+        decision = select_backend(4, workload="batch", **QUICK)
+        assert decision.table["bnb"] < decision.table["bnb-object"]
+        assert decision.backend != "bnb-object"
+
+
+class _LyingBackend:
+    """Routes everything to line 0 — fast and wrong."""
+
+    name = "lying-test"
+
+    def __init__(self, m):
+        self.m = m
+        self.n = 1 << m
+
+    def route_frame(self, addresses):
+        return np.zeros(self.n, dtype=np.int64)
+
+    def route_frame_batch(self, addresses):
+        return np.zeros(addresses.shape, dtype=np.int64)
+
+
+@pytest.fixture
+def lying_backend():
+    spec = BackendSpec(
+        name="lying-test",
+        summary="deliberately wrong (test only)",
+        factory=_LyingBackend,
+    )
+    _REGISTRY[spec.name] = spec
+    try:
+        yield spec.name
+    finally:
+        del _REGISTRY[spec.name]
+        compiled_backend.cache_clear()
+
+
+class TestOracleGate:
+    def test_verify_backend_counts_frames(self):
+        checked = verify_backend("msorter", 3, samples=4)
+        assert checked == 6  # identity + reversal + 4 random
+
+    def test_disagreeing_backend_raises(self, lying_backend):
+        with pytest.raises(BackendDisagreementError, match="disagrees"):
+            verify_backend(lying_backend, 2, samples=2)
+
+    def test_calibrate_refuses_to_time_a_liar(self, lying_backend):
+        with pytest.raises(BackendDisagreementError):
+            calibrate(2, backends=[lying_backend, "bnb"], **QUICK)
+        # Nothing was timed for the lying cell.
+        assert all(
+            key[2] != lying_backend for key in arena_module._CACHE
+        )
+
+    def test_disagreement_is_a_repro_error(self):
+        assert issubclass(BackendDisagreementError, ReproError)

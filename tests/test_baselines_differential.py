@@ -1,0 +1,54 @@
+"""Property-based differential tests: every ROUTERS entry vs Crossbar.
+
+``repro.analysis.ROUTERS`` is the registry of router factories the
+verification harness and the CLI drive; this suite fuzzes **every**
+entry (now including ``bitonic``) against the crossbar oracle with
+hypothesis-generated permutations, and sweeps n=4 exhaustively.  The
+restricted Nassimi–Sahni router is not in ``ROUTERS`` (it rejects
+non-member permutations by design), so the property holds registry-wide
+without exclusions.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.verification import ROUTERS
+from repro.baselines.crossbar import Crossbar
+
+ALL_ROUTERS = sorted(ROUTERS)
+
+
+def test_registry_contains_every_full_access_baseline():
+    assert ALL_ROUTERS == [
+        "batcher", "benes", "bitonic", "bnb", "clos", "crossbar",
+        "koppelman",
+    ]
+
+
+@st.composite
+def sized_permutations(draw):
+    m = draw(st.integers(1, 3))
+    mapping = draw(st.permutations(list(range(1 << m))))
+    return m, mapping
+
+
+@settings(max_examples=60, deadline=None)
+@given(sized_permutations())
+def test_every_router_matches_the_crossbar(case):
+    m, mapping = case
+    n = 1 << m
+    oracle = [w.address for w in Crossbar(n).route(list(mapping))]
+    assert oracle == list(range(n))  # the oracle itself delivers sorted
+    for name in ALL_ROUTERS:
+        outputs = ROUTERS[name](m)(list(mapping))
+        assert [w.address for w in outputs] == oracle, name
+
+
+@pytest.mark.parametrize("name", ALL_ROUTERS)
+def test_exhaustive_n4(name):
+    route = ROUTERS[name](2)
+    for mapping in itertools.permutations(range(4)):
+        outputs = route(list(mapping))
+        assert [w.address for w in outputs] == [0, 1, 2, 3], (name, mapping)

@@ -14,7 +14,7 @@ class TestRoute:
         assert "delivered: True" in out
 
     def test_route_other_networks(self, capsys):
-        for network in ("batcher", "benes", "koppelman", "crossbar"):
+        for network in ("batcher", "bitonic", "benes", "koppelman", "crossbar"):
             assert main(["route", "8", "--network", network]) == 0
 
     def test_route_bad_size(self, capsys):
@@ -55,6 +55,74 @@ class TestRoute:
     def test_route_fast_bad_size_exits_2(self, capsys):
         assert main(["route", "12", "--fast"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestRouteBackend:
+    def test_pinned_backend_json(self, capsys):
+        assert main(
+            ["route", "8", "--seed", "3", "--backend", "msorter", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "backend"
+        assert payload["backend"] == "msorter"
+        assert payload["delivered"] is True
+        assert payload["arrived"] == list(range(8))
+
+    def test_every_registered_backend_routes(self, capsys):
+        from repro.backends import backend_names
+
+        for name in backend_names():
+            assert main(["route", "8", "--backend", name]) == 0
+            out = capsys.readouterr().out
+            assert f"backend {name}" in out
+            assert "delivered: True" in out
+
+    def test_auto_resolves_to_a_registered_winner(self, capsys):
+        from repro.backends import backend_names
+
+        assert main(["route", "8", "--backend", "auto", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] in backend_names()
+        assert payload["delivered"] is True
+
+    def test_auto_prose_names_the_winner(self, capsys):
+        assert main(["route", "8", "--backend", "auto"]) == 0
+        assert "(arena winner)" in capsys.readouterr().out
+
+    def test_backend_and_fast_conflict_exits_2(self, capsys):
+        assert main(["route", "8", "--backend", "bnb", "--fast"]) == 2
+        assert "--backend" in capsys.readouterr().err
+
+    def test_unknown_backend_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["route", "8", "--backend", "nope"])
+
+    def test_backend_choices_cover_registry_plus_auto(self):
+        from repro.backends import backend_names
+
+        parser = build_parser()
+        args = parser.parse_args(["route", "8", "--backend", "krbenes"])
+        assert args.backend == "krbenes"
+        for name in backend_names() + ["auto"]:
+            parser.parse_args(["route", "8", "--backend", name])
+
+    def test_stats_engine_accepts_backend_names(self):
+        parser = build_parser()
+        args = parser.parse_args(["stats", "8", "--engine", "msorter"])
+        assert args.engine == "msorter"
+        parser.parse_args(["stats", "8", "--engine", "auto"])
+
+    def test_serve_engine_accepts_auto_and_backend_names(self):
+        from repro.backends import backend_names
+
+        parser = build_parser()
+        for engine in ("object", "vector", "batch", "auto") + tuple(
+            backend_names()
+        ):
+            args = parser.parse_args(["serve", "8", "--engine", engine])
+            assert args.engine == engine
+        with pytest.raises(SystemExit):
+            parser.parse_args(["serve", "8", "--engine", "warp"])
 
 
 class TestVerify:
