@@ -13,7 +13,11 @@ import random
 import pytest
 
 from repro.core import BNBNetwork, MultipassRouter, route_partial
-from repro.permutations import random_permutation
+from repro.permutations import (
+    TrafficSampler,
+    partial_fill_destinations,
+    random_permutation,
+)
 
 
 def _uniform_random_traffic(n, load, rng):
@@ -95,3 +99,69 @@ def test_contention_statistics(benchmark, write_artifact):
     lines = ["offered load | mean rounds to deliver (N=32, 20 workloads)"]
     lines += [f"{load:.2f} | {mean:.2f}" for load, mean in averages.items()]
     write_artifact("traffic_contention.txt", "\n".join(lines))
+
+
+def test_skew_inflates_rounds(benchmark, write_artifact):
+    """Destination skew drives the round count: the same scenario
+    distributions ``repro replay`` serves (uniform, Zipf, hotspot — see
+    docs/traffic.md), routed offline at full load.  The hotter the
+    distribution, the more passes the fabric needs."""
+    m = 5
+    n = 1 << m
+    router = MultipassRouter(BNBNetwork(m))
+
+    def mean_rounds(distribution, **knobs):
+        sampler = TrafficSampler(
+            n, distribution, rng=random.Random(7), **knobs
+        )
+        totals = [
+            router.route(
+                [(dest, f"pkt{j}") for j, dest in
+                 enumerate(sampler.destinations(n))]
+            ).rounds
+            for _ in range(12)
+        ]
+        return sum(totals) / len(totals)
+
+    def collect():
+        return {
+            "uniform": mean_rounds("uniform"),
+            "zipf": mean_rounds("zipf", zipf_alpha=1.3),
+            "hotspot": mean_rounds(
+                "hotspot", hot_fraction=1 / 16, hot_weight=0.9
+            ),
+        }
+
+    rounds = benchmark.pedantic(collect, rounds=1, iterations=1)
+    assert rounds["uniform"] < rounds["zipf"] < rounds["hotspot"]
+    lines = ["distribution | mean rounds to deliver (N=32, full load)"]
+    lines += [f"{name} | {mean:.2f}" for name, mean in rounds.items()]
+    write_artifact("traffic_skew_rounds.txt", "\n".join(lines))
+
+
+@pytest.mark.parametrize("fill", [0.25, 0.75])
+def test_partial_fill_single_pass(benchmark, fill):
+    """A partial-fill frame (distinct destinations) always routes in
+    one pass, whatever the fill factor — the property the scheduler's
+    coalescer relies on."""
+    m = 5
+    net = BNBNetwork(m)
+    n = 1 << m
+    rng = random.Random(int(fill * 100))
+    frames = [
+        [
+            (dest, f"pkt{line}") if dest is not None else None
+            for line, dest in
+            enumerate(partial_fill_destinations(n, fill, rng=rng))
+        ]
+        for _ in range(8)
+    ]
+    state = {"i": 0}
+
+    def route_one():
+        frame = frames[state["i"] % len(frames)]
+        state["i"] += 1
+        return route_partial(net, frame)
+
+    result = benchmark(route_one)
+    assert result.active_count == round(fill * n)

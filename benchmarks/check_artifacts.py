@@ -386,6 +386,83 @@ def check_backend_arena(
         )
 
 
+def check_traffic_scenarios(
+    data: Dict[str, Any], name: str, errors: List[str]
+) -> None:
+    """The ``bench_traffic_scenarios.py`` SLO gates (docs/traffic.md)."""
+    scenarios = data.get("scenarios")
+    _require(
+        isinstance(scenarios, dict) and bool(scenarios),
+        name,
+        "'scenarios' must be a non-empty object",
+        errors,
+    )
+    if not isinstance(scenarios, dict):
+        return
+    for key in ("uniform", "multicast", "qos_hotspot"):
+        _require(key in scenarios, name, f"missing scenario {key!r}", errors)
+
+    multicast = scenarios.get("multicast", {}).get("multicast", {})
+    copies = multicast.get("copies")
+    _require(
+        isinstance(copies, int) and copies > 0,
+        name,
+        "multicast scenario expanded no copies",
+        errors,
+    )
+    _require(
+        multicast.get("delivered") == copies,
+        name,
+        f"multicast delivered {multicast.get('delivered')!r} of "
+        f"{copies!r} expanded copies",
+        errors,
+    )
+
+    qos = scenarios.get("qos_hotspot", {})
+    load = qos.get("offered_load")
+    _require(
+        isinstance(load, (int, float)) and load >= 1.0,
+        name,
+        f"qos_hotspot offered load {load!r} below saturation (1.0)",
+        errors,
+    )
+    tenants = qos.get("tenants", {})
+    _require(
+        isinstance(tenants, dict) and len(tenants) >= 2,
+        name,
+        "qos_hotspot needs at least two tenant classes",
+        errors,
+    )
+    if isinstance(tenants, dict) and len(tenants) >= 2:
+        for tenant, row in tenants.items():
+            _require(
+                row.get("delivered") == row.get("offered"),
+                name,
+                f"tenant {tenant!r} starved: {row.get('delivered')!r} of "
+                f"{row.get('offered')!r} words delivered",
+                errors,
+            )
+        by_weight = sorted(tenants.items(), key=lambda kv: kv[1]["weight"])
+        light, heavy = by_weight[0], by_weight[-1]
+        _require(
+            heavy[1]["weight"] > light[1]["weight"],
+            name,
+            "qos_hotspot tenant weights do not differ",
+            errors,
+        )
+        heavy_p99 = heavy[1]["latency_cycles"]["p99"]
+        light_p99 = light[1]["latency_cycles"]["p99"]
+        _require(
+            heavy_p99 is not None
+            and light_p99 is not None
+            and heavy_p99 <= light_p99,
+            name,
+            f"weighted tenant {heavy[0]!r} p99 {heavy_p99!r} exceeds "
+            f"unweighted {light[0]!r} p99 {light_p99!r}",
+            errors,
+        )
+
+
 SCHEMAS: Dict[str, Callable[[Any, str, List[str]], None]] = {
     "gateway_load.json": check_gateway_load,
     "gateway_plane_kill.json": check_gateway_plane_kill,
@@ -396,6 +473,7 @@ SCHEMAS: Dict[str, Callable[[Any, str, List[str]], None]] = {
     "wire_protocol.json": check_wire_protocol,
     "cluster_soak.json": check_cluster_soak,
     "backend_arena.json": check_backend_arena,
+    "traffic_scenarios.json": check_traffic_scenarios,
 }
 
 

@@ -11,6 +11,7 @@ Commands
 ``serve``    host the async traffic gateway (TCP JSON-lines, or --demo)
 ``cluster``  run a sharded multi-node gateway cluster with failover
 ``stats``    scrape a running gateway, or one-shot an in-process snapshot
+``replay``   replay a traffic scenario or recorded trace, gate on SLOs
 
 Every command writes plain text to stdout and exits non-zero on
 failure, so the CLI is scriptable; ``route``/``verify``/``serve`` take
@@ -234,6 +235,127 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="ID",
         help="stable identity reported in stats and on exported metrics "
         "(defaults to gw-<pid>; the cluster supervisor sets node-K names)",
+    )
+    serve.add_argument(
+        "--tenants",
+        metavar="SPEC",
+        default=None,
+        help="QoS classes as 'name:weight,...' (e.g. gold:8,bronze:1); "
+        "enables the deficit-weighted per-tenant scheduler in the "
+        "admission path (see docs/traffic.md)",
+    )
+    serve.add_argument(
+        "--starvation-cycles",
+        type=int,
+        default=1024,
+        metavar="C",
+        help="with --tenants: serve a queue head that is older than the "
+        "scheduler's weighted pick by more than C cycles first",
+    )
+
+    replay = sub.add_parser(
+        "replay",
+        help="replay a traffic scenario or recorded trace through a "
+        "gateway and gate on per-tenant latency SLOs",
+    )
+    replay.add_argument(
+        "n",
+        type=int,
+        nargs="?",
+        default=None,
+        help="network size (power of two) for the in-process gateway "
+        "(omit when using --connect)",
+    )
+    replay.add_argument(
+        "--scenario",
+        default="mixed",
+        metavar="NAME",
+        help="built-in scenario to synthesize (uniform, hotspot, "
+        "multicast, tenants, mixed; see docs/traffic.md)",
+    )
+    replay.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="replay a recorded trace document instead of synthesizing "
+        "--scenario",
+    )
+    replay.add_argument(
+        "--events",
+        type=int,
+        default=1024,
+        help="events to synthesize (ignored with --trace)",
+    )
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument(
+        "--engine",
+        choices=("object", "vector", "batch") + tuple(_backend_choices()),
+        default="vector",
+        help="plane engine for the in-process gateway",
+    )
+    replay.add_argument(
+        "--planes", type=int, default=1, help="fabric planes in the pool"
+    )
+    replay.add_argument(
+        "--capacity", type=int, default=64,
+        help="per-destination queue bound",
+    )
+    replay.add_argument(
+        "--burst",
+        type=int,
+        default=32,
+        help="words per send_batch burst; small bursts interleave the "
+        "tenant classes within each queue (see docs/traffic.md)",
+    )
+    replay.add_argument(
+        "--retry",
+        type=int,
+        default=64,
+        metavar="ATTEMPTS",
+        help="re-admission rounds per burst under backpressure",
+    )
+    replay.add_argument(
+        "--starvation-cycles",
+        type=int,
+        default=1024,
+        metavar="C",
+        help="starvation-rescue age bound for the tenant scheduler",
+    )
+    replay.add_argument(
+        "--save-trace",
+        metavar="FILE",
+        default=None,
+        help="save the replayed trace document for later exact replays",
+    )
+    replay.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="replay against a running 'repro serve' gateway over the "
+        "wire instead of an in-process fabric",
+    )
+    replay.add_argument(
+        "--slo-p50",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="fail (exit 1) if any tenant's p50 latency exceeds CYCLES",
+    )
+    replay.add_argument(
+        "--slo-p99",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="fail (exit 1) if any tenant's p99 latency exceeds CYCLES",
+    )
+    replay.add_argument(
+        "--require-delivery",
+        action="store_true",
+        help="fail (exit 1) if any admitted word went undelivered "
+        "(the no-tenant-starves gate)",
+    )
+    replay.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
     )
 
     cluster = sub.add_parser(
@@ -731,6 +853,11 @@ def _command_serve(args: argparse.Namespace) -> int:
         plane_factory = pool.plane_factory
         planes = args.pool_workers
         engine = "object"  # config engine unused under an explicit factory
+    tenants = None
+    if args.tenants:
+        from .traffic import parse_tenant_spec
+
+        tenants = parse_tenant_spec(args.tenants)
     config = GatewayConfig(
         m=m,
         planes=planes,
@@ -738,6 +865,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         resilient=args.resilient,
         engine=engine,
         node_id=args.node_id,
+        tenants=tenants,
+        starvation_cycles=args.starvation_cycles,
     )
 
     def _instrument(gateway):
@@ -1066,6 +1195,152 @@ def _command_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_replay_report(report, violations: List[str]) -> None:
+    """Human-readable ``repro replay`` summary (violations to stderr)."""
+    print(
+        f"scenario : {report.scenario} "
+        f"(N={report.n}, {report.events} events)"
+    )
+    print(
+        f"words    : {report.words_offered} offered, "
+        f"{report.words_delivered} delivered, "
+        f"{report.words_rejected} rejected"
+    )
+    if report.multicast_requests:
+        print(
+            f"multicast: {report.multicast_requests} requests -> "
+            f"{report.multicast_copies} copies in "
+            f"{report.multicast_rounds} round(s), "
+            f"{report.multicast_delivered} delivered"
+        )
+    if report.cycles is not None:
+        load_note = (
+            f", offered load {report.offered_load:.2f}"
+            if report.offered_load is not None
+            else ""
+        )
+        print(
+            f"fabric   : {report.cycles} cycles{load_note}, "
+            f"{report.starvation_rescues} starvation rescue(s)"
+        )
+    for tenant, row in sorted(report.per_tenant.items()):
+        latency = row.to_document()["latency_cycles"]
+        print(
+            f"tenant   : {tenant} (weight {row.weight}) — "
+            f"{row.offered} offered, {row.delivered} delivered, "
+            f"p50={latency['p50']} p99={latency['p99']} cycles"
+        )
+    for violation in violations:
+        print(f"SLO violation: {violation}", file=sys.stderr)
+
+
+def _command_replay(args: argparse.Namespace) -> int:
+    """``repro replay``: drive a gateway with a scenario or trace.
+
+    Exit code 0 when every SLO gate passes, 1 on any violation — so a
+    replay line drops straight into CI next to the benchmark gates.
+    """
+    import asyncio
+
+    from .exceptions import InputError
+    from .obs.snapshot import dump_json
+    from .traffic import SCENARIOS, load_trace, replay_trace, synthesize
+
+    trace = load_trace(args.trace) if args.trace is not None else None
+    if trace is None and args.scenario not in SCENARIOS:
+        raise InputError(
+            f"unknown scenario {args.scenario!r}; choose one of "
+            f"{sorted(SCENARIOS)} or pass --trace FILE"
+        )
+
+    async def _run(target, n: int):
+        nonlocal trace
+        if trace is None:
+            trace = synthesize(
+                SCENARIOS[args.scenario], n, args.events, args.seed
+            )
+        elif trace.n != n:
+            raise InputError(
+                f"trace was recorded for N={trace.n} but the gateway "
+                f"serves N={n}"
+            )
+        if args.save_trace:
+            trace.save(args.save_trace)
+        return await replay_trace(
+            target, trace, burst=args.burst, retry_attempts=args.retry
+        )
+
+    if args.connect is not None:
+        from .client import GatewayClient
+
+        host, _, port_text = args.connect.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise InputError(
+                f"--connect takes HOST:PORT, got {args.connect!r}"
+            )
+
+        async def _connected():
+            try:
+                client = await GatewayClient(host, int(port_text)).connect()
+            except (OSError, ConnectionError) as error:
+                raise InputError(
+                    f"cannot reach {args.connect}: {error}"
+                ) from error
+            try:
+                return await _run(client, client.n)
+            finally:
+                await client.aclose()
+
+        report = asyncio.run(_connected())
+    else:
+        n = args.n if args.n is not None else (trace.n if trace else None)
+        if n is None:
+            raise InputError(
+                "replay needs a network size (or a --trace, which "
+                "records one), or --connect HOST:PORT for a running "
+                "gateway"
+            )
+        require_power_of_two(n, "network size")
+        m = n.bit_length() - 1
+
+        from .server import AsyncGateway, GatewayConfig
+
+        weights = (
+            dict(trace.tenants)
+            if trace is not None
+            else SCENARIOS[args.scenario].tenant_weights
+        )
+        if len(weights) == 1 and all(w == 1 for w in weights.values()):
+            weights = None  # one unweighted class: keep the bare hot path
+        config = GatewayConfig(
+            m=m,
+            planes=args.planes,
+            queue_capacity=args.capacity,
+            engine=args.engine,
+            tenants=weights,
+            starvation_cycles=args.starvation_cycles,
+        )
+
+        async def _in_process():
+            async with AsyncGateway(config) as gateway:
+                return await _run(gateway, n)
+
+        report = asyncio.run(_in_process())
+
+    violations = report.check_slos(
+        args.slo_p50, args.slo_p99, require_delivery=args.require_delivery
+    )
+    if args.json:
+        document = report.to_document()
+        document["slo_violations"] = violations
+        print(dump_json(document))
+        for violation in violations:
+            print(f"SLO violation: {violation}", file=sys.stderr)
+    else:
+        _print_replay_report(report, violations)
+    return 1 if violations else 0
+
+
 _HANDLERS = {
     "route": _command_route,
     "verify": _command_verify,
@@ -1076,6 +1351,7 @@ _HANDLERS = {
     "serve": _command_serve,
     "cluster": _command_cluster,
     "stats": _command_stats,
+    "replay": _command_replay,
 }
 
 

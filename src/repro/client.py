@@ -333,6 +333,7 @@ class GatewayClient:
         retry: bool = False,
         max_attempts: int = 16,
         server_retry: bool = False,
+        tenant: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Send one word; optionally retry through backpressure.
 
@@ -342,9 +343,12 @@ class GatewayClient:
         the client-side half of the backpressure contract.  Any other
         error slug raises immediately.  ``server_retry=True`` asks the
         gateway to wait out its own backpressure instead (no extra wire
-        round trips); the two compose.
+        round trips); the two compose.  ``tenant`` names the word's QoS
+        class on a tenant-configured gateway (``docs/traffic.md``).
         """
         fields: Dict[str, Any] = {"dest": dest, "payload": payload}
+        if tenant is not None:
+            fields["tenant"] = tenant
         if server_retry:
             fields["retry"] = True
         attempts = max_attempts if retry else 0
@@ -366,6 +370,7 @@ class GatewayClient:
         payloads: Optional[Sequence[Any]] = None,
         *,
         retry: int = 0,
+        tenant: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Send a whole batch of words in one request.
 
@@ -375,7 +380,8 @@ class GatewayClient:
         out its own ``retry_after`` hints between rounds, far cheaper
         than a wire round trip per retry).  The per-word result arrays
         (``statuses``, ``latencies``, ...) come back as int64 numpy
-        arrays in both framings.
+        arrays in both framings.  ``tenant`` names the batch's QoS
+        class on a tenant-configured gateway.
         """
         array = np.ascontiguousarray(dests, dtype=np.int64)
         if array.ndim != 1:
@@ -383,6 +389,8 @@ class GatewayClient:
                 f"dests must be one-dimensional, got shape {array.shape}"
             )
         fields: Dict[str, Any] = {"retry": retry}
+        if tenant is not None:
+            fields["tenant"] = tenant
         if self.binary:
             fields["dests"] = array
         else:

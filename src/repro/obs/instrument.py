@@ -210,6 +210,39 @@ class GatewayInstrumentation:
             "Repair passes the plane's resilient fabric has run.",
             labelnames=("plane",),
         )
+        self._tenant_weight = r.gauge(
+            "repro_tenant_weight",
+            "Configured scheduling weight of each QoS tenant class.",
+            labelnames=("tenant",),
+        )
+        self._tenant_queued = r.gauge(
+            "repro_tenant_queued_words",
+            "Words currently queued across all VOQs, by tenant class.",
+            labelnames=("tenant",),
+        )
+        self._tenant_counters = {
+            field: r.counter(
+                f"repro_tenant_{field}_total",
+                f"Cumulative words {field}, by tenant class.",
+                labelnames=("tenant",),
+            )
+            for field in (
+                "offered", "accepted", "rejected", "requeued",
+                "served", "delivered",
+            )
+        }
+        self._tenant_rescues = r.counter(
+            "repro_tenant_starvation_rescues_total",
+            "Head words served by the starvation age override instead "
+            "of the weighted pick, by tenant class.",
+            labelnames=("tenant",),
+        )
+        self._tenant_latency_q = r.gauge(
+            "repro_tenant_latency_cycles_quantile",
+            "Per-tenant delivery latency quantiles over the recent "
+            "sample window.",
+            labelnames=("tenant", "q"),
+        )
         self._trace_frames = r.counter(
             "repro_trace_frames_total", "Frames sampled into the tracer."
         )
@@ -358,6 +391,21 @@ class GatewayInstrumentation:
                 self._service_retries.labels(label).sync(
                     fabric.counters.retries
                 )
+        tenants = getattr(gateway, "tenant_snapshot", lambda: None)()
+        if tenants is not None:
+            for tenant, row in tenants.items():
+                self._tenant_weight.labels(tenant).set(row["weight"])
+                self._tenant_queued.labels(tenant).set(row["queued"])
+                for field, counter in self._tenant_counters.items():
+                    counter.labels(tenant).sync(row[field])
+                self._tenant_rescues.labels(tenant).sync(
+                    row["starvation_rescues"]
+                )
+                latency = row["latency_cycles"]
+                for q in ("p50", "p99", "max"):
+                    value = latency[q]
+                    if value is not None:
+                        self._tenant_latency_q.labels(tenant, q).set(value)
         self._trace_frames.sync(self.tracer.traced_frames)
         self._trace_retained.set(len(self.tracer))
 

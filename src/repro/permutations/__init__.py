@@ -11,12 +11,17 @@ classify which restricted routers can realize a given permutation.
 from .permutation import Permutation
 from .generators import (
     PermutationSampler,
+    TrafficSampler,
     random_permutation,
     random_derangement,
     random_involution,
     random_bpc,
     all_permutations,
     sampled_permutations,
+    zipf_weights,
+    zipf_destinations,
+    hotspot_destinations,
+    partial_fill_destinations,
 )
 from .families import (
     identity,
@@ -49,6 +54,11 @@ from .properties import (
 __all__ = [
     "Permutation",
     "PermutationSampler",
+    "TrafficSampler",
+    "zipf_weights",
+    "zipf_destinations",
+    "hotspot_destinations",
+    "partial_fill_destinations",
     "random_permutation",
     "random_derangement",
     "random_involution",

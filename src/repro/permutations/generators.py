@@ -4,6 +4,19 @@ Benchmarks and property tests draw their workloads from here so that
 every experiment is reproducible from a seed.  All generators accept an
 explicit :class:`random.Random` instance or a seed; none touch the
 global random state.
+
+Two families live here:
+
+* **Permutation generators** (`random_permutation` & co.,
+  :class:`PermutationSampler`) — the paper's native workload: one full
+  conflict-free frame per draw.
+* **Contended destination generators** (`zipf_destinations`,
+  `hotspot_destinations`, `partial_fill_destinations`,
+  :class:`TrafficSampler`) — the realistic-traffic workloads of
+  ``docs/traffic.md``: destination *multisets* with per-destination
+  contention knobs (Zipf skew exponent, hot-output fraction/weight,
+  fill factor) that the multipass planner and the gateway's VOQs must
+  decompose into conflict-free rounds.
 """
 
 from __future__ import annotations
@@ -17,12 +30,17 @@ from .permutation import Permutation
 
 __all__ = [
     "PermutationSampler",
+    "TrafficSampler",
     "random_permutation",
     "random_derangement",
     "random_involution",
     "random_bpc",
     "all_permutations",
     "sampled_permutations",
+    "zipf_weights",
+    "zipf_destinations",
+    "hotspot_destinations",
+    "partial_fill_destinations",
 ]
 
 RandomLike = Union[int, random.Random, None]
@@ -115,6 +133,184 @@ def sampled_permutations(
     r = _resolve_rng(rng)
     for _ in range(count):
         yield random_permutation(n, r)
+
+
+def zipf_weights(n: int, alpha: float) -> List[float]:
+    """Unnormalized Zipf(*alpha*) weights over *n* ranked destinations.
+
+    ``weights[r] = (r + 1) ** -alpha``: rank 0 is the hottest output.
+    ``alpha = 0`` degenerates to uniform; web-style skews sit around
+    ``alpha ~ 1``.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one destination, got n={n}")
+    if alpha < 0:
+        raise ValueError(f"zipf alpha must be >= 0, got {alpha}")
+    return [(rank + 1) ** -alpha for rank in range(n)]
+
+
+def zipf_destinations(
+    n: int, count: int, alpha: float = 1.1, rng: RandomLike = None
+) -> List[int]:
+    """Draw *count* destinations (with repeats) Zipf-skewed over rank.
+
+    Destination ``d``'s popularity rank is its index — deterministic on
+    purpose, so a seeded experiment knows output 0 is the hottest.
+    Returns a destination *multiset*: feeding it straight to
+    ``complete_partial_permutation`` will (rightly) raise on the
+    duplicates; the multipass planner or the gateway VOQs are the
+    consumers that can absorb contention.
+    """
+    r = _resolve_rng(rng)
+    weights = zipf_weights(n, alpha)
+    return r.choices(range(n), weights=weights, k=count)
+
+
+def hotspot_destinations(
+    n: int,
+    count: int,
+    hot_fraction: float = 0.1,
+    hot_weight: float = 0.9,
+    rng: RandomLike = None,
+) -> List[int]:
+    """Draw *count* destinations with a two-tier hotspot distribution.
+
+    A ``hot_weight`` fraction of the draws lands uniformly inside the
+    hot set (the first ``max(1, round(hot_fraction * n))`` outputs);
+    the rest land uniformly across all *n* outputs.  ``hot_fraction=1``
+    or ``hot_weight=0`` degenerate to uniform traffic.
+    """
+    if not 0 < hot_fraction <= 1:
+        raise ValueError(
+            f"hot_fraction must be in (0, 1], got {hot_fraction}"
+        )
+    if not 0 <= hot_weight <= 1:
+        raise ValueError(f"hot_weight must be in [0, 1], got {hot_weight}")
+    r = _resolve_rng(rng)
+    hot = max(1, round(hot_fraction * n))
+    return [
+        r.randrange(hot) if r.random() < hot_weight else r.randrange(n)
+        for _ in range(count)
+    ]
+
+
+def partial_fill_destinations(
+    n: int, fill: float, rng: RandomLike = None
+) -> List[Optional[int]]:
+    """A partial request vector at the given *fill* factor.
+
+    Returns a length-*n* list with ``round(fill * n)`` distinct random
+    destinations on random input lines and ``None`` elsewhere — the
+    idle-capable input :func:`~repro.core.traffic.route_partial` and
+    ``complete_partial_permutation`` consume directly.
+    """
+    if not 0 <= fill <= 1:
+        raise ValueError(f"fill must be in [0, 1], got {fill}")
+    r = _resolve_rng(rng)
+    active = round(fill * n)
+    lines = r.sample(range(n), active)
+    dests = r.sample(range(n), active)
+    vector: List[Optional[int]] = [None] * n
+    for line, dest in zip(lines, dests):
+        vector[line] = dest
+    return vector
+
+
+class TrafficSampler:
+    """A seedable source of *contended* destination workloads.
+
+    The non-permutation counterpart of :class:`PermutationSampler`:
+    draws destination multisets from the named distribution with its
+    contention knobs, for the multipass/hotspot benchmarks and the
+    traffic scenario suite (``docs/traffic.md``).
+    """
+
+    DISTRIBUTIONS = ("uniform", "zipf", "hotspot")
+
+    def __init__(
+        self,
+        n: int,
+        distribution: str = "uniform",
+        *,
+        zipf_alpha: float = 1.1,
+        hot_fraction: float = 0.1,
+        hot_weight: float = 0.9,
+        rng: RandomLike = None,
+    ) -> None:
+        if n <= 0:
+            raise ValueError(f"size must be positive, got {n}")
+        if distribution not in self.DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown distribution {distribution!r}; "
+                f"choose one of {self.DISTRIBUTIONS}"
+            )
+        self.n = n
+        self.distribution = distribution
+        self.zipf_alpha = zipf_alpha
+        self.hot_fraction = hot_fraction
+        self.hot_weight = hot_weight
+        self._rng = _resolve_rng(rng)
+        # Hoisted cumulative weights make a zipf draw one rng.choices
+        # call instead of a per-draw weight rebuild.
+        self._zipf_cum: Optional[List[float]] = None
+        if distribution == "zipf":
+            total = 0.0
+            cum = []
+            for weight in zipf_weights(n, zipf_alpha):
+                total += weight
+                cum.append(total)
+            self._zipf_cum = cum
+
+    def destinations(self, count: int) -> List[int]:
+        """Draw *count* destinations (a multiset — repeats expected)."""
+        if self.distribution == "uniform":
+            r = self._rng
+            n = self.n
+            return [r.randrange(n) for _ in range(count)]
+        if self.distribution == "zipf":
+            return self._rng.choices(
+                range(self.n), cum_weights=self._zipf_cum, k=count
+            )
+        return hotspot_destinations(
+            self.n,
+            count,
+            hot_fraction=self.hot_fraction,
+            hot_weight=self.hot_weight,
+            rng=self._rng,
+        )
+
+    def distinct(self, count: int) -> List[int]:
+        """Draw *count* pairwise-distinct destinations, skew-biased.
+
+        Draws from the distribution and keeps first occurrences, so the
+        hot outputs are still over-represented in the result; tops up
+        uniformly once the skewed draws stop producing new outputs
+        (bounded work even for extreme skews).
+        """
+        if count > self.n:
+            raise ValueError(
+                f"cannot draw {count} distinct destinations from "
+                f"{self.n} outputs"
+            )
+        seen: List[int] = []
+        members = set()
+        for _ in range(8):
+            if len(seen) >= count:
+                break
+            for dest in self.destinations(count * 2):
+                if dest not in members:
+                    members.add(dest)
+                    seen.append(dest)
+                    if len(seen) >= count:
+                        break
+        if len(seen) < count:
+            cold = [d for d in range(self.n) if d not in members]
+            seen.extend(self._rng.sample(cold, count - len(seen)))
+        return seen
+
+    def partial(self, fill: float) -> List[Optional[int]]:
+        """A partial request vector at *fill* (uniform placements)."""
+        return partial_fill_destinations(self.n, fill, self._rng)
 
 
 class PermutationSampler:

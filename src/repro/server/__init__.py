@@ -53,10 +53,11 @@ from .planes import (
 from .pool import ProcessPlane, ProcessPlanePool
 from .protocol import GatewayServer
 from .scheduler import FrameScheduler, ScheduledFrame
-from .voq import QueueEntry, VirtualOutputQueues
+from .voq import DEFAULT_TENANT, QueueEntry, VirtualOutputQueues
 
 __all__ = [
     "AsyncGateway",
+    "DEFAULT_TENANT",
     "BatchResult",
     "BackendPlane",
     "BatchVectorPlane",

@@ -41,7 +41,7 @@ from .planes import (
     VectorPlane,
 )
 from .scheduler import FrameScheduler
-from .voq import QueueEntry, VirtualOutputQueues
+from .voq import DEFAULT_TENANT, QueueEntry, VirtualOutputQueues
 
 __all__ = ["AsyncGateway", "BatchResult", "GatewayConfig", "Receipt"]
 
@@ -76,6 +76,17 @@ class GatewayConfig:
     engine: str = "object"
     #: Frames a batch plane buffers before one batched routing call.
     batch_window: int = 32
+    #: Weighted QoS classes: ``{"gold": 8, "bronze": 1}`` splits every
+    #: destination's VOQ into per-tenant FIFOs drained by deficit-
+    #: weighted round-robin (see :mod:`repro.server.voq`), with
+    #: per-tenant fairness accounting in ``stats()["tenants"]`` and the
+    #: ``repro_tenant_*`` metrics.  ``None`` (the default) keeps the
+    #: single-FIFO dataplane byte-identical to the untenanted code.
+    tenants: Optional[Dict[str, int]] = None
+    #: Starvation guard for tenant scheduling: a head word that has
+    #: waited this many cycles longer than the weighted pick's head is
+    #: served first regardless of weights.
+    starvation_cycles: int = 1024
     #: Bound on latency samples kept for the percentile estimate.
     latency_window: int = 8192
     #: Stable identity this gateway reports in ``stats`` and as the
@@ -109,6 +120,29 @@ class GatewayConfig:
             raise ValueError(
                 f"batch_window must be >= 1, got {self.batch_window}"
             )
+        if self.starvation_cycles < 1:
+            raise ValueError(
+                f"starvation_cycles must be >= 1, "
+                f"got {self.starvation_cycles}"
+            )
+        if self.tenants is not None:
+            if not self.tenants:
+                raise ValueError("tenants must name at least one class")
+            for name, weight in self.tenants.items():
+                if not isinstance(name, str) or not name:
+                    raise ValueError(
+                        f"tenant names must be non-empty strings, "
+                        f"got {name!r}"
+                    )
+                if (
+                    not isinstance(weight, int)
+                    or isinstance(weight, bool)
+                    or weight < 1
+                ):
+                    raise ValueError(
+                        f"tenant {name!r} needs an integer weight >= 1, "
+                        f"got {weight!r}"
+                    )
 
     @property
     def n(self) -> int:
@@ -219,7 +253,12 @@ class AsyncGateway:
     ) -> None:
         self.config = config
         self.n = config.n
-        self.voqs = VirtualOutputQueues(self.n, config.queue_capacity)
+        self.voqs = VirtualOutputQueues(
+            self.n,
+            config.queue_capacity,
+            tenants=config.tenants,
+            starvation_cycles=config.starvation_cycles,
+        )
         self.scheduler = FrameScheduler(self.n)
         #: Routing backend serving the planes, for stats and metrics:
         #: the arena winner under ``engine="auto"``, the pinned backend
@@ -283,6 +322,18 @@ class AsyncGateway:
         #: dataplane pays one attribute test per event, nothing more.
         self.observer: Optional[Any] = None
         self._latencies: List[int] = []
+        # Per-tenant delivery accounting, kept only in tenant mode so
+        # the default _resolve loop pays a single None test per frame.
+        self._tenant_latencies: Optional[Dict[str, List[int]]] = (
+            {name: [] for name in config.tenants}
+            if config.tenants is not None
+            else None
+        )
+        self._tenant_delivered: Dict[str, int] = (
+            {name: 0 for name in config.tenants}
+            if config.tenants is not None
+            else {}
+        )
         self._mode_counts: Dict[str, int] = {}
         self._batch_trackers: Set[_BatchTracker] = set()
         self._accepting = False
@@ -378,8 +429,18 @@ class AsyncGateway:
     # ------------------------------------------------------------------
     # Client API
     # ------------------------------------------------------------------
-    async def send(self, destination: int, payload: Any = None) -> Receipt:
+    async def send(
+        self,
+        destination: int,
+        payload: Any = None,
+        tenant: Optional[str] = None,
+    ) -> Receipt:
         """Admit one word and await its delivery receipt.
+
+        *tenant* names the word's QoS class when the gateway was
+        configured with :attr:`GatewayConfig.tenants`; unnamed words
+        ride the ``"default"`` class and the field is inert (stored,
+        never consulted) on an untenanted gateway.
 
         Raises :class:`AdmissionRejectedError` (with a retry-after hint
         in cycles) under backpressure, :class:`InputError` for a bad
@@ -403,6 +464,7 @@ class AsyncGateway:
             payload=payload,
             enqueued_cycle=self.cycle,
             future=asyncio.get_running_loop().create_future(),
+            tenant=tenant if tenant is not None else DEFAULT_TENANT,
         )
         try:
             self.voqs.admit(entry)  # raises AdmissionRejectedError when full
@@ -418,6 +480,7 @@ class AsyncGateway:
         destination: int,
         payload: Any = None,
         attempts: int = 16,
+        tenant: Optional[str] = None,
     ) -> Receipt:
         """Like :meth:`send`, but honour backpressure by waiting it out.
 
@@ -427,7 +490,7 @@ class AsyncGateway:
         """
         for attempt in range(attempts):
             try:
-                return await self.send(destination, payload)
+                return await self.send(destination, payload, tenant)
             except AdmissionRejectedError as error:
                 if attempt == attempts - 1:
                     raise
@@ -439,6 +502,7 @@ class AsyncGateway:
         destinations: Any,
         payloads: Optional[Sequence[Any]] = None,
         retry_attempts: int = 0,
+        tenant: Optional[str] = None,
     ) -> BatchResult:
         """Admit a whole batch of words and await every delivery.
 
@@ -500,9 +564,10 @@ class AsyncGateway:
         self._batch_trackers.add(tracker)
         dest_list = dests.tolist()  # one C pass beats a per-word int() each
         payload_list = None if payloads is None else list(payloads)
+        tenant_name = tenant if tenant is not None else DEFAULT_TENANT
         try:
             rejected = self._admit_batch_round(
-                tracker, dest_list, payload_list, range(count)
+                tracker, dest_list, payload_list, range(count), tenant_name
             )
             for _attempt in range(retry_attempts):
                 if not rejected:
@@ -524,7 +589,7 @@ class AsyncGateway:
                 # a word accepted on retry keeps hint 0 from here.
                 result.retry_after[rejected] = 0
                 rejected = self._admit_batch_round(
-                    tracker, dest_list, payload_list, rejected
+                    tracker, dest_list, payload_list, rejected, tenant_name
                 )
             tracker.open = False
             if tracker.pending == 0 and not tracker.future.done():
@@ -540,6 +605,7 @@ class AsyncGateway:
         dests: List[int],
         payloads: Optional[Sequence[Any]],
         indices: Any,
+        tenant: str = DEFAULT_TENANT,
     ) -> List[int]:
         """Offer the words at *indices* to the VOQs; return the rejects.
 
@@ -555,6 +621,7 @@ class AsyncGateway:
             tracker,
             result.retry_after,
             indices,
+            tenant,
         )
         tracker.pending += admitted
         if rejected and self.observer is not None:
@@ -571,6 +638,7 @@ class AsyncGateway:
                         0,
                         tracker,
                         index,
+                        tenant,
                     ),
                     AdmissionRejectedError(destination, hint, hint),
                 )
@@ -748,6 +816,8 @@ class AsyncGateway:
         entries = frame.entries
         self.delivered_words += len(entries)
         latency_samples = self._latencies
+        tenant_samples = self._tenant_latencies
+        tenant_delivered = self._tenant_delivered
         # Batch words resolve per *frame*, not per word: indices and
         # latencies group by tracker, then land in the preallocated
         # result arrays as a handful of fancy-indexed stores.
@@ -757,6 +827,14 @@ class AsyncGateway:
             if latency > worst_latency:
                 worst_latency = latency
             latency_samples.append(latency)
+            if tenant_samples is not None:
+                tenant = entry.tenant
+                samples = tenant_samples.get(tenant)
+                if samples is None:
+                    samples = tenant_samples[tenant] = []
+                    tenant_delivered[tenant] = 0
+                samples.append(latency)
+                tenant_delivered[tenant] += 1
             tracker = entry.batch
             if tracker is not None:
                 group = groups.get(tracker)
@@ -796,6 +874,10 @@ class AsyncGateway:
         window = self.config.latency_window
         if len(self._latencies) > 2 * window:
             del self._latencies[:-window]
+        if tenant_samples is not None:
+            for samples in tenant_samples.values():
+                if len(samples) > 2 * window:
+                    del samples[:-window]
 
     # ------------------------------------------------------------------
     # Stats
@@ -807,6 +889,33 @@ class AsyncGateway:
         ordered = sorted(samples)
         index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
         return ordered[index]
+
+    def tenant_snapshot(self) -> Optional[Dict[str, Dict[str, Any]]]:
+        """Fairness + latency accounting per QoS class, or ``None``
+        when the gateway runs untenanted.
+
+        Merges the VOQ's admission/service counters with the gateway's
+        delivery counts and per-class latency percentiles — the payload
+        behind ``stats()["tenants"]`` and the ``repro_tenant_*``
+        metrics.
+        """
+        rows = self.voqs.tenant_snapshot()
+        if rows is None:
+            return None
+        for tenant, row in rows.items():
+            samples = (
+                self._tenant_latencies.get(tenant, [])
+                if self._tenant_latencies is not None
+                else []
+            )
+            row["delivered"] = self._tenant_delivered.get(tenant, 0)
+            row["latency_cycles"] = {
+                "samples": len(samples),
+                "p50": self._percentile(samples, 0.50),
+                "p99": self._percentile(samples, 0.99),
+                "max": max(samples) if samples else None,
+            }
+        return rows
 
     def stats(self) -> Dict[str, Any]:
         """One JSON-safe snapshot of every component's counters."""
@@ -830,6 +939,7 @@ class AsyncGateway:
             "delivery_modes": dict(self._mode_counts),
             "queues": self.voqs.snapshot(),
             "scheduler": self.scheduler.snapshot(),
+            "tenants": self.tenant_snapshot(),
             "latency_cycles": {
                 "samples": len(latencies),
                 "p50": self._percentile(latencies, 0.50),

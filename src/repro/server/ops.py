@@ -91,6 +91,8 @@ def features(server: Any) -> List[str]:
     gateway = server.gateway
     if getattr(gateway.config, "resilient", False):
         flags.append("resilient")
+    if getattr(gateway.config, "tenants", None):
+        flags.append("tenants")
     return sorted(flags)
 
 
@@ -235,16 +237,37 @@ async def _op_metrics(server: Any, request: Dict[str, Any]) -> Dict[str, Any]:
     )
 
 
+def _tenant_field(request: Dict[str, Any]) -> Optional[str]:
+    """The optional ``tenant`` QoS-class field of a send-style request.
+
+    Additive minor-version field: absent or ``None`` means the default
+    class, anything else must be a non-empty string.
+    """
+    tenant = request.get("tenant")
+    if tenant is None:
+        return None
+    if not isinstance(tenant, str) or not tenant:
+        raise InputError(
+            f"'tenant' must be a non-empty class name, got {tenant!r}"
+        )
+    return tenant
+
+
 @_op("send", 5, "admit one word, await its delivery receipt")
 async def _op_send(server: Any, request: Dict[str, Any]) -> Dict[str, Any]:
     destination = request.get("dest")
     if not isinstance(destination, int) or isinstance(destination, bool):
         raise InputError("'dest' must be an integer output line")
     retry = bool(request.get("retry", False))
-    send = (
-        server.gateway.send_with_retry if retry else server.gateway.send
-    )
-    receipt = await send(destination, request.get("payload"))
+    tenant = _tenant_field(request)
+    if retry:
+        receipt = await server.gateway.send_with_retry(
+            destination, request.get("payload"), tenant=tenant
+        )
+    else:
+        receipt = await server.gateway.send(
+            destination, request.get("payload"), tenant=tenant
+        )
     return {
         "op": "send",
         "dest": receipt.destination,
@@ -295,7 +318,10 @@ async def _op_send_batch(server: Any, request: Dict[str, Any]) -> Dict[str, Any]
             f"count, got {attempts!r}"
         )
     result = await server.gateway.send_batch(
-        destinations, payloads, retry_attempts=attempts
+        destinations,
+        payloads,
+        retry_attempts=attempts,
+        tenant=_tenant_field(request),
     )
     return {
         "op": "send_batch",

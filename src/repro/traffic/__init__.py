@@ -1,0 +1,66 @@
+"""Traffic scenarios: multicast, hotspots, QoS tenants, trace replay.
+
+The paper's fabric routes one full permutation per frame; this package
+is where the repository meets traffic that is not that polite (ROADMAP
+open item 1, grounded in the POPS permutation-routing model,
+arxiv cs/0109027, and routing-via-matchings, arxiv 1604.04978):
+
+* :mod:`repro.traffic.multicast` — the **copy-network front end**:
+  expands multicast requests (one source, ``k`` destinations) into
+  conflict-free partial-permutation rounds the batch dataplane serves;
+* :mod:`repro.traffic.scenarios` — the **scenario library and trace
+  format**: named traffic mixes (hotspot skew, multicast fraction,
+  tenant classes) that synthesize into reproducible, saveable traces;
+* :mod:`repro.traffic.replay` — the **replay harness** behind
+  ``repro replay`` and ``benchmarks/bench_traffic_scenarios.py``:
+  drives a live gateway with a trace and reports per-tenant delivery
+  and latency percentiles against p50/p99 SLOs.
+
+The contended-workload *generators* (Zipf, hot-output, fill factor)
+live with the other workload sources in
+:mod:`repro.permutations.generators`; the weighted per-tenant QoS
+scheduling itself lives in the admission path
+(:mod:`repro.server.voq`).  ``docs/traffic.md`` documents the whole
+traffic model.
+"""
+
+from .multicast import (
+    CopyPlan,
+    CopyRound,
+    MulticastRequest,
+    expand_copies,
+    route_copies,
+)
+from .replay import ReplayReport, TenantReport, replay_scenario, replay_trace
+from .scenarios import (
+    SCENARIOS,
+    Scenario,
+    TenantSpec,
+    Trace,
+    TraceEvent,
+    TRACE_VERSION,
+    load_trace,
+    parse_tenant_spec,
+    synthesize,
+)
+
+__all__ = [
+    "CopyPlan",
+    "CopyRound",
+    "MulticastRequest",
+    "ReplayReport",
+    "SCENARIOS",
+    "Scenario",
+    "TenantReport",
+    "TenantSpec",
+    "Trace",
+    "TraceEvent",
+    "TRACE_VERSION",
+    "expand_copies",
+    "load_trace",
+    "parse_tenant_spec",
+    "replay_scenario",
+    "replay_trace",
+    "route_copies",
+    "synthesize",
+]

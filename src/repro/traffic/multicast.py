@@ -1,0 +1,169 @@
+"""Copy-network front end: multicast requests -> partial-permutation rounds.
+
+The BNB fabric is a point-to-point permutation network — every frame
+delivers at most one word per output.  A multicast request (one source,
+``k`` destinations) therefore cannot ride a single frame as-is; the
+classic fix is a *copy network* in front of the routing network that
+fans each request out into unicast copies first.  This module is that
+front end, in planning form: :func:`expand_copies` turns a list of
+:class:`MulticastRequest` into **rounds** of pairwise-distinct
+destinations (each round a conflict-free partial permutation), which
+the batch dataplane serves one ``send_batch`` per round, or the offline
+:func:`route_copies` helper routes directly on a
+:class:`~repro.core.bnb.BNBNetwork`.
+
+The round assignment is the FIFO-per-output rule of
+:class:`~repro.core.traffic.MultipassRouter`: copy ``j`` of a
+destination lands in round ``j``, so the round count equals the maximum
+number of copies any single output must absorb — the
+information-theoretic minimum for a fabric delivering one word per
+output per pass.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.bnb import BNBNetwork
+from ..core.traffic import route_partial
+from ..exceptions import InputError
+
+__all__ = [
+    "CopyPlan",
+    "CopyRound",
+    "MulticastRequest",
+    "expand_copies",
+    "route_copies",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class MulticastRequest:
+    """One source word bound for ``len(destinations)`` outputs.
+
+    ``source`` is provenance (which input port asked), ``payload`` the
+    word every copy carries, ``tenant`` the QoS class the copies are
+    admitted under (see ``docs/traffic.md``).  Destinations must be
+    pairwise distinct — "send twice to output 3" is two requests.
+    """
+
+    source: int
+    destinations: Tuple[int, ...]
+    payload: Any = None
+    tenant: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "destinations", tuple(self.destinations)
+        )
+        if not self.destinations:
+            raise InputError(
+                f"multicast request from {self.source} names no destinations"
+            )
+        if len(set(self.destinations)) != len(self.destinations):
+            raise InputError(
+                f"multicast destinations must be distinct, "
+                f"got {list(self.destinations)}"
+            )
+
+    @property
+    def fanout(self) -> int:
+        return len(self.destinations)
+
+
+@dataclasses.dataclass
+class CopyRound:
+    """One conflict-free batch of copies: pairwise-distinct destinations.
+
+    ``origins[k]`` is ``(request_index, copy_index)`` for the word at
+    ``destinations[k]`` — how a delivered copy is attributed back to
+    the multicast request that spawned it.
+    """
+
+    destinations: List[int]
+    origins: List[Tuple[int, int]]
+
+    def __len__(self) -> int:
+        return len(self.destinations)
+
+
+@dataclasses.dataclass
+class CopyPlan:
+    """The full expansion of a multicast workload into unicast rounds."""
+
+    n: int
+    requests: int
+    copies: int
+    rounds: List[CopyRound]
+
+    @property
+    def round_count(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def expansion_ratio(self) -> float:
+        """Copies per request — the bandwidth cost of the multicast."""
+        return self.copies / self.requests if self.requests else 0.0
+
+
+def expand_copies(
+    requests: Sequence[MulticastRequest], n: int
+) -> CopyPlan:
+    """Expand *requests* into conflict-free rounds for an *n*-output fabric.
+
+    Every copy of every request appears in exactly one round; within a
+    round destinations are pairwise distinct (a destination's ``j``-th
+    copy, counting across requests in submission order, lands in round
+    ``j``).  Raises :class:`~repro.exceptions.InputError` for an
+    out-of-range destination.
+    """
+    if n < 1:
+        raise InputError(f"need at least one output, got n={n}")
+    multiplicity: Dict[int, int] = {}
+    rounds: List[CopyRound] = []
+    copies = 0
+    for request_index, request in enumerate(requests):
+        for copy_index, dest in enumerate(request.destinations):
+            if not 0 <= dest < n:
+                raise InputError(
+                    f"destination {dest} out of range for N={n} "
+                    f"(request {request_index})"
+                )
+            round_index = multiplicity.get(dest, 0)
+            multiplicity[dest] = round_index + 1
+            while len(rounds) <= round_index:
+                rounds.append(CopyRound([], []))
+            rounds[round_index].destinations.append(dest)
+            rounds[round_index].origins.append((request_index, copy_index))
+            copies += 1
+    return CopyPlan(
+        n=n, requests=len(requests), copies=copies, rounds=rounds
+    )
+
+
+def route_copies(
+    network: BNBNetwork, requests: Sequence[MulticastRequest]
+) -> List[List[Any]]:
+    """Offline reference: expand and route every copy on *network*.
+
+    Returns ``delivered[output]`` — the payloads that arrived at each
+    output, in round order.  Every copy rides a real partial-permutation
+    pass through the fabric (copies placed on consecutive input lines,
+    idle lines filled by ``complete_partial_permutation``), so this is
+    the ground truth the serving-path replay is checked against.
+    """
+    plan = expand_copies(requests, network.n)
+    delivered: List[List[Any]] = [[] for _ in range(network.n)]
+    for copy_round in plan.rounds:
+        if len(copy_round) > network.n:  # pragma: no cover — impossible
+            raise InputError("round larger than the fabric")
+        partial: List[Optional[Tuple[int, Any]]] = [None] * network.n
+        for line, (dest, (request_index, _copy)) in enumerate(
+            zip(copy_round.destinations, copy_round.origins)
+        ):
+            partial[line] = (dest, requests[request_index].payload)
+        outputs = route_partial(network, partial).outputs
+        for dest in copy_round.destinations:
+            delivered[dest].append(outputs[dest])
+    return delivered

@@ -1,0 +1,366 @@
+"""The trace-replay harness: drive a gateway with a scenario trace.
+
+:func:`replay_trace` pushes every event of a :class:`~repro.traffic.
+scenarios.Trace` through a gateway — the in-process
+:class:`~repro.server.gateway.AsyncGateway` or a live server via
+:class:`~repro.client.GatewayClient` — and returns a
+:class:`ReplayReport` with per-tenant delivery accounting and latency
+percentiles, ready for the SLO gates in ``benchmarks/check_artifacts.py``
+(and the exit code of ``repro replay``).
+
+Mechanics: unicast events chunk into per-tenant ``send_batch`` bursts;
+multicast events run through the copy-network expansion
+(:func:`~repro.traffic.multicast.expand_copies`) and each resulting
+conflict-free round becomes one ``send_batch``.  All bursts across all
+tenants are submitted as interleaved concurrent tasks, so tenant
+classes genuinely contend for the same VOQs while the replay runs —
+the condition under which the deficit-weighted scheduler's fairness is
+measurable at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..exceptions import InputError
+from ..server.voq import DEFAULT_TENANT
+from .multicast import MulticastRequest, expand_copies
+from .scenarios import SCENARIOS, Scenario, Trace, synthesize
+
+__all__ = ["ReplayReport", "TenantReport", "replay_scenario", "replay_trace"]
+
+
+def _percentile(samples: Sequence[int], q: float) -> Optional[int]:
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+@dataclasses.dataclass
+class TenantReport:
+    """Delivery + latency accounting for one QoS class of a replay."""
+
+    tenant: str
+    weight: int
+    offered: int = 0
+    delivered: int = 0
+    latencies: List[int] = dataclasses.field(default_factory=list)
+
+    @property
+    def rejected(self) -> int:
+        return self.offered - self.delivered
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.delivered / self.offered if self.offered else 0.0
+
+    def to_document(self) -> Dict[str, Any]:
+        return {
+            "weight": self.weight,
+            "offered": self.offered,
+            "delivered": self.delivered,
+            "rejected": self.rejected,
+            "delivery_ratio": round(self.delivery_ratio, 6),
+            "latency_cycles": {
+                "samples": len(self.latencies),
+                "p50": _percentile(self.latencies, 0.50),
+                "p99": _percentile(self.latencies, 0.99),
+                "max": max(self.latencies) if self.latencies else None,
+            },
+        }
+
+
+@dataclasses.dataclass
+class ReplayReport:
+    """Everything a replay measured; see ``docs/traffic.md``."""
+
+    scenario: str
+    n: int
+    events: int
+    words_offered: int
+    unicast_words: int
+    multicast_requests: int
+    multicast_copies: int
+    multicast_rounds: int
+    multicast_delivered: int
+    per_tenant: Dict[str, TenantReport]
+    elapsed_seconds: float
+    cycles: Optional[int] = None
+    offered_load: Optional[float] = None
+    starvation_rescues: int = 0
+
+    @property
+    def words_delivered(self) -> int:
+        return sum(report.delivered for report in self.per_tenant.values())
+
+    @property
+    def words_rejected(self) -> int:
+        return self.words_offered - self.words_delivered
+
+    def check_slos(
+        self,
+        slo_p50: Optional[int] = None,
+        slo_p99: Optional[int] = None,
+        require_delivery: bool = False,
+    ) -> List[str]:
+        """Return the list of violated gates (empty means all green).
+
+        The p50/p99 thresholds apply to every tenant class; with
+        ``require_delivery`` any word still rejected after the replay's
+        retries is also a violation (the "no tenant starves" gate).
+        """
+        violations: List[str] = []
+        for tenant, report in sorted(self.per_tenant.items()):
+            p50 = _percentile(report.latencies, 0.50)
+            p99 = _percentile(report.latencies, 0.99)
+            if slo_p50 is not None and p50 is not None and p50 > slo_p50:
+                violations.append(
+                    f"tenant {tenant!r}: p50 {p50} cycles exceeds the "
+                    f"{slo_p50}-cycle SLO"
+                )
+            if slo_p99 is not None and p99 is not None and p99 > slo_p99:
+                violations.append(
+                    f"tenant {tenant!r}: p99 {p99} cycles exceeds the "
+                    f"{slo_p99}-cycle SLO"
+                )
+            if require_delivery and report.rejected:
+                violations.append(
+                    f"tenant {tenant!r}: {report.rejected} of "
+                    f"{report.offered} words undelivered"
+                )
+        if self.multicast_copies and (
+            self.multicast_delivered != self.multicast_copies
+        ):
+            violations.append(
+                f"multicast: {self.multicast_delivered} of "
+                f"{self.multicast_copies} expanded copies delivered"
+            )
+        return violations
+
+    def to_document(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "n": self.n,
+            "events": self.events,
+            "words_offered": self.words_offered,
+            "words_delivered": self.words_delivered,
+            "words_rejected": self.words_rejected,
+            "unicast_words": self.unicast_words,
+            "multicast": {
+                "requests": self.multicast_requests,
+                "copies": self.multicast_copies,
+                "rounds": self.multicast_rounds,
+                "delivered": self.multicast_delivered,
+            },
+            "tenants": {
+                tenant: report.to_document()
+                for tenant, report in sorted(self.per_tenant.items())
+            },
+            "cycles": self.cycles,
+            "offered_load": (
+                round(self.offered_load, 4)
+                if self.offered_load is not None
+                else None
+            ),
+            "starvation_rescues": self.starvation_rescues,
+            "elapsed_seconds": round(self.elapsed_seconds, 4),
+        }
+
+
+async def _submit(
+    target: Any, dests: List[int], tenant: str, retry: int
+) -> Tuple[int, Any]:
+    """One burst through either target kind; returns (delivered, latencies).
+
+    Ducks on the ``voqs`` attribute: an in-process
+    :class:`~repro.server.gateway.AsyncGateway` takes
+    ``retry_attempts=`` and returns a ``BatchResult``; a
+    :class:`~repro.client.GatewayClient` takes ``retry=`` and returns
+    the response dict with int64 arrays.
+    """
+    if hasattr(target, "voqs"):
+        result = await target.send_batch(
+            dests, retry_attempts=retry, tenant=tenant
+        )
+        return int(result.delivered), result.latencies[result.statuses == 1]
+    response = await target.send_batch(dests, retry=retry, tenant=tenant)
+    statuses = response["statuses"]
+    return int(response["delivered"]), response["latencies"][statuses == 1]
+
+
+async def replay_trace(
+    target: Any,
+    trace: Trace,
+    *,
+    burst: int = 512,
+    retry_attempts: int = 64,
+) -> ReplayReport:
+    """Replay *trace* through *target*; see module docstring.
+
+    *burst* bounds the words per ``send_batch`` (unicast events); every
+    burst is offered with *retry_attempts* server-side re-admission
+    rounds, so under saturation the replay applies sustained offered
+    load instead of giving up at the first backpressure hint.
+    """
+    import asyncio
+
+    if burst < 1:
+        raise InputError(f"burst must be >= 1, got {burst}")
+    reports = {
+        tenant: TenantReport(tenant=tenant, weight=weight)
+        for tenant, weight in trace.tenants.items()
+    }
+
+    def report_for(tenant: str) -> TenantReport:
+        existing = reports.get(tenant)
+        if existing is None:
+            existing = reports[tenant] = TenantReport(tenant=tenant, weight=1)
+        return existing
+
+    # Partition: unicast destination streams per tenant, multicast
+    # requests per tenant (the copy network keeps tenants separate so
+    # every copy is admitted under its request's class).
+    unicast: Dict[str, List[int]] = {}
+    multicast: Dict[str, List[MulticastRequest]] = {}
+    for event in trace.events:
+        if event.words == 1:
+            unicast.setdefault(event.tenant, []).append(
+                event.destinations[0]
+            )
+        else:
+            multicast.setdefault(event.tenant, []).append(
+                MulticastRequest(
+                    source=0,
+                    destinations=event.destinations,
+                    tenant=event.tenant,
+                )
+            )
+    # Build the burst list per tenant: unicast chunks, then the
+    # conflict-free copy rounds of that tenant's multicast expansion.
+    bursts: Dict[str, List[Tuple[str, List[int]]]] = {}
+    multicast_requests = multicast_copies = multicast_rounds = 0
+    for tenant, dests in unicast.items():
+        bursts.setdefault(tenant, []).extend(
+            ("unicast", dests[start:start + burst])
+            for start in range(0, len(dests), burst)
+        )
+    for tenant, requests in multicast.items():
+        plan = expand_copies(requests, trace.n)
+        multicast_requests += plan.requests
+        multicast_copies += plan.copies
+        multicast_rounds += plan.round_count
+        bursts.setdefault(tenant, []).extend(
+            ("multicast", copy_round.destinations)
+            for copy_round in plan.rounds
+        )
+    # Interleave the tenants' bursts round-robin and launch them all:
+    # each task admits its first round synchronously at creation order,
+    # so the classes contend from the first frame.
+    interleaved: List[Tuple[str, str, List[int]]] = []
+    streams = {
+        tenant: iter(tenant_bursts)
+        for tenant, tenant_bursts in bursts.items()
+    }
+    while streams:
+        for tenant in list(streams):
+            try:
+                kind, dests = next(streams[tenant])
+            except StopIteration:
+                del streams[tenant]
+            else:
+                interleaved.append((tenant, kind, dests))
+
+    voqs = getattr(target, "voqs", None)
+    start_cycle = getattr(target, "cycle", None)
+    start_offered = voqs.offered if voqs is not None else None
+    started = time.perf_counter()
+    tasks = [
+        asyncio.ensure_future(
+            _submit(target, dests, tenant, retry_attempts)
+        )
+        for tenant, _kind, dests in interleaved
+    ]
+    outcomes = await asyncio.gather(*tasks)
+    elapsed = time.perf_counter() - started
+
+    multicast_delivered = 0
+    words_offered = unicast_words = 0
+    for (tenant, kind, dests), (delivered, latencies) in zip(
+        interleaved, outcomes
+    ):
+        report = report_for(tenant)
+        report.offered += len(dests)
+        report.delivered += delivered
+        report.latencies.extend(int(value) for value in latencies)
+        words_offered += len(dests)
+        if kind == "multicast":
+            multicast_delivered += delivered
+        else:
+            unicast_words += len(dests)
+
+    cycles = offered_load = None
+    rescues = 0
+    if voqs is not None and start_cycle is not None:
+        cycles = target.cycle - start_cycle
+        if cycles:
+            # Offered load counts every admission offer (including the
+            # retry re-offers), per output line per cycle — >= 1.0 means
+            # the VOQs saw at least fabric capacity in arrivals.
+            offered_load = (voqs.offered - start_offered) / (
+                trace.n * cycles
+            )
+        tenant_rows = voqs.tenant_snapshot()
+        if tenant_rows:
+            rescues = sum(
+                row["starvation_rescues"] for row in tenant_rows.values()
+            )
+    return ReplayReport(
+        scenario=trace.scenario,
+        n=trace.n,
+        events=len(trace.events),
+        words_offered=words_offered,
+        unicast_words=unicast_words,
+        multicast_requests=multicast_requests,
+        multicast_copies=multicast_copies,
+        multicast_rounds=multicast_rounds,
+        multicast_delivered=multicast_delivered,
+        per_tenant=reports,
+        elapsed_seconds=elapsed,
+        cycles=cycles,
+        offered_load=offered_load,
+        starvation_rescues=rescues,
+    )
+
+
+async def replay_scenario(
+    target: Any,
+    scenario: Union[str, Scenario],
+    *,
+    events: int = 1024,
+    seed: int = 0,
+    burst: int = 512,
+    retry_attempts: int = 64,
+) -> ReplayReport:
+    """Synthesize *scenario* for the target's fabric size and replay it."""
+    if isinstance(scenario, str):
+        try:
+            scenario = SCENARIOS[scenario]
+        except KeyError:
+            raise InputError(
+                f"unknown scenario {scenario!r}; choose one of "
+                f"{sorted(SCENARIOS)} or pass a trace file"
+            ) from None
+    n = getattr(target, "n", None)
+    if n is None:
+        raise InputError(
+            "the replay target does not expose its fabric size; "
+            "synthesize a trace explicitly and use replay_trace"
+        )
+    trace = synthesize(scenario, n, events, seed)
+    return await replay_trace(
+        target, trace, burst=burst, retry_attempts=retry_attempts
+    )

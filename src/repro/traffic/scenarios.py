@@ -1,0 +1,371 @@
+"""Traffic scenarios and the recorded-trace format they synthesize to.
+
+A :class:`Scenario` is a compact, named description of a traffic mix —
+destination distribution and its contention knobs, multicast fraction
+and fanout, tenant classes with weights and offered shares.
+:func:`synthesize` expands a scenario into a concrete :class:`Trace`
+(a flat event list, reproducible from the seed), and a trace can be
+saved to / loaded from the JSON document format described in
+``docs/traffic.md`` — so recorded production traffic and synthetic
+workloads replay through exactly the same harness
+(:mod:`repro.traffic.replay`, ``repro replay``).
+
+Built-in scenarios (:data:`SCENARIOS`): ``uniform``, ``hotspot``,
+``multicast``, ``tenants``, ``mixed``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..exceptions import InputError
+from ..permutations.generators import RandomLike, TrafficSampler, _resolve_rng
+from ..server.voq import DEFAULT_TENANT
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "TenantSpec",
+    "Trace",
+    "TraceEvent",
+    "TRACE_VERSION",
+    "load_trace",
+    "parse_tenant_spec",
+    "synthesize",
+]
+
+#: Version stamp every saved trace carries; the loader refuses newer.
+TRACE_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantSpec:
+    """One QoS class inside a scenario.
+
+    ``weight`` is the scheduling weight the gateway's deficit-weighted
+    round-robin honours; ``share`` the fraction of the scenario's
+    offered events this class generates (shares are normalized over the
+    scenario's tenants).
+    """
+
+    name: str
+    weight: int = 1
+    share: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InputError("tenant names must be non-empty")
+        if not isinstance(self.weight, int) or self.weight < 1:
+            raise InputError(
+                f"tenant {self.name!r} needs an integer weight >= 1, "
+                f"got {self.weight!r}"
+            )
+        if self.share <= 0:
+            raise InputError(
+                f"tenant {self.name!r} needs a positive share, "
+                f"got {self.share!r}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """A named traffic mix; see module docstring and ``docs/traffic.md``."""
+
+    name: str
+    description: str = ""
+    #: Destination distribution: one of TrafficSampler.DISTRIBUTIONS.
+    distribution: str = "uniform"
+    zipf_alpha: float = 1.1
+    hot_fraction: float = 0.05
+    hot_weight: float = 0.8
+    #: Fraction of events that are multicast requests (0 = pure unicast).
+    multicast_fraction: float = 0.0
+    #: Largest multicast fanout; each multicast event draws a fanout
+    #: uniformly from 2..fanout.
+    fanout: int = 4
+    tenants: Tuple[TenantSpec, ...] = (TenantSpec(DEFAULT_TENANT),)
+
+    def __post_init__(self) -> None:
+        if self.distribution not in TrafficSampler.DISTRIBUTIONS:
+            raise InputError(
+                f"unknown distribution {self.distribution!r}; choose one "
+                f"of {TrafficSampler.DISTRIBUTIONS}"
+            )
+        if not 0 <= self.multicast_fraction <= 1:
+            raise InputError(
+                f"multicast_fraction must be in [0, 1], "
+                f"got {self.multicast_fraction}"
+            )
+        if self.fanout < 2:
+            raise InputError(f"fanout must be >= 2, got {self.fanout}")
+        if not self.tenants:
+            raise InputError("a scenario needs at least one tenant class")
+
+    @property
+    def tenant_weights(self) -> Dict[str, int]:
+        return {spec.name: spec.weight for spec in self.tenants}
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One replayable request: unicast (one destination) or multicast."""
+
+    tenant: str
+    destinations: Tuple[int, ...]
+
+    @property
+    def words(self) -> int:
+        """Fabric words this event expands to (copies for a multicast)."""
+        return len(self.destinations)
+
+
+@dataclasses.dataclass
+class Trace:
+    """A concrete, replayable event stream plus its tenant table."""
+
+    n: int
+    scenario: str
+    tenants: Dict[str, int]
+    events: List[TraceEvent]
+    seed: Optional[int] = None
+    version: int = TRACE_VERSION
+
+    @property
+    def words(self) -> int:
+        return sum(event.words for event in self.events)
+
+    @property
+    def multicast_events(self) -> int:
+        return sum(1 for event in self.events if event.words > 1)
+
+    def to_document(self) -> Dict[str, Any]:
+        """The JSON document form (see ``docs/traffic.md``)."""
+        return {
+            "version": self.version,
+            "n": self.n,
+            "scenario": self.scenario,
+            "tenants": dict(self.tenants),
+            "seed": self.seed,
+            "events": [
+                {"tenant": event.tenant, "dests": list(event.destinations)}
+                for event in self.events
+            ],
+        }
+
+    def save(self, path: Union[str, pathlib.Path]) -> None:
+        pathlib.Path(path).write_text(
+            json.dumps(self.to_document(), separators=(",", ":")) + "\n"
+        )
+
+    @classmethod
+    def from_document(cls, document: Dict[str, Any]) -> "Trace":
+        if not isinstance(document, dict):
+            raise InputError("a trace must be a JSON object")
+        version = document.get("version")
+        if not isinstance(version, int) or version < 1:
+            raise InputError(
+                f"trace 'version' must be a positive integer, got {version!r}"
+            )
+        if version > TRACE_VERSION:
+            raise InputError(
+                f"trace version {version} is newer than this build "
+                f"understands ({TRACE_VERSION})"
+            )
+        n = document.get("n")
+        if not isinstance(n, int) or n < 1:
+            raise InputError(f"trace 'n' must be a positive integer, got {n!r}")
+        tenants = document.get("tenants") or {DEFAULT_TENANT: 1}
+        if not isinstance(tenants, dict):
+            raise InputError("trace 'tenants' must map names to weights")
+        raw_events = document.get("events")
+        if not isinstance(raw_events, list):
+            raise InputError("trace 'events' must be a list")
+        events: List[TraceEvent] = []
+        for position, raw in enumerate(raw_events):
+            if not isinstance(raw, dict):
+                raise InputError(f"event {position} must be an object")
+            dests = raw.get("dests")
+            if (
+                not isinstance(dests, list)
+                or not dests
+                or not all(
+                    isinstance(dest, int) and 0 <= dest < n for dest in dests
+                )
+            ):
+                raise InputError(
+                    f"event {position} needs a non-empty 'dests' list of "
+                    f"outputs in [0, {n})"
+                )
+            if len(set(dests)) != len(dests):
+                raise InputError(
+                    f"event {position} repeats a destination; multicast "
+                    f"copies must be distinct"
+                )
+            tenant = raw.get("tenant", DEFAULT_TENANT)
+            if not isinstance(tenant, str) or not tenant:
+                raise InputError(
+                    f"event {position} 'tenant' must be a non-empty string"
+                )
+            events.append(TraceEvent(tenant=tenant, destinations=tuple(dests)))
+        return cls(
+            n=n,
+            scenario=str(document.get("scenario", "recorded")),
+            tenants={str(k): int(v) for k, v in tenants.items()},
+            events=events,
+            seed=document.get("seed"),
+            version=version,
+        )
+
+
+def load_trace(path: Union[str, pathlib.Path]) -> Trace:
+    """Load a trace document saved by :meth:`Trace.save`."""
+    try:
+        document = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise InputError(f"cannot read trace {path}: {error}") from error
+    return Trace.from_document(document)
+
+
+def synthesize(
+    scenario: Scenario,
+    n: int,
+    events: int,
+    seed: RandomLike = 0,
+) -> Trace:
+    """Expand *scenario* into a concrete trace of *events* requests.
+
+    Deterministic in ``(scenario, n, events, seed)``: the same call
+    reproduces the same trace, which is what makes a scenario name in a
+    benchmark or a CI gate meaningful.
+    """
+    if events < 1:
+        raise InputError(f"need at least one event, got {events}")
+    rng = _resolve_rng(seed)
+    sampler = TrafficSampler(
+        n,
+        scenario.distribution,
+        zipf_alpha=scenario.zipf_alpha,
+        hot_fraction=scenario.hot_fraction,
+        hot_weight=scenario.hot_weight,
+        rng=rng,
+    )
+    names = [spec.name for spec in scenario.tenants]
+    shares = [spec.share for spec in scenario.tenants]
+    max_fanout = min(scenario.fanout, n)
+    trace_events: List[TraceEvent] = []
+    for _ in range(events):
+        tenant = (
+            names[0]
+            if len(names) == 1
+            else rng.choices(names, weights=shares, k=1)[0]
+        )
+        if (
+            scenario.multicast_fraction > 0
+            and rng.random() < scenario.multicast_fraction
+            and max_fanout >= 2
+        ):
+            fanout = rng.randint(2, max_fanout)
+            dests = tuple(sampler.distinct(fanout))
+        else:
+            dests = (sampler.destinations(1)[0],)
+        trace_events.append(TraceEvent(tenant=tenant, destinations=dests))
+    return Trace(
+        n=n,
+        scenario=scenario.name,
+        tenants=scenario.tenant_weights,
+        events=trace_events,
+        seed=seed if isinstance(seed, int) else None,
+    )
+
+
+def parse_tenant_spec(spec: str) -> Dict[str, int]:
+    """Parse a ``"gold:8,bronze:1"`` CLI tenant spec into weights."""
+    tenants: Dict[str, int] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, weight_text = part.partition(":")
+        name = name.strip()
+        if not name:
+            raise InputError(f"bad tenant spec {spec!r}: empty name")
+        weight = 1
+        if weight_text:
+            try:
+                weight = int(weight_text)
+            except ValueError:
+                raise InputError(
+                    f"bad tenant spec {spec!r}: weight {weight_text!r} "
+                    f"is not an integer"
+                ) from None
+        if weight < 1:
+            raise InputError(
+                f"bad tenant spec {spec!r}: weight must be >= 1"
+            )
+        if name in tenants:
+            raise InputError(f"bad tenant spec {spec!r}: {name!r} repeats")
+        tenants[name] = weight
+    if not tenants:
+        raise InputError(f"bad tenant spec {spec!r}: no classes named")
+    return tenants
+
+
+#: The built-in scenario library ``repro replay --scenario`` accepts.
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="uniform",
+            description="uniform unicast traffic — the no-contention baseline",
+        ),
+        Scenario(
+            name="hotspot",
+            description=(
+                "Zipf-skewed unicast: a few hot outputs absorb most words"
+            ),
+            distribution="zipf",
+            zipf_alpha=1.2,
+        ),
+        Scenario(
+            name="multicast",
+            description=(
+                "pure multicast: every event fans out to 2..8 distinct "
+                "outputs through the copy-network expansion"
+            ),
+            multicast_fraction=1.0,
+            fanout=8,
+        ),
+        Scenario(
+            name="tenants",
+            description=(
+                "two QoS classes on the same hotspot stream: gold "
+                "(weight 8) vs bronze (weight 1), equal offered shares"
+            ),
+            distribution="hotspot",
+            hot_fraction=0.125,
+            hot_weight=0.7,
+            tenants=(
+                TenantSpec("gold", weight=8, share=0.5),
+                TenantSpec("bronze", weight=1, share=0.5),
+            ),
+        ),
+        Scenario(
+            name="mixed",
+            description=(
+                "everything at once: Zipf hotspots, a quarter multicast, "
+                "two weighted tenant classes"
+            ),
+            distribution="zipf",
+            zipf_alpha=1.1,
+            multicast_fraction=0.25,
+            fanout=4,
+            tenants=(
+                TenantSpec("gold", weight=4, share=0.4),
+                TenantSpec("bronze", weight=1, share=0.6),
+            ),
+        ),
+    )
+}

@@ -1,0 +1,146 @@
+"""Copy-network front end: multicast expansion and ground-truth routing."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.core.bnb import BNBNetwork
+from repro.exceptions import InputError
+from repro.traffic import MulticastRequest, expand_copies, route_copies
+
+
+class TestMulticastRequest:
+    def test_fanout_and_validation(self):
+        request = MulticastRequest(source=0, destinations=(1, 2, 5))
+        assert request.fanout == 3
+        with pytest.raises(InputError):
+            MulticastRequest(source=0, destinations=())
+        with pytest.raises(InputError):
+            MulticastRequest(source=0, destinations=(3, 3))
+
+    def test_destinations_coerced_to_tuple(self):
+        request = MulticastRequest(source=1, destinations=[4, 2])
+        assert request.destinations == (4, 2)
+
+
+class TestExpandCopies:
+    def test_disjoint_requests_fit_one_round(self):
+        plan = expand_copies(
+            [
+                MulticastRequest(0, (0, 1)),
+                MulticastRequest(1, (2, 3)),
+            ],
+            n=4,
+        )
+        assert plan.round_count == 1
+        assert plan.copies == 4
+        assert plan.expansion_ratio == 2.0
+
+    def test_contending_copies_spread_over_rounds(self):
+        # Three requests all want output 0: its third copy forces a
+        # third round, everything else packs into the earliest rounds.
+        plan = expand_copies(
+            [
+                MulticastRequest(0, (0, 1)),
+                MulticastRequest(1, (0, 2)),
+                MulticastRequest(2, (0, 3)),
+            ],
+            n=4,
+        )
+        assert plan.round_count == 3
+        assert [len(r) for r in plan.rounds] == [4, 1, 1]
+
+    def test_copy_j_of_a_destination_lands_in_round_j(self):
+        plan = expand_copies(
+            [MulticastRequest(k, (7,)) for k in range(5)], n=8
+        )
+        for j, copy_round in enumerate(plan.rounds):
+            assert copy_round.destinations == [7]
+            assert copy_round.origins == [(j, 0)]
+
+    def test_out_of_range_destination_rejected(self):
+        with pytest.raises(InputError):
+            expand_copies([MulticastRequest(0, (8,))], n=8)
+        with pytest.raises(InputError):
+            expand_copies([], n=0)
+
+    def test_empty_workload(self):
+        plan = expand_copies([], n=4)
+        assert plan.round_count == 0
+        assert plan.copies == 0
+        assert plan.expansion_ratio == 0.0
+
+
+@st.composite
+def multicast_workloads(draw):
+    """Random multicast workloads, fanouts skewed toward hot outputs."""
+    m = draw(st.sampled_from([1, 2, 3, 4]))
+    n = 1 << m
+    count = draw(st.integers(min_value=0, max_value=12))
+    seed = draw(st.integers(0, 2**16))
+    rng = random.Random(seed)
+    requests = []
+    for source in range(count):
+        fanout = rng.randint(1, n)
+        # Sampling without replacement from a skewed order biases the
+        # workload toward low outputs — heavy contention on purpose.
+        dests = sorted(range(n), key=lambda d: (rng.random() * (d + 1)))
+        requests.append(
+            MulticastRequest(
+                source=source,
+                destinations=tuple(dests[:fanout]),
+                payload=f"req{source}",
+            )
+        )
+    return m, requests
+
+
+class TestExpansionProperties:
+    @given(multicast_workloads())
+    @settings(max_examples=120, deadline=None)
+    def test_rounds_partition_every_copy_conflict_free(self, case):
+        m, requests = case
+        n = 1 << m
+        plan = expand_copies(requests, n)
+        assert plan.copies == sum(r.fanout for r in requests)
+        # Round count is the information-theoretic minimum: the worst
+        # per-output multiplicity across the whole workload.
+        multiplicity = {}
+        for request in requests:
+            for dest in request.destinations:
+                multiplicity[dest] = multiplicity.get(dest, 0) + 1
+        assert plan.round_count == (
+            max(multiplicity.values()) if multiplicity else 0
+        )
+        seen = set()
+        for copy_round in plan.rounds:
+            # Conflict-free: distinct destinations within a round.
+            assert len(set(copy_round.destinations)) == len(copy_round)
+            assert len(copy_round.origins) == len(copy_round)
+            for dest, origin in zip(
+                copy_round.destinations, copy_round.origins
+            ):
+                request_index, copy_index = origin
+                assert requests[request_index].destinations[
+                    copy_index
+                ] == dest
+                assert origin not in seen  # each copy exactly once
+                seen.add(origin)
+        assert len(seen) == plan.copies
+
+    @given(multicast_workloads())
+    @settings(max_examples=40, deadline=None)
+    def test_route_copies_delivers_every_payload(self, case):
+        m, requests = case
+        network = BNBNetwork(m)
+        delivered = route_copies(network, requests)
+        for output, payloads in enumerate(delivered):
+            expected = [
+                request.payload
+                for request in requests
+                if output in request.destinations
+            ]
+            # FIFO per output: round order == request submission order.
+            assert payloads == expected

@@ -7,12 +7,20 @@ hypothesis sweep: arbitrary hole patterns, duplicate requests, and
 out-of-range destinations.
 """
 
+import random
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 import pytest
 
-from repro.core.traffic import coalesce_frame, complete_partial_permutation
+from repro.core.bnb import BNBNetwork
+from repro.core.traffic import (
+    MultipassRouter,
+    coalesce_frame,
+    complete_partial_permutation,
+)
 from repro.exceptions import InputError
+from repro.permutations.generators import zipf_destinations
 
 SIZES = st.sampled_from([2, 4, 8, 16, 32])
 
@@ -110,3 +118,105 @@ class TestCoalesceProperties:
         for dest, line in plan.line_of.items():
             assert plan.addresses[line] == dest
         assert plan.fill == pytest.approx(len(heads) / n)
+
+
+@st.composite
+def zipf_request_vectors(draw):
+    """A Zipf-skewed request vector: the hotspot traffic of
+    ``docs/traffic.md``, with heavy duplicate destinations by design.
+
+    Returns ``(m, requests)`` where requests is a full-length input
+    vector (idle lines ``None``) whose destinations are drawn from a
+    Zipf law — the adversarial input for the round decomposition.
+    """
+    m = draw(st.sampled_from([1, 2, 3, 4, 5]))
+    n = 1 << m
+    count = draw(st.integers(min_value=1, max_value=n))
+    alpha = draw(st.sampled_from([0.8, 1.1, 1.5, 2.5]))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    dests = zipf_destinations(n, count, alpha=alpha, rng=random.Random(seed))
+    lines = draw(
+        st.sets(st.integers(0, n - 1), min_size=count, max_size=count)
+    )
+    requests = [None] * n
+    for line, dest in zip(sorted(lines), dests):
+        requests[line] = (dest, f"pkt{line}")
+    return m, requests
+
+
+class TestSkewedMultisetProperties:
+    """Heavy-duplicate (Zipf hotspot) inputs through the full chain:
+    round decomposition -> completion -> coalescing."""
+
+    @given(zipf_request_vectors())
+    @settings(max_examples=120, deadline=None)
+    def test_round_decomposition_partitions_the_multiset(self, case):
+        m, requests = case
+        n = 1 << m
+        router = MultipassRouter(BNBNetwork(m))
+        rounds = router.plan_rounds(requests)
+        multiplicity = {}
+        for request in requests:
+            if request is not None:
+                multiplicity[request[0]] = multiplicity.get(request[0], 0) + 1
+        # Rounds == worst contention; every round is duplicate-free and
+        # the rounds partition the request multiset exactly.
+        assert len(rounds) == max(multiplicity.values())
+        seen = []
+        for round_requests in rounds:
+            dests = [r[0] for r in round_requests if r is not None]
+            assert len(set(dests)) == len(dests)
+            seen.extend(r for r in round_requests if r is not None)
+        assert sorted(seen) == sorted(
+            r for r in requests if r is not None
+        )
+
+    @given(zipf_request_vectors())
+    @settings(max_examples=80, deadline=None)
+    def test_each_round_completes_and_coalesces(self, case):
+        m, requests = case
+        n = 1 << m
+        router = MultipassRouter(BNBNetwork(m))
+        for round_requests in router.plan_rounds(requests):
+            dests = [
+                None if r is None else r[0] for r in round_requests
+            ]
+            full, real = complete_partial_permutation(dests)
+            assert sorted(full) == list(range(n))
+            heads = [d for d in dests if d is not None]
+            plan = coalesce_frame(heads, n)
+            assert sorted(plan.addresses) == list(range(n))
+            assert set(plan.line_of) == set(heads)
+
+    @given(zipf_request_vectors())
+    @settings(max_examples=60, deadline=None)
+    def test_skewed_traffic_delivered_exactly_once(self, case):
+        m, requests = case
+        router = MultipassRouter(BNBNetwork(m))
+        result = router.route(requests)
+        delivered = sorted(
+            payload
+            for output in range(1 << m)
+            for payload in result.all_payloads_at(output)
+        )
+        assert delivered == sorted(
+            r[1] for r in requests if r is not None
+        )
+
+    @given(zipf_request_vectors())
+    @settings(max_examples=60, deadline=None)
+    def test_duplicates_rejected_before_decomposition(self, case):
+        _m, requests = case
+        dests = [None if r is None else r[0] for r in requests]
+        multiplicity = {}
+        for dest in dests:
+            if dest is not None:
+                multiplicity[dest] = multiplicity.get(dest, 0) + 1
+        if multiplicity and max(multiplicity.values()) > 1:
+            # The completion refuses a duplicated destination outright —
+            # only the round decomposition may serve such a multiset.
+            with pytest.raises(InputError):
+                complete_partial_permutation(dests)
+        else:
+            full, _real = complete_partial_permutation(dests)
+            assert sorted(full) == list(range(len(dests)))

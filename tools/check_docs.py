@@ -42,6 +42,10 @@ _FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
 _SPAN_RE = re.compile(r"`([^`]+)`", re.DOTALL)
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _COMMAND_RE = re.compile(r"(?:python -m )?\brepro\s+(.*)$")
+#: Leading VAR=value environment assignments before the command proper
+#: (``PYTHONPATH=src python -m repro ...``) — stripped before matching,
+#: so env-prefixed invocations are validated, not skipped.
+_ENV_RE = re.compile(r"^(?:[A-Za-z_][A-Za-z0-9_]*=\S+\s+)+")
 
 
 def doc_paths(repo_root: pathlib.Path) -> List[pathlib.Path]:
@@ -110,6 +114,7 @@ def extract_invocations(text: str) -> List[Tuple[str, str]]:
     for block in fenced:
         for line in block.splitlines():
             line = line.strip().lstrip("$ ").strip()
+            line = _ENV_RE.sub("", line)
             # Anchored: `repro` must BE the command, so python module
             # paths (`repro.core`) and imports (`from repro import`)
             # in code blocks never parse as invocations.
@@ -119,6 +124,7 @@ def extract_invocations(text: str) -> List[Tuple[str, str]]:
     remainder = _FENCE_RE.sub("", text)
     for span in _SPAN_RE.findall(remainder):
         collapsed = " ".join(span.split())
+        collapsed = _ENV_RE.sub("", collapsed)
         match = _COMMAND_RE.match(collapsed)
         if match:
             invocations.append(("inline", match.group(1)))
